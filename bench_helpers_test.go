@@ -1,0 +1,38 @@
+package sensorcq
+
+import (
+	"sensorcq/internal/core"
+	"sensorcq/internal/model"
+	"sensorcq/internal/netsim"
+	"sensorcq/internal/subsume"
+)
+
+// multiJoinFactory builds the distributed multi-join approach with an
+// explicit binary-join pairing (used by the pairing ablation benchmark).
+func multiJoinFactory(pairing model.BinaryJoinPairing) netsim.HandlerFactory {
+	return core.NewFactory(core.Config{
+		Name:        "distributed-multi-join/" + pairing.String(),
+		Checker:     subsume.PairwiseChecker{},
+		Split:       core.SplitBinaryJoin,
+		Pairing:     pairing,
+		Propagation: core.PerNeighbor,
+	})
+}
+
+// dedupFactory builds two configurations that differ only in the event
+// propagation policy (per-neighbour vs per-subscription), isolating the
+// "event propagation" column of Table II.
+func dedupFactory(perNeighbor bool) netsim.HandlerFactory {
+	propagation := core.PerSubscription
+	name := "pairwise/per-subscription"
+	if perNeighbor {
+		propagation = core.PerNeighbor
+		name = "pairwise/per-neighbor"
+	}
+	return core.NewFactory(core.Config{
+		Name:        name,
+		Checker:     subsume.PairwiseChecker{},
+		Split:       core.SplitSimple,
+		Propagation: propagation,
+	})
+}

@@ -1,0 +1,348 @@
+package sensorcq
+
+// This file is the benchmark harness that regenerates every table and figure
+// of the paper's evaluation (Section VI). Each benchmark runs the relevant
+// scenario for the relevant approaches on the shared synthetic SensorScope
+// workload and reports the paper's metrics as custom benchmark outputs:
+//
+//	sub-load/<approach>     number of forwarded queries (Figs. 4, 6, 8, 10)
+//	event-load/<approach>   number of forwarded data units (Figs. 5, 7, 9, 11)
+//	recall-%/<approach>     end-user event recall (Fig. 12)
+//
+// Absolute values depend on the synthetic trace (the original SensorScope
+// data is not redistributable); what is expected to reproduce is the shape:
+// which approach wins, by roughly what factor, and how the gap evolves with
+// the number of injected subscriptions. EXPERIMENTS.md records a full run.
+//
+// By default the benchmarks run the scenarios at a reduced workload so that
+// `go test -bench=.` finishes in minutes; set -benchscale=full for the
+// paper's full workload (slow) or -benchscale=quick for a smoke test.
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+
+	"sensorcq/internal/experiment"
+	"sensorcq/internal/model"
+	"sensorcq/internal/netsim"
+	"sensorcq/internal/subsume"
+	"sensorcq/internal/topology"
+)
+
+var benchScale = flag.String("benchscale", "default", "benchmark workload scale: quick, default or full")
+
+// scaled applies the -benchscale flag to a scenario.
+func scaled(s experiment.Scenario) experiment.Scenario {
+	switch *benchScale {
+	case "full":
+		return s
+	case "quick":
+		return experiment.QuickScale(s)
+	default:
+		return s.Scale(1, 0.4, 0.5)
+	}
+}
+
+// runScenarioBenchmark runs one scenario once per benchmark iteration and
+// reports the final-point metrics of every approach.
+func runScenarioBenchmark(b *testing.B, s experiment.Scenario, approaches []experiment.ApproachID, withRecall bool) {
+	b.Helper()
+	s = scaled(s)
+	opts := experiment.DefaultOptions()
+	opts.Approaches = approaches
+	opts.ComputeRecall = withRecall
+	var last *experiment.Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Run(s, &opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, series := range last.Approaches {
+		final := series.Final()
+		b.ReportMetric(float64(final.SubscriptionLoad), "sub-load/"+string(series.Approach))
+		b.ReportMetric(float64(final.EventLoad), "event-load/"+string(series.Approach))
+		if withRecall {
+			b.ReportMetric(final.Recall*100, "recall-%/"+string(series.Approach))
+		}
+	}
+}
+
+// --- Figures 4 and 5: small-scale experiment (Section VI-C) ---
+
+func BenchmarkFig4SubscriptionLoadSmall(b *testing.B) {
+	runScenarioBenchmark(b, experiment.SmallScale(), experiment.AllDistributed(), false)
+}
+
+func BenchmarkFig5EventLoadSmall(b *testing.B) {
+	runScenarioBenchmark(b, experiment.SmallScale(), experiment.AllDistributed(), false)
+}
+
+// --- Figures 6 and 7: medium-scale experiment with the centralized baseline ---
+
+func BenchmarkFig6SubscriptionLoadMedium(b *testing.B) {
+	runScenarioBenchmark(b, experiment.MediumScale(), experiment.All(), false)
+}
+
+func BenchmarkFig7EventLoadMedium(b *testing.B) {
+	runScenarioBenchmark(b, experiment.MediumScale(), experiment.All(), false)
+}
+
+// --- Figures 8 and 9: large-scale experiment #1 (network size) ---
+
+func BenchmarkFig8SubscriptionLoadLargeNet(b *testing.B) {
+	runScenarioBenchmark(b, experiment.LargeScaleNetwork(), experiment.AllDistributed(), false)
+}
+
+func BenchmarkFig9EventLoadLargeNet(b *testing.B) {
+	runScenarioBenchmark(b, experiment.LargeScaleNetwork(), experiment.AllDistributed(), false)
+}
+
+// --- Figures 10 and 11: large-scale experiment #2 (number of data sources) ---
+
+func BenchmarkFig10SubscriptionLoadLargeSrc(b *testing.B) {
+	runScenarioBenchmark(b, experiment.LargeScaleSources(), experiment.AllDistributed(), false)
+}
+
+func BenchmarkFig11EventLoadLargeSrc(b *testing.B) {
+	runScenarioBenchmark(b, experiment.LargeScaleSources(), experiment.AllDistributed(), false)
+}
+
+// --- Figure 12: end-user event recall of Filter-Split-Forward ---
+
+func BenchmarkFig12EventRecall(b *testing.B) {
+	for _, s := range experiment.AllScenarios() {
+		s := s
+		b.Run(s.Name, func(b *testing.B) {
+			runScenarioBenchmark(b, s, []experiment.ApproachID{experiment.FilterSplitForward}, true)
+		})
+	}
+}
+
+// --- Table I / Figure 3: the subscription-subsumption walkthrough ---
+
+// BenchmarkTableISubsumptionExample measures the filter-split-forward
+// processing of the three Table I subscriptions on the six-node walkthrough
+// network (the functional behaviour is asserted by the unit tests in
+// internal/core).
+func BenchmarkTableISubsumptionExample(b *testing.B) {
+	graph := topology.NewGraph(6)
+	edges := [][2]topology.NodeID{{5, 4}, {4, 3}, {3, 0}, {3, 1}, {4, 2}}
+	for _, e := range edges {
+		if err := graph.AddEdge(e[0], e[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sensors := []struct {
+		node topology.NodeID
+		id   model.SensorID
+		attr model.AttributeType
+	}{
+		{0, "a", model.AmbientTemperature},
+		{1, "b", model.RelativeHumidity},
+		{2, "c", model.WindSpeed},
+	}
+	mkSub := func(id string, ranges map[model.SensorID][2]float64) *model.Subscription {
+		var filters []model.SensorFilter
+		for d, r := range ranges {
+			filters = append(filters, model.SensorFilter{Sensor: d, Range: NewInterval(r[0], r[1])})
+		}
+		sub, err := model.NewIdentifiedSubscription(model.SubscriptionID(id), filters, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sub
+	}
+	subs := []*model.Subscription{
+		mkSub("s1", map[model.SensorID][2]float64{"a": {50, 80}, "b": {10, 30}}),
+		mkSub("s2", map[model.SensorID][2]float64{"b": {20, 40}, "c": {2, 20}}),
+		mkSub("s3", map[model.SensorID][2]float64{"a": {55, 75}, "b": {15, 35}, "c": {5, 15}}),
+	}
+	factory, err := experiment.FactoryFor(experiment.FilterSplitForward, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var finalLoad int64
+	for i := 0; i < b.N; i++ {
+		engine := netsim.NewEngine(graph, factory)
+		for _, sn := range sensors {
+			if err := engine.AttachSensor(sn.node, model.Sensor{ID: sn.id, Attr: sn.attr}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, sub := range subs {
+			if err := engine.Subscribe(5, sub.Clone()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		finalLoad = engine.Metrics().SubscriptionLoad()
+	}
+	b.ReportMetric(float64(finalLoad), "sub-load")
+}
+
+// --- Table II ablations: the design choices that distinguish the approaches ---
+
+// BenchmarkAblationSetFilterError sweeps the FSF set-filter error probability
+// (the traffic/recall trade-off of Section VI-F).
+func BenchmarkAblationSetFilterError(b *testing.B) {
+	for _, errProb := range []float64{0.001, 0.02, 0.2} {
+		errProb := errProb
+		b.Run(fmt.Sprintf("err=%g", errProb), func(b *testing.B) {
+			s := scaled(experiment.SmallScale())
+			s.SetFilterError = errProb
+			runScenarioBenchmark(b, s, []experiment.ApproachID{experiment.FilterSplitForward}, true)
+		})
+	}
+}
+
+// BenchmarkAblationBinaryJoinPairing compares the ring and chain binary-join
+// pairings of the distributed multi-join competitor on identical inputs.
+func BenchmarkAblationBinaryJoinPairing(b *testing.B) {
+	for _, pairing := range []model.BinaryJoinPairing{model.RingPairing, model.ChainPairing} {
+		pairing := pairing
+		b.Run(pairing.String(), func(b *testing.B) {
+			s := scaled(experiment.MediumScale())
+			w, err := experiment.BuildWorkload(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var load int64
+			for i := 0; i < b.N; i++ {
+				load = runMultiJoinOnce(b, w, pairing)
+			}
+			b.ReportMetric(float64(load), "event-load")
+		})
+	}
+}
+
+// runMultiJoinOnce replays a workload against the multi-join approach with
+// an explicit pairing and returns the final event load.
+func runMultiJoinOnce(b *testing.B, w *experiment.Workload, pairing model.BinaryJoinPairing) int64 {
+	b.Helper()
+	factory := multiJoinFactory(pairing)
+	engine := netsim.NewEngine(w.Deployment.Graph, factory)
+	for _, sensor := range w.Deployment.Sensors {
+		if err := engine.AttachSensor(w.Deployment.SensorHost[sensor.ID], sensor); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range w.Placed {
+		if err := engine.Subscribe(p.Node, p.Sub); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, segment := range w.Segments {
+		for _, ev := range segment {
+			if err := engine.Publish(w.Deployment.SensorHost[ev.Sensor], ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return engine.Metrics().EventLoad()
+}
+
+// BenchmarkAblationLinkDedup compares per-neighbour (publish/subscribe) and
+// per-subscription event forwarding with everything else held equal — the
+// "event propagation" column of Table II in isolation.
+func BenchmarkAblationLinkDedup(b *testing.B) {
+	configs := map[string]netsim.HandlerFactory{
+		"per-neighbor":     dedupFactory(true),
+		"per-subscription": dedupFactory(false),
+	}
+	s := scaled(experiment.SmallScale())
+	w, err := experiment.BuildWorkload(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, factory := range configs {
+		factory := factory
+		b.Run(name, func(b *testing.B) {
+			var load int64
+			for i := 0; i < b.N; i++ {
+				engine := netsim.NewEngine(w.Deployment.Graph, factory)
+				for _, sensor := range w.Deployment.Sensors {
+					if err := engine.AttachSensor(w.Deployment.SensorHost[sensor.ID], sensor); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for _, p := range w.Placed {
+					if err := engine.Subscribe(p.Node, p.Sub); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for _, segment := range w.Segments {
+					for _, ev := range segment {
+						if err := engine.Publish(w.Deployment.SensorHost[ev.Sensor], ev); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				load = engine.Metrics().EventLoad()
+			}
+			b.ReportMetric(float64(load), "event-load")
+		})
+	}
+}
+
+// --- micro-benchmarks of the core building blocks ---
+
+func BenchmarkSetCheckerSubsumed(b *testing.B) {
+	checker := subsume.NewSetChecker(0.02, 1)
+	var set []*model.Subscription
+	for i := 0; i < 50; i++ {
+		lo := float64(i % 10)
+		sub, err := model.NewAbstractSubscription(
+			model.SubscriptionID(fmt.Sprintf("s%d", i)),
+			[]model.AttributeFilter{
+				{Attr: model.AmbientTemperature, Range: NewInterval(-lo-5, lo+5)},
+				{Attr: model.WindSpeed, Range: NewInterval(0, 10+lo)},
+			},
+			Everywhere(), 30, model.NoSpatialConstraint)
+		if err != nil {
+			b.Fatal(err)
+		}
+		set = append(set, sub)
+	}
+	candidate, err := model.NewAbstractSubscription("cand",
+		[]model.AttributeFilter{
+			{Attr: model.AmbientTemperature, Range: NewInterval(-3, 3)},
+			{Attr: model.WindSpeed, Range: NewInterval(2, 8)},
+		},
+		Everywhere(), 30, model.NoSpatialConstraint)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		checker.Subsumed(candidate, set)
+	}
+}
+
+func BenchmarkComplexMatch(b *testing.B) {
+	sub, err := model.NewAbstractSubscription("q",
+		[]model.AttributeFilter{
+			{Attr: model.AmbientTemperature, Range: NewInterval(-10, 10)},
+			{Attr: model.WindSpeed, Range: NewInterval(0, 20)},
+			{Attr: model.RelativeHumidity, Range: NewInterval(20, 90)},
+		},
+		Everywhere(), 120, model.NoSpatialConstraint)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var window []model.Event
+	attrs := []model.AttributeType{model.AmbientTemperature, model.WindSpeed, model.RelativeHumidity}
+	for i := 0; i < 30; i++ {
+		window = append(window, model.Event{
+			Seq:  uint64(i + 1),
+			Attr: attrs[i%3], Value: float64(i % 15), Time: model.Timestamp(i * 5),
+		})
+	}
+	trigger := window[len(window)-1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sub.FindComplexMatch(window, &trigger)
+	}
+}

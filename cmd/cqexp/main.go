@@ -1,0 +1,119 @@
+// Command cqexp reproduces the paper's evaluation: it runs the four
+// experimental scenarios (small scale, medium scale, large scale #1 and #2)
+// for every approach and prints, for each one, the subscription-load series
+// (Figs. 4, 6, 8, 10), the event-load series (Figs. 5, 7, 9, 11) and the
+// Filter-Split-Forward recall (Fig. 12), plus a final-point summary with the
+// relative traffic reduction of Filter-Split-Forward.
+//
+// Usage:
+//
+//	cqexp                      # all scenarios at the default (reduced) scale
+//	cqexp -scenario medium     # one scenario
+//	cqexp -scale full          # the paper's full workload (slow)
+//	cqexp -scale quick         # smoke-test scale
+//	cqexp -csv results.csv     # also write every series as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sensorcq/internal/experiment"
+	"sensorcq/internal/report"
+)
+
+func main() {
+	var (
+		scenarioFlag = flag.String("scenario", "all", "scenario to run: small, medium, large-net, large-src or all")
+		scaleFlag    = flag.String("scale", "default", "workload scale: quick, default or full")
+		csvPath      = flag.String("csv", "", "also append all series to this CSV file")
+		seed         = flag.Int64("seed", 0, "override the scenario seed (0 keeps the default)")
+		noRecall     = flag.Bool("no-recall", false, "skip the oracle-based recall computation")
+		quiet        = flag.Bool("quiet", false, "suppress per-batch progress lines")
+	)
+	flag.Parse()
+
+	scenarios, err := selectScenarios(*scenarioFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var csvFile *os.File
+	if *csvPath != "" {
+		csvFile, err = os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating %s: %v\n", *csvPath, err)
+			os.Exit(1)
+		}
+		defer csvFile.Close()
+	}
+
+	for _, s := range scenarios {
+		s = applyScale(s, *scaleFlag)
+		if *seed != 0 {
+			s.Seed = *seed
+		}
+		opts := experiment.DefaultOptions()
+		opts.ComputeRecall = !*noRecall
+		if !*quiet {
+			opts.Progress = func(format string, args ...interface{}) {
+				fmt.Printf(format+"\n", args...)
+			}
+		}
+		fmt.Printf("=== %s (%s) — %d queries in %d batches, %d rounds/batch ===\n",
+			s.Name, s.Description, s.TotalSubscriptions(), s.Batches, s.RoundsPerBatch)
+		start := time.Now()
+		res, err := experiment.Run(s, &opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "running %s: %v\n", s.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- completed in %s ---\n\n", time.Since(start).Round(time.Millisecond))
+		if err := report.WriteAll(os.Stdout, res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if csvFile != nil {
+			if err := report.WriteCSV(csvFile, res); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func selectScenarios(name string) ([]experiment.Scenario, error) {
+	switch strings.ToLower(name) {
+	case "all", "":
+		return experiment.AllScenarios(), nil
+	case "small", "small-scale":
+		return []experiment.Scenario{experiment.SmallScale()}, nil
+	case "medium", "medium-scale":
+		return []experiment.Scenario{experiment.MediumScale()}, nil
+	case "large-net", "large-scale-network":
+		return []experiment.Scenario{experiment.LargeScaleNetwork()}, nil
+	case "large-src", "large-scale-sources":
+		return []experiment.Scenario{experiment.LargeScaleSources()}, nil
+	default:
+		return nil, fmt.Errorf("unknown scenario %q (want small, medium, large-net, large-src or all)", name)
+	}
+}
+
+// applyScale maps the -scale flag onto a workload size. The "default" scale
+// keeps the paper's network shapes and batch structure but reduces the batch
+// size and per-batch rounds so that a full sweep finishes in minutes on a
+// laptop; "full" is the paper's exact workload.
+func applyScale(s experiment.Scenario, scale string) experiment.Scenario {
+	switch strings.ToLower(scale) {
+	case "quick":
+		return experiment.QuickScale(s)
+	case "full":
+		return s
+	default: // "default"
+		return s.Scale(1, 0.4, 0.5)
+	}
+}

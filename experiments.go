@@ -1,0 +1,47 @@
+package sensorcq
+
+import (
+	"io"
+
+	"sensorcq/internal/experiment"
+	"sensorcq/internal/report"
+)
+
+// The paper's four experimental scenarios (Section VI).
+
+// SmallScaleScenario is the 60-node experiment of Section VI-C.
+func SmallScaleScenario() Scenario { return experiment.SmallScale() }
+
+// MediumScaleScenario is the 100-node experiment of Section VI-D (the one
+// that also includes the centralized baseline).
+func MediumScaleScenario() Scenario { return experiment.MediumScale() }
+
+// LargeScaleNetworkScenario is the 200-node / 50-sensor experiment of
+// Section VI-E.
+func LargeScaleNetworkScenario() Scenario { return experiment.LargeScaleNetwork() }
+
+// LargeScaleSourcesScenario is the 200-node / 100-sensor experiment of
+// Section VI-E.
+func LargeScaleSourcesScenario() Scenario { return experiment.LargeScaleSources() }
+
+// AllScenarios returns the four scenarios in paper order.
+func AllScenarios() []Scenario { return experiment.AllScenarios() }
+
+// QuickScale shrinks a scenario's workload (not its network) to a size that
+// runs in a couple of seconds; useful for smoke tests and demos.
+func QuickScale(s Scenario) Scenario { return experiment.QuickScale(s) }
+
+// RunExperiment executes a scenario for every relevant approach on one
+// shared workload and returns the per-approach measurement series. Pass nil
+// options for the defaults (all distributed approaches, recall measured).
+func RunExperiment(s Scenario, opts *ExperimentOptions) (*Result, error) {
+	return experiment.Run(s, opts)
+}
+
+// WriteReport renders a result as fixed-width tables (summary, subscription
+// load, event load, recall) plus an ASCII chart.
+func WriteReport(w io.Writer, res *Result) error { return report.WriteAll(w, res) }
+
+// WriteReportCSV renders a result as CSV, one row per approach and
+// measurement point.
+func WriteReportCSV(w io.Writer, res *Result) error { return report.WriteCSV(w, res) }

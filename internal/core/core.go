@@ -1,0 +1,269 @@
+// Package core implements the paper's primary contribution: the
+// filter-split-forward processing of continuous multi-join queries over a
+// distributed network of processing nodes (Section V, Algorithms 1-5).
+//
+// A Node is the per-processing-node protocol handler hosted by the netsim
+// engines. Its behaviour is determined by three policies that correspond
+// exactly to the columns of Table II in the paper:
+//
+//	subscription filtering — which subsumption checker filters incoming
+//	    subscriptions (none / pairwise covering / probabilistic set filtering);
+//	subscription splitting — how operators are split while following the
+//	    reverse advertisement paths (simple per-neighbour projection, or the
+//	    binary-join decomposition of the distributed multi-join approach);
+//	event propagation — whether result sets are deduplicated per neighbour
+//	    link (publish/subscribe forwarding) or constructed per subscription.
+//
+// The Filter-Split-Forward approach of the paper is NewFSF; the competitor
+// configurations live in the internal/protocol/... packages and differ only
+// in the Config they pass to NewFactory.
+package core
+
+import (
+	"fmt"
+
+	"sensorcq/internal/model"
+	"sensorcq/internal/netsim"
+	"sensorcq/internal/stores"
+	"sensorcq/internal/subsume"
+	"sensorcq/internal/topology"
+)
+
+// SplitPolicy selects how subscriptions are split into correlation operators
+// while being forwarded towards the data sources.
+type SplitPolicy int
+
+const (
+	// SplitSimple projects the subscription onto each neighbour's advertised
+	// data space (Algorithm 3); operators shrink naturally as advertisement
+	// paths diverge until they reach the sensors as simple operators.
+	SplitSimple SplitPolicy = iota
+	// SplitBinaryJoin is the distributed adaptation of Chandramouli & Yang
+	// (Section III-B): subscriptions are routed like SplitSimple ("the
+	// natural splitting into simple operators"), but every node that stores
+	// a multi-join over three or more attributes evaluates it as the set of
+	// binary joins obtained from the configured pairing. Binary-join
+	// matching sanctions a main attribute's events with a single filtering
+	// attribute, so events can be forwarded towards the subscriber even
+	// when the full multi-join correlation never completes — the false
+	// positives the paper measures.
+	SplitBinaryJoin
+)
+
+// String implements fmt.Stringer.
+func (p SplitPolicy) String() string {
+	if p == SplitBinaryJoin {
+		return "binary-join"
+	}
+	return "simple"
+}
+
+// EventPropagation selects how result sets are forwarded back towards the
+// subscribers.
+type EventPropagation int
+
+const (
+	// PerNeighbor forwards each simple event at most once per link
+	// (publish/subscribe forwarding); overlapping result sets share the
+	// dissemination cost. Used by Filter-Split-Forward and the distributed
+	// multi-join approach.
+	PerNeighbor EventPropagation = iota
+	// PerSubscription constructs one result set per stored subscription; the
+	// same event is re-sent over a link once per overlapping subscription.
+	// Used by the naive and operator-placement approaches.
+	PerSubscription
+)
+
+// String implements fmt.Stringer.
+func (p EventPropagation) String() string {
+	if p == PerSubscription {
+		return "per-subscription"
+	}
+	return "per-neighbor"
+}
+
+// Config selects the behaviour of a Node. The zero value is not valid; use
+// one of the constructors or fill in every field.
+type Config struct {
+	// Name identifies the approach in reports ("filter-split-forward", ...).
+	Name string
+	// Checker is the subscription filtering policy, shared by every node
+	// built from this configuration. Use it for stateless checkers
+	// (pairwise, none); stateful checkers such as the probabilistic set
+	// filter should use CheckerFactory instead so that each node owns an
+	// independent instance (required by the concurrent engine).
+	Checker subsume.Checker
+	// CheckerFactory, when non-nil, builds a per-node filtering checker and
+	// takes precedence over Checker.
+	CheckerFactory func(node topology.NodeID) subsume.Checker
+	// Split is the subscription splitting policy.
+	Split SplitPolicy
+	// Pairing selects the binary-join pairing when Split is SplitBinaryJoin.
+	Pairing model.BinaryJoinPairing
+	// Propagation is the event propagation policy.
+	Propagation EventPropagation
+	// ValidityFactor scales each node's event validity: validity =
+	// ValidityFactor × (largest δt seen). The paper only requires validity
+	// to exceed δt; the default factor is 2.
+	ValidityFactor int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("core: config needs a name")
+	}
+	if c.Checker == nil && c.CheckerFactory == nil {
+		return fmt.Errorf("core: config %q needs a subsumption checker", c.Name)
+	}
+	return nil
+}
+
+// checkerFor resolves the filtering checker for one node.
+func (c Config) checkerFor(node topology.NodeID) subsume.Checker {
+	if c.CheckerFactory != nil {
+		return c.CheckerFactory(node)
+	}
+	return c.Checker
+}
+
+// DefaultSetFilterError is the error probability the FSF configuration uses
+// for its probabilistic set-subsumption checker unless overridden.
+const DefaultSetFilterError = 0.02
+
+// NewFSFConfig returns the paper's Filter-Split-Forward configuration:
+// probabilistic set filtering, simple splitting, per-neighbour event
+// propagation. Each node receives its own set-subsumption checker seeded
+// from the given seed and the node ID, so runs are reproducible and nodes
+// never share mutable state.
+func NewFSFConfig(setFilterError float64, seed int64) Config {
+	return Config{
+		Name: "filter-split-forward",
+		CheckerFactory: func(node topology.NodeID) subsume.Checker {
+			mixed := seed ^ int64(uint64(node+1)*0x9e3779b97f4a7c15>>1)
+			return subsume.NewSetChecker(setFilterError, mixed)
+		},
+		Split:       SplitSimple,
+		Propagation: PerNeighbor,
+	}
+}
+
+// NewFSF returns a handler factory for the Filter-Split-Forward approach
+// with the default set-filter error probability.
+func NewFSF(seed int64) netsim.HandlerFactory {
+	return NewFactory(NewFSFConfig(DefaultSetFilterError, seed))
+}
+
+// NewFactory returns a netsim.HandlerFactory producing one Node per
+// processing node with the given configuration. It panics on an invalid
+// configuration (a programming error, not an input error).
+func NewFactory(cfg Config) netsim.HandlerFactory {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.ValidityFactor <= 0 {
+		cfg.ValidityFactor = 2
+	}
+	return func(node topology.NodeID) netsim.Handler {
+		return NewNode(node, cfg)
+	}
+}
+
+// Node is the per-node protocol state and logic.
+type Node struct {
+	cfg     Config
+	checker subsume.Checker
+	self    topology.NodeID
+	ctx     *netsim.Context
+
+	advs   *stores.AdvertisementTable
+	subs   *stores.SubscriptionTable
+	window *stores.EventWindow
+
+	// matchers holds, per origin, the operators used for event matching,
+	// indexed by attribute type. With SplitBinaryJoin, multi-joins are
+	// replaced here by their binary joins; with SplitSimple the uncovered
+	// (or, for per-subscription propagation, all) operators appear as-is.
+	matchers map[topology.NodeID]map[model.AttributeType][]*model.Subscription
+
+	// localSubs are the whole user subscriptions registered at this node,
+	// indexed by attribute for delivery matching.
+	localSubs   []*model.Subscription
+	localByAttr map[model.AttributeType][]*model.Subscription
+
+	maxDeltaT model.Timestamp
+}
+
+// NewNode builds a protocol node. Most callers should use NewFactory and let
+// the engine construct nodes.
+func NewNode(self topology.NodeID, cfg Config) *Node {
+	if cfg.ValidityFactor <= 0 {
+		cfg.ValidityFactor = 2
+	}
+	return &Node{
+		cfg:         cfg,
+		checker:     cfg.checkerFor(self),
+		self:        self,
+		advs:        stores.NewAdvertisementTable(self),
+		subs:        stores.NewSubscriptionTable(self),
+		window:      stores.NewEventWindow(1),
+		matchers:    map[topology.NodeID]map[model.AttributeType][]*model.Subscription{},
+		localByAttr: map[model.AttributeType][]*model.Subscription{},
+	}
+}
+
+// Init implements netsim.Handler.
+func (n *Node) Init(ctx *netsim.Context) { n.ctx = ctx }
+
+// Name returns the configured approach name.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Self returns the node's identifier.
+func (n *Node) Self() topology.NodeID { return n.self }
+
+// Advertisements exposes the node's advertisement table (for tests and
+// diagnostics).
+func (n *Node) Advertisements() *stores.AdvertisementTable { return n.advs }
+
+// Subscriptions exposes the node's subscription table (for tests and
+// diagnostics).
+func (n *Node) Subscriptions() *stores.SubscriptionTable { return n.subs }
+
+// Window exposes the node's event window (for tests and diagnostics).
+func (n *Node) Window() *stores.EventWindow { return n.window }
+
+// LocalSubscriptions returns the user subscriptions registered at this node.
+func (n *Node) LocalSubscriptions() []*model.Subscription { return n.localSubs }
+
+// observeDeltaT grows the event window validity so that it always exceeds
+// the largest temporal correlation distance seen so far.
+func (n *Node) observeDeltaT(dt model.Timestamp) {
+	if dt > n.maxDeltaT {
+		n.maxDeltaT = dt
+		n.window.Validity = model.Timestamp(n.cfg.ValidityFactor) * dt
+	}
+}
+
+// addMatcher registers an operator for event matching on behalf of origin.
+func (n *Node) addMatcher(origin topology.NodeID, sub *model.Subscription) {
+	ops := []*model.Subscription{sub}
+	if n.cfg.Split == SplitBinaryJoin && sub.NumFilters() > 2 {
+		ops = sub.SplitBinaryJoins(n.cfg.Pairing)
+	}
+	idx := n.matchers[origin]
+	if idx == nil {
+		idx = map[model.AttributeType][]*model.Subscription{}
+		n.matchers[origin] = idx
+	}
+	for _, op := range ops {
+		for _, a := range op.Attributes() {
+			idx[a] = append(idx[a], op)
+		}
+	}
+}
+
+// matchersFor returns the operators of the given origin that could involve an
+// event of the given attribute type.
+func (n *Node) matchersFor(origin topology.NodeID, attr model.AttributeType) []*model.Subscription {
+	return n.matchers[origin][attr]
+}

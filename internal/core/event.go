@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"sensorcq/internal/model"
+	"sensorcq/internal/netsim"
+	"sensorcq/internal/topology"
+)
+
+// This file implements event propagation (Algorithm 5): storing incoming
+// simple events in the timestamp-ordered window, detecting complex events
+// that match the operators stored for each neighbour, forwarding the
+// component events on the reverse subscription paths with the configured
+// deduplication granularity, and delivering complex events to local users.
+
+// LocalPublish implements netsim.Handler: a sensor attached to this node
+// produced a reading.
+func (n *Node) LocalPublish(ctx *netsim.Context, ev model.Event) {
+	n.processEvent(ctx, n.self, ev)
+}
+
+// HandleEvent implements netsim.Handler: a simple event arrives from a
+// neighbour.
+func (n *Node) HandleEvent(ctx *netsim.Context, from topology.NodeID, ev model.Event) {
+	n.processEvent(ctx, from, ev)
+}
+
+// processEvent is the body of Algorithm 5.
+func (n *Node) processEvent(ctx *netsim.Context, from topology.NodeID, ev model.Event) {
+	if !n.window.Insert(ev) {
+		// Duplicate arrival (possible when per-subscription result sets
+		// overlap): the window content did not change, so every match this
+		// event can participate in has already been evaluated.
+		return
+	}
+	now := ev.Time
+	if latest := n.window.Latest(); latest > now {
+		now = latest
+	}
+	n.window.Prune(now)
+
+	// Forward towards every origin that registered interest, except the
+	// node the event just came from.
+	for _, origin := range n.subs.Origins() {
+		if origin == from || origin == n.self {
+			continue
+		}
+		n.matchAndForward(ctx, origin, ev)
+	}
+	// Deliver to local users.
+	n.deliverLocal(ctx, ev)
+}
+
+// dedupKey returns the "already forwarded" key for an event sent to the
+// given origin on behalf of the given operator, realising the event
+// propagation column of Table II: per-neighbour forwarding shares one key
+// per link, per-subscription forwarding uses one key per (link, operator).
+func (n *Node) dedupKey(origin topology.NodeID, op *model.Subscription) string {
+	if n.cfg.Propagation == PerSubscription {
+		return fmt.Sprintf("n:%d|s:%s", origin, op.ID)
+	}
+	return fmt.Sprintf("n:%d", origin)
+}
+
+// matchAndForward finds complex events involving ev that match operators
+// stored for origin and forwards their not-yet-sent component events to it.
+func (n *Node) matchAndForward(ctx *netsim.Context, origin topology.NodeID, ev model.Event) {
+	// Identified operators are indexed under the attributes of their sensor
+	// filters, so the attribute lookup covers both subscription kinds; an
+	// empty result means no operator from this origin can involve the event.
+	ops := n.matchersFor(origin, ev.Attr)
+	for _, op := range ops {
+		window := n.window.Around(ev.Time, op.DeltaT)
+		match, ok := op.FindComplexMatch(window, &ev)
+		if !ok {
+			continue
+		}
+		key := n.dedupKey(origin, op)
+		for _, component := range match {
+			if n.window.WasSent(component.Seq, key) {
+				continue
+			}
+			ctx.SendEvent(origin, component)
+			n.window.MarkSent(component.Seq, key)
+		}
+	}
+}
+
+// deliverLocal checks the whole user subscriptions registered at this node
+// and delivers any complex event completed by ev. Component events already
+// delivered for a subscription are not re-delivered.
+func (n *Node) deliverLocal(ctx *netsim.Context, ev model.Event) {
+	for _, sub := range n.localByAttr[ev.Attr] {
+		window := n.window.Around(ev.Time, sub.DeltaT)
+		match, ok := sub.FindComplexMatch(window, &ev)
+		if !ok {
+			continue
+		}
+		key := "user:" + string(sub.ID)
+		anyNew := false
+		for _, component := range match {
+			if !n.window.WasSent(component.Seq, key) {
+				anyNew = true
+				break
+			}
+		}
+		if !anyNew {
+			continue
+		}
+		ctx.DeliverToUser(sub.ID, match)
+		for _, component := range match {
+			n.window.MarkSent(component.Seq, key)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"sensorcq/internal/model"
+	"sensorcq/internal/netsim"
+	"sensorcq/internal/topology"
+)
+
+// This file implements subscription propagation (Algorithms 2-4): filtering
+// of incoming subscriptions against the subscriptions already received from
+// the same origin, and the split-and-forward phase that routes the surviving
+// operators along the reverse advertisement paths.
+
+// LocalSubscribe implements netsim.Handler: a user at this node registers a
+// subscription. The subscription is always remembered for local delivery;
+// whether it is forwarded into the network depends on the filtering decision
+// and on all of its data sources being advertised (Algorithm 3, line 3).
+func (n *Node) LocalSubscribe(ctx *netsim.Context, sub *model.Subscription) {
+	if sub == nil {
+		return
+	}
+	n.observeDeltaT(sub.DeltaT)
+	n.registerLocal(sub)
+	n.processSubscription(ctx, n.self, sub, true)
+}
+
+// HandleSubscription implements netsim.Handler: a subscription or operator
+// arrives from a neighbouring node.
+func (n *Node) HandleSubscription(ctx *netsim.Context, from topology.NodeID, sub *model.Subscription) {
+	if sub == nil {
+		return
+	}
+	n.observeDeltaT(sub.DeltaT)
+	n.processSubscription(ctx, from, sub, false)
+}
+
+// registerLocal records a whole user subscription for result delivery at
+// this node, regardless of any filtering decision: even a covered
+// subscription defines what its user must receive (Algorithm 5, line 9 uses
+// S_local, i.e. all local subscriptions).
+func (n *Node) registerLocal(sub *model.Subscription) {
+	for _, existing := range n.localSubs {
+		if existing.ID == sub.ID {
+			return
+		}
+	}
+	n.localSubs = append(n.localSubs, sub)
+	for _, a := range sub.Attributes() {
+		n.localByAttr[a] = append(n.localByAttr[a], sub)
+	}
+}
+
+// processSubscription implements Algorithm 4 for a subscription arriving
+// from origin m (m == self for local users).
+func (n *Node) processSubscription(ctx *netsim.Context, m topology.NodeID, sub *model.Subscription, isLocal bool) {
+	if n.subs.Seen(m, sub.ID) {
+		return
+	}
+	filterSet := n.subs.Uncovered(m)
+	if n.checker.Subsumed(sub, filterSet) {
+		// Covered subscriptions are stored but neither forwarded nor used
+		// for per-neighbour matching (Algorithm 4, line 12). With
+		// per-subscription propagation they still generate their own result
+		// set at this node, which is exactly the "missing result set
+		// generated where covering was detected" of Section III-A.
+		n.subs.AddCovered(m, sub)
+		if n.cfg.Propagation == PerSubscription && !isLocal {
+			n.addMatcher(m, sub)
+		}
+		return
+	}
+	n.subs.AddUncovered(m, sub)
+	if !isLocal {
+		n.addMatcher(m, sub)
+	}
+	n.splitAndForward(ctx, m, sub, isLocal)
+}
+
+// splitAndForward implements Algorithm 3 plus the binary-join variant of
+// Section III-B.
+func (n *Node) splitAndForward(ctx *netsim.Context, m topology.NodeID, sub *model.Subscription, isLocal bool) {
+	// Subscriptions from local users are answerable only if every filtered
+	// source is advertised; otherwise they are dropped here (stored for
+	// delivery, never forwarded).
+	if isLocal && !n.advs.HasAllSources(sub) {
+		return
+	}
+
+	// Forwarding follows the reverse advertisement paths for every policy:
+	// the multi-join (binary-join) approach also "preserves the natural
+	// splitting into simple operators according to the network connections"
+	// (Section III-B) — the binary-join decomposition only changes how
+	// stored operators are *matched* against events (see addMatcher), which
+	// is where its false positives come from. This keeps its subscription
+	// load essentially identical to operator placement, as the paper
+	// observes in Figures 4 and 6.
+	for _, j := range ctx.Neighbors() {
+		if j == m {
+			continue
+		}
+		if op := n.advs.Project(sub, j); op != nil {
+			ctx.SendSubscription(j, op)
+		}
+	}
+}

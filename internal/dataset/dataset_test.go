@@ -1,0 +1,137 @@
+package dataset
+
+import (
+	"testing"
+
+	"sensorcq/internal/model"
+	"sensorcq/internal/topology"
+)
+
+func smallDeployment(t *testing.T) *topology.Deployment {
+	t.Helper()
+	dep, err := topology.GenerateDeployment(topology.DeploymentConfig{
+		TotalNodes:  20,
+		SensorNodes: 15,
+		Groups:      3,
+		Attributes:  model.DefaultAttributes(),
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep
+}
+
+func TestGenerateTraceShape(t *testing.T) {
+	dep := smallDeployment(t)
+	trace, err := Generate(dep, Config{Rounds: 10, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.NumEvents() != 10*len(dep.Sensors) {
+		t.Fatalf("events = %d, want %d", trace.NumEvents(), 10*len(dep.Sensors))
+	}
+	if len(trace.ByRound) != 10 {
+		t.Fatalf("rounds = %d", len(trace.ByRound))
+	}
+	if trace.RoundInterval != 120 {
+		t.Errorf("default round interval = %d, want 120", trace.RoundInterval)
+	}
+	// Sequence numbers unique, timestamps non-decreasing within a round.
+	seen := map[uint64]bool{}
+	for _, round := range trace.ByRound {
+		if len(round) != len(dep.Sensors) {
+			t.Fatalf("round has %d events, want %d", len(round), len(dep.Sensors))
+		}
+		for i, ev := range round {
+			if seen[ev.Seq] {
+				t.Fatalf("duplicate seq %d", ev.Seq)
+			}
+			seen[ev.Seq] = true
+			if i > 0 && ev.Time < round[i-1].Time {
+				t.Fatal("events within a round must be time-ordered")
+			}
+		}
+	}
+	// Every attribute has summary statistics and values within the profile
+	// clamp.
+	profiles := map[model.AttributeType]AttributeProfile{}
+	for _, p := range DefaultProfiles() {
+		profiles[p.Attr] = p
+	}
+	for _, attr := range model.DefaultAttributes() {
+		if _, ok := trace.Medians[attr]; !ok {
+			t.Errorf("missing median for %s", attr)
+		}
+		if trace.Spreads[attr] <= 0 {
+			t.Errorf("spread for %s should be positive", attr)
+		}
+		p := profiles[attr]
+		if trace.Mins[attr] < p.Min || trace.Maxs[attr] > p.Max {
+			t.Errorf("%s values outside clamp: [%g, %g] not in [%g, %g]",
+				attr, trace.Mins[attr], trace.Maxs[attr], p.Min, p.Max)
+		}
+	}
+}
+
+func TestGenerateTraceDeterministic(t *testing.T) {
+	dep := smallDeployment(t)
+	a, err := Generate(dep, Config{Rounds: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(dep, Config{Rounds: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("event counts differ")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs between identical seeds", i)
+		}
+	}
+	c, err := Generate(dep, Config{Rounds: 5, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Events {
+		if a.Events[i].Value == c.Events[i].Value {
+			same++
+		}
+	}
+	if same == len(a.Events) {
+		t.Error("different seeds should produce different traces")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	dep := smallDeployment(t)
+	if _, err := Generate(dep, Config{Rounds: 0}); err == nil {
+		t.Error("zero rounds should fail")
+	}
+	// A deployment with an attribute missing a profile fails loudly.
+	dep.Sensors[0].Attr = "exotic_measurement"
+	if _, err := Generate(dep, Config{Rounds: 3, Seed: 1}); err == nil {
+		t.Error("missing profile should fail")
+	}
+}
+
+func TestTraceTimestampsFollowRounds(t *testing.T) {
+	dep := smallDeployment(t)
+	trace, err := Generate(dep, Config{Rounds: 4, RoundInterval: 60, StartTime: 1000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, round := range trace.ByRound {
+		lo := model.Timestamp(1000 + r*60)
+		hi := lo + 60
+		for _, ev := range round {
+			if ev.Time < lo || ev.Time >= hi {
+				t.Fatalf("round %d event at %d outside [%d, %d)", r, ev.Time, lo, hi)
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package experiment reproduces the paper's evaluation (Section VI): it
+// builds the four deployment scenarios, generates the synthetic SensorScope
+// workload, runs every approach on identical inputs and reports the two
+// traffic metrics (subscription load and event load) after each batch of
+// injected subscriptions, plus the end-user event recall of the
+// Filter-Split-Forward approach.
+package experiment
+
+import (
+	"fmt"
+
+	"sensorcq/internal/netsim"
+	"sensorcq/internal/protocol/centralized"
+	"sensorcq/internal/protocol/fsf"
+	"sensorcq/internal/protocol/multijoin"
+	"sensorcq/internal/protocol/naive"
+	"sensorcq/internal/protocol/operatorplace"
+)
+
+// ApproachID names one of the five evaluated approaches.
+type ApproachID string
+
+// The five approaches of Table II.
+const (
+	Centralized        ApproachID = "centralized"
+	Naive              ApproachID = "naive"
+	OperatorPlacement  ApproachID = "operator-placement"
+	MultiJoin          ApproachID = "distributed-multi-join"
+	FilterSplitForward ApproachID = "filter-split-forward"
+)
+
+// AllDistributed returns the four distributed approaches in the order the
+// paper plots them.
+func AllDistributed() []ApproachID {
+	return []ApproachID{Naive, OperatorPlacement, MultiJoin, FilterSplitForward}
+}
+
+// All returns every approach including the centralized baseline.
+func All() []ApproachID {
+	return append([]ApproachID{Centralized}, AllDistributed()...)
+}
+
+// FactoryFor returns a fresh handler factory for the approach. The seed
+// controls the probabilistic set filter of Filter-Split-Forward and the
+// setFilterError its false-positive probability (pass 0 to use the default).
+func FactoryFor(id ApproachID, seed int64, setFilterError float64) (netsim.HandlerFactory, error) {
+	if setFilterError <= 0 || setFilterError >= 1 {
+		setFilterError = fsf.DefaultSetFilterError
+	}
+	switch id {
+	case Centralized:
+		return centralized.NewFactory(), nil
+	case Naive:
+		return naive.NewFactory(), nil
+	case OperatorPlacement:
+		return operatorplace.NewFactory(), nil
+	case MultiJoin:
+		return multijoin.NewFactory(), nil
+	case FilterSplitForward:
+		return fsf.NewFactoryWithError(setFilterError, seed), nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown approach %q", id)
+	}
+}
+
+// IsDeterministicLossless reports whether the approach delivers every
+// matching event by construction (everything except FSF, whose probabilistic
+// set filter may lose events).
+func IsDeterministicLossless(id ApproachID) bool { return id != FilterSplitForward }

@@ -1,0 +1,270 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"sensorcq/internal/dataset"
+	"sensorcq/internal/model"
+	"sensorcq/internal/netsim"
+	"sensorcq/internal/oracle"
+	"sensorcq/internal/topology"
+	"sensorcq/internal/workload"
+)
+
+// SeriesPoint is one measurement point of a figure: the state after a batch
+// of subscriptions has been injected and the batch's event segment replayed.
+type SeriesPoint struct {
+	// InjectedQueries is the cumulative number of user subscriptions
+	// registered so far (the x axis of every figure).
+	InjectedQueries int
+	// SubscriptionLoad is the cumulative number of forwarded
+	// subscriptions/operators (Figs. 4, 6, 8, 10).
+	SubscriptionLoad int64
+	// EventLoad is the number of forwarded data units while replaying this
+	// batch's event segment (Figs. 5, 7, 9, 11).
+	EventLoad int64
+	// Recall is the end-user event recall over this batch's segment
+	// (Fig. 12); deterministic approaches report 1.
+	Recall float64
+}
+
+// ApproachSeries is the measurement series of one approach.
+type ApproachSeries struct {
+	Approach ApproachID
+	Points   []SeriesPoint
+}
+
+// Final returns the last point of the series (zero value when empty).
+func (s ApproachSeries) Final() SeriesPoint {
+	if len(s.Points) == 0 {
+		return SeriesPoint{}
+	}
+	return s.Points[len(s.Points)-1]
+}
+
+// Result holds the full outcome of one scenario run.
+type Result struct {
+	Scenario   Scenario
+	Approaches []ApproachSeries
+}
+
+// SeriesFor returns the series of the given approach, or nil.
+func (r *Result) SeriesFor(id ApproachID) *ApproachSeries {
+	for i := range r.Approaches {
+		if r.Approaches[i].Approach == id {
+			return &r.Approaches[i]
+		}
+	}
+	return nil
+}
+
+// Options tweak a run without changing the scenario definition.
+type Options struct {
+	// Approaches lists the approaches to run; nil means the scenario
+	// default (all distributed approaches, plus centralized when the
+	// scenario includes it).
+	Approaches []ApproachID
+	// ComputeRecall enables oracle-based recall measurement (it costs one
+	// lossless matching pass per batch). Default true.
+	ComputeRecall bool
+	// Progress, when non-nil, receives a short line after each batch of
+	// each approach (used by the CLI).
+	Progress func(format string, args ...interface{})
+}
+
+// DefaultOptions returns the options used when nil is passed to Run.
+func DefaultOptions() Options {
+	return Options{ComputeRecall: true}
+}
+
+// Workload bundles everything generated for a scenario so that every
+// approach replays exactly the same inputs.
+type Workload struct {
+	Scenario   Scenario
+	Deployment *topology.Deployment
+	Trace      *dataset.Trace
+	Placed     []workload.Placed
+	// Segments holds the event rounds replayed after each batch.
+	Segments [][]model.Event
+	// Expectations[b] is the oracle ground truth for segment b with the
+	// subscriptions of batches 0..b active (filled lazily by Run when
+	// recall is requested).
+	Expectations []*oracle.Expectation
+}
+
+// BuildWorkload generates the deployment, trace and subscription workload of
+// a scenario.
+func BuildWorkload(s Scenario) (*Workload, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	dep, err := topology.GenerateDeployment(s.DeploymentConfig())
+	if err != nil {
+		return nil, fmt.Errorf("experiment: generating deployment: %w", err)
+	}
+	trace, err := dataset.Generate(dep, dataset.Config{
+		Rounds:        s.TotalRounds(),
+		RoundInterval: s.RoundInterval,
+		Seed:          s.Seed + 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: generating trace: %w", err)
+	}
+	placed, err := workload.Generate(dep, trace, workload.Config{
+		Count:       s.TotalSubscriptions(),
+		MinAttrs:    s.MinAttrs,
+		MaxAttrs:    s.MaxAttrs,
+		DeltaT:      s.RoundInterval,
+		ParetoScale: s.ParetoScale,
+		OffsetCap:   s.OffsetCap,
+		Seed:        s.Seed + 2,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: generating workload: %w", err)
+	}
+	w := &Workload{
+		Scenario:     s,
+		Deployment:   dep,
+		Trace:        trace,
+		Placed:       placed,
+		Expectations: make([]*oracle.Expectation, s.Batches),
+	}
+	// Split the trace rounds into one segment per batch.
+	for b := 0; b < s.Batches; b++ {
+		var segment []model.Event
+		for r := b * s.RoundsPerBatch; r < (b+1)*s.RoundsPerBatch && r < len(trace.ByRound); r++ {
+			segment = append(segment, trace.ByRound[r]...)
+		}
+		w.Segments = append(w.Segments, segment)
+	}
+	return w, nil
+}
+
+// SubscriptionsUpTo returns the subscriptions of batches 0..batch inclusive.
+func (w *Workload) SubscriptionsUpTo(batch int) []*model.Subscription {
+	end := (batch + 1) * w.Scenario.BatchSize
+	if end > len(w.Placed) {
+		end = len(w.Placed)
+	}
+	out := make([]*model.Subscription, 0, end)
+	for _, p := range w.Placed[:end] {
+		out = append(out, p.Sub)
+	}
+	return out
+}
+
+// expectation returns (computing lazily) the oracle ground truth for the
+// given batch.
+func (w *Workload) expectation(batch int) *oracle.Expectation {
+	if w.Expectations[batch] == nil {
+		w.Expectations[batch] = oracle.Compute(w.SubscriptionsUpTo(batch), w.Segments[batch])
+	}
+	return w.Expectations[batch]
+}
+
+// approachesFor resolves the approach list of a run.
+func approachesFor(s Scenario, opts Options) []ApproachID {
+	if len(opts.Approaches) > 0 {
+		return opts.Approaches
+	}
+	ids := AllDistributed()
+	if s.IncludeCentralized {
+		ids = append([]ApproachID{Centralized}, ids...)
+	}
+	return ids
+}
+
+// Run executes the scenario for every requested approach on one shared
+// workload and returns the per-approach measurement series.
+func Run(s Scenario, opts *Options) (*Result, error) {
+	o := DefaultOptions()
+	if opts != nil {
+		o = *opts
+		if opts.Approaches == nil {
+			o.Approaches = nil
+		}
+	}
+	w, err := BuildWorkload(s)
+	if err != nil {
+		return nil, err
+	}
+	return RunOnWorkload(w, o)
+}
+
+// RunOnWorkload executes the requested approaches against an already built
+// workload (so callers can share one workload across runs, e.g. ablations).
+func RunOnWorkload(w *Workload, o Options) (*Result, error) {
+	s := w.Scenario
+	result := &Result{Scenario: s}
+	for _, id := range approachesFor(s, o) {
+		series, err := runApproach(w, id, o)
+		if err != nil {
+			return nil, err
+		}
+		result.Approaches = append(result.Approaches, *series)
+	}
+	return result, nil
+}
+
+// runApproach runs one approach over the shared workload.
+func runApproach(w *Workload, id ApproachID, o Options) (*ApproachSeries, error) {
+	s := w.Scenario
+	factory, err := FactoryFor(id, s.Seed+7, s.SetFilterError)
+	if err != nil {
+		return nil, err
+	}
+	engine := netsim.NewEngine(w.Deployment.Graph, factory)
+
+	// Attach (and, for distributed approaches, advertise) every sensor.
+	sensorHosts := make([]model.Sensor, len(w.Deployment.Sensors))
+	copy(sensorHosts, w.Deployment.Sensors)
+	sort.Slice(sensorHosts, func(i, j int) bool { return sensorHosts[i].ID < sensorHosts[j].ID })
+	for _, sensor := range sensorHosts {
+		if err := engine.AttachSensor(w.Deployment.SensorHost[sensor.ID], sensor); err != nil {
+			return nil, fmt.Errorf("experiment: attaching %s: %w", sensor.ID, err)
+		}
+	}
+
+	series := &ApproachSeries{Approach: id}
+	for b := 0; b < s.Batches; b++ {
+		// Inject this batch's subscriptions.
+		start := b * s.BatchSize
+		end := start + s.BatchSize
+		if end > len(w.Placed) {
+			end = len(w.Placed)
+		}
+		for _, p := range w.Placed[start:end] {
+			if err := engine.Subscribe(p.Node, p.Sub); err != nil {
+				return nil, fmt.Errorf("experiment: subscribing %s: %w", p.Sub.ID, err)
+			}
+		}
+		// Replay this batch's event segment and measure the traffic it
+		// generates.
+		before := engine.Metrics().Snapshot()
+		for _, ev := range w.Segments[b] {
+			host := w.Deployment.SensorHost[ev.Sensor]
+			if err := engine.Publish(host, ev); err != nil {
+				return nil, fmt.Errorf("experiment: publishing %d: %w", ev.Seq, err)
+			}
+		}
+		after := engine.Metrics().Snapshot()
+
+		point := SeriesPoint{
+			InjectedQueries:  end,
+			SubscriptionLoad: after.SubscriptionLoad,
+			EventLoad:        after.Diff(before).EventLoad,
+			Recall:           1,
+		}
+		if o.ComputeRecall {
+			exp := w.expectation(b)
+			point.Recall = exp.Recall(engine.Metrics().DeliveredSeqs)
+		}
+		series.Points = append(series.Points, point)
+		if o.Progress != nil {
+			o.Progress("%-24s %-22s queries=%4d  sub-load=%7d  event-load=%8d  recall=%.3f",
+				s.Name, id, point.InjectedQueries, point.SubscriptionLoad, point.EventLoad, point.Recall)
+		}
+	}
+	return series, nil
+}

@@ -1,0 +1,203 @@
+package geom
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Box is an axis-aligned hyper-rectangle over an arbitrary number of named
+// dimensions. It is the geometric representation of a subscription used by
+// the subsumption checker: each filtered attribute (and, for abstract
+// subscriptions, each spatial coordinate) contributes one dimension.
+//
+// Dimensions are identified by string keys so that boxes originating from
+// different subscriptions can be compared without agreeing on an ordering.
+type Box struct {
+	dims map[string]Interval
+}
+
+// NewBox returns an empty box with no dimensions.
+func NewBox() Box { return Box{dims: map[string]Interval{}} }
+
+// BoxFrom builds a box from a dimension->interval map. The map is copied.
+func BoxFrom(dims map[string]Interval) Box {
+	b := NewBox()
+	for k, v := range dims {
+		b.dims[k] = v
+	}
+	return b
+}
+
+// Set assigns the interval of a dimension, adding the dimension if needed,
+// and returns the box to allow chaining.
+func (b Box) Set(dim string, iv Interval) Box {
+	if b.dims == nil {
+		b.dims = map[string]Interval{}
+	}
+	b.dims[dim] = iv
+	return b
+}
+
+// Get returns the interval of a dimension and whether it is present.
+func (b Box) Get(dim string) (Interval, bool) {
+	iv, ok := b.dims[dim]
+	return iv, ok
+}
+
+// Dims returns the dimension names in sorted order.
+func (b Box) Dims() []string {
+	out := make([]string, 0, len(b.dims))
+	for k := range b.dims {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+// NumDims returns the number of dimensions of the box.
+func (b Box) NumDims() int { return len(b.dims) }
+
+// Clone returns an independent copy of the box.
+func (b Box) Clone() Box {
+	return BoxFrom(b.dims)
+}
+
+// Empty reports whether any dimension of the box is empty. A box with no
+// dimensions is not empty: it is the whole (zero-dimensional) space.
+func (b Box) Empty() bool {
+	for _, iv := range b.dims {
+		if iv.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// SameDims reports whether both boxes are defined over exactly the same set
+// of dimensions.
+func (b Box) SameDims(o Box) bool {
+	if len(b.dims) != len(o.dims) {
+		return false
+	}
+	for k := range b.dims {
+		if _, ok := o.dims[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Covers reports whether b fully contains o. Both boxes must be defined over
+// the same dimensions; if they are not, Covers returns false, because a
+// missing dimension means "the attribute is not requested at all" rather
+// than "any value is acceptable" (see Section V-B of the paper).
+func (b Box) Covers(o Box) bool {
+	if !b.SameDims(o) {
+		return false
+	}
+	for k, iv := range b.dims {
+		if !iv.Covers(o.dims[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Overlaps reports whether the two boxes intersect. Boxes over different
+// dimension sets never overlap.
+func (b Box) Overlaps(o Box) bool {
+	if !b.SameDims(o) {
+		return false
+	}
+	for k, iv := range b.dims {
+		if !iv.Overlaps(o.dims[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the intersection box (same dimensions). The second result
+// is false when the boxes have different dimensions or do not overlap.
+func (b Box) Intersect(o Box) (Box, bool) {
+	if !b.SameDims(o) {
+		return Box{}, false
+	}
+	out := NewBox()
+	for k, iv := range b.dims {
+		x := iv.Intersect(o.dims[k])
+		if x.Empty() {
+			return Box{}, false
+		}
+		out.dims[k] = x
+	}
+	return out, true
+}
+
+// Volume returns the product of the widths of all dimensions. Degenerate
+// (zero-width) dimensions contribute factor 0.
+func (b Box) Volume() float64 {
+	v := 1.0
+	for _, iv := range b.dims {
+		v *= iv.Width()
+	}
+	return v
+}
+
+// ContainsPoint reports whether the given point (a value per dimension) lies
+// inside the box. Points missing a dimension of the box are outside.
+func (b Box) ContainsPoint(pt map[string]float64) bool {
+	for k, iv := range b.dims {
+		v, ok := pt[k]
+		if !ok || !iv.Contains(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Corners invokes fn with every corner of the box (2^d points for d
+// dimensions). Iteration stops early if fn returns false. Corners of boxes
+// with more than 20 dimensions are not enumerated (fn is never called) to
+// avoid exponential blow-up; callers should fall back to sampling.
+func (b Box) Corners(fn func(pt map[string]float64) bool) {
+	dims := b.Dims()
+	if len(dims) > 20 {
+		return
+	}
+	n := 1 << uint(len(dims))
+	for mask := 0; mask < n; mask++ {
+		pt := make(map[string]float64, len(dims))
+		for i, d := range dims {
+			iv := b.dims[d]
+			if mask&(1<<uint(i)) != 0 {
+				pt[d] = iv.Max
+			} else {
+				pt[d] = iv.Min
+			}
+		}
+		if !fn(pt) {
+			return
+		}
+	}
+}
+
+// String implements fmt.Stringer.
+func (b Box) String() string {
+	dims := b.Dims()
+	parts := make([]string, 0, len(dims))
+	for _, d := range dims {
+		parts = append(parts, fmt.Sprintf("%s=%s", d, b.dims[d]))
+	}
+	return "box{" + strings.Join(parts, ", ") + "}"
+}
+
+// sortStrings sorts a string slice in increasing order. A tiny insertion sort
+// is used to avoid importing sort for this hot, short-slice path.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package geom
+
+import (
+	"testing"
+)
+
+func box(pairs ...interface{}) Box {
+	b := NewBox()
+	for i := 0; i+2 < len(pairs); i += 3 {
+		b = b.Set(pairs[i].(string), NewInterval(toF(pairs[i+1]), toF(pairs[i+2])))
+	}
+	return b
+}
+
+func toF(v interface{}) float64 {
+	switch x := v.(type) {
+	case int:
+		return float64(x)
+	case float64:
+		return x
+	}
+	panic("bad literal")
+}
+
+func TestBoxDimsAndClone(t *testing.T) {
+	b := box("temp", 0, 10, "hum", 20, 30)
+	dims := b.Dims()
+	if len(dims) != 2 || dims[0] != "hum" || dims[1] != "temp" {
+		t.Fatalf("Dims() = %v", dims)
+	}
+	if b.NumDims() != 2 {
+		t.Fatalf("NumDims() = %d", b.NumDims())
+	}
+	c := b.Clone()
+	c = c.Set("temp", NewInterval(100, 200))
+	if iv, _ := b.Get("temp"); iv.Max != 10 {
+		t.Error("Clone should not alias the original")
+	}
+}
+
+func TestBoxCovers(t *testing.T) {
+	outer := box("a", 0, 100, "b", 0, 100)
+	inner := box("a", 10, 20, "b", 30, 40)
+	if !outer.Covers(inner) {
+		t.Error("outer should cover inner")
+	}
+	if inner.Covers(outer) {
+		t.Error("inner should not cover outer")
+	}
+	// Different dimension sets never cover (missing attribute means
+	// "unrequested", not "anything").
+	widerButFewer := box("a", -1000, 1000)
+	if widerButFewer.Covers(inner) {
+		t.Error("box over fewer dimensions must not cover")
+	}
+	if inner.Covers(widerButFewer) {
+		t.Error("box over more dimensions must not cover")
+	}
+}
+
+func TestBoxOverlapsIntersectVolume(t *testing.T) {
+	a := box("x", 0, 10, "y", 0, 10)
+	b := box("x", 5, 15, "y", 5, 15)
+	c := box("x", 20, 30, "y", 20, 30)
+	if !a.Overlaps(b) {
+		t.Error("a and b overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("a and c do not overlap")
+	}
+	x, ok := a.Intersect(b)
+	if !ok {
+		t.Fatal("intersection should exist")
+	}
+	if x.Volume() != 25 {
+		t.Errorf("intersection volume = %g, want 25", x.Volume())
+	}
+	if _, ok := a.Intersect(c); ok {
+		t.Error("intersection of disjoint boxes should not exist")
+	}
+	if _, ok := a.Intersect(box("x", 0, 1)); ok {
+		t.Error("intersection across different dimension sets should not exist")
+	}
+	if a.Volume() != 100 {
+		t.Errorf("volume = %g, want 100", a.Volume())
+	}
+}
+
+func TestBoxContainsPoint(t *testing.T) {
+	b := box("x", 0, 10, "y", 0, 10)
+	if !b.ContainsPoint(map[string]float64{"x": 5, "y": 5}) {
+		t.Error("point inside should be contained")
+	}
+	if b.ContainsPoint(map[string]float64{"x": 5, "y": 15}) {
+		t.Error("point outside should not be contained")
+	}
+	if b.ContainsPoint(map[string]float64{"x": 5}) {
+		t.Error("point missing a dimension should not be contained")
+	}
+}
+
+func TestBoxCorners(t *testing.T) {
+	b := box("x", 0, 1, "y", 10, 20)
+	seen := map[[2]float64]bool{}
+	b.Corners(func(pt map[string]float64) bool {
+		seen[[2]float64{pt["x"], pt["y"]}] = true
+		return true
+	})
+	if len(seen) != 4 {
+		t.Fatalf("expected 4 corners, got %d", len(seen))
+	}
+	for _, c := range [][2]float64{{0, 10}, {0, 20}, {1, 10}, {1, 20}} {
+		if !seen[c] {
+			t.Errorf("missing corner %v", c)
+		}
+	}
+	// Early stop.
+	count := 0
+	b.Corners(func(pt map[string]float64) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("early stop visited %d corners, want 1", count)
+	}
+}
+
+func TestBoxEmptyAndString(t *testing.T) {
+	if NewBox().Empty() {
+		t.Error("zero-dimensional box is not empty")
+	}
+	e := NewBox().Set("x", Interval{5, 1})
+	if !e.Empty() {
+		t.Error("box with an empty dimension is empty")
+	}
+	s := box("a", 0, 1, "b", 2, 3).String()
+	if s != "box{a=[0, 1], b=[2, 3]}" {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,138 @@
+// Package geom provides the small geometric vocabulary used throughout the
+// library: closed numeric intervals, 2D points and rectangular regions, and
+// axis-aligned hyper-rectangles ("boxes") used by the subsumption checker.
+//
+// All types are plain values: they are safe to copy, compare and use as map
+// values, and their zero values are meaningful (the zero Interval is the
+// degenerate point [0,0], the zero Region is the degenerate point region at
+// the origin).
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a closed interval [Min, Max] over float64 values.
+//
+// An Interval with Min > Max is treated as empty. The helpers below never
+// produce NaN bounds; callers are expected not to construct intervals from
+// NaN inputs.
+type Interval struct {
+	Min float64
+	Max float64
+}
+
+// NewInterval returns the closed interval [min, max]. If min > max the two
+// bounds are swapped so that the result is always a well-formed interval.
+func NewInterval(min, max float64) Interval {
+	if min > max {
+		min, max = max, min
+	}
+	return Interval{Min: min, Max: max}
+}
+
+// Point returns the degenerate interval [v, v].
+func Point(v float64) Interval { return Interval{Min: v, Max: v} }
+
+// Empty reports whether the interval contains no values (Min > Max).
+func (iv Interval) Empty() bool { return iv.Min > iv.Max }
+
+// Width returns the length of the interval, or 0 if it is empty.
+func (iv Interval) Width() float64 {
+	if iv.Empty() {
+		return 0
+	}
+	return iv.Max - iv.Min
+}
+
+// Contains reports whether v lies inside the closed interval.
+func (iv Interval) Contains(v float64) bool {
+	return !iv.Empty() && v >= iv.Min && v <= iv.Max
+}
+
+// Covers reports whether iv fully contains o, i.e. every value of o is also a
+// value of iv. Every interval covers the empty interval.
+func (iv Interval) Covers(o Interval) bool {
+	if o.Empty() {
+		return true
+	}
+	if iv.Empty() {
+		return false
+	}
+	return iv.Min <= o.Min && iv.Max >= o.Max
+}
+
+// Overlaps reports whether the two intervals share at least one value.
+func (iv Interval) Overlaps(o Interval) bool {
+	if iv.Empty() || o.Empty() {
+		return false
+	}
+	return iv.Min <= o.Max && o.Min <= iv.Max
+}
+
+// Intersect returns the intersection of the two intervals. The returned
+// interval is empty (Min > Max) when they do not overlap.
+func (iv Interval) Intersect(o Interval) Interval {
+	return Interval{Min: math.Max(iv.Min, o.Min), Max: math.Min(iv.Max, o.Max)}
+}
+
+// Union returns the smallest interval covering both iv and o. Empty operands
+// are ignored.
+func (iv Interval) Union(o Interval) Interval {
+	if iv.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return iv
+	}
+	return Interval{Min: math.Min(iv.Min, o.Min), Max: math.Max(iv.Max, o.Max)}
+}
+
+// Expand returns the interval grown by delta on both sides. A negative delta
+// shrinks the interval and may make it empty.
+func (iv Interval) Expand(delta float64) Interval {
+	return Interval{Min: iv.Min - delta, Max: iv.Max + delta}
+}
+
+// Clamp returns v clamped into the interval. Clamping against an empty
+// interval returns v unchanged.
+func (iv Interval) Clamp(v float64) float64 {
+	if iv.Empty() {
+		return v
+	}
+	if v < iv.Min {
+		return iv.Min
+	}
+	if v > iv.Max {
+		return iv.Max
+	}
+	return v
+}
+
+// Mid returns the midpoint of the interval. It is computed as
+// Min + (Max-Min)/2 so that intervals with very large magnitudes do not
+// overflow.
+func (iv Interval) Mid() float64 { return iv.Min + (iv.Max-iv.Min)/2 }
+
+// Equal reports whether the two intervals have identical bounds. Two empty
+// intervals are considered equal regardless of their bounds.
+func (iv Interval) Equal(o Interval) bool {
+	if iv.Empty() && o.Empty() {
+		return true
+	}
+	return iv.Min == o.Min && iv.Max == o.Max
+}
+
+// Lerp returns the value at fraction f (0..1) between Min and Max.
+func (iv Interval) Lerp(f float64) float64 {
+	return iv.Min + f*(iv.Max-iv.Min)
+}
+
+// String implements fmt.Stringer.
+func (iv Interval) String() string {
+	if iv.Empty() {
+		return "[empty]"
+	}
+	return fmt.Sprintf("[%g, %g]", iv.Min, iv.Max)
+}

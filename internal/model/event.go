@@ -1,0 +1,97 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"sensorcq/internal/geom"
+)
+
+// Event is a simple event e_d = (a_d, p_d, v, t): one measurement of one
+// sensor. Seq is a globally unique sequence number assigned by the publisher
+// (or the trace replayer); protocols use it to recognise an event they have
+// already forwarded over a link, and the metrics layer uses it to measure
+// recall without comparing floating-point payloads.
+type Event struct {
+	Seq      uint64
+	Sensor   SensorID
+	Attr     AttributeType
+	Location geom.Point2D
+	Value    float64
+	Time     Timestamp
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	return fmt.Sprintf("event(#%d %s %s=%g t=%d)", e.Seq, e.Sensor, e.Attr, e.Value, e.Time)
+}
+
+// ComplexEvent is a set of time-correlated simple events E = {e1..en} that
+// together match a subscription.
+type ComplexEvent []Event
+
+// MaxTime returns the timestamp of the complex event, defined by the paper as
+// the maximum timestamp of its component events. It returns 0 for an empty
+// complex event.
+func (c ComplexEvent) MaxTime() Timestamp {
+	var max Timestamp
+	for i, e := range c {
+		if i == 0 || e.Time > max {
+			max = e.Time
+		}
+	}
+	return max
+}
+
+// MinTime returns the smallest component timestamp (0 if empty).
+func (c ComplexEvent) MinTime() Timestamp {
+	var min Timestamp
+	for i, e := range c {
+		if i == 0 || e.Time < min {
+			min = e.Time
+		}
+	}
+	return min
+}
+
+// TimeSpan returns MaxTime - MinTime.
+func (c ComplexEvent) TimeSpan() Timestamp {
+	if len(c) == 0 {
+		return 0
+	}
+	return c.MaxTime() - c.MinTime()
+}
+
+// LocationSpan returns the maximum pairwise distance between the component
+// events' locations (0 for fewer than two events).
+func (c ComplexEvent) LocationSpan() float64 {
+	max := 0.0
+	for i := 0; i < len(c); i++ {
+		for j := i + 1; j < len(c); j++ {
+			if d := c[i].Location.DistanceTo(c[j].Location); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// Seqs returns the sequence numbers of the component events, sorted.
+func (c ComplexEvent) Seqs() []uint64 {
+	out := make([]uint64, len(c))
+	for i, e := range c {
+		out[i] = e.Seq
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SortEventsByTime sorts events by (Time, Seq) in increasing order, in place.
+func SortEventsByTime(events []Event) {
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Time != events[j].Time {
+			return events[i].Time < events[j].Time
+		}
+		return events[i].Seq < events[j].Seq
+	})
+}

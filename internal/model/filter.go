@@ -1,0 +1,59 @@
+package model
+
+import (
+	"fmt"
+
+	"sensorcq/internal/geom"
+)
+
+// AttributeFilter is a simple filter f_a: a range condition over one
+// attribute type, used by abstract subscriptions ("ambient temperature
+// between -5 and 3 degrees").
+type AttributeFilter struct {
+	Attr  AttributeType
+	Range geom.Interval
+}
+
+// Matches reports whether the event's attribute type and value satisfy the
+// filter. The spatial constraint of the enclosing subscription is checked
+// separately.
+func (f AttributeFilter) Matches(e Event) bool {
+	return e.Attr == f.Attr && f.Range.Contains(e.Value)
+}
+
+// Covers reports whether f accepts every value accepted by o (same
+// attribute, wider or equal range).
+func (f AttributeFilter) Covers(o AttributeFilter) bool {
+	return f.Attr == o.Attr && f.Range.Covers(o.Range)
+}
+
+// String implements fmt.Stringer.
+func (f AttributeFilter) String() string {
+	return fmt.Sprintf("%s in %s", f.Attr, f.Range)
+}
+
+// SensorFilter is a simple filter with identification f_d: a range condition
+// bound to one specific sensor ("sensor slf-23 between 50 and 80").
+type SensorFilter struct {
+	Sensor   SensorID
+	Attr     AttributeType
+	Location geom.Point2D
+	Range    geom.Interval
+}
+
+// Matches reports whether the event originates from the filtered sensor and
+// its value satisfies the range.
+func (f SensorFilter) Matches(e Event) bool {
+	return e.Sensor == f.Sensor && f.Range.Contains(e.Value)
+}
+
+// Covers reports whether f accepts every event accepted by o (same sensor,
+// wider or equal range).
+func (f SensorFilter) Covers(o SensorFilter) bool {
+	return f.Sensor == o.Sensor && f.Range.Covers(o.Range)
+}
+
+// String implements fmt.Stringer.
+func (f SensorFilter) String() string {
+	return fmt.Sprintf("%s(%s) in %s", f.Sensor, f.Attr, f.Range)
+}

@@ -1,0 +1,220 @@
+package model
+
+import "math"
+
+// MatchesEvent reports whether a single simple event matches the
+// subscription, i.e. whether the event satisfies the subscription's filter
+// for the event's sensor (identified) or attribute type and region
+// (abstract). This is the "simple event matches subscription" relation of
+// Section IV-A.
+func (s *Subscription) MatchesEvent(e Event) bool {
+	if s.Kind == KindIdentified {
+		f, ok := s.SensorFilters[e.Sensor]
+		return ok && f.Range.Contains(e.Value)
+	}
+	f, ok := s.AttrFilters[e.Attr]
+	if !ok {
+		return false
+	}
+	return s.Region.Contains(e.Location) && f.Range.Contains(e.Value)
+}
+
+// FilterKeyFor returns the key (sensor for identified, attribute for
+// abstract) under which the event would count towards the completeness
+// condition of the subscription, and whether the subscription filters that
+// key at all.
+func (s *Subscription) FilterKeyFor(e Event) (string, bool) {
+	if s.Kind == KindIdentified {
+		if _, ok := s.SensorFilters[e.Sensor]; ok {
+			return "d:" + string(e.Sensor), true
+		}
+		return "", false
+	}
+	if _, ok := s.AttrFilters[e.Attr]; ok {
+		return "a:" + string(e.Attr), true
+	}
+	return "", false
+}
+
+// filterKeys returns all completeness keys of the subscription.
+func (s *Subscription) filterKeys() []string {
+	keys := make([]string, 0, s.NumFilters())
+	if s.Kind == KindIdentified {
+		for _, d := range s.Sensors() {
+			keys = append(keys, "d:"+string(d))
+		}
+		return keys
+	}
+	for _, a := range s.Attributes() {
+		keys = append(keys, "a:"+string(a))
+	}
+	return keys
+}
+
+// MatchesComplex reports whether the given set of simple events forms a
+// complex event matching the subscription according to the four conditions
+// of Section IV-A:
+//
+//  1. completeness — one simple event per filtered sensor/attribute,
+//  2. every simple event matches the subscription,
+//  3. the complex event's time is the maximum component timestamp,
+//  4. all component timestamps are within δt of that maximum,
+//
+// plus, for abstract subscriptions, the pairwise location span is below δl.
+//
+// The events slice must contain exactly the component events (no extras).
+func (s *Subscription) MatchesComplex(events ComplexEvent) bool {
+	if len(events) != s.NumFilters() {
+		return false
+	}
+	seen := map[string]bool{}
+	for _, e := range events {
+		if !s.MatchesEvent(e) {
+			return false
+		}
+		key, ok := s.FilterKeyFor(e)
+		if !ok || seen[key] {
+			return false
+		}
+		seen[key] = true
+	}
+	if len(seen) != s.NumFilters() {
+		return false
+	}
+	max := events.MaxTime()
+	for _, e := range events {
+		if max-e.Time >= s.DeltaT {
+			return false
+		}
+	}
+	if s.Kind == KindAbstract && !math.IsInf(s.DeltaL, 1) {
+		if events.LocationSpan() >= s.DeltaL {
+			return false
+		}
+	}
+	return true
+}
+
+// FindComplexMatch searches the candidate window for a complex event that
+// matches the subscription and that includes the mustInclude event (pass a
+// zero-Seq Event to disable that constraint). It returns the matching
+// component events and true, or nil and false when no combination matches.
+//
+// The search is an exact backtracking search over one candidate list per
+// required sensor/attribute. Subscriptions in this system have at most a
+// handful of filters (the paper uses 3-5 attributes) and windows are short
+// (δt), so the search space stays tiny; the time-window and location-span
+// constraints additionally prune it.
+func (s *Subscription) FindComplexMatch(window []Event, mustInclude *Event) (ComplexEvent, bool) {
+	keys := s.filterKeys()
+	candidates := make(map[string][]Event, len(keys))
+	for _, e := range window {
+		if !s.MatchesEvent(e) {
+			continue
+		}
+		key, _ := s.FilterKeyFor(e)
+		candidates[key] = append(candidates[key], e)
+	}
+	var mustKey string
+	if mustInclude != nil {
+		if !s.MatchesEvent(*mustInclude) {
+			return nil, false
+		}
+		mustKey, _ = s.FilterKeyFor(*mustInclude)
+	}
+	// Completeness pre-check: every key needs at least one candidate.
+	for _, k := range keys {
+		if k == mustKey {
+			continue
+		}
+		if len(candidates[k]) == 0 {
+			return nil, false
+		}
+	}
+
+	chosen := make(ComplexEvent, 0, len(keys))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(keys) {
+			return s.MatchesComplex(chosen)
+		}
+		key := keys[i]
+		if key == mustKey {
+			chosen = append(chosen, *mustInclude)
+			if s.partialFeasible(chosen) && rec(i+1) {
+				return true
+			}
+			chosen = chosen[:len(chosen)-1]
+			return false
+		}
+		for _, e := range candidates[key] {
+			chosen = append(chosen, e)
+			if s.partialFeasible(chosen) && rec(i+1) {
+				return true
+			}
+			chosen = chosen[:len(chosen)-1]
+		}
+		return false
+	}
+	if rec(0) {
+		out := make(ComplexEvent, len(chosen))
+		copy(out, chosen)
+		return out, true
+	}
+	return nil, false
+}
+
+// partialFeasible prunes the backtracking search: a partial selection is
+// feasible only if its time span is already below δt and (for abstract
+// subscriptions) its location span below δl.
+func (s *Subscription) partialFeasible(events ComplexEvent) bool {
+	if len(events) < 2 {
+		return true
+	}
+	if events.TimeSpan() >= s.DeltaT {
+		return false
+	}
+	if s.Kind == KindAbstract && !math.IsInf(s.DeltaL, 1) && events.LocationSpan() >= s.DeltaL {
+		return false
+	}
+	return true
+}
+
+// CoveredBy reports whether the subscription is covered (subsumed) by the
+// single subscription other: every complex event matching s also matches
+// other. Following Section V-B this requires the two subscriptions to be of
+// the same kind, defined over exactly the same sensor/attribute set and to
+// share the same correlation distances; given that, coverage reduces to
+// per-filter range containment (and region containment for abstract
+// subscriptions).
+func (s *Subscription) CoveredBy(other *Subscription) bool {
+	if s == nil || other == nil {
+		return false
+	}
+	if s.Kind != other.Kind || s.SignatureKey() != other.SignatureKey() {
+		return false
+	}
+	if s.DeltaT != other.DeltaT {
+		return false
+	}
+	if s.Kind == KindIdentified {
+		for d, f := range s.SensorFilters {
+			if !other.SensorFilters[d].Range.Covers(f.Range) {
+				return false
+			}
+		}
+		return true
+	}
+	if s.DeltaL != other.DeltaL {
+		return false
+	}
+	if !other.Region.Covers(s.Region) {
+		return false
+	}
+	for a, f := range s.AttrFilters {
+		if !other.AttrFilters[a].Range.Covers(f.Range) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,160 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the "correlation operator" view of subscriptions used
+// by the split-and-forward phase (Section V-B): projecting a subscription
+// onto a subset of its filters, and splitting a multi-join into binary joins
+// (Section III-B, after Chandramouli & Yang).
+
+// ProjectAttributes returns the operator obtained by restricting an abstract
+// subscription to the given attribute types. The result keeps the region and
+// correlation distances of the original and records s as its parent. It
+// returns nil when none of the requested attributes are filtered by s.
+func (s *Subscription) ProjectAttributes(attrs []AttributeType) *Subscription {
+	if s.Kind != KindAbstract {
+		return nil
+	}
+	kept := map[AttributeType]AttributeFilter{}
+	for _, a := range attrs {
+		if f, ok := s.AttrFilters[a]; ok {
+			kept[a] = f
+		}
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	if len(kept) == len(s.AttrFilters) {
+		// Projection onto the full attribute set is the operator itself.
+		return s.Clone()
+	}
+	out := s.Clone()
+	out.AttrFilters = kept
+	out.Parent = s.ID
+	out.ID = deriveOperatorID(s.ID, attributeNames(kept))
+	return out
+}
+
+// ProjectSensors returns the operator obtained by restricting an identified
+// subscription to the given sensors; see ProjectAttributes.
+func (s *Subscription) ProjectSensors(sensors []SensorID) *Subscription {
+	if s.Kind != KindIdentified {
+		return nil
+	}
+	kept := map[SensorID]SensorFilter{}
+	for _, d := range sensors {
+		if f, ok := s.SensorFilters[d]; ok {
+			kept[d] = f
+		}
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	if len(kept) == len(s.SensorFilters) {
+		return s.Clone()
+	}
+	out := s.Clone()
+	out.SensorFilters = kept
+	out.Parent = s.ID
+	out.ID = deriveOperatorID(s.ID, sensorNames(kept))
+	return out
+}
+
+// BinaryJoinPairing selects how a multi-join is decomposed into binary joins
+// by the distributed multi-join approach.
+type BinaryJoinPairing int
+
+const (
+	// RingPairing pairs attribute i with attribute (i+1) mod k, producing k
+	// binary joins for a k-attribute multi-join (k >= 3); each attribute is
+	// the "main" attribute of exactly one binary join.
+	RingPairing BinaryJoinPairing = iota
+	// ChainPairing pairs attribute i with attribute i+1, producing k-1
+	// binary joins; the last attribute is main in the final join.
+	ChainPairing
+)
+
+// String implements fmt.Stringer.
+func (p BinaryJoinPairing) String() string {
+	if p == ChainPairing {
+		return "chain"
+	}
+	return "ring"
+}
+
+// SplitBinaryJoins decomposes the subscription into binary joins following
+// the multi-join approximation of Section III-B. Subscriptions with at most
+// two filters are returned unchanged (a binary join is exact for them). The
+// resulting operators are projections of s onto pairs of its filter keys and
+// therefore lose the correlation constraints that span more than two
+// attributes — exactly the source of the false positives the paper measures.
+func (s *Subscription) SplitBinaryJoins(pairing BinaryJoinPairing) []*Subscription {
+	n := s.NumFilters()
+	if n <= 2 {
+		return []*Subscription{s.Clone()}
+	}
+	var out []*Subscription
+	if s.Kind == KindAbstract {
+		attrs := s.Attributes()
+		for _, pair := range pairIndices(len(attrs), pairing) {
+			op := s.ProjectAttributes([]AttributeType{attrs[pair[0]], attrs[pair[1]]})
+			if op != nil {
+				out = append(out, op)
+			}
+		}
+		return out
+	}
+	sensors := s.Sensors()
+	for _, pair := range pairIndices(len(sensors), pairing) {
+		op := s.ProjectSensors([]SensorID{sensors[pair[0]], sensors[pair[1]]})
+		if op != nil {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// pairIndices returns the index pairs for the chosen pairing strategy.
+func pairIndices(k int, pairing BinaryJoinPairing) [][2]int {
+	var out [][2]int
+	switch pairing {
+	case ChainPairing:
+		for i := 0; i+1 < k; i++ {
+			out = append(out, [2]int{i, i + 1})
+		}
+	default: // RingPairing
+		for i := 0; i < k; i++ {
+			out = append(out, [2]int{i, (i + 1) % k})
+		}
+	}
+	return out
+}
+
+// deriveOperatorID builds a deterministic operator identifier from the parent
+// subscription ID and the kept filter keys, so that the same projection of
+// the same subscription always yields the same operator ID regardless of the
+// node performing the split.
+func deriveOperatorID(parent SubscriptionID, keys []string) SubscriptionID {
+	sort.Strings(keys)
+	return SubscriptionID(fmt.Sprintf("%s/[%s]", parent, strings.Join(keys, ",")))
+}
+
+func attributeNames(in map[AttributeType]AttributeFilter) []string {
+	out := make([]string, 0, len(in))
+	for a := range in {
+		out = append(out, string(a))
+	}
+	return out
+}
+
+func sensorNames(in map[SensorID]SensorFilter) []string {
+	out := make([]string, 0, len(in))
+	for d := range in {
+		out = append(out, string(d))
+	}
+	return out
+}

@@ -1,0 +1,294 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"sensorcq/internal/geom"
+)
+
+// Kind discriminates between the two subscription flavours of Section IV-A.
+type Kind int
+
+const (
+	// KindIdentified is a subscription over explicitly named sensors
+	// S_id = (F_D, δt).
+	KindIdentified Kind = iota
+	// KindAbstract is a subscription over attribute types bound to a
+	// spatial region S_ab = (F_{A,L}, δt, δl).
+	KindAbstract
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindIdentified:
+		return "identified"
+	case KindAbstract:
+		return "abstract"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// NoSpatialConstraint is the DeltaL value meaning "event correlation is
+// independent of spatial proximity" (δl = ∞ in the paper).
+var NoSpatialConstraint = math.Inf(1)
+
+// Subscription is a user subscription or a correlation operator derived from
+// one by the split phase. A subscription carries either SensorFilters
+// (identified) or AttrFilters (abstract), never both.
+//
+// The split-and-forward phase produces operators that are projections of a
+// user subscription onto a subset of its filters; such operators keep the
+// identity of the user subscription they descend from in Root, and the
+// identity of the operator they were directly split from in Parent.
+type Subscription struct {
+	// ID uniquely identifies this subscription or operator.
+	ID SubscriptionID
+	// Root is the original user subscription this operator descends from.
+	// For a user subscription, Root == ID.
+	Root SubscriptionID
+	// Parent is the operator this one was split from ("" for user
+	// subscriptions).
+	Parent SubscriptionID
+
+	Kind Kind
+
+	// SensorFilters holds the complex filter with identification F_D for
+	// identified subscriptions, keyed by sensor.
+	SensorFilters map[SensorID]SensorFilter
+	// AttrFilters holds the abstract filter F_{A,L} for abstract
+	// subscriptions, keyed by attribute type.
+	AttrFilters map[AttributeType]AttributeFilter
+	// Region is the spatial constraint L of an abstract subscription.
+	Region geom.Region
+
+	// DeltaT is the temporal correlation distance δt.
+	DeltaT Timestamp
+	// DeltaL is the spatial correlation distance δl (abstract only);
+	// use NoSpatialConstraint when correlation is independent of distance.
+	DeltaL float64
+
+	// SubscriberNode optionally records, as an opaque string, the processing
+	// node hosting the subscribing user. The distributed protocols never use
+	// it (they route results along reverse subscription paths); the
+	// centralized baseline — which assumes global knowledge — sets it when a
+	// subscription is registered and uses it to route result sets back to
+	// the owner.
+	SubscriberNode string
+}
+
+// NewIdentifiedSubscription builds a user subscription over explicitly named
+// sensors. The filters slice must be non-empty and name distinct sensors.
+func NewIdentifiedSubscription(id SubscriptionID, filters []SensorFilter, deltaT Timestamp) (*Subscription, error) {
+	if len(filters) == 0 {
+		return nil, errors.New("model: identified subscription needs at least one sensor filter")
+	}
+	m := make(map[SensorID]SensorFilter, len(filters))
+	for _, f := range filters {
+		if _, dup := m[f.Sensor]; dup {
+			return nil, fmt.Errorf("model: duplicate filter for sensor %s", f.Sensor)
+		}
+		m[f.Sensor] = f
+	}
+	s := &Subscription{
+		ID:            id,
+		Root:          id,
+		Kind:          KindIdentified,
+		SensorFilters: m,
+		Region:        geom.WholePlane(),
+		DeltaT:        deltaT,
+		DeltaL:        NoSpatialConstraint,
+	}
+	return s, s.Validate()
+}
+
+// NewAbstractSubscription builds a user subscription over attribute types
+// constrained to a region.
+func NewAbstractSubscription(id SubscriptionID, filters []AttributeFilter, region geom.Region, deltaT Timestamp, deltaL float64) (*Subscription, error) {
+	if len(filters) == 0 {
+		return nil, errors.New("model: abstract subscription needs at least one attribute filter")
+	}
+	m := make(map[AttributeType]AttributeFilter, len(filters))
+	for _, f := range filters {
+		if _, dup := m[f.Attr]; dup {
+			return nil, fmt.Errorf("model: duplicate filter for attribute %s", f.Attr)
+		}
+		m[f.Attr] = f
+	}
+	s := &Subscription{
+		ID:          id,
+		Root:        id,
+		Kind:        KindAbstract,
+		AttrFilters: m,
+		Region:      region,
+		DeltaT:      deltaT,
+		DeltaL:      deltaL,
+	}
+	return s, s.Validate()
+}
+
+// Validate checks structural invariants and returns a descriptive error when
+// one is violated.
+func (s *Subscription) Validate() error {
+	if s == nil {
+		return errors.New("model: nil subscription")
+	}
+	if s.ID == "" {
+		return errors.New("model: subscription needs an ID")
+	}
+	if s.DeltaT <= 0 {
+		return fmt.Errorf("model: subscription %s has non-positive DeltaT %d", s.ID, s.DeltaT)
+	}
+	switch s.Kind {
+	case KindIdentified:
+		if len(s.SensorFilters) == 0 {
+			return fmt.Errorf("model: identified subscription %s has no sensor filters", s.ID)
+		}
+		if len(s.AttrFilters) != 0 {
+			return fmt.Errorf("model: identified subscription %s must not carry attribute filters", s.ID)
+		}
+	case KindAbstract:
+		if len(s.AttrFilters) == 0 {
+			return fmt.Errorf("model: abstract subscription %s has no attribute filters", s.ID)
+		}
+		if len(s.SensorFilters) != 0 {
+			return fmt.Errorf("model: abstract subscription %s must not carry sensor filters", s.ID)
+		}
+		if s.Region.Empty() {
+			return fmt.Errorf("model: abstract subscription %s has an empty region", s.ID)
+		}
+		if s.DeltaL <= 0 {
+			return fmt.Errorf("model: abstract subscription %s has non-positive DeltaL", s.ID)
+		}
+	default:
+		return fmt.Errorf("model: subscription %s has unknown kind %d", s.ID, s.Kind)
+	}
+	return nil
+}
+
+// IsUserSubscription reports whether this is an original user subscription
+// (as opposed to an operator produced by splitting).
+func (s *Subscription) IsUserSubscription() bool { return s.Parent == "" && s.Root == s.ID }
+
+// NumFilters returns the number of simple filters in the subscription.
+func (s *Subscription) NumFilters() int {
+	if s.Kind == KindIdentified {
+		return len(s.SensorFilters)
+	}
+	return len(s.AttrFilters)
+}
+
+// IsSimple reports whether the subscription is a simple operator: it
+// constrains a single attribute (abstract) or a single sensor (identified)
+// and therefore needs no further correlation.
+func (s *Subscription) IsSimple() bool { return s.NumFilters() == 1 }
+
+// Attributes returns the attribute types the subscription involves, sorted.
+// For identified subscriptions this is derived from the sensor filters.
+func (s *Subscription) Attributes() []AttributeType {
+	if s.Kind == KindAbstract {
+		return SortedAttributes(s.AttrFilters)
+	}
+	set := map[AttributeType]bool{}
+	for _, f := range s.SensorFilters {
+		set[f.Attr] = true
+	}
+	out := make([]AttributeType, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Sensors returns the explicitly named sensors of an identified
+// subscription, sorted; it returns nil for abstract subscriptions.
+func (s *Subscription) Sensors() []SensorID {
+	if s.Kind != KindIdentified {
+		return nil
+	}
+	return SortedSensors(s.SensorFilters)
+}
+
+// SignatureKey returns a canonical key identifying the set of "attributes"
+// the subscription is defined over, in the sense of the set-filtering
+// algorithm: the sensor set for identified subscriptions, the attribute-type
+// set for abstract ones. Two subscriptions are comparable by set filtering
+// (and by pairwise covering) only when their signature keys are equal and
+// their kinds match.
+func (s *Subscription) SignatureKey() string {
+	if s.Kind == KindIdentified {
+		return "id:" + sensorKey(s.Sensors())
+	}
+	return "ab:" + attributeKey(s.Attributes())
+}
+
+// Clone returns a deep copy of the subscription.
+func (s *Subscription) Clone() *Subscription {
+	out := *s
+	if s.SensorFilters != nil {
+		out.SensorFilters = make(map[SensorID]SensorFilter, len(s.SensorFilters))
+		for k, v := range s.SensorFilters {
+			out.SensorFilters[k] = v
+		}
+	}
+	if s.AttrFilters != nil {
+		out.AttrFilters = make(map[AttributeType]AttributeFilter, len(s.AttrFilters))
+		for k, v := range s.AttrFilters {
+			out.AttrFilters[k] = v
+		}
+	}
+	return &out
+}
+
+// String implements fmt.Stringer. The rendering is stable (sorted filters) so
+// it can be used in golden tests.
+func (s *Subscription) String() string {
+	var parts []string
+	if s.Kind == KindIdentified {
+		for _, d := range s.Sensors() {
+			parts = append(parts, s.SensorFilters[d].String())
+		}
+		return fmt.Sprintf("sub(%s identified {%s} δt=%d)", s.ID, strings.Join(parts, ", "), s.DeltaT)
+	}
+	for _, a := range s.Attributes() {
+		parts = append(parts, s.AttrFilters[a].String())
+	}
+	return fmt.Sprintf("sub(%s abstract {%s} %s δt=%d δl=%g)", s.ID, strings.Join(parts, ", "), s.Region, s.DeltaT, s.DeltaL)
+}
+
+// locDimX and locDimY are the reserved dimension names used when translating
+// an abstract subscription's region into extra box dimensions, as described
+// in Section V-B ("the location meta-attribute ... can be treated as just
+// another data attribute").
+const (
+	locDimX = "__loc_x"
+	locDimY = "__loc_y"
+)
+
+// Box returns the hyper-rectangle representation of the subscription used by
+// the subsumption checker: one dimension per filtered sensor (identified) or
+// per filtered attribute plus the two spatial dimensions (abstract, when the
+// region is bounded).
+func (s *Subscription) Box() geom.Box {
+	b := geom.NewBox()
+	if s.Kind == KindIdentified {
+		for d, f := range s.SensorFilters {
+			b = b.Set("d:"+string(d), f.Range)
+		}
+		return b
+	}
+	for a, f := range s.AttrFilters {
+		b = b.Set("a:"+string(a), f.Range)
+	}
+	if !s.Region.IsWholePlane() {
+		b = b.Set(locDimX, s.Region.X)
+		b = b.Set(locDimY, s.Region.Y)
+	}
+	return b
+}

@@ -1,0 +1,172 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"sensorcq/internal/geom"
+)
+
+// Test helpers shared by the model tests.
+
+func af(attr AttributeType, min, max float64) AttributeFilter {
+	return AttributeFilter{Attr: attr, Range: geom.NewInterval(min, max)}
+}
+
+func sf(sensor SensorID, attr AttributeType, min, max float64) SensorFilter {
+	return SensorFilter{Sensor: sensor, Attr: attr, Range: geom.NewInterval(min, max)}
+}
+
+func mustAbstract(t *testing.T, id SubscriptionID, region geom.Region, dt Timestamp, dl float64, filters ...AttributeFilter) *Subscription {
+	t.Helper()
+	s, err := NewAbstractSubscription(id, filters, region, dt, dl)
+	if err != nil {
+		t.Fatalf("NewAbstractSubscription(%s): %v", id, err)
+	}
+	return s
+}
+
+func mustIdentified(t *testing.T, id SubscriptionID, dt Timestamp, filters ...SensorFilter) *Subscription {
+	t.Helper()
+	s, err := NewIdentifiedSubscription(id, filters, dt)
+	if err != nil {
+		t.Fatalf("NewIdentifiedSubscription(%s): %v", id, err)
+	}
+	return s
+}
+
+func ev(seq uint64, sensor SensorID, attr AttributeType, value float64, ts Timestamp) Event {
+	return Event{Seq: seq, Sensor: sensor, Attr: attr, Value: value, Time: ts}
+}
+
+func TestNewSubscriptionValidation(t *testing.T) {
+	if _, err := NewIdentifiedSubscription("s", nil, 10); err == nil {
+		t.Error("identified subscription without filters should fail")
+	}
+	if _, err := NewIdentifiedSubscription("s", []SensorFilter{sf("a", AmbientTemperature, 0, 1), sf("a", AmbientTemperature, 2, 3)}, 10); err == nil {
+		t.Error("duplicate sensor filters should fail")
+	}
+	if _, err := NewAbstractSubscription("s", nil, geom.WholePlane(), 10, 1); err == nil {
+		t.Error("abstract subscription without filters should fail")
+	}
+	if _, err := NewAbstractSubscription("s", []AttributeFilter{af(WindSpeed, 0, 1), af(WindSpeed, 2, 3)}, geom.WholePlane(), 10, 1); err == nil {
+		t.Error("duplicate attribute filters should fail")
+	}
+	if _, err := NewAbstractSubscription("s", []AttributeFilter{af(WindSpeed, 0, 1)}, geom.WholePlane(), 0, 1); err == nil {
+		t.Error("non-positive DeltaT should fail")
+	}
+	if _, err := NewAbstractSubscription("s", []AttributeFilter{af(WindSpeed, 0, 1)}, geom.WholePlane(), 10, 0); err == nil {
+		t.Error("non-positive DeltaL should fail")
+	}
+	if _, err := NewAbstractSubscription("", []AttributeFilter{af(WindSpeed, 0, 1)}, geom.WholePlane(), 10, 1); err == nil {
+		t.Error("empty ID should fail")
+	}
+	var nilSub *Subscription
+	if err := nilSub.Validate(); err == nil {
+		t.Error("nil subscription should fail validation")
+	}
+}
+
+func TestSubscriptionAccessors(t *testing.T) {
+	s := mustAbstract(t, "q1", geom.NewRegion(0, 0, 100, 100), 30, NoSpatialConstraint,
+		af(AmbientTemperature, -5, 5), af(WindSpeed, 0, 20), af(RelativeHumidity, 40, 90))
+	if !s.IsUserSubscription() {
+		t.Error("freshly built subscription is a user subscription")
+	}
+	if s.NumFilters() != 3 || s.IsSimple() {
+		t.Error("filter count wrong")
+	}
+	attrs := s.Attributes()
+	if len(attrs) != 3 || attrs[0] != AmbientTemperature {
+		t.Errorf("Attributes() = %v", attrs)
+	}
+	if s.Sensors() != nil {
+		t.Error("abstract subscription has no sensors")
+	}
+	if !strings.HasPrefix(s.SignatureKey(), "ab:") {
+		t.Errorf("SignatureKey() = %q", s.SignatureKey())
+	}
+
+	id := mustIdentified(t, "q2", 30, sf("d1", AmbientTemperature, 0, 1), sf("d2", WindSpeed, 2, 3))
+	if got := id.Sensors(); len(got) != 2 || got[0] != "d1" {
+		t.Errorf("Sensors() = %v", got)
+	}
+	if got := id.Attributes(); len(got) != 2 {
+		t.Errorf("Attributes() of identified = %v", got)
+	}
+	if !strings.HasPrefix(id.SignatureKey(), "id:") {
+		t.Errorf("SignatureKey() = %q", id.SignatureKey())
+	}
+	if id.SignatureKey() == s.SignatureKey() {
+		t.Error("different kinds must have different signature keys")
+	}
+}
+
+func TestSubscriptionCloneIndependence(t *testing.T) {
+	s := mustAbstract(t, "q1", geom.WholePlane(), 30, NoSpatialConstraint, af(WindSpeed, 0, 20))
+	c := s.Clone()
+	c.AttrFilters[WindSpeed] = af(WindSpeed, 100, 200)
+	if s.AttrFilters[WindSpeed].Range.Max != 20 {
+		t.Error("Clone must not alias filter maps")
+	}
+	id := mustIdentified(t, "q2", 30, sf("d1", WindSpeed, 0, 1))
+	c2 := id.Clone()
+	c2.SensorFilters["d1"] = sf("d1", WindSpeed, 5, 6)
+	if id.SensorFilters["d1"].Range.Max != 1 {
+		t.Error("Clone must not alias sensor filter maps")
+	}
+}
+
+func TestSubscriptionStringStable(t *testing.T) {
+	s := mustAbstract(t, "q1", geom.NewRegion(0, 0, 1, 1), 30, 5,
+		af(WindSpeed, 0, 20), af(AmbientTemperature, -5, 5))
+	a := s.String()
+	b := s.String()
+	if a != b {
+		t.Error("String() should be deterministic")
+	}
+	if !strings.Contains(a, "ambient_temperature") || !strings.Contains(a, "wind_speed") {
+		t.Errorf("String() = %q", a)
+	}
+	id := mustIdentified(t, "q2", 30, sf("d1", WindSpeed, 0, 1))
+	if !strings.Contains(id.String(), "identified") {
+		t.Errorf("String() = %q", id.String())
+	}
+}
+
+func TestSubscriptionBox(t *testing.T) {
+	s := mustAbstract(t, "q1", geom.NewRegion(0, 0, 10, 10), 30, NoSpatialConstraint,
+		af(WindSpeed, 0, 20), af(AmbientTemperature, -5, 5))
+	b := s.Box()
+	if b.NumDims() != 4 {
+		t.Fatalf("bounded-region abstract subscription box should have 4 dims, got %d (%v)", b.NumDims(), b.Dims())
+	}
+	unbounded := mustAbstract(t, "q2", geom.WholePlane(), 30, NoSpatialConstraint, af(WindSpeed, 0, 20))
+	if unbounded.Box().NumDims() != 1 {
+		t.Error("whole-plane abstract subscription contributes no spatial dims")
+	}
+	id := mustIdentified(t, "q3", 30, sf("d1", WindSpeed, 0, 1), sf("d2", WindSpeed, 2, 3))
+	if id.Box().NumDims() != 2 {
+		t.Error("identified subscription box has one dim per sensor")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindIdentified.String() != "identified" || KindAbstract.String() != "abstract" {
+		t.Error("Kind.String() wrong")
+	}
+	if Kind(42).String() != "kind(42)" {
+		t.Error("unknown kind rendering wrong")
+	}
+}
+
+func TestSensorAdvertisement(t *testing.T) {
+	s := Sensor{ID: "d7", Attr: WindSpeed, Location: geom.Point2D{X: 1, Y: 2}}
+	adv := s.Advertisement()
+	if adv.Sensor != "d7" || adv.Attr != WindSpeed || adv.Location != s.Location {
+		t.Errorf("Advertisement() = %v", adv)
+	}
+	if !strings.Contains(s.String(), "d7") || !strings.Contains(adv.String(), "wind_speed") {
+		t.Error("String() renderings wrong")
+	}
+}

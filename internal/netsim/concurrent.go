@@ -1,0 +1,242 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+
+	"sensorcq/internal/model"
+	"sensorcq/internal/topology"
+)
+
+// ConcurrentEngine runs one goroutine per processing node, modelling the
+// fully distributed execution of the protocols: a node only ever touches its
+// own state and talks to its neighbours by message passing. It implements
+// the same Runtime interface as the sequential Engine, so the two are
+// interchangeable; the experiments use the sequential engine for determinism
+// and the tests cross-check that both produce identical traffic totals.
+type ConcurrentEngine struct {
+	graph    *topology.Graph
+	handlers []Handler
+	ctxs     []*Context
+	metrics  *Metrics
+	workers  []*worker
+
+	mu         sync.Mutex
+	inflight   int
+	idle       *sync.Cond
+	closed     bool
+	deliveries []Delivery
+}
+
+var _ Runtime = (*ConcurrentEngine)(nil)
+
+// worker is the per-node mailbox and goroutine.
+type worker struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []queued
+	closed bool
+}
+
+func newWorker() *worker {
+	w := &worker{}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+func (w *worker) push(item queued) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return false
+	}
+	w.queue = append(w.queue, item)
+	w.cond.Signal()
+	return true
+}
+
+func (w *worker) pop() (queued, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for len(w.queue) == 0 && !w.closed {
+		w.cond.Wait()
+	}
+	if len(w.queue) == 0 {
+		return queued{}, false
+	}
+	item := w.queue[0]
+	w.queue = w.queue[1:]
+	return item, true
+}
+
+func (w *worker) close() {
+	w.mu.Lock()
+	w.closed = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// NewConcurrentEngine builds a concurrent engine over the given topology and
+// starts one goroutine per node. Callers must Close it when done.
+func NewConcurrentEngine(graph *topology.Graph, factory HandlerFactory) *ConcurrentEngine {
+	e := &ConcurrentEngine{
+		graph:    graph,
+		handlers: make([]Handler, graph.NumNodes()),
+		ctxs:     make([]*Context, graph.NumNodes()),
+		metrics:  NewMetrics(),
+		workers:  make([]*worker, graph.NumNodes()),
+	}
+	e.idle = sync.NewCond(&e.mu)
+	for n := 0; n < graph.NumNodes(); n++ {
+		id := topology.NodeID(n)
+		e.handlers[n] = factory(id)
+		e.ctxs[n] = &Context{self: id, graph: graph, metrics: e.metrics, out: e}
+		e.workers[n] = newWorker()
+		e.handlers[n].Init(e.ctxs[n])
+	}
+	for n := range e.workers {
+		go e.runWorker(n)
+	}
+	return e
+}
+
+func (e *ConcurrentEngine) runWorker(n int) {
+	for {
+		item, ok := e.workers[n].pop()
+		if !ok {
+			return
+		}
+		e.process(n, item)
+		e.mu.Lock()
+		e.inflight--
+		if e.inflight == 0 {
+			e.idle.Broadcast()
+		}
+		e.mu.Unlock()
+	}
+}
+
+func (e *ConcurrentEngine) process(n int, item queued) {
+	h := e.handlers[n]
+	ctx := e.ctxs[n]
+	if item.injection != injectionNone {
+		switch item.injection {
+		case injectionSensor:
+			h.LocalSensor(ctx, item.sensor)
+		case injectionSubscribe:
+			h.LocalSubscribe(ctx, item.sub)
+		case injectionPublish:
+			h.LocalPublish(ctx, item.ev)
+		}
+		return
+	}
+	switch item.msg.Kind {
+	case KindAdvertisement:
+		h.HandleAdvertisement(ctx, item.from, item.msg.Adv)
+	case KindSubscription:
+		h.HandleSubscription(ctx, item.from, item.msg.Sub)
+	case KindEvent:
+		h.HandleEvent(ctx, item.from, item.msg.Ev)
+	}
+}
+
+func (e *ConcurrentEngine) submit(item queued) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("netsim: engine is closed")
+	}
+	e.inflight++
+	e.mu.Unlock()
+	if !e.workers[item.to].push(item) {
+		e.mu.Lock()
+		e.inflight--
+		e.mu.Unlock()
+		return fmt.Errorf("netsim: node %d mailbox closed", item.to)
+	}
+	return nil
+}
+
+// enqueue implements sink (called from worker goroutines).
+func (e *ConcurrentEngine) enqueue(from, to topology.NodeID, msg Message) {
+	_ = e.submit(queued{from: from, to: to, msg: msg})
+}
+
+// deliver implements sink.
+func (e *ConcurrentEngine) deliver(d Delivery) {
+	e.mu.Lock()
+	e.deliveries = append(e.deliveries, d)
+	e.mu.Unlock()
+	e.metrics.recordDelivery(d)
+}
+
+func (e *ConcurrentEngine) validNode(n topology.NodeID) error {
+	if n < 0 || int(n) >= len(e.handlers) {
+		return fmt.Errorf("netsim: unknown node %d", n)
+	}
+	return nil
+}
+
+// AttachSensor implements Runtime.
+func (e *ConcurrentEngine) AttachSensor(node topology.NodeID, sensor model.Sensor) error {
+	if err := e.validNode(node); err != nil {
+		return err
+	}
+	return e.submit(queued{to: node, from: node, injection: injectionSensor, sensor: sensor})
+}
+
+// Subscribe implements Runtime.
+func (e *ConcurrentEngine) Subscribe(node topology.NodeID, sub *model.Subscription) error {
+	if err := e.validNode(node); err != nil {
+		return err
+	}
+	if err := sub.Validate(); err != nil {
+		return err
+	}
+	return e.submit(queued{to: node, from: node, injection: injectionSubscribe, sub: sub})
+}
+
+// Publish implements Runtime.
+func (e *ConcurrentEngine) Publish(node topology.NodeID, ev model.Event) error {
+	if err := e.validNode(node); err != nil {
+		return err
+	}
+	return e.submit(queued{to: node, from: node, injection: injectionPublish, ev: ev})
+}
+
+// Flush implements Runtime: it blocks until every in-flight message (and
+// every message transitively produced by it) has been processed.
+func (e *ConcurrentEngine) Flush() {
+	e.mu.Lock()
+	for e.inflight > 0 {
+		e.idle.Wait()
+	}
+	e.mu.Unlock()
+}
+
+// Metrics implements Runtime.
+func (e *ConcurrentEngine) Metrics() *Metrics { return e.metrics }
+
+// Deliveries implements Runtime.
+func (e *ConcurrentEngine) Deliveries() []Delivery {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Delivery, len(e.deliveries))
+	copy(out, e.deliveries)
+	return out
+}
+
+// Close shuts the per-node goroutines down. The engine must be quiescent
+// (Flush) before closing; messages submitted after Close are rejected.
+func (e *ConcurrentEngine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	for _, w := range e.workers {
+		w.close()
+	}
+}

@@ -1,0 +1,88 @@
+package netsim
+
+import (
+	"fmt"
+
+	"sensorcq/internal/model"
+	"sensorcq/internal/topology"
+)
+
+// sink is the engine-side interface a Context uses to hand off outgoing
+// messages and user deliveries. Both engines implement it.
+type sink interface {
+	enqueue(from, to topology.NodeID, msg Message)
+	deliver(d Delivery)
+}
+
+// Context gives a handler access to its node's identity, its neighbourhood
+// and the primitives for sending data to neighbours and delivering results
+// to local users. A handler receives its context in Init and in every
+// callback; the same context value is passed each time.
+type Context struct {
+	self    topology.NodeID
+	graph   *topology.Graph
+	metrics *Metrics
+	out     sink
+}
+
+// Self returns this node's identifier.
+func (c *Context) Self() topology.NodeID { return c.self }
+
+// Neighbors returns the node's direct neighbours.
+func (c *Context) Neighbors() []topology.NodeID { return c.graph.Neighbors(c.self) }
+
+// IsNeighbor reports whether n is a direct neighbour of this node.
+func (c *Context) IsNeighbor(n topology.NodeID) bool { return c.graph.HasEdge(c.self, n) }
+
+// Graph exposes the full topology. Distributed protocols must not use it for
+// routing decisions (they only rely on local interaction); it exists for the
+// centralized baseline — which by definition assumes global knowledge — and
+// for diagnostics.
+func (c *Context) Graph() *topology.Graph { return c.graph }
+
+// SendAdvertisement forwards an advertisement to a neighbouring node.
+func (c *Context) SendAdvertisement(to topology.NodeID, adv model.Advertisement) {
+	c.send(to, Message{Kind: KindAdvertisement, Adv: adv})
+}
+
+// SendSubscription forwards a subscription or correlation operator to a
+// neighbouring node. Each call counts one unit of subscription load.
+func (c *Context) SendSubscription(to topology.NodeID, sub *model.Subscription) {
+	if sub == nil {
+		panic("netsim: SendSubscription with nil subscription")
+	}
+	c.send(to, Message{Kind: KindSubscription, Sub: sub})
+}
+
+// SendEvent forwards one simple event (one data unit) to a neighbouring
+// node. Each call counts one unit of event load.
+func (c *Context) SendEvent(to topology.NodeID, ev model.Event) {
+	c.send(to, Message{Kind: KindEvent, Ev: ev})
+}
+
+// SendEventUnits forwards one simple event while accounting for units data
+// units of traffic. The centralized baseline uses it to charge a multi-hop
+// path in one logical send.
+func (c *Context) SendEventUnits(to topology.NodeID, ev model.Event, units int64) {
+	c.send(to, Message{Kind: KindEvent, Ev: ev, Units: units})
+}
+
+func (c *Context) send(to topology.NodeID, msg Message) {
+	if to == c.self {
+		panic(fmt.Sprintf("netsim: node %d attempted to send %s to itself", c.self, msg.Kind))
+	}
+	if !c.graph.HasEdge(c.self, to) {
+		panic(fmt.Sprintf("netsim: node %d attempted to send %s to non-neighbour %d", c.self, msg.Kind, to))
+	}
+	c.metrics.recordSend(c.self, to, msg)
+	c.out.enqueue(c.self, to, msg)
+}
+
+// DeliverToUser hands a complex event to the local user owning the given
+// (root) subscription. Deliveries are recorded in the metrics for recall
+// accounting but generate no link traffic.
+func (c *Context) DeliverToUser(sub model.SubscriptionID, events model.ComplexEvent) {
+	cp := make(model.ComplexEvent, len(events))
+	copy(cp, events)
+	c.out.deliver(Delivery{Node: c.self, SubID: sub, Events: cp})
+}

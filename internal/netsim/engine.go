@@ -1,0 +1,188 @@
+package netsim
+
+import (
+	"fmt"
+
+	"sensorcq/internal/model"
+	"sensorcq/internal/topology"
+)
+
+// Runtime is the interface shared by the sequential and concurrent engines.
+// The experiment harness and the public facade are written against it.
+type Runtime interface {
+	// AttachSensor attaches a sensor to a node; the node's protocol handler
+	// reacts by advertising it (Algorithm 1).
+	AttachSensor(node topology.NodeID, sensor model.Sensor) error
+	// Subscribe registers a user subscription at a node.
+	Subscribe(node topology.NodeID, sub *model.Subscription) error
+	// Publish injects a sensor reading at the node hosting the sensor.
+	Publish(node topology.NodeID, ev model.Event) error
+	// Flush processes messages until the network is quiescent.
+	Flush()
+	// Metrics returns the run's traffic and delivery counters.
+	Metrics() *Metrics
+	// Deliveries returns every complex-event delivery recorded so far, in
+	// delivery order (sequential engine) or an arbitrary order (concurrent).
+	Deliveries() []Delivery
+}
+
+// queued is one in-flight item: either a link message or a local injection.
+type queued struct {
+	to   topology.NodeID
+	from topology.NodeID
+	msg  Message
+
+	// Local injections (from == to) use the fields below instead of msg.
+	injection injectionKind
+	sensor    model.Sensor
+	sub       *model.Subscription
+	ev        model.Event
+}
+
+type injectionKind int
+
+const (
+	injectionNone injectionKind = iota
+	injectionSensor
+	injectionSubscribe
+	injectionPublish
+)
+
+// Engine is the deterministic sequential engine: messages are processed in
+// FIFO order in the caller's goroutine. Given identical inputs it produces
+// identical traffic counts, which is what the experiment harness and the
+// regression tests rely on.
+type Engine struct {
+	graph      *topology.Graph
+	handlers   []Handler
+	ctxs       []*Context
+	metrics    *Metrics
+	queue      []queued
+	deliveries []Delivery
+}
+
+var _ Runtime = (*Engine)(nil)
+
+// NewEngine builds a sequential engine over the given topology, creating one
+// handler per node with the factory.
+func NewEngine(graph *topology.Graph, factory HandlerFactory) *Engine {
+	e := &Engine{
+		graph:    graph,
+		handlers: make([]Handler, graph.NumNodes()),
+		ctxs:     make([]*Context, graph.NumNodes()),
+		metrics:  NewMetrics(),
+	}
+	for n := 0; n < graph.NumNodes(); n++ {
+		id := topology.NodeID(n)
+		e.handlers[n] = factory(id)
+		e.ctxs[n] = &Context{self: id, graph: graph, metrics: e.metrics, out: e}
+		e.handlers[n].Init(e.ctxs[n])
+	}
+	return e
+}
+
+// Metrics implements Runtime.
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// Deliveries implements Runtime.
+func (e *Engine) Deliveries() []Delivery {
+	out := make([]Delivery, len(e.deliveries))
+	copy(out, e.deliveries)
+	return out
+}
+
+// Handler returns the protocol handler of a node (used by white-box tests).
+func (e *Engine) Handler(n topology.NodeID) Handler {
+	if n < 0 || int(n) >= len(e.handlers) {
+		return nil
+	}
+	return e.handlers[n]
+}
+
+func (e *Engine) validNode(n topology.NodeID) error {
+	if n < 0 || int(n) >= len(e.handlers) {
+		return fmt.Errorf("netsim: unknown node %d", n)
+	}
+	return nil
+}
+
+// AttachSensor implements Runtime. The injection is processed (and the
+// resulting advertisement flood drained) before it returns.
+func (e *Engine) AttachSensor(node topology.NodeID, sensor model.Sensor) error {
+	if err := e.validNode(node); err != nil {
+		return err
+	}
+	e.queue = append(e.queue, queued{to: node, from: node, injection: injectionSensor, sensor: sensor})
+	e.Flush()
+	return nil
+}
+
+// Subscribe implements Runtime; the subscription is fully propagated before
+// it returns.
+func (e *Engine) Subscribe(node topology.NodeID, sub *model.Subscription) error {
+	if err := e.validNode(node); err != nil {
+		return err
+	}
+	if err := sub.Validate(); err != nil {
+		return err
+	}
+	e.queue = append(e.queue, queued{to: node, from: node, injection: injectionSubscribe, sub: sub})
+	e.Flush()
+	return nil
+}
+
+// Publish implements Runtime; the event is fully propagated before it
+// returns.
+func (e *Engine) Publish(node topology.NodeID, ev model.Event) error {
+	if err := e.validNode(node); err != nil {
+		return err
+	}
+	e.queue = append(e.queue, queued{to: node, from: node, injection: injectionPublish, ev: ev})
+	e.Flush()
+	return nil
+}
+
+// Flush implements Runtime: it processes queued messages in FIFO order until
+// none remain.
+func (e *Engine) Flush() {
+	for len(e.queue) > 0 {
+		item := e.queue[0]
+		e.queue = e.queue[1:]
+		e.dispatch(item)
+	}
+}
+
+func (e *Engine) dispatch(item queued) {
+	h := e.handlers[item.to]
+	ctx := e.ctxs[item.to]
+	if item.injection != injectionNone {
+		switch item.injection {
+		case injectionSensor:
+			h.LocalSensor(ctx, item.sensor)
+		case injectionSubscribe:
+			h.LocalSubscribe(ctx, item.sub)
+		case injectionPublish:
+			h.LocalPublish(ctx, item.ev)
+		}
+		return
+	}
+	switch item.msg.Kind {
+	case KindAdvertisement:
+		h.HandleAdvertisement(ctx, item.from, item.msg.Adv)
+	case KindSubscription:
+		h.HandleSubscription(ctx, item.from, item.msg.Sub)
+	case KindEvent:
+		h.HandleEvent(ctx, item.from, item.msg.Ev)
+	}
+}
+
+// enqueue implements sink.
+func (e *Engine) enqueue(from, to topology.NodeID, msg Message) {
+	e.queue = append(e.queue, queued{from: from, to: to, msg: msg})
+}
+
+// deliver implements sink.
+func (e *Engine) deliver(d Delivery) {
+	e.deliveries = append(e.deliveries, d)
+	e.metrics.recordDelivery(d)
+}

@@ -1,0 +1,103 @@
+// Package netsim provides the message-passing substrate the five protocol
+// implementations run on: an engine that hosts one protocol handler per
+// processing node, delivers advertisements, subscriptions and events across
+// the links of an acyclic topology, and accounts for every link traversal in
+// the metrics the paper reports (subscription load and event/publication
+// load).
+//
+// Two engines share the same Handler contract: a deterministic sequential
+// engine used by the experiments and tests, and a concurrent engine that
+// runs one goroutine per node to demonstrate that the protocols only rely on
+// local interactions (and to catch accidental shared-state assumptions).
+package netsim
+
+import (
+	"fmt"
+
+	"sensorcq/internal/model"
+	"sensorcq/internal/topology"
+)
+
+// MessageKind discriminates the three kinds of data the system propagates
+// (Section IV-B): advertisements, subscriptions (correlation operators) and
+// events.
+type MessageKind int
+
+const (
+	// KindAdvertisement carries a data-source advertisement.
+	KindAdvertisement MessageKind = iota
+	// KindSubscription carries a subscription or correlation operator.
+	KindSubscription
+	// KindEvent carries one simple event (one data unit).
+	KindEvent
+)
+
+// String implements fmt.Stringer.
+func (k MessageKind) String() string {
+	switch k {
+	case KindAdvertisement:
+		return "advertisement"
+	case KindSubscription:
+		return "subscription"
+	case KindEvent:
+		return "event"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Message is one unit of traffic on a link.
+type Message struct {
+	Kind MessageKind
+	Adv  model.Advertisement
+	Sub  *model.Subscription
+	Ev   model.Event
+	// Units is the number of accounting units this message contributes to
+	// its kind's load metric. It defaults to 1; the centralized baseline
+	// uses it when shipping an event across a multi-hop path in one logical
+	// send (units = path length).
+	Units int64
+}
+
+// Delivery records a complex event handed to a local user (the owner of a
+// subscription). Deliveries do not traverse links and therefore do not count
+// as traffic; they feed the recall metric.
+type Delivery struct {
+	Node   topology.NodeID
+	SubID  model.SubscriptionID
+	Events model.ComplexEvent
+}
+
+// Handler is the per-node protocol logic. The engine guarantees that all
+// calls for one node happen sequentially (never concurrently), so handlers
+// keep plain, unlocked state.
+//
+// The from argument of the Handle* methods identifies the neighbouring node
+// the data arrived from; local injections (a sensor attached to this node, a
+// subscription registered by a local user, a reading published by a local
+// sensor) are presented through the Local* methods instead.
+type Handler interface {
+	// Init is called exactly once, before any other method, with the
+	// node's context. Handlers typically keep the context for sending.
+	Init(ctx *Context)
+
+	// LocalSensor announces a sensor attached to this node.
+	LocalSensor(ctx *Context, sensor model.Sensor)
+	// LocalSubscribe registers a subscription issued by a user at this node.
+	LocalSubscribe(ctx *Context, sub *model.Subscription)
+	// LocalPublish injects a reading produced by a sensor at this node.
+	LocalPublish(ctx *Context, ev model.Event)
+
+	// HandleAdvertisement processes an advertisement received from a
+	// neighbour.
+	HandleAdvertisement(ctx *Context, from topology.NodeID, adv model.Advertisement)
+	// HandleSubscription processes a subscription/operator received from a
+	// neighbour.
+	HandleSubscription(ctx *Context, from topology.NodeID, sub *model.Subscription)
+	// HandleEvent processes a simple event received from a neighbour.
+	HandleEvent(ctx *Context, from topology.NodeID, ev model.Event)
+}
+
+// HandlerFactory builds the handler for a given node. Protocol packages
+// expose one of these; the engine calls it once per node.
+type HandlerFactory func(node topology.NodeID) Handler

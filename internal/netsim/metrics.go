@@ -1,0 +1,214 @@
+package netsim
+
+import (
+	"sort"
+	"sync"
+
+	"sensorcq/internal/model"
+	"sensorcq/internal/topology"
+)
+
+// Link identifies a directed link between two neighbouring nodes.
+type Link struct {
+	From topology.NodeID
+	To   topology.NodeID
+}
+
+// Metrics accumulates the traffic counters of one simulation run. It is safe
+// for concurrent use (the concurrent engine records from many goroutines).
+//
+// The two headline metrics correspond directly to the paper's figures:
+// SubscriptionLoad is the "number of forwarded queries" (Figs. 4, 6, 8, 10)
+// and EventLoad is the "number of forwarded data units" (Figs. 5, 7, 9, 11).
+type Metrics struct {
+	mu sync.Mutex
+
+	advertisementLoad int64
+	subscriptionLoad  int64
+	eventLoad         int64
+
+	linkSubscription map[Link]int64
+	linkEvent        map[Link]int64
+
+	// deliveredSeqs tracks, per user subscription, the set of simple-event
+	// sequence numbers that reached the subscribing user as part of some
+	// complex event. Recall compares it against the oracle's expectation.
+	deliveredSeqs map[model.SubscriptionID]map[uint64]bool
+	// complexDeliveries counts complex-event notifications per subscription.
+	complexDeliveries map[model.SubscriptionID]int64
+}
+
+// NewMetrics returns an empty metrics accumulator.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		linkSubscription:  map[Link]int64{},
+		linkEvent:         map[Link]int64{},
+		deliveredSeqs:     map[model.SubscriptionID]map[uint64]bool{},
+		complexDeliveries: map[model.SubscriptionID]int64{},
+	}
+}
+
+func (m *Metrics) recordSend(from, to topology.NodeID, msg Message) {
+	units := msg.Units
+	if units <= 0 {
+		units = 1
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch msg.Kind {
+	case KindAdvertisement:
+		m.advertisementLoad += units
+	case KindSubscription:
+		m.subscriptionLoad += units
+		m.linkSubscription[Link{From: from, To: to}] += units
+	case KindEvent:
+		m.eventLoad += units
+		m.linkEvent[Link{From: from, To: to}] += units
+	}
+}
+
+func (m *Metrics) recordDelivery(d Delivery) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	set := m.deliveredSeqs[d.SubID]
+	if set == nil {
+		set = map[uint64]bool{}
+		m.deliveredSeqs[d.SubID] = set
+	}
+	for _, e := range d.Events {
+		set[e.Seq] = true
+	}
+	m.complexDeliveries[d.SubID]++
+}
+
+// AdvertisementLoad returns the number of advertisement link traversals.
+func (m *Metrics) AdvertisementLoad() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.advertisementLoad
+}
+
+// SubscriptionLoad returns the number of forwarded subscriptions/operators
+// (one per link traversal).
+func (m *Metrics) SubscriptionLoad() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.subscriptionLoad
+}
+
+// EventLoad returns the number of forwarded data units (simple events, one
+// per link traversal).
+func (m *Metrics) EventLoad() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.eventLoad
+}
+
+// TotalLoad returns the sum of all three loads.
+func (m *Metrics) TotalLoad() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.advertisementLoad + m.subscriptionLoad + m.eventLoad
+}
+
+// DeliveredSeqs returns a copy of the delivered event sequence numbers for
+// the given user subscription.
+func (m *Metrics) DeliveredSeqs(sub model.SubscriptionID) map[uint64]bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[uint64]bool, len(m.deliveredSeqs[sub]))
+	for k, v := range m.deliveredSeqs[sub] {
+		out[k] = v
+	}
+	return out
+}
+
+// ComplexDeliveries returns the number of complex-event notifications
+// delivered for the given subscription.
+func (m *Metrics) ComplexDeliveries(sub model.SubscriptionID) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.complexDeliveries[sub]
+}
+
+// SubscriptionsWithDeliveries returns the IDs of subscriptions that received
+// at least one delivery, sorted.
+func (m *Metrics) SubscriptionsWithDeliveries() []model.SubscriptionID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]model.SubscriptionID, 0, len(m.deliveredSeqs))
+	for id := range m.deliveredSeqs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// BusiestEventLinks returns the top-n links by event units, useful for
+// reports and debugging hot spots.
+func (m *Metrics) BusiestEventLinks(n int) []struct {
+	Link  Link
+	Units int64
+} {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	type row struct {
+		Link  Link
+		Units int64
+	}
+	rows := make([]row, 0, len(m.linkEvent))
+	for l, u := range m.linkEvent {
+		rows = append(rows, row{Link: l, Units: u})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Units != rows[j].Units {
+			return rows[i].Units > rows[j].Units
+		}
+		if rows[i].Link.From != rows[j].Link.From {
+			return rows[i].Link.From < rows[j].Link.From
+		}
+		return rows[i].Link.To < rows[j].Link.To
+	})
+	if n > len(rows) {
+		n = len(rows)
+	}
+	out := make([]struct {
+		Link  Link
+		Units int64
+	}, n)
+	for i := 0; i < n; i++ {
+		out[i] = struct {
+			Link  Link
+			Units int64
+		}{rows[i].Link, rows[i].Units}
+	}
+	return out
+}
+
+// Snapshot is an immutable copy of the headline counters, convenient for
+// recording a time series during an experiment.
+type Snapshot struct {
+	AdvertisementLoad int64
+	SubscriptionLoad  int64
+	EventLoad         int64
+}
+
+// Snapshot returns the current headline counters.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Snapshot{
+		AdvertisementLoad: m.advertisementLoad,
+		SubscriptionLoad:  m.subscriptionLoad,
+		EventLoad:         m.eventLoad,
+	}
+}
+
+// Diff returns the change from an earlier snapshot to this one.
+func (s Snapshot) Diff(earlier Snapshot) Snapshot {
+	return Snapshot{
+		AdvertisementLoad: s.AdvertisementLoad - earlier.AdvertisementLoad,
+		SubscriptionLoad:  s.SubscriptionLoad - earlier.SubscriptionLoad,
+		EventLoad:         s.EventLoad - earlier.EventLoad,
+	}
+}

@@ -1,0 +1,250 @@
+package netsim
+
+import (
+	"testing"
+
+	"sensorcq/internal/geom"
+	"sensorcq/internal/model"
+	"sensorcq/internal/topology"
+)
+
+// floodHandler is a toy protocol used to exercise the engines: it floods
+// advertisements and events to every neighbour except the sender, forwards
+// subscriptions towards node 0, and delivers every event it sees to a local
+// user subscription called "sink" when running on node 0.
+type floodHandler struct {
+	ctx      *Context
+	node     topology.NodeID
+	seen     map[uint64]bool
+	advSeen  map[model.SensorID]bool
+	received []model.Event
+}
+
+func newFloodHandler(node topology.NodeID) Handler {
+	return &floodHandler{node: node, seen: map[uint64]bool{}, advSeen: map[model.SensorID]bool{}}
+}
+
+func (h *floodHandler) Init(ctx *Context)                                  { h.ctx = ctx }
+func (h *floodHandler) LocalSubscribe(ctx *Context, s *model.Subscription) {}
+
+func (h *floodHandler) LocalSensor(ctx *Context, sensor model.Sensor) {
+	h.HandleAdvertisement(ctx, h.node, sensor.Advertisement())
+}
+
+func (h *floodHandler) LocalPublish(ctx *Context, ev model.Event) {
+	h.HandleEvent(ctx, h.node, ev)
+}
+
+func (h *floodHandler) HandleAdvertisement(ctx *Context, from topology.NodeID, adv model.Advertisement) {
+	if h.advSeen[adv.Sensor] {
+		return
+	}
+	h.advSeen[adv.Sensor] = true
+	for _, nb := range ctx.Neighbors() {
+		if nb != from {
+			ctx.SendAdvertisement(nb, adv)
+		}
+	}
+}
+
+func (h *floodHandler) HandleSubscription(ctx *Context, from topology.NodeID, sub *model.Subscription) {
+}
+
+func (h *floodHandler) HandleEvent(ctx *Context, from topology.NodeID, ev model.Event) {
+	if h.seen[ev.Seq] {
+		return
+	}
+	h.seen[ev.Seq] = true
+	h.received = append(h.received, ev)
+	if ctx.Self() == 0 {
+		ctx.DeliverToUser("sink", model.ComplexEvent{ev})
+	}
+	for _, nb := range ctx.Neighbors() {
+		if nb != from {
+			ctx.SendEvent(nb, ev)
+		}
+	}
+}
+
+func lineGraph(t *testing.T, n int) *topology.Graph {
+	t.Helper()
+	g := topology.NewGraph(n)
+	for i := 1; i < n; i++ {
+		if err := g.AddEdge(topology.NodeID(i-1), topology.NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func testEvent(seq uint64) model.Event {
+	return model.Event{Seq: seq, Sensor: "d1", Attr: model.WindSpeed, Value: 1, Time: model.Timestamp(seq)}
+}
+
+func TestSequentialEngineFloodCounts(t *testing.T) {
+	g := lineGraph(t, 5)
+	e := NewEngine(g, newFloodHandler)
+
+	sensor := model.Sensor{ID: "d1", Attr: model.WindSpeed, Location: geom.Point2D{}}
+	if err := e.AttachSensor(4, sensor); err != nil {
+		t.Fatal(err)
+	}
+	// Advertisement flooding on a 5-node line crosses 4 links.
+	if got := e.Metrics().AdvertisementLoad(); got != 4 {
+		t.Errorf("advertisement load = %d, want 4", got)
+	}
+	if err := e.Publish(4, testEvent(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Metrics().EventLoad(); got != 4 {
+		t.Errorf("event load = %d, want 4", got)
+	}
+	// The event reached node 0 and was delivered to the sink user.
+	if got := e.Metrics().ComplexDeliveries("sink"); got != 1 {
+		t.Errorf("deliveries = %d, want 1", got)
+	}
+	if seqs := e.Metrics().DeliveredSeqs("sink"); !seqs[1] {
+		t.Error("delivered seq set should contain event 1")
+	}
+	if len(e.Deliveries()) != 1 || e.Deliveries()[0].Node != 0 {
+		t.Error("Deliveries() should report the node-0 delivery")
+	}
+	if ids := e.Metrics().SubscriptionsWithDeliveries(); len(ids) != 1 || ids[0] != "sink" {
+		t.Errorf("SubscriptionsWithDeliveries = %v", ids)
+	}
+}
+
+func TestEngineRejectsInvalidInput(t *testing.T) {
+	g := lineGraph(t, 3)
+	e := NewEngine(g, newFloodHandler)
+	if err := e.Publish(99, testEvent(1)); err == nil {
+		t.Error("publishing at an unknown node should fail")
+	}
+	if err := e.AttachSensor(-1, model.Sensor{}); err == nil {
+		t.Error("attaching to an unknown node should fail")
+	}
+	bad := &model.Subscription{ID: "x"}
+	if err := e.Subscribe(0, bad); err == nil {
+		t.Error("invalid subscriptions should be rejected")
+	}
+	if e.Handler(0) == nil || e.Handler(99) != nil {
+		t.Error("Handler accessor wrong")
+	}
+}
+
+func TestContextSendValidation(t *testing.T) {
+	g := lineGraph(t, 3)
+	e := NewEngine(g, newFloodHandler)
+	ctx := e.ctxs[0]
+	if ctx.Self() != 0 {
+		t.Error("Self wrong")
+	}
+	if !ctx.IsNeighbor(1) || ctx.IsNeighbor(2) {
+		t.Error("IsNeighbor wrong")
+	}
+	if ctx.Graph() != g {
+		t.Error("Graph accessor wrong")
+	}
+	assertPanics(t, func() { ctx.SendEvent(2, testEvent(1)) }, "send to non-neighbour")
+	assertPanics(t, func() { ctx.SendEvent(0, testEvent(1)) }, "send to self")
+	assertPanics(t, func() { ctx.SendSubscription(1, nil) }, "nil subscription")
+}
+
+func assertPanics(t *testing.T, fn func(), name string) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s should panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestMetricsSnapshotAndLinks(t *testing.T) {
+	g := lineGraph(t, 4)
+	e := NewEngine(g, newFloodHandler)
+	before := e.Metrics().Snapshot()
+	_ = e.Publish(3, testEvent(7))
+	after := e.Metrics().Snapshot()
+	d := after.Diff(before)
+	if d.EventLoad != 3 || d.SubscriptionLoad != 0 {
+		t.Errorf("snapshot diff = %+v", d)
+	}
+	links := e.Metrics().BusiestEventLinks(10)
+	if len(links) != 3 {
+		t.Fatalf("expected 3 busy links, got %d", len(links))
+	}
+	for _, l := range links {
+		if l.Units != 1 {
+			t.Errorf("link %v carried %d units, want 1", l.Link, l.Units)
+		}
+	}
+	if e.Metrics().TotalLoad() != 3 {
+		t.Errorf("total load = %d", e.Metrics().TotalLoad())
+	}
+}
+
+func TestConcurrentEngineMatchesSequential(t *testing.T) {
+	g := lineGraph(t, 8)
+	seq := NewEngine(g, newFloodHandler)
+	conc := NewConcurrentEngine(g, newFloodHandler)
+	defer conc.Close()
+
+	sensor := model.Sensor{ID: "d1", Attr: model.WindSpeed}
+	if err := seq.AttachSensor(7, sensor); err != nil {
+		t.Fatal(err)
+	}
+	if err := conc.AttachSensor(7, sensor); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 20; i++ {
+		if err := seq.Publish(7, testEvent(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := conc.Publish(7, testEvent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conc.Flush()
+	if a, b := seq.Metrics().EventLoad(), conc.Metrics().EventLoad(); a != b {
+		t.Errorf("event load differs: sequential=%d concurrent=%d", a, b)
+	}
+	if a, b := seq.Metrics().AdvertisementLoad(), conc.Metrics().AdvertisementLoad(); a != b {
+		t.Errorf("advertisement load differs: sequential=%d concurrent=%d", a, b)
+	}
+	if a, b := seq.Metrics().ComplexDeliveries("sink"), conc.Metrics().ComplexDeliveries("sink"); a != b {
+		t.Errorf("deliveries differ: sequential=%d concurrent=%d", a, b)
+	}
+	if len(conc.Deliveries()) != 20 {
+		t.Errorf("concurrent deliveries = %d, want 20", len(conc.Deliveries()))
+	}
+}
+
+func TestConcurrentEngineCloseRejectsWork(t *testing.T) {
+	g := lineGraph(t, 3)
+	e := NewConcurrentEngine(g, newFloodHandler)
+	e.Flush()
+	e.Close()
+	e.Close() // idempotent
+	if err := e.Publish(0, testEvent(1)); err == nil {
+		t.Error("publishing after Close should fail")
+	}
+	if err := e.Publish(42, testEvent(1)); err == nil {
+		t.Error("unknown node should fail")
+	}
+	bad := &model.Subscription{ID: "x"}
+	if err := e.Subscribe(0, bad); err == nil {
+		t.Error("invalid subscription should fail")
+	}
+}
+
+func TestMessageKindString(t *testing.T) {
+	if KindAdvertisement.String() != "advertisement" ||
+		KindSubscription.String() != "subscription" ||
+		KindEvent.String() != "event" {
+		t.Error("MessageKind.String() wrong")
+	}
+	if MessageKind(9).String() != "kind(9)" {
+		t.Error("unknown kind rendering wrong")
+	}
+}

@@ -1,0 +1,123 @@
+package oracle
+
+import (
+	"testing"
+
+	"sensorcq/internal/geom"
+	"sensorcq/internal/model"
+)
+
+func sub(t *testing.T, id string, dt model.Timestamp, ranges map[model.SensorID][2]float64) *model.Subscription {
+	t.Helper()
+	var filters []model.SensorFilter
+	for d, r := range ranges {
+		filters = append(filters, model.SensorFilter{Sensor: d, Attr: model.AttributeType("attr_" + d), Range: geom.NewInterval(r[0], r[1])})
+	}
+	s, err := model.NewIdentifiedSubscription(model.SubscriptionID(id), filters, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func event(seq uint64, d model.SensorID, v float64, ts model.Timestamp) model.Event {
+	return model.Event{Seq: seq, Sensor: d, Attr: model.AttributeType("attr_" + d), Value: v, Time: ts}
+}
+
+func TestOracleBasicMatch(t *testing.T) {
+	s := sub(t, "q1", 10, map[model.SensorID][2]float64{"a": {0, 10}, "b": {0, 10}})
+	events := []model.Event{
+		event(1, "a", 5, 100),
+		event(2, "b", 5, 105),
+		event(3, "a", 50, 106), // out of range
+		event(4, "b", 5, 300),  // correlates with nothing
+	}
+	exp := Compute([]*model.Subscription{s}, events)
+	want := exp.ExpectedSeqs["q1"]
+	if !want[1] || !want[2] {
+		t.Errorf("expected events 1 and 2, got %v", want)
+	}
+	if want[3] || want[4] {
+		t.Errorf("events 3/4 must not be expected: %v", want)
+	}
+	if exp.ComplexMatches["q1"] != 1 {
+		t.Errorf("complex matches = %d, want 1", exp.ComplexMatches["q1"])
+	}
+	if exp.TotalExpected() != 2 {
+		t.Errorf("total expected = %d, want 2", exp.TotalExpected())
+	}
+}
+
+func TestOracleHandlesUnorderedInputAndDuplicates(t *testing.T) {
+	s := sub(t, "q1", 10, map[model.SensorID][2]float64{"a": {0, 10}, "b": {0, 10}})
+	events := []model.Event{
+		event(2, "b", 5, 105),
+		event(1, "a", 5, 100),
+		event(2, "b", 5, 105), // duplicate
+	}
+	exp := Compute([]*model.Subscription{s}, events)
+	if len(exp.ExpectedSeqs["q1"]) != 2 {
+		t.Errorf("expected 2 events, got %v", exp.ExpectedSeqs["q1"])
+	}
+}
+
+func TestOracleRecall(t *testing.T) {
+	s1 := sub(t, "q1", 10, map[model.SensorID][2]float64{"a": {0, 10}, "b": {0, 10}})
+	s2 := sub(t, "q2", 10, map[model.SensorID][2]float64{"a": {0, 10}})
+	events := []model.Event{
+		event(1, "a", 5, 100),
+		event(2, "b", 5, 105),
+	}
+	exp := Compute([]*model.Subscription{s1, s2}, events)
+
+	full := func(id model.SubscriptionID) map[uint64]bool {
+		return map[uint64]bool{1: true, 2: true}
+	}
+	if r := exp.Recall(full); r != 1 {
+		t.Errorf("full recall = %g, want 1", r)
+	}
+	// q1 misses event 2; q2 delivered fully.
+	partial := func(id model.SubscriptionID) map[uint64]bool {
+		if id == "q1" {
+			return map[uint64]bool{1: true}
+		}
+		return map[uint64]bool{1: true}
+	}
+	r := exp.Recall(partial)
+	// Expected pairs: q1 -> {1,2}, q2 -> {1}; delivered 2 of 3.
+	if r < 0.66 || r > 0.67 {
+		t.Errorf("partial recall = %g, want 2/3", r)
+	}
+	per := exp.PerSubscriptionRecall(partial)
+	if per["q1"] != 0.5 || per["q2"] != 1 {
+		t.Errorf("per-subscription recall = %v", per)
+	}
+	// Nothing delivered at all.
+	none := func(model.SubscriptionID) map[uint64]bool { return nil }
+	if r := exp.Recall(none); r != 0 {
+		t.Errorf("empty recall = %g, want 0", r)
+	}
+	// No expectations => recall 1 by definition.
+	empty := Compute(nil, nil)
+	if r := empty.Recall(none); r != 1 {
+		t.Errorf("recall with no expectations = %g, want 1", r)
+	}
+}
+
+func TestOracleRespectsDeltaT(t *testing.T) {
+	s := sub(t, "q1", 5, map[model.SensorID][2]float64{"a": {0, 10}, "b": {0, 10}})
+	events := []model.Event{
+		event(1, "a", 5, 100),
+		event(2, "b", 5, 104), // within δt
+		event(3, "a", 5, 200),
+		event(4, "b", 5, 206), // outside δt of event 3
+	}
+	exp := Compute([]*model.Subscription{s}, events)
+	want := exp.ExpectedSeqs["q1"]
+	if !want[1] || !want[2] {
+		t.Error("first pair should be expected")
+	}
+	if want[3] || want[4] {
+		t.Error("second pair is not time-correlated and must not be expected")
+	}
+}

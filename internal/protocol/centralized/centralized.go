@@ -1,0 +1,194 @@
+// Package centralized implements the fully centralized baseline of Section
+// VI: using global knowledge of the network topology, all subscribers
+// forward their subscriptions on the shortest path to the central node (the
+// node with the minimum total distance to all other nodes), every sensor
+// unconditionally ships every reading to that central node, matching happens
+// only there, and matching events are sent back on the shortest path to the
+// owner of each matching subscription (one result set per subscription, no
+// sharing).
+//
+// The event traffic of this baseline has a fixed component — every event
+// crosses the network to the centre whether or not anyone is interested —
+// which is what makes it lose against the distributed approaches on the
+// event-load metric even though its subscription load is the lowest.
+package centralized
+
+import (
+	"strconv"
+
+	"sensorcq/internal/model"
+	"sensorcq/internal/netsim"
+	"sensorcq/internal/stores"
+	"sensorcq/internal/topology"
+)
+
+// Name is the approach identifier used in reports.
+const Name = "centralized"
+
+// NewFactory returns the handler factory for the centralized baseline.
+func NewFactory() netsim.HandlerFactory {
+	return func(node topology.NodeID) netsim.Handler {
+		return &Node{self: node}
+	}
+}
+
+// Node is the per-node handler. Non-central nodes only relay towards the
+// centre; the central node holds the subscription table and the event
+// window and performs all matching.
+type Node struct {
+	self     topology.NodeID
+	center   topology.NodeID
+	toCenter topology.NodeID // next hop towards the centre; -1 when self is the centre
+
+	// Central-node state (nil elsewhere).
+	window     *stores.EventWindow
+	subs       []*subEntry
+	subsByAttr map[model.AttributeType][]*subEntry
+	maxDeltaT  model.Timestamp
+}
+
+// subEntry is a subscription registered at the central node together with
+// the routing information needed to ship results back to its owner.
+type subEntry struct {
+	sub        *model.Subscription
+	subscriber topology.NodeID
+	firstHop   topology.NodeID
+	pathLen    int64
+}
+
+// Init implements netsim.Handler: it elects the central node from the global
+// topology (the baseline explicitly assumes global knowledge).
+func (n *Node) Init(ctx *netsim.Context) {
+	n.center = ctx.Graph().Center()
+	if n.self == n.center {
+		n.toCenter = -1
+		n.window = stores.NewEventWindow(1)
+		n.subsByAttr = map[model.AttributeType][]*subEntry{}
+	} else {
+		n.toCenter = ctx.Graph().NextHop(n.self, n.center)
+	}
+}
+
+// Center returns the elected central node (for tests and diagnostics).
+func (n *Node) Center() topology.NodeID { return n.center }
+
+// LocalSensor implements netsim.Handler. The centralized scheme needs no
+// advertisements: sensors simply ship every reading to the centre.
+func (n *Node) LocalSensor(ctx *netsim.Context, sensor model.Sensor) {}
+
+// HandleAdvertisement implements netsim.Handler (never called in this
+// scheme).
+func (n *Node) HandleAdvertisement(ctx *netsim.Context, from topology.NodeID, adv model.Advertisement) {
+}
+
+// LocalSubscribe implements netsim.Handler: the subscription is stamped with
+// its owner's node and forwarded hop-by-hop towards the centre.
+func (n *Node) LocalSubscribe(ctx *netsim.Context, sub *model.Subscription) {
+	if sub == nil {
+		return
+	}
+	stamped := sub.Clone()
+	stamped.SubscriberNode = strconv.Itoa(int(n.self))
+	if n.self == n.center {
+		n.register(ctx, stamped)
+		return
+	}
+	ctx.SendSubscription(n.toCenter, stamped)
+}
+
+// HandleSubscription implements netsim.Handler: relay towards the centre, or
+// register when this node is the centre.
+func (n *Node) HandleSubscription(ctx *netsim.Context, from topology.NodeID, sub *model.Subscription) {
+	if n.self != n.center {
+		ctx.SendSubscription(n.toCenter, sub)
+		return
+	}
+	n.register(ctx, sub)
+}
+
+func (n *Node) register(ctx *netsim.Context, sub *model.Subscription) {
+	subscriber := n.self
+	if sub.SubscriberNode != "" {
+		if v, err := strconv.Atoi(sub.SubscriberNode); err == nil {
+			subscriber = topology.NodeID(v)
+		}
+	}
+	entry := &subEntry{sub: sub, subscriber: subscriber}
+	if subscriber != n.self {
+		path := ctx.Graph().Path(n.self, subscriber)
+		if len(path) >= 2 {
+			entry.firstHop = path[1]
+			entry.pathLen = int64(len(path) - 1)
+		}
+	}
+	n.subs = append(n.subs, entry)
+	for _, a := range sub.Attributes() {
+		n.subsByAttr[a] = append(n.subsByAttr[a], entry)
+	}
+	if sub.DeltaT > n.maxDeltaT {
+		n.maxDeltaT = sub.DeltaT
+		n.window.Validity = 2 * n.maxDeltaT
+	}
+}
+
+// LocalPublish implements netsim.Handler: a local sensor reading is shipped
+// towards the centre (or matched directly when this node is the centre).
+func (n *Node) LocalPublish(ctx *netsim.Context, ev model.Event) {
+	if n.self == n.center {
+		n.matchAtCenter(ctx, ev)
+		return
+	}
+	ctx.SendEvent(n.toCenter, ev)
+}
+
+// HandleEvent implements netsim.Handler. Events arriving from the direction
+// of the centre are result deliveries whose remaining hops were already
+// accounted for by the centre; everything else is an upward reading that
+// must continue towards the centre.
+func (n *Node) HandleEvent(ctx *netsim.Context, from topology.NodeID, ev model.Event) {
+	if n.self == n.center {
+		n.matchAtCenter(ctx, ev)
+		return
+	}
+	if from == n.toCenter {
+		return
+	}
+	ctx.SendEvent(n.toCenter, ev)
+}
+
+// matchAtCenter runs the matching of Algorithm 5 against the full
+// subscription table and ships each subscription's result set back to its
+// owner, charging the full path length for every forwarded data unit.
+func (n *Node) matchAtCenter(ctx *netsim.Context, ev model.Event) {
+	if !n.window.Insert(ev) {
+		return
+	}
+	now := ev.Time
+	if latest := n.window.Latest(); latest > now {
+		now = latest
+	}
+	n.window.Prune(now)
+
+	for _, entry := range n.subsByAttr[ev.Attr] {
+		window := n.window.Around(ev.Time, entry.sub.DeltaT)
+		match, ok := entry.sub.FindComplexMatch(window, &ev)
+		if !ok {
+			continue
+		}
+		key := "s:" + string(entry.sub.ID)
+		anyNew := false
+		for _, component := range match {
+			if n.window.WasSent(component.Seq, key) {
+				continue
+			}
+			anyNew = true
+			if entry.pathLen > 0 {
+				ctx.SendEventUnits(entry.firstHop, component, entry.pathLen)
+			}
+			n.window.MarkSent(component.Seq, key)
+		}
+		if anyNew {
+			ctx.DeliverToUser(entry.sub.ID, match)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package centralized
+
+import (
+	"testing"
+
+	"sensorcq/internal/geom"
+	"sensorcq/internal/model"
+	"sensorcq/internal/netsim"
+	"sensorcq/internal/topology"
+)
+
+// Line topology 0-1-2-3-4: the centre is node 2. A sensor sits at node 0,
+// the subscriber at node 4.
+func lineGraph(t *testing.T, n int) *topology.Graph {
+	t.Helper()
+	g := topology.NewGraph(n)
+	for i := 1; i < n; i++ {
+		if err := g.AddEdge(topology.NodeID(i-1), topology.NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func windSub(t *testing.T, id string, lo, hi float64) *model.Subscription {
+	t.Helper()
+	s, err := model.NewIdentifiedSubscription(model.SubscriptionID(id),
+		[]model.SensorFilter{{Sensor: "d1", Attr: model.WindSpeed, Range: geom.NewInterval(lo, hi)}}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func pairSub(t *testing.T, id string) *model.Subscription {
+	t.Helper()
+	s, err := model.NewIdentifiedSubscription(model.SubscriptionID(id),
+		[]model.SensorFilter{
+			{Sensor: "d1", Attr: model.WindSpeed, Range: geom.NewInterval(0, 50)},
+			{Sensor: "d2", Attr: model.AmbientTemperature, Range: geom.NewInterval(-10, 10)},
+		}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCentralizedCenterElection(t *testing.T) {
+	e := netsim.NewEngine(lineGraph(t, 5), NewFactory())
+	n := e.Handler(0).(*Node)
+	if n.Center() != 2 {
+		t.Errorf("centre = %d, want 2", n.Center())
+	}
+}
+
+func TestCentralizedSubscriptionLoadIsPathToCenter(t *testing.T) {
+	e := netsim.NewEngine(lineGraph(t, 5), NewFactory())
+	if err := e.Subscribe(4, windSub(t, "q1", 0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	// node 4 -> 3 -> 2: two hops.
+	if got := e.Metrics().SubscriptionLoad(); got != 2 {
+		t.Errorf("subscription load = %d, want 2", got)
+	}
+	// Subscribing at the centre itself costs nothing.
+	if err := e.Subscribe(2, windSub(t, "q2", 0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Metrics().SubscriptionLoad(); got != 2 {
+		t.Errorf("subscription load = %d, want 2 (no extra hops)", got)
+	}
+	// No advertisements exist in this scheme.
+	if err := e.AttachSensor(0, model.Sensor{ID: "d1", Attr: model.WindSpeed}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Metrics().AdvertisementLoad() != 0 {
+		t.Error("centralized scheme must not send advertisements")
+	}
+}
+
+func TestCentralizedEventsAlwaysShipToCenter(t *testing.T) {
+	e := netsim.NewEngine(lineGraph(t, 5), NewFactory())
+	// No subscriptions at all: the event still crosses to the centre (the
+	// fixed traffic component the paper discusses).
+	ev := model.Event{Seq: 1, Sensor: "d1", Attr: model.WindSpeed, Value: 5, Time: 10}
+	if err := e.Publish(0, ev); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Metrics().EventLoad(); got != 2 {
+		t.Errorf("event load = %d, want 2 (0->1->2)", got)
+	}
+}
+
+func TestCentralizedMatchingAndResultDelivery(t *testing.T) {
+	e := netsim.NewEngine(lineGraph(t, 5), NewFactory())
+	if err := e.Subscribe(4, windSub(t, "q1", 0, 50)); err != nil {
+		t.Fatal(err)
+	}
+	subLoad := e.Metrics().SubscriptionLoad()
+
+	// Matching event: 2 hops up (0->2) plus 2 hops down (2->4) = 4 units.
+	if err := e.Publish(0, model.Event{Seq: 1, Sensor: "d1", Attr: model.WindSpeed, Value: 10, Time: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Metrics().EventLoad(); got != 4 {
+		t.Errorf("event load = %d, want 4", got)
+	}
+	if got := e.Metrics().ComplexDeliveries("q1"); got != 1 {
+		t.Errorf("deliveries = %d, want 1", got)
+	}
+	// Non-matching event: still 2 hops up, nothing down.
+	if err := e.Publish(0, model.Event{Seq: 2, Sensor: "d1", Attr: model.WindSpeed, Value: 500, Time: 11}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Metrics().EventLoad(); got != 6 {
+		t.Errorf("event load = %d, want 6", got)
+	}
+	if e.Metrics().SubscriptionLoad() != subLoad {
+		t.Error("event processing must not change subscription load")
+	}
+}
+
+func TestCentralizedPerSubscriptionResultSets(t *testing.T) {
+	// Two identical subscriptions from the same user: the centralized scheme
+	// sends the result set once per subscription (full result sets).
+	e := netsim.NewEngine(lineGraph(t, 5), NewFactory())
+	if err := e.Subscribe(4, windSub(t, "q1", 0, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Subscribe(4, windSub(t, "q2", 0, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Publish(0, model.Event{Seq: 1, Sensor: "d1", Attr: model.WindSpeed, Value: 10, Time: 10}); err != nil {
+		t.Fatal(err)
+	}
+	// 2 up + 2 down for q1 + 2 down for q2 = 6.
+	if got := e.Metrics().EventLoad(); got != 6 {
+		t.Errorf("event load = %d, want 6", got)
+	}
+	if e.Metrics().ComplexDeliveries("q1") != 1 || e.Metrics().ComplexDeliveries("q2") != 1 {
+		t.Error("both subscriptions should be delivered")
+	}
+}
+
+func TestCentralizedMultiAttributeCorrelation(t *testing.T) {
+	e := netsim.NewEngine(lineGraph(t, 5), NewFactory())
+	if err := e.Subscribe(4, pairSub(t, "q1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Publish(0, model.Event{Seq: 1, Sensor: "d1", Attr: model.WindSpeed, Value: 10, Time: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Metrics().ComplexDeliveries("q1") != 0 {
+		t.Fatal("incomplete correlation must not be delivered")
+	}
+	if err := e.Publish(1, model.Event{Seq: 2, Sensor: "d2", Attr: model.AmbientTemperature, Value: 0, Time: 12}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Metrics().ComplexDeliveries("q1") != 1 {
+		t.Error("correlated pair should be delivered")
+	}
+	seqs := e.Metrics().DeliveredSeqs("q1")
+	if !seqs[1] || !seqs[2] {
+		t.Errorf("delivered seqs = %v", seqs)
+	}
+	// Events stop being re-sent once delivered: publishing the wind reading
+	// again as a new event only charges the upward path plus the downward
+	// path for the new event (the old temperature reading is not re-sent).
+	before := e.Metrics().EventLoad()
+	if err := e.Publish(0, model.Event{Seq: 3, Sensor: "d1", Attr: model.WindSpeed, Value: 11, Time: 13}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Metrics().EventLoad() - before; got != 4 {
+		t.Errorf("incremental event load = %d, want 4", got)
+	}
+}
+
+func TestCentralizedSubscriberAtCenterNoDownwardTraffic(t *testing.T) {
+	e := netsim.NewEngine(lineGraph(t, 5), NewFactory())
+	if err := e.Subscribe(2, windSub(t, "q1", 0, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Publish(0, model.Event{Seq: 1, Sensor: "d1", Attr: model.WindSpeed, Value: 10, Time: 10}); err != nil {
+		t.Fatal(err)
+	}
+	// Only the upward 2 hops are charged.
+	if got := e.Metrics().EventLoad(); got != 2 {
+		t.Errorf("event load = %d, want 2", got)
+	}
+	if e.Metrics().ComplexDeliveries("q1") != 1 {
+		t.Error("centre-local subscriber should still be delivered")
+	}
+}

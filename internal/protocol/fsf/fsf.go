@@ -1,0 +1,37 @@
+// Package fsf exposes the paper's Filter-Split-Forward approach (Section V)
+// as a named protocol alongside the competitors. The actual algorithms live
+// in internal/core; this package pins the configuration the paper evaluates:
+// probabilistic set-subsumption filtering, simple (advertisement-driven)
+// splitting and per-neighbour publish/subscribe event forwarding.
+package fsf
+
+import (
+	"sensorcq/internal/core"
+	"sensorcq/internal/netsim"
+)
+
+// Name is the approach identifier used in reports.
+const Name = "filter-split-forward"
+
+// DefaultSetFilterError is the default false-positive probability of the
+// probabilistic set-subsumption checker.
+const DefaultSetFilterError = core.DefaultSetFilterError
+
+// NewConfig returns the Filter-Split-Forward configuration with the given
+// set-filter error probability and sampling seed.
+func NewConfig(setFilterError float64, seed int64) core.Config {
+	return core.NewFSFConfig(setFilterError, seed)
+}
+
+// NewFactory returns the handler factory for Filter-Split-Forward with the
+// default error probability.
+func NewFactory(seed int64) netsim.HandlerFactory {
+	return core.NewFSF(seed)
+}
+
+// NewFactoryWithError returns the handler factory with an explicit
+// set-filter error probability (used by the recall/traffic trade-off
+// ablation).
+func NewFactoryWithError(setFilterError float64, seed int64) netsim.HandlerFactory {
+	return core.NewFactory(NewConfig(setFilterError, seed))
+}

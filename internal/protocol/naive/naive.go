@@ -1,0 +1,33 @@
+// Package naive implements the naive distributed baseline of Section VI: it
+// forwards every received subscription along the reverse advertisement paths
+// with no filtering at all, and constructs one result set per subscription
+// with no optimisation for result-set overlap. It emphasises the raw network
+// load of multi-join query processing and is the baseline the other
+// approaches are compared against.
+package naive
+
+import (
+	"sensorcq/internal/core"
+	"sensorcq/internal/netsim"
+	"sensorcq/internal/subsume"
+)
+
+// Name is the approach identifier used in reports.
+const Name = "naive"
+
+// NewConfig returns the core configuration of the naive approach: no
+// subscription filtering, simple splitting, per-subscription result sets
+// (Table II, row "Naive").
+func NewConfig() core.Config {
+	return core.Config{
+		Name:        Name,
+		Checker:     subsume.NoneChecker{},
+		Split:       core.SplitSimple,
+		Propagation: core.PerSubscription,
+	}
+}
+
+// NewFactory returns the handler factory for the naive approach.
+func NewFactory() netsim.HandlerFactory {
+	return core.NewFactory(NewConfig())
+}

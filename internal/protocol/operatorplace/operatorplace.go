@@ -1,0 +1,36 @@
+// Package operatorplace implements the distributed operator-placement
+// approach of Section III-A: traditional operator placement tailored to work
+// with local knowledge only. Query plans are distributed along the reverse
+// advertisement paths; identical and covering operators are shared between
+// queries through pairwise covering detection; result sets are constructed
+// per subscription, with covered operators' result sets generated at the
+// node where the covering was detected (which is where they are stored).
+package operatorplace
+
+import (
+	"sensorcq/internal/core"
+	"sensorcq/internal/netsim"
+	"sensorcq/internal/subsume"
+)
+
+// Name is the approach identifier used in reports.
+const Name = "operator-placement"
+
+// NewConfig returns the core configuration of the distributed
+// operator-placement approach: pairwise covering filtering, simple
+// splitting, per-subscription result sets (Table II, row "Operator
+// placement").
+func NewConfig() core.Config {
+	return core.Config{
+		Name:        Name,
+		Checker:     subsume.PairwiseChecker{},
+		Split:       core.SplitSimple,
+		Propagation: core.PerSubscription,
+	}
+}
+
+// NewFactory returns the handler factory for the distributed
+// operator-placement approach.
+func NewFactory() netsim.HandlerFactory {
+	return core.NewFactory(NewConfig())
+}

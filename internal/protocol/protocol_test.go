@@ -1,0 +1,114 @@
+// Package protocol_test verifies Table II of the paper: the five approaches
+// differ exactly in their subscription filtering, subscription splitting and
+// event propagation policies.
+package protocol_test
+
+import (
+	"testing"
+
+	"sensorcq/internal/core"
+	"sensorcq/internal/model"
+	"sensorcq/internal/protocol/centralized"
+	"sensorcq/internal/protocol/fsf"
+	"sensorcq/internal/protocol/multijoin"
+	"sensorcq/internal/protocol/naive"
+	"sensorcq/internal/protocol/operatorplace"
+	"sensorcq/internal/subsume"
+)
+
+func TestTableIIApproachMatrix(t *testing.T) {
+	cases := []struct {
+		name        string
+		cfg         core.Config
+		filtering   string
+		split       core.SplitPolicy
+		propagation core.EventPropagation
+	}{
+		{
+			name:        naive.Name,
+			cfg:         naive.NewConfig(),
+			filtering:   "none",
+			split:       core.SplitSimple,
+			propagation: core.PerSubscription,
+		},
+		{
+			name:        operatorplace.Name,
+			cfg:         operatorplace.NewConfig(),
+			filtering:   "pairwise",
+			split:       core.SplitSimple,
+			propagation: core.PerSubscription,
+		},
+		{
+			name:        multijoin.Name,
+			cfg:         multijoin.NewConfig(model.RingPairing),
+			filtering:   "pairwise",
+			split:       core.SplitBinaryJoin,
+			propagation: core.PerNeighbor,
+		},
+		{
+			name:        fsf.Name,
+			cfg:         fsf.NewConfig(fsf.DefaultSetFilterError, 1),
+			filtering:   "set-filter",
+			split:       core.SplitSimple,
+			propagation: core.PerNeighbor,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.cfg.Name != c.name {
+				t.Errorf("config name = %q, want %q", c.cfg.Name, c.name)
+			}
+			if err := c.cfg.Validate(); err != nil {
+				t.Fatalf("config invalid: %v", err)
+			}
+			if c.cfg.Split != c.split {
+				t.Errorf("split = %v, want %v", c.cfg.Split, c.split)
+			}
+			if c.cfg.Propagation != c.propagation {
+				t.Errorf("propagation = %v, want %v", c.cfg.Propagation, c.propagation)
+			}
+			checker := c.cfg.Checker
+			if checker == nil && c.cfg.CheckerFactory != nil {
+				checker = c.cfg.CheckerFactory(0)
+			}
+			switch c.filtering {
+			case "none":
+				if _, ok := checker.(subsume.NoneChecker); !ok {
+					t.Errorf("checker = %T, want NoneChecker", checker)
+				}
+			case "pairwise":
+				if _, ok := checker.(subsume.PairwiseChecker); !ok {
+					t.Errorf("checker = %T, want PairwiseChecker", checker)
+				}
+			case "set-filter":
+				if _, ok := checker.(*subsume.SetChecker); !ok {
+					t.Errorf("checker = %T, want *SetChecker", checker)
+				}
+			}
+		})
+	}
+}
+
+func TestFactoriesProduceHandlers(t *testing.T) {
+	factories := map[string]func() interface{}{
+		naive.Name:         func() interface{} { return naive.NewFactory()(0) },
+		operatorplace.Name: func() interface{} { return operatorplace.NewFactory()(0) },
+		multijoin.Name:     func() interface{} { return multijoin.NewFactory()(0) },
+		fsf.Name:           func() interface{} { return fsf.NewFactory(1)(0) },
+		centralized.Name:   func() interface{} { return centralized.NewFactory()(0) },
+		"multijoin-chain":  func() interface{} { return multijoin.NewFactoryWithPairing(model.ChainPairing)(0) },
+		"fsf-custom-error": func() interface{} { return fsf.NewFactoryWithError(0.1, 2)(0) },
+	}
+	for name, build := range factories {
+		if h := build(); h == nil {
+			t.Errorf("%s factory returned nil handler", name)
+		}
+	}
+	// The core-backed approaches report their configured names.
+	if n, ok := naive.NewFactory()(3).(*core.Node); !ok || n.Name() != naive.Name {
+		t.Error("naive factory should produce a core node with the naive name")
+	}
+	if n, ok := fsf.NewFactory(1)(3).(*core.Node); !ok || n.Name() != fsf.Name {
+		t.Error("fsf factory should produce a core node with the fsf name")
+	}
+}

@@ -1,0 +1,214 @@
+// Package report renders experiment results in the three formats the
+// repository uses: fixed-width tables (terminal output mirroring the paper's
+// figures as rows), CSV files (for external plotting), and rough ASCII
+// charts that make the relative ordering of the approaches visible without
+// any plotting tool.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"sensorcq/internal/experiment"
+)
+
+// WriteSubscriptionLoadTable writes the "number of forwarded queries" series
+// of every approach (Figs. 4, 6, 8, 10) as a table.
+func WriteSubscriptionLoadTable(w io.Writer, res *experiment.Result) error {
+	return writeMetricTable(w, res, "subscription load (forwarded queries)", func(p experiment.SeriesPoint) string {
+		return fmt.Sprintf("%d", p.SubscriptionLoad)
+	})
+}
+
+// WriteEventLoadTable writes the "number of forwarded data units" series of
+// every approach (Figs. 5, 7, 9, 11) as a table.
+func WriteEventLoadTable(w io.Writer, res *experiment.Result) error {
+	return writeMetricTable(w, res, "event load (forwarded data units)", func(p experiment.SeriesPoint) string {
+		return fmt.Sprintf("%d", p.EventLoad)
+	})
+}
+
+// WriteRecallTable writes the end-user event recall series (Fig. 12).
+func WriteRecallTable(w io.Writer, res *experiment.Result) error {
+	return writeMetricTable(w, res, "end-user event recall", func(p experiment.SeriesPoint) string {
+		return fmt.Sprintf("%.1f%%", p.Recall*100)
+	})
+}
+
+func writeMetricTable(w io.Writer, res *experiment.Result, title string, cell func(experiment.SeriesPoint) string) error {
+	if len(res.Approaches) == 0 {
+		return fmt.Errorf("report: result has no series")
+	}
+	if _, err := fmt.Fprintf(w, "%s — %s\n", res.Scenario.Name, title); err != nil {
+		return err
+	}
+	// Header: injected query counts from the first series.
+	header := make([]string, 0, len(res.Approaches[0].Points)+1)
+	header = append(header, "approach")
+	for _, p := range res.Approaches[0].Points {
+		header = append(header, fmt.Sprintf("%d", p.InjectedQueries))
+	}
+	rows := [][]string{header}
+	for _, series := range res.Approaches {
+		row := []string{string(series.Approach)}
+		for _, p := range series.Points {
+			row = append(row, cell(p))
+		}
+		rows = append(rows, row)
+	}
+	return writeAligned(w, rows)
+}
+
+// writeAligned pads each column to its widest cell.
+func writeAligned(w io.Writer, rows [][]string) error {
+	widths := map[int]int{}
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		parts := make([]string, len(row))
+		for c, cell := range row {
+			parts[c] = pad(cell, widths[c])
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}
+
+// WriteCSV writes the full result as CSV with one row per (approach, point).
+func WriteCSV(w io.Writer, res *experiment.Result) error {
+	if _, err := fmt.Fprintln(w, "scenario,approach,injected_queries,subscription_load,event_load,recall"); err != nil {
+		return err
+	}
+	for _, series := range res.Approaches {
+		for _, p := range series.Points {
+			if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%.4f\n",
+				res.Scenario.Name, series.Approach, p.InjectedQueries, p.SubscriptionLoad, p.EventLoad, p.Recall); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteSummary writes the final-point comparison of every approach plus the
+// relative improvement of Filter-Split-Forward over each competitor, which
+// is the headline number the paper reports ("we reduce the overall data
+// traffic by half").
+func WriteSummary(w io.Writer, res *experiment.Result) error {
+	if _, err := fmt.Fprintf(w, "%s — final point (%d injected queries)\n",
+		res.Scenario.Name, finalQueries(res)); err != nil {
+		return err
+	}
+	rows := [][]string{{"approach", "subscription load", "event load", "recall"}}
+	for _, series := range res.Approaches {
+		f := series.Final()
+		rows = append(rows, []string{
+			string(series.Approach),
+			fmt.Sprintf("%d", f.SubscriptionLoad),
+			fmt.Sprintf("%d", f.EventLoad),
+			fmt.Sprintf("%.1f%%", f.Recall*100),
+		})
+	}
+	if err := writeAligned(w, rows); err != nil {
+		return err
+	}
+	fsf := res.SeriesFor(experiment.FilterSplitForward)
+	if fsf == nil {
+		return nil
+	}
+	for _, series := range res.Approaches {
+		if series.Approach == experiment.FilterSplitForward {
+			continue
+		}
+		other := series.Final()
+		own := fsf.Final()
+		if other.EventLoad == 0 || other.SubscriptionLoad == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "filter-split-forward vs %-22s  event traffic -%5.1f%%   subscription traffic -%5.1f%%\n",
+			series.Approach,
+			100*(1-float64(own.EventLoad)/float64(other.EventLoad)),
+			100*(1-float64(own.SubscriptionLoad)/float64(other.SubscriptionLoad))); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func finalQueries(res *experiment.Result) int {
+	if len(res.Approaches) == 0 || len(res.Approaches[0].Points) == 0 {
+		return 0
+	}
+	return res.Approaches[0].Final().InjectedQueries
+}
+
+// WriteASCIIChart draws a crude log-scale bar chart of the final event load
+// of each approach, so that the ordering is visible directly in a terminal.
+func WriteASCIIChart(w io.Writer, res *experiment.Result) error {
+	type bar struct {
+		name string
+		v    int64
+	}
+	var bars []bar
+	var max int64 = 1
+	for _, series := range res.Approaches {
+		v := series.Final().EventLoad
+		bars = append(bars, bar{name: string(series.Approach), v: v})
+		if v > max {
+			max = v
+		}
+	}
+	sort.Slice(bars, func(i, j int) bool { return bars[i].v > bars[j].v })
+	if _, err := fmt.Fprintf(w, "%s — final event load (log scale)\n", res.Scenario.Name); err != nil {
+		return err
+	}
+	const width = 50
+	logMax := math.Log10(float64(max) + 1)
+	for _, b := range bars {
+		n := 0
+		if b.v > 0 && logMax > 0 {
+			n = int(math.Round(math.Log10(float64(b.v)+1) / logMax * width))
+		}
+		if _, err := fmt.Fprintf(w, "%-24s %10d |%s\n", b.name, b.v, strings.Repeat("#", n)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteAll writes summary, both load tables, the recall table and the chart.
+func WriteAll(w io.Writer, res *experiment.Result) error {
+	writers := []func(io.Writer, *experiment.Result) error{
+		WriteSummary,
+		WriteSubscriptionLoadTable,
+		WriteEventLoadTable,
+		WriteRecallTable,
+		WriteASCIIChart,
+	}
+	for _, fn := range writers {
+		if err := fn(w, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"sensorcq/internal/experiment"
+)
+
+func sampleResult() *experiment.Result {
+	mk := func(id experiment.ApproachID, sub, ev int64, recall float64) experiment.ApproachSeries {
+		return experiment.ApproachSeries{
+			Approach: id,
+			Points: []experiment.SeriesPoint{
+				{InjectedQueries: 100, SubscriptionLoad: sub / 2, EventLoad: ev / 2, Recall: recall},
+				{InjectedQueries: 200, SubscriptionLoad: sub, EventLoad: ev, Recall: recall},
+			},
+		}
+	}
+	return &experiment.Result{
+		Scenario: experiment.SmallScale(),
+		Approaches: []experiment.ApproachSeries{
+			mk(experiment.Naive, 4000, 90000, 1),
+			mk(experiment.OperatorPlacement, 3000, 60000, 1),
+			mk(experiment.MultiJoin, 3000, 40000, 1),
+			mk(experiment.FilterSplitForward, 2500, 20000, 0.98),
+		},
+	}
+}
+
+func TestWriteTablesContainAllApproaches(t *testing.T) {
+	res := sampleResult()
+	var b strings.Builder
+	if err := WriteAll(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, id := range experiment.AllDistributed() {
+		if !strings.Contains(out, string(id)) {
+			t.Errorf("output missing approach %s", id)
+		}
+	}
+	for _, needle := range []string{
+		"subscription load", "event load", "recall", "small-scale",
+		"filter-split-forward vs naive", "log scale", "100", "200",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("output missing %q", needle)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	res := sampleResult()
+	var b strings.Builder
+	if err := WriteCSV(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	// Header + 4 approaches × 2 points.
+	if len(lines) != 9 {
+		t.Fatalf("CSV has %d lines, want 9", len(lines))
+	}
+	if lines[0] != "scenario,approach,injected_queries,subscription_load,event_load,recall" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "small-scale,naive,100,2000,45000,1.0000") {
+		t.Errorf("first row = %q", lines[1])
+	}
+}
+
+func TestWriteSummaryImprovements(t *testing.T) {
+	res := sampleResult()
+	var b strings.Builder
+	if err := WriteSummary(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// FSF halves the naive event traffic and more.
+	if !strings.Contains(out, "filter-split-forward vs naive") {
+		t.Fatalf("missing improvement line: %s", out)
+	}
+	if !strings.Contains(out, "final point (200 injected queries)") {
+		t.Errorf("missing final point header: %s", out)
+	}
+}
+
+func TestWriteEmptyResultFails(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSubscriptionLoadTable(&b, &experiment.Result{Scenario: experiment.SmallScale()}); err == nil {
+		t.Error("empty result should be an error")
+	}
+}

@@ -1,0 +1,81 @@
+package stats
+
+import "math"
+
+// Pareto samples from a Pareto (type I) distribution with scale xm > 0 and
+// shape alpha > 0. The paper's workload generator draws subscription range
+// offsets from a Pareto distribution with skew (shape) factor 1.
+func (r *RNG) Pareto(xm, alpha float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		panic("stats: Pareto requires positive xm and alpha")
+	}
+	u := r.Float64()
+	// Guard against u == 0 which would give +Inf.
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// ParetoCapped samples from Pareto(xm, alpha) but truncates the result at
+// cap. Truncation keeps the heavy tail from producing unbounded subscription
+// ranges while preserving the skew of the bulk of the distribution.
+func (r *RNG) ParetoCapped(xm, alpha, cap float64) float64 {
+	v := r.Pareto(xm, alpha)
+	if v > cap {
+		return cap
+	}
+	return v
+}
+
+// Normal samples from a Gaussian distribution with the given mean and
+// standard deviation using the Box-Muller transform.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	u2 := r.Float64()
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Exponential samples from an exponential distribution with the given rate
+// (lambda). The mean of the distribution is 1/rate.
+func (r *RNG) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("stats: Exponential requires positive rate")
+	}
+	u := r.Float64()
+	if u < 1e-300 {
+		u = 1e-300
+	}
+	return -math.Log(u) / rate
+}
+
+// Zipf samples an integer in [0, n) under a Zipf-like distribution with
+// exponent s >= 0. s == 0 degenerates to the uniform distribution. The
+// implementation uses inverse-CDF sampling over the precomputable harmonic
+// weights and is O(n) per call; it is only used for modest n (attribute or
+// group selection).
+func (r *RNG) Zipf(n int, s float64) int {
+	if n <= 0 {
+		panic("stats: Zipf requires positive n")
+	}
+	if s == 0 {
+		return r.Intn(n)
+	}
+	total := 0.0
+	for i := 1; i <= n; i++ {
+		total += 1 / math.Pow(float64(i), s)
+	}
+	target := r.Float64() * total
+	acc := 0.0
+	for i := 1; i <= n; i++ {
+		acc += 1 / math.Pow(float64(i), s)
+		if acc >= target {
+			return i - 1
+		}
+	}
+	return n - 1
+}

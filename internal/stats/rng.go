@@ -1,0 +1,122 @@
+// Package stats provides the small statistical toolbox used by the synthetic
+// dataset generator, the workload generator and the probabilistic set-filter:
+// a seedable, reproducible PRNG, Pareto and Gaussian sampling, and streaming
+// summaries (median, quantiles, mean/variance).
+//
+// Everything in this package is deterministic given the seed, which is what
+// makes the experiment harness reproducible run-to-run; math/rand is not used
+// so that the generated traces cannot change across Go releases.
+package stats
+
+// RNG is a small, fast, splittable pseudo-random number generator
+// (xorshift128+ with a splitmix64 seeding stage). It is not safe for
+// concurrent use; create one RNG per goroutine or per generator.
+type RNG struct {
+	s0, s1 uint64
+}
+
+// NewRNG returns a generator seeded deterministically from seed.
+func NewRNG(seed int64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed re-seeds the generator. Two generators seeded with the same value
+// produce identical sequences.
+func (r *RNG) Seed(seed int64) {
+	x := uint64(seed)
+	// splitmix64 to spread low-entropy seeds across the whole state.
+	next := func() uint64 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	r.s0 = next()
+	r.s1 = next()
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s0 = 1
+	}
+}
+
+// Split returns a new generator whose stream is independent of r's future
+// output. It is used to derive per-sensor / per-node streams from one master
+// seed without correlations.
+func (r *RNG) Split() *RNG {
+	return &RNG{s0: r.Uint64() | 1, s1: r.Uint64()}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.s0
+	y := r.s1
+	r.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	r.s1 = x
+	return x + y
+}
+
+// Float64 returns a uniformly distributed value in [0, 1).
+func (r *RNG) Float64() float64 {
+	// 53 random bits mapped to [0,1).
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniformly distributed integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative 63-bit random integer.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Range returns a uniformly distributed value in [lo, hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle randomly permutes the first n elements using the provided swap
+// function (same contract as math/rand.Shuffle).
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Choose returns k distinct indices sampled uniformly without replacement
+// from [0, n). It panics if k > n.
+func (r *RNG) Choose(n, k int) []int {
+	if k > n {
+		panic("stats: Choose k > n")
+	}
+	p := r.Perm(n)
+	return p[:k]
+}

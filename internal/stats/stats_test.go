@@ -1,0 +1,254 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce identical streams")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical values out of 100", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+	}
+}
+
+func TestRNGIntnAndRange(t *testing.T) {
+	r := NewRNG(1)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		counts[r.Intn(10)]++
+	}
+	for i, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("bucket %d has suspicious count %d", i, c)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		v := r.Range(5, 6)
+		if v < 5 || v >= 6 {
+			t.Fatalf("Range out of bounds: %g", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGPermChooseShuffle(t *testing.T) {
+	r := NewRNG(9)
+	p := r.Perm(20)
+	seen := map[int]bool{}
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+	c := r.Choose(10, 4)
+	if len(c) != 4 {
+		t.Fatalf("Choose returned %d values", len(c))
+	}
+	dup := map[int]bool{}
+	for _, v := range c {
+		if v < 0 || v >= 10 || dup[v] {
+			t.Fatalf("Choose produced invalid selection %v", c)
+		}
+		dup[v] = true
+	}
+	s := []int{1, 2, 3, 4, 5}
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	if sum != 15 {
+		t.Error("Shuffle must preserve elements")
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(5)
+	a := r.Split()
+	b := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split streams look correlated: %d collisions", same)
+	}
+}
+
+func TestParetoProperties(t *testing.T) {
+	r := NewRNG(11)
+	for i := 0; i < 10000; i++ {
+		v := r.Pareto(2, 1)
+		if v < 2 {
+			t.Fatalf("Pareto sample below scale: %g", v)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		v := r.ParetoCapped(1, 1, 50)
+		if v < 1 || v > 50 {
+			t.Fatalf("ParetoCapped out of [1,50]: %g", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Pareto with non-positive parameters should panic")
+		}
+	}()
+	r.Pareto(0, 1)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(13)
+	s := NewSummary()
+	for i := 0; i < 20000; i++ {
+		s.Add(r.Normal(10, 2))
+	}
+	if math.Abs(s.Mean()-10) > 0.1 {
+		t.Errorf("normal mean = %g, want ~10", s.Mean())
+	}
+	if math.Abs(s.StdDev()-2) > 0.1 {
+		t.Errorf("normal stddev = %g, want ~2", s.StdDev())
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRNG(17)
+	s := NewSummary()
+	for i := 0; i < 20000; i++ {
+		s.Add(r.Exponential(0.5))
+	}
+	if math.Abs(s.Mean()-2) > 0.15 {
+		t.Errorf("exponential mean = %g, want ~2", s.Mean())
+	}
+}
+
+func TestZipf(t *testing.T) {
+	r := NewRNG(19)
+	counts := make([]int, 5)
+	for i := 0; i < 20000; i++ {
+		counts[r.Zipf(5, 1)]++
+	}
+	for i := 1; i < 5; i++ {
+		if counts[i] > counts[0] {
+			t.Errorf("Zipf rank %d more frequent than rank 0: %v", i, counts)
+		}
+	}
+	// s == 0 degenerates to uniform.
+	u := make([]int, 4)
+	for i := 0; i < 8000; i++ {
+		u[r.Zipf(4, 0)]++
+	}
+	for i, c := range u {
+		if c < 1600 || c > 2400 {
+			t.Errorf("uniform Zipf bucket %d = %d", i, c)
+		}
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	s := NewSummary()
+	if s.Mean() != 0 || s.Median() != 0 || s.Count() != 0 {
+		t.Error("empty summary should report zeros")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Error("empty summary min/max should be infinities")
+	}
+	s.AddAll([]float64{5, 1, 3, 2, 4})
+	if s.Count() != 5 {
+		t.Errorf("count = %d", s.Count())
+	}
+	if s.Mean() != 3 {
+		t.Errorf("mean = %g", s.Mean())
+	}
+	if s.Median() != 3 {
+		t.Errorf("median = %g", s.Median())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("min/max = %g/%g", s.Min(), s.Max())
+	}
+	if q := s.Quantile(0.25); q != 2 {
+		t.Errorf("q25 = %g", q)
+	}
+	if s.Quantile(0) != 1 || s.Quantile(1) != 5 {
+		t.Error("extreme quantiles should equal min/max")
+	}
+	if math.Abs(s.Variance()-2) > 1e-9 {
+		t.Errorf("variance = %g, want 2", s.Variance())
+	}
+}
+
+func TestMedianAndMeanHelpers(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Error("Median helper wrong")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Error("Median of even-length slice should interpolate")
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean of empty slice should be 0")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Error("Mean helper wrong")
+	}
+}
+
+// Property: quantiles are monotone non-decreasing in q.
+func TestPropertyQuantileMonotone(t *testing.T) {
+	f := func(vals []float64, q1, q2 float64) bool {
+		s := NewSummary()
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.Add(v)
+		}
+		if s.Count() == 0 {
+			return true
+		}
+		a := math.Abs(q1)
+		a -= math.Floor(a)
+		b := math.Abs(q2)
+		b -= math.Floor(b)
+		if a > b {
+			a, b = b, a
+		}
+		return s.Quantile(a) <= s.Quantile(b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,180 @@
+// Package stores contains the node-local data structures of Figure 2 in the
+// paper: the per-neighbour advertisement tables (DSA_m), the per-neighbour
+// subscription tables (S_m, split into covered and uncovered sets) and the
+// timestamp-ordered event store U with per-destination "already forwarded"
+// flags used by the event-propagation algorithm (Algorithm 5).
+//
+// The structures are not safe for concurrent use; each protocol handler owns
+// one set of them and the engines guarantee per-node sequential execution.
+package stores
+
+import (
+	"sort"
+
+	"sensorcq/internal/model"
+	"sensorcq/internal/topology"
+)
+
+// AdvertisementTable stores the data-source advertisements received from
+// each neighbour (and from locally attached sensors, filed under the node's
+// own ID).
+type AdvertisementTable struct {
+	self     topology.NodeID
+	byOrigin map[topology.NodeID]map[model.SensorID]model.Advertisement
+}
+
+// NewAdvertisementTable returns an empty table for the given node.
+func NewAdvertisementTable(self topology.NodeID) *AdvertisementTable {
+	return &AdvertisementTable{
+		self:     self,
+		byOrigin: map[topology.NodeID]map[model.SensorID]model.Advertisement{},
+	}
+}
+
+// Add records an advertisement received from origin (use the node's own ID
+// for local sensors). It returns false when the same sensor was already
+// advertised by that origin, which callers use to stop re-flooding.
+func (t *AdvertisementTable) Add(origin topology.NodeID, adv model.Advertisement) bool {
+	m := t.byOrigin[origin]
+	if m == nil {
+		m = map[model.SensorID]model.Advertisement{}
+		t.byOrigin[origin] = m
+	}
+	if _, dup := m[adv.Sensor]; dup {
+		return false
+	}
+	m[adv.Sensor] = adv
+	return true
+}
+
+// Known reports whether the sensor was advertised by any origin.
+func (t *AdvertisementTable) Known(sensor model.SensorID) bool {
+	for _, m := range t.byOrigin {
+		if _, ok := m[sensor]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Origins returns the origins with at least one advertisement, sorted.
+func (t *AdvertisementTable) Origins() []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(t.byOrigin))
+	for o := range t.byOrigin {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// From returns the advertisements received from the given origin, sorted by
+// sensor ID.
+func (t *AdvertisementTable) From(origin topology.NodeID) []model.Advertisement {
+	m := t.byOrigin[origin]
+	out := make([]model.Advertisement, 0, len(m))
+	for _, adv := range m {
+		out = append(out, adv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Sensor < out[j].Sensor })
+	return out
+}
+
+// Count returns the total number of stored advertisements.
+func (t *AdvertisementTable) Count() int {
+	total := 0
+	for _, m := range t.byOrigin {
+		total += len(m)
+	}
+	return total
+}
+
+// Project returns the correlation operator obtained by projecting sub onto
+// the data space advertised by origin (Algorithm 3, line 8): the sensors of
+// sub advertised by that origin for identified subscriptions, or the
+// attribute types advertised by that origin within sub's region for abstract
+// subscriptions. It returns nil when the projection is empty.
+func (t *AdvertisementTable) Project(sub *model.Subscription, origin topology.NodeID) *model.Subscription {
+	m := t.byOrigin[origin]
+	if len(m) == 0 {
+		return nil
+	}
+	if sub.Kind == model.KindIdentified {
+		var sensors []model.SensorID
+		for d := range sub.SensorFilters {
+			if _, ok := m[d]; ok {
+				sensors = append(sensors, d)
+			}
+		}
+		if len(sensors) == 0 {
+			return nil
+		}
+		return sub.ProjectSensors(sensors)
+	}
+	attrSet := map[model.AttributeType]bool{}
+	for _, adv := range m {
+		if _, filtered := sub.AttrFilters[adv.Attr]; !filtered {
+			continue
+		}
+		if !sub.Region.Contains(adv.Location) {
+			continue
+		}
+		attrSet[adv.Attr] = true
+	}
+	if len(attrSet) == 0 {
+		return nil
+	}
+	attrs := make([]model.AttributeType, 0, len(attrSet))
+	for a := range attrSet {
+		attrs = append(attrs, a)
+	}
+	return sub.ProjectAttributes(attrs)
+}
+
+// HasAllSources reports whether every filter of the subscription has at
+// least one matching advertisement (from any origin). Subscriptions without
+// sources are dropped at their originating node (Algorithm 3, line 3).
+func (t *AdvertisementTable) HasAllSources(sub *model.Subscription) bool {
+	if sub.Kind == model.KindIdentified {
+		for d := range sub.SensorFilters {
+			if !t.Known(d) {
+				return false
+			}
+		}
+		return true
+	}
+	for a := range sub.AttrFilters {
+		found := false
+		for _, m := range t.byOrigin {
+			for _, adv := range m {
+				if adv.Attr == a && sub.Region.Contains(adv.Location) {
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// OriginsMatching returns the origins (excluding the given one) whose
+// advertised data space overlaps the subscription, i.e. the neighbours the
+// subscription must be forwarded to. The result is sorted.
+func (t *AdvertisementTable) OriginsMatching(sub *model.Subscription, exclude topology.NodeID) []topology.NodeID {
+	var out []topology.NodeID
+	for origin := range t.byOrigin {
+		if origin == exclude || origin == t.self {
+			continue
+		}
+		if t.Project(sub, origin) != nil {
+			out = append(out, origin)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

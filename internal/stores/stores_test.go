@@ -1,0 +1,306 @@
+package stores
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sensorcq/internal/geom"
+	"sensorcq/internal/model"
+)
+
+func adv(sensor model.SensorID, attr model.AttributeType, x, y float64) model.Advertisement {
+	return model.Advertisement{Sensor: sensor, Attr: attr, Location: geom.Point2D{X: x, Y: y}}
+}
+
+func absSub(t *testing.T, id string, region geom.Region, attrs ...model.AttributeType) *model.Subscription {
+	t.Helper()
+	var filters []model.AttributeFilter
+	for _, a := range attrs {
+		filters = append(filters, model.AttributeFilter{Attr: a, Range: geom.NewInterval(0, 100)})
+	}
+	s, err := model.NewAbstractSubscription(model.SubscriptionID(id), filters, region, 30, model.NoSpatialConstraint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func idSub(t *testing.T, id string, sensors ...model.SensorID) *model.Subscription {
+	t.Helper()
+	var filters []model.SensorFilter
+	for _, d := range sensors {
+		filters = append(filters, model.SensorFilter{Sensor: d, Attr: model.WindSpeed, Range: geom.NewInterval(0, 100)})
+	}
+	s, err := model.NewIdentifiedSubscription(model.SubscriptionID(id), filters, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAdvertisementTableBasics(t *testing.T) {
+	tbl := NewAdvertisementTable(5)
+	if !tbl.Add(1, adv("d1", model.WindSpeed, 0, 0)) {
+		t.Fatal("first add should succeed")
+	}
+	if tbl.Add(1, adv("d1", model.WindSpeed, 0, 0)) {
+		t.Fatal("duplicate add from the same origin should be rejected")
+	}
+	if !tbl.Add(2, adv("d2", model.AmbientTemperature, 10, 10)) {
+		t.Fatal("add from another origin should succeed")
+	}
+	if !tbl.Add(5, adv("d3", model.WindSpeed, 20, 20)) {
+		t.Fatal("local add should succeed")
+	}
+	if !tbl.Known("d1") || !tbl.Known("d3") || tbl.Known("zz") {
+		t.Error("Known wrong")
+	}
+	if tbl.Count() != 3 {
+		t.Errorf("Count = %d", tbl.Count())
+	}
+	origins := tbl.Origins()
+	if len(origins) != 3 || origins[0] != 1 || origins[2] != 5 {
+		t.Errorf("Origins = %v", origins)
+	}
+	from1 := tbl.From(1)
+	if len(from1) != 1 || from1[0].Sensor != "d1" {
+		t.Errorf("From(1) = %v", from1)
+	}
+	if len(tbl.From(9)) != 0 {
+		t.Error("unknown origin should have no advertisements")
+	}
+}
+
+func TestAdvertisementTableProjectIdentified(t *testing.T) {
+	tbl := NewAdvertisementTable(0)
+	tbl.Add(1, adv("a", model.AmbientTemperature, 0, 0))
+	tbl.Add(1, adv("b", model.RelativeHumidity, 0, 0))
+	tbl.Add(2, adv("c", model.WindSpeed, 0, 0))
+
+	sub := idSub(t, "s", "a", "b", "c")
+	p1 := tbl.Project(sub, 1)
+	if p1 == nil || p1.NumFilters() != 2 {
+		t.Fatalf("projection onto origin 1 = %v", p1)
+	}
+	p2 := tbl.Project(sub, 2)
+	if p2 == nil || p2.NumFilters() != 1 || !p2.IsSimple() {
+		t.Fatalf("projection onto origin 2 = %v", p2)
+	}
+	if tbl.Project(sub, 9) != nil {
+		t.Error("projection onto unknown origin should be nil")
+	}
+	subUnknown := idSub(t, "s2", "z")
+	if tbl.Project(subUnknown, 1) != nil {
+		t.Error("projection with no overlap should be nil")
+	}
+}
+
+func TestAdvertisementTableProjectAbstractRespectsRegion(t *testing.T) {
+	tbl := NewAdvertisementTable(0)
+	tbl.Add(1, adv("near", model.WindSpeed, 10, 10))
+	tbl.Add(2, adv("far", model.WindSpeed, 900, 900))
+	tbl.Add(2, adv("hum", model.RelativeHumidity, 20, 20))
+
+	region := geom.NewRegion(0, 0, 100, 100)
+	sub := absSub(t, "s", region, model.WindSpeed, model.RelativeHumidity)
+
+	p1 := tbl.Project(sub, 1)
+	if p1 == nil || p1.NumFilters() != 1 {
+		t.Fatalf("projection onto origin 1 = %v", p1)
+	}
+	// Origin 2's wind sensor is outside the region, so only humidity projects.
+	p2 := tbl.Project(sub, 2)
+	if p2 == nil || p2.NumFilters() != 1 || p2.Attributes()[0] != model.RelativeHumidity {
+		t.Fatalf("projection onto origin 2 = %v", p2)
+	}
+}
+
+func TestAdvertisementTableHasAllSources(t *testing.T) {
+	tbl := NewAdvertisementTable(0)
+	tbl.Add(1, adv("a", model.WindSpeed, 10, 10))
+	tbl.Add(2, adv("b", model.RelativeHumidity, 20, 20))
+
+	region := geom.NewRegion(0, 0, 100, 100)
+	if !tbl.HasAllSources(absSub(t, "s1", region, model.WindSpeed, model.RelativeHumidity)) {
+		t.Error("both attributes are advertised inside the region")
+	}
+	if tbl.HasAllSources(absSub(t, "s2", region, model.WindSpeed, model.AmbientTemperature)) {
+		t.Error("ambient temperature has no source")
+	}
+	farRegion := geom.NewRegion(500, 500, 600, 600)
+	if tbl.HasAllSources(absSub(t, "s3", farRegion, model.WindSpeed)) {
+		t.Error("no wind sensor inside the far region")
+	}
+	if !tbl.HasAllSources(idSub(t, "s4", "a", "b")) {
+		t.Error("both sensors are advertised")
+	}
+	if tbl.HasAllSources(idSub(t, "s5", "a", "zz")) {
+		t.Error("sensor zz is not advertised")
+	}
+}
+
+func TestAdvertisementTableOriginsMatching(t *testing.T) {
+	tbl := NewAdvertisementTable(9)
+	tbl.Add(1, adv("a", model.WindSpeed, 10, 10))
+	tbl.Add(2, adv("b", model.RelativeHumidity, 20, 20))
+	tbl.Add(3, adv("c", model.AmbientTemperature, 30, 30))
+	tbl.Add(9, adv("local", model.WindDirection, 40, 40)) // local sensors never count
+
+	sub := absSub(t, "s", geom.NewRegion(0, 0, 100, 100), model.WindSpeed, model.RelativeHumidity)
+	got := tbl.OriginsMatching(sub, 2) // exclude origin 2
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("OriginsMatching = %v, want [1]", got)
+	}
+	got = tbl.OriginsMatching(sub, -1)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("OriginsMatching = %v, want [1 2]", got)
+	}
+}
+
+func TestSubscriptionTable(t *testing.T) {
+	tbl := NewSubscriptionTable(0)
+	s1 := absSub(t, "s1", geom.WholePlane(), model.WindSpeed)
+	s2 := absSub(t, "s2", geom.WholePlane(), model.WindSpeed, model.RelativeHumidity)
+	s3 := absSub(t, "s3", geom.WholePlane(), model.AmbientTemperature)
+
+	if !tbl.AddUncovered(1, s1) || !tbl.AddUncovered(1, s2) {
+		t.Fatal("adds should succeed")
+	}
+	if tbl.AddUncovered(1, s1) {
+		t.Fatal("duplicate ID from same origin should be rejected")
+	}
+	if !tbl.AddCovered(1, s3) {
+		t.Fatal("covered add should succeed")
+	}
+	if tbl.AddCovered(1, s3) {
+		t.Fatal("covered duplicate should be rejected")
+	}
+	if !tbl.Seen(1, "s1") || tbl.Seen(2, "s1") {
+		t.Error("Seen wrong")
+	}
+	if len(tbl.Uncovered(1)) != 2 || len(tbl.Covered(1)) != 1 || len(tbl.All(1)) != 3 {
+		t.Error("retrieval wrong")
+	}
+	if tbl.CountUncovered() != 2 || tbl.CountCovered() != 1 {
+		t.Error("counts wrong")
+	}
+	if got := tbl.UncoveredForAttr(1, model.WindSpeed); len(got) != 2 {
+		t.Errorf("UncoveredForAttr(wind) = %d entries, want 2", len(got))
+	}
+	if got := tbl.UncoveredForAttr(1, model.RelativeHumidity); len(got) != 1 || got[0].ID != "s2" {
+		t.Errorf("UncoveredForAttr(humidity) wrong: %v", got)
+	}
+	if got := tbl.UncoveredForAttr(1, model.AmbientTemperature); len(got) != 0 {
+		t.Error("covered subscriptions must not be indexed for matching")
+	}
+	origins := tbl.Origins()
+	if len(origins) != 1 || origins[0] != 1 {
+		t.Errorf("Origins = %v", origins)
+	}
+}
+
+func TestEventWindowInsertOrderAndDedup(t *testing.T) {
+	w := NewEventWindow(10)
+	events := []model.Event{
+		{Seq: 3, Time: 30},
+		{Seq: 1, Time: 10},
+		{Seq: 2, Time: 20},
+		{Seq: 4, Time: 20},
+	}
+	for _, e := range events {
+		if !w.Insert(e) {
+			t.Fatalf("insert of %d failed", e.Seq)
+		}
+	}
+	if w.Insert(model.Event{Seq: 3, Time: 30}) {
+		t.Error("duplicate seq should be rejected")
+	}
+	if w.Len() != 4 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	got := w.Events()
+	wantOrder := []uint64{1, 2, 4, 3}
+	for i, e := range got {
+		if e.Seq != wantOrder[i] {
+			t.Fatalf("order = %v", got)
+		}
+	}
+	if w.Latest() != 30 {
+		t.Errorf("Latest = %d", w.Latest())
+	}
+}
+
+func TestEventWindowAroundAndPrune(t *testing.T) {
+	w := NewEventWindow(15)
+	for i := 1; i <= 6; i++ {
+		w.Insert(model.Event{Seq: uint64(i), Time: model.Timestamp(i * 10)})
+	}
+	around := w.Around(30, 10)
+	if len(around) != 3 {
+		t.Fatalf("Around(30,10) returned %d events", len(around))
+	}
+	for _, e := range around {
+		if e.Time < 20 || e.Time > 40 {
+			t.Errorf("event at %d outside window", e.Time)
+		}
+	}
+	w.Prune(60) // cutoff = 45: drops events at 10,20,30,40
+	if w.Len() != 2 {
+		t.Fatalf("after prune Len = %d", w.Len())
+	}
+	if w.Insert(model.Event{Seq: 2, Time: 20}) == false {
+		// Seq 2 was pruned, re-insert is allowed again.
+		t.Error("pruned events should be insertable again")
+	}
+}
+
+func TestEventWindowSentFlags(t *testing.T) {
+	w := NewEventWindow(100)
+	w.Insert(model.Event{Seq: 1, Time: 10})
+	if w.WasSent(1, "n:2") {
+		t.Error("fresh event should not be marked sent")
+	}
+	w.MarkSent(1, "n:2")
+	if !w.WasSent(1, "n:2") || w.WasSent(1, "n:3") {
+		t.Error("sent flags wrong")
+	}
+	keys := w.SentKeys(1)
+	if len(keys) != 1 || keys[0] != "n:2" {
+		t.Errorf("SentKeys = %v", keys)
+	}
+	// Unknown/expired events are treated as already sent.
+	if !w.WasSent(99, "n:2") {
+		t.Error("unknown events should report sent")
+	}
+	w.MarkSent(99, "n:2") // must not panic
+	if w.SentKeys(99) != nil {
+		t.Error("unknown events have no keys")
+	}
+	if NewEventWindow(0).Validity != 1 {
+		t.Error("non-positive validity should be clamped to 1")
+	}
+}
+
+// Property: the window always returns events in non-decreasing timestamp
+// order and never returns more events than were inserted.
+func TestPropertyEventWindowOrdering(t *testing.T) {
+	f := func(times []uint16) bool {
+		w := NewEventWindow(1 << 30)
+		for i, tm := range times {
+			w.Insert(model.Event{Seq: uint64(i + 1), Time: model.Timestamp(tm)})
+		}
+		events := w.Events()
+		if len(events) != len(times) {
+			return false
+		}
+		for i := 1; i < len(events); i++ {
+			if events[i].Time < events[i-1].Time {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

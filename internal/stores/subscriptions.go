@@ -1,0 +1,146 @@
+package stores
+
+import (
+	"sort"
+
+	"sensorcq/internal/model"
+	"sensorcq/internal/topology"
+)
+
+// SubscriptionTable stores the subscriptions (correlation operators)
+// received from each origin, separated into the uncovered set (candidates
+// for forwarding and for event matching per Algorithm 5) and the covered set
+// (kept for completeness of the node's knowledge, per Algorithm 4 line 12).
+// Local user subscriptions are filed under the node's own ID.
+type SubscriptionTable struct {
+	self      topology.NodeID
+	uncovered map[topology.NodeID][]*model.Subscription
+	covered   map[topology.NodeID][]*model.Subscription
+	ids       map[topology.NodeID]map[model.SubscriptionID]bool
+	// byAttr indexes the uncovered subscriptions of each origin by the
+	// attribute types they filter, so that event matching only considers
+	// subscriptions that can possibly involve the incoming event.
+	byAttr map[topology.NodeID]map[model.AttributeType][]*model.Subscription
+}
+
+// NewSubscriptionTable returns an empty table for the given node.
+func NewSubscriptionTable(self topology.NodeID) *SubscriptionTable {
+	return &SubscriptionTable{
+		self:      self,
+		uncovered: map[topology.NodeID][]*model.Subscription{},
+		covered:   map[topology.NodeID][]*model.Subscription{},
+		ids:       map[topology.NodeID]map[model.SubscriptionID]bool{},
+		byAttr:    map[topology.NodeID]map[model.AttributeType][]*model.Subscription{},
+	}
+}
+
+// Seen reports whether a subscription with this ID was already stored for
+// the origin (covered or uncovered).
+func (t *SubscriptionTable) Seen(origin topology.NodeID, id model.SubscriptionID) bool {
+	return t.ids[origin][id]
+}
+
+func (t *SubscriptionTable) markSeen(origin topology.NodeID, id model.SubscriptionID) {
+	m := t.ids[origin]
+	if m == nil {
+		m = map[model.SubscriptionID]bool{}
+		t.ids[origin] = m
+	}
+	m[id] = true
+}
+
+// AddUncovered stores a subscription that was not filtered out. It returns
+// false if the ID was already present for this origin.
+func (t *SubscriptionTable) AddUncovered(origin topology.NodeID, sub *model.Subscription) bool {
+	if t.Seen(origin, sub.ID) {
+		return false
+	}
+	t.markSeen(origin, sub.ID)
+	t.uncovered[origin] = append(t.uncovered[origin], sub)
+	idx := t.byAttr[origin]
+	if idx == nil {
+		idx = map[model.AttributeType][]*model.Subscription{}
+		t.byAttr[origin] = idx
+	}
+	for _, a := range sub.Attributes() {
+		idx[a] = append(idx[a], sub)
+	}
+	return true
+}
+
+// AddCovered stores a subscription that was filtered out as covered.
+func (t *SubscriptionTable) AddCovered(origin topology.NodeID, sub *model.Subscription) bool {
+	if t.Seen(origin, sub.ID) {
+		return false
+	}
+	t.markSeen(origin, sub.ID)
+	t.covered[origin] = append(t.covered[origin], sub)
+	return true
+}
+
+// Uncovered returns the uncovered subscriptions stored for the origin.
+func (t *SubscriptionTable) Uncovered(origin topology.NodeID) []*model.Subscription {
+	return t.uncovered[origin]
+}
+
+// Covered returns the covered subscriptions stored for the origin.
+func (t *SubscriptionTable) Covered(origin topology.NodeID) []*model.Subscription {
+	return t.covered[origin]
+}
+
+// All returns covered and uncovered subscriptions stored for the origin (the
+// per-subscription event propagation of the operator-placement and naive
+// approaches matches against both).
+func (t *SubscriptionTable) All(origin topology.NodeID) []*model.Subscription {
+	out := make([]*model.Subscription, 0, len(t.uncovered[origin])+len(t.covered[origin]))
+	out = append(out, t.uncovered[origin]...)
+	out = append(out, t.covered[origin]...)
+	return out
+}
+
+// UncoveredForAttr returns the uncovered subscriptions of the origin that
+// filter the given attribute type.
+func (t *SubscriptionTable) UncoveredForAttr(origin topology.NodeID, attr model.AttributeType) []*model.Subscription {
+	return t.byAttr[origin][attr]
+}
+
+// Origins returns all origins with at least one stored subscription, sorted.
+func (t *SubscriptionTable) Origins() []topology.NodeID {
+	set := map[topology.NodeID]bool{}
+	for o := range t.uncovered {
+		if len(t.uncovered[o]) > 0 {
+			set[o] = true
+		}
+	}
+	for o := range t.covered {
+		if len(t.covered[o]) > 0 {
+			set[o] = true
+		}
+	}
+	out := make([]topology.NodeID, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CountUncovered returns the total number of uncovered subscriptions across
+// all origins.
+func (t *SubscriptionTable) CountUncovered() int {
+	total := 0
+	for _, subs := range t.uncovered {
+		total += len(subs)
+	}
+	return total
+}
+
+// CountCovered returns the total number of covered subscriptions across all
+// origins.
+func (t *SubscriptionTable) CountCovered() int {
+	total := 0
+	for _, subs := range t.covered {
+		total += len(subs)
+	}
+	return total
+}

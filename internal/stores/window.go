@@ -1,0 +1,153 @@
+package stores
+
+import (
+	"sort"
+
+	"sensorcq/internal/model"
+)
+
+// EventWindow is the node-local event store U of Algorithm 5: received
+// simple events ordered by timestamp, each carrying a set of "already
+// forwarded to" flags, with expiry after a configurable validity period.
+//
+// The flag keys are free-form strings chosen by the protocol: the
+// per-neighbour forwarding of Filter-Split-Forward uses one key per
+// neighbour, while the per-subscription result sets of the naive and
+// operator-placement approaches use one key per (neighbour, subscription)
+// pair — that difference is exactly the "event propagation" column of
+// Table II.
+type EventWindow struct {
+	// Validity is how long an event stays stored after its timestamp. The
+	// paper requires it to be at least δt so that late correlations can
+	// still be detected.
+	Validity model.Timestamp
+
+	events []*storedEvent
+	bySeq  map[uint64]*storedEvent
+	latest model.Timestamp
+}
+
+type storedEvent struct {
+	ev     model.Event
+	sentTo map[string]bool
+}
+
+// NewEventWindow returns an empty window with the given validity.
+func NewEventWindow(validity model.Timestamp) *EventWindow {
+	if validity <= 0 {
+		validity = 1
+	}
+	return &EventWindow{Validity: validity, bySeq: map[uint64]*storedEvent{}}
+}
+
+// Insert adds an event to the window. It returns false when an event with
+// the same sequence number is already stored (duplicate arrivals are
+// expected when per-subscription result sets overlap).
+func (w *EventWindow) Insert(ev model.Event) bool {
+	if _, dup := w.bySeq[ev.Seq]; dup {
+		return false
+	}
+	se := &storedEvent{ev: ev, sentTo: map[string]bool{}}
+	w.bySeq[ev.Seq] = se
+	// Insert keeping the slice sorted by (Time, Seq); events arrive roughly
+	// in time order so the scan from the back is short.
+	idx := len(w.events)
+	for idx > 0 {
+		prev := w.events[idx-1].ev
+		if prev.Time < ev.Time || (prev.Time == ev.Time && prev.Seq <= ev.Seq) {
+			break
+		}
+		idx--
+	}
+	w.events = append(w.events, nil)
+	copy(w.events[idx+1:], w.events[idx:])
+	w.events[idx] = se
+	if ev.Time > w.latest {
+		w.latest = ev.Time
+	}
+	return true
+}
+
+// Len returns the number of stored (unexpired) events.
+func (w *EventWindow) Len() int { return len(w.events) }
+
+// Latest returns the largest timestamp seen so far.
+func (w *EventWindow) Latest() model.Timestamp { return w.latest }
+
+// Prune drops events whose timestamp is older than now - Validity.
+func (w *EventWindow) Prune(now model.Timestamp) {
+	cutoff := now - w.Validity
+	keep := w.events[:0]
+	for _, se := range w.events {
+		if se.ev.Time >= cutoff {
+			keep = append(keep, se)
+		} else {
+			delete(w.bySeq, se.ev.Seq)
+		}
+	}
+	// Zero the tail so pruned entries can be collected.
+	for i := len(keep); i < len(w.events); i++ {
+		w.events[i] = nil
+	}
+	w.events = keep
+}
+
+// Around returns the events whose timestamps lie in the closed interval
+// [t-delta, t+delta]: the candidate window for complex events triggered by
+// an event at time t with temporal correlation distance delta.
+func (w *EventWindow) Around(t model.Timestamp, delta model.Timestamp) []model.Event {
+	lo, hi := t-delta, t+delta
+	out := make([]model.Event, 0, len(w.events))
+	for _, se := range w.events {
+		if se.ev.Time > hi {
+			break
+		}
+		if se.ev.Time >= lo {
+			out = append(out, se.ev)
+		}
+	}
+	return out
+}
+
+// Events returns all stored events in timestamp order.
+func (w *EventWindow) Events() []model.Event {
+	out := make([]model.Event, len(w.events))
+	for i, se := range w.events {
+		out[i] = se.ev
+	}
+	return out
+}
+
+// MarkSent records that the event with the given sequence number has been
+// forwarded under the given key. Unknown sequence numbers are ignored.
+func (w *EventWindow) MarkSent(seq uint64, key string) {
+	if se, ok := w.bySeq[seq]; ok {
+		se.sentTo[key] = true
+	}
+}
+
+// WasSent reports whether the event was already forwarded under the key.
+// Events no longer stored (expired) report true, so that stale events are
+// never re-forwarded.
+func (w *EventWindow) WasSent(seq uint64, key string) bool {
+	se, ok := w.bySeq[seq]
+	if !ok {
+		return true
+	}
+	return se.sentTo[key]
+}
+
+// SentKeys returns the forwarding keys recorded for an event, sorted; it is
+// a debugging/testing helper.
+func (w *EventWindow) SentKeys(seq uint64) []string {
+	se, ok := w.bySeq[seq]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(se.sentTo))
+	for k := range se.sentTo {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,319 @@
+// Package subsume implements the subscription-subsumption checks the paper's
+// protocols rely on:
+//
+//   - pairwise covering (is a new subscription covered by a single existing
+//     one?), used by the operator-placement and multi-join competitors, and
+//   - set subsumption (is a new subscription covered by the union of a set of
+//     existing ones?), used by the Filter-Split-Forward approach.
+//
+// Exact set subsumption for range subscriptions is co-NP complete [Srivastava
+// 1992]; following the paper (and its reference [15], Ouksel et al.,
+// Middleware 2006) this package provides a probabilistic checker with a
+// configurable false-positive probability, plus an exact checker used for
+// small dimensionalities, tests and the recall oracle.
+package subsume
+
+import (
+	"fmt"
+	"math"
+
+	"sensorcq/internal/geom"
+	"sensorcq/internal/model"
+	"sensorcq/internal/stats"
+)
+
+// Checker decides whether a candidate subscription is subsumed by a set of
+// previously accepted subscriptions. Implementations may be probabilistic;
+// the contract is:
+//
+//   - a "false" answer is always safe (the subscription is simply forwarded),
+//   - a "true" answer may be wrong with at most the configured error
+//     probability, in which case events falling into the uncovered gaps are
+//     lost (reduced recall).
+type Checker interface {
+	// Subsumed reports whether candidate is covered by the union of the
+	// given set. The set is expected to contain only subscriptions with the
+	// same signature key (same attribute/sensor set) as the candidate;
+	// others are ignored.
+	Subsumed(candidate *model.Subscription, set []*model.Subscription) bool
+	// Name identifies the checker in reports and ablation benchmarks.
+	Name() string
+}
+
+// PairwiseCovered reports whether candidate is covered by at least one single
+// member of set (same-signature members only). This is the filtering used by
+// the operator-placement and distributed multi-join approaches.
+func PairwiseCovered(candidate *model.Subscription, set []*model.Subscription) bool {
+	for _, s := range set {
+		if candidate.CoveredBy(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// PairwiseChecker adapts PairwiseCovered to the Checker interface.
+type PairwiseChecker struct{}
+
+// Subsumed implements Checker.
+func (PairwiseChecker) Subsumed(candidate *model.Subscription, set []*model.Subscription) bool {
+	return PairwiseCovered(candidate, set)
+}
+
+// Name implements Checker.
+func (PairwiseChecker) Name() string { return "pairwise" }
+
+// NoneChecker never detects subsumption; it models the naive approach.
+type NoneChecker struct{}
+
+// Subsumed implements Checker.
+func (NoneChecker) Subsumed(*model.Subscription, []*model.Subscription) bool { return false }
+
+// Name implements Checker.
+func (NoneChecker) Name() string { return "none" }
+
+// comparable filters the set down to members comparable with the candidate:
+// same kind, same signature key, same correlation distances. Only those can
+// participate in a coverage decision (Section V-B).
+func comparable(candidate *model.Subscription, set []*model.Subscription) []*model.Subscription {
+	out := make([]*model.Subscription, 0, len(set))
+	for _, s := range set {
+		if s == nil {
+			continue
+		}
+		if s.Kind != candidate.Kind || s.SignatureKey() != candidate.SignatureKey() {
+			continue
+		}
+		if s.DeltaT != candidate.DeltaT {
+			continue
+		}
+		if s.Kind == model.KindAbstract && s.DeltaL != candidate.DeltaL {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// boxesOf converts subscriptions to their box representation.
+func boxesOf(subs []*model.Subscription) []geom.Box {
+	out := make([]geom.Box, len(subs))
+	for i, s := range subs {
+		out[i] = s.Box()
+	}
+	return out
+}
+
+// coveredByUnionAtPoint reports whether the point lies inside at least one of
+// the boxes.
+func coveredByUnionAtPoint(pt map[string]float64, boxes []geom.Box) bool {
+	for _, b := range boxes {
+		if b.ContainsPoint(pt) {
+			return true
+		}
+	}
+	return false
+}
+
+// SetChecker is the probabilistic set-subsumption checker (the paper's "set
+// filtering"). It decides coverage of the candidate's box by the union of the
+// set's boxes via Monte-Carlo sampling: if any sampled point of the candidate
+// is not covered by the union the candidate is not subsumed; if all samples
+// are covered the candidate is declared subsumed. A "subsumed" answer can
+// therefore be a false positive — the uncovered gaps then lose events, which
+// is exactly the recall/traffic trade-off of Section VI-F; a "not subsumed"
+// answer is always safe.
+//
+// The number of samples is derived from ErrorProbability and MinGapFraction:
+// if the uncovered part of the candidate occupies at least MinGapFraction of
+// its volume, the probability that all samples miss it (a false positive) is
+// at most ErrorProbability. Smaller error probabilities therefore cost more
+// samples — the processing/recall trade-off discussed in Section VI-F.
+type SetChecker struct {
+	// ErrorProbability is the acceptable probability of a false "subsumed"
+	// decision for gaps of relative volume at least MinGapFraction.
+	ErrorProbability float64
+	// MinGapFraction is the smallest relative gap volume the checker is
+	// calibrated to detect (default 0.05).
+	MinGapFraction float64
+	// MaxSamples caps the per-decision sampling effort (default 4096).
+	MaxSamples int
+	// rng drives the sampling; seeded for reproducibility.
+	rng *stats.RNG
+}
+
+// NewSetChecker returns a set-subsumption checker with the given error
+// probability (must be in (0,1)) and a deterministic sampling seed.
+func NewSetChecker(errorProbability float64, seed int64) *SetChecker {
+	if errorProbability <= 0 || errorProbability >= 1 {
+		panic(fmt.Sprintf("subsume: error probability must be in (0,1), got %g", errorProbability))
+	}
+	return &SetChecker{
+		ErrorProbability: errorProbability,
+		MinGapFraction:   0.05,
+		MaxSamples:       4096,
+		rng:              stats.NewRNG(seed),
+	}
+}
+
+// Name implements Checker.
+func (c *SetChecker) Name() string {
+	return fmt.Sprintf("set-filter(err=%g)", c.ErrorProbability)
+}
+
+// Samples returns the number of Monte-Carlo samples a single decision uses.
+func (c *SetChecker) Samples() int {
+	gap := c.MinGapFraction
+	if gap <= 0 || gap >= 1 {
+		gap = 0.05
+	}
+	n := int(math.Ceil(math.Log(c.ErrorProbability) / math.Log(1-gap)))
+	if n < 8 {
+		n = 8
+	}
+	max := c.MaxSamples
+	if max <= 0 {
+		max = 4096
+	}
+	if n > max {
+		n = max
+	}
+	return n
+}
+
+// Subsumed implements Checker.
+func (c *SetChecker) Subsumed(candidate *model.Subscription, set []*model.Subscription) bool {
+	comp := comparable(candidate, set)
+	if len(comp) == 0 {
+		return false
+	}
+	// Fast path: single-subscription coverage is exact and cheap.
+	for _, s := range comp {
+		if candidate.CoveredBy(s) {
+			return true
+		}
+	}
+	cbox := candidate.Box()
+	boxes := boxesOf(comp)
+	// Keep only boxes that overlap the candidate at all.
+	overlapping := boxes[:0]
+	for _, b := range boxes {
+		if b.Overlaps(cbox) {
+			overlapping = append(overlapping, b)
+		}
+	}
+	if len(overlapping) == 0 {
+		return false
+	}
+
+	dims := cbox.Dims()
+	samples := c.Samples()
+	pt := make(map[string]float64, len(dims))
+	for i := 0; i < samples; i++ {
+		for _, d := range dims {
+			iv, _ := cbox.Get(d)
+			if iv.Width() == 0 {
+				pt[d] = iv.Min
+			} else {
+				pt[d] = iv.Lerp(c.rng.Float64())
+			}
+		}
+		if !coveredByUnionAtPoint(pt, overlapping) {
+			return false
+		}
+	}
+	return true
+}
+
+// ExactChecker decides set subsumption exactly by recursive box subtraction.
+// Its worst case is exponential in the number of overlapping subscriptions,
+// so it is intended for tests, the recall oracle and ablation studies rather
+// than the protocol hot path.
+type ExactChecker struct {
+	// MaxDepth bounds the recursion; when exceeded the checker
+	// conservatively answers "not subsumed" (safe direction). Zero means
+	// the default of 10_000 subtraction steps.
+	MaxDepth int
+}
+
+// Name implements Checker.
+func (ExactChecker) Name() string { return "exact" }
+
+// Subsumed implements Checker.
+func (c ExactChecker) Subsumed(candidate *model.Subscription, set []*model.Subscription) bool {
+	comp := comparable(candidate, set)
+	if len(comp) == 0 {
+		return false
+	}
+	for _, s := range comp {
+		if candidate.CoveredBy(s) {
+			return true
+		}
+	}
+	budget := c.MaxDepth
+	if budget <= 0 {
+		budget = 10000
+	}
+	covered, ok := boxCoveredByUnion(candidate.Box(), boxesOf(comp), &budget)
+	return ok && covered
+}
+
+// boxCoveredByUnion reports whether box is fully covered by the union of
+// covers, by subtracting the first overlapping cover and recursing on the
+// remaining fragments. The budget bounds the number of fragments examined;
+// when exhausted ok is false and the caller must treat the result as unknown.
+func boxCoveredByUnion(box geom.Box, covers []geom.Box, budget *int) (covered, ok bool) {
+	if *budget <= 0 {
+		return false, false
+	}
+	*budget--
+	if box.Empty() {
+		return true, true
+	}
+	for i, cv := range covers {
+		if !cv.Overlaps(box) {
+			continue
+		}
+		if cv.Covers(box) {
+			return true, true
+		}
+		fragments := subtractBox(box, cv)
+		rest := covers[i+1:]
+		for _, frag := range fragments {
+			c, o := boxCoveredByUnion(frag, rest, budget)
+			if !o {
+				return false, false
+			}
+			if !c {
+				return false, true
+			}
+		}
+		return true, true
+	}
+	return false, true
+}
+
+// subtractBox returns the fragments of box not covered by cut, as a list of
+// disjoint boxes over the same dimensions. cut must overlap box.
+func subtractBox(box, cut geom.Box, // both over identical dimension sets
+) []geom.Box {
+	var fragments []geom.Box
+	remaining := box.Clone()
+	for _, dim := range box.Dims() {
+		rIv, _ := remaining.Get(dim)
+		cIv, _ := cut.Get(dim)
+		// Left fragment: the part of remaining below the cut in this dim.
+		if rIv.Min < cIv.Min {
+			frag := remaining.Clone().Set(dim, geom.Interval{Min: rIv.Min, Max: math.Min(rIv.Max, cIv.Min)})
+			fragments = append(fragments, frag)
+		}
+		// Right fragment: the part above the cut in this dim.
+		if rIv.Max > cIv.Max {
+			frag := remaining.Clone().Set(dim, geom.Interval{Min: math.Max(rIv.Min, cIv.Max), Max: rIv.Max})
+			fragments = append(fragments, frag)
+		}
+		// Narrow remaining to the overlap in this dimension and continue.
+		remaining = remaining.Set(dim, rIv.Intersect(cIv))
+	}
+	return fragments
+}

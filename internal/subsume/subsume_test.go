@@ -1,0 +1,311 @@
+package subsume
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"sensorcq/internal/geom"
+	"sensorcq/internal/model"
+	"sensorcq/internal/stats"
+)
+
+func abs2(t *testing.T, id string, dt model.Timestamp, ranges map[model.AttributeType][2]float64) *model.Subscription {
+	t.Helper()
+	var filters []model.AttributeFilter
+	for a, r := range ranges {
+		filters = append(filters, model.AttributeFilter{Attr: a, Range: geom.NewInterval(r[0], r[1])})
+	}
+	s, err := model.NewAbstractSubscription(model.SubscriptionID(id), filters, geom.WholePlane(), dt, model.NoSpatialConstraint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPairwiseCovered(t *testing.T) {
+	wide := abs2(t, "wide", 30, map[model.AttributeType][2]float64{"a": {0, 100}, "b": {0, 100}})
+	narrow := abs2(t, "narrow", 30, map[model.AttributeType][2]float64{"a": {10, 20}, "b": {10, 20}})
+	other := abs2(t, "other", 30, map[model.AttributeType][2]float64{"a": {0, 100}, "c": {0, 100}})
+
+	if !PairwiseCovered(narrow, []*model.Subscription{other, wide}) {
+		t.Error("narrow should be pairwise covered by wide")
+	}
+	if PairwiseCovered(wide, []*model.Subscription{narrow, other}) {
+		t.Error("wide should not be pairwise covered")
+	}
+	if PairwiseCovered(narrow, nil) {
+		t.Error("empty set covers nothing")
+	}
+	var pc PairwiseChecker
+	if !pc.Subsumed(narrow, []*model.Subscription{wide}) || pc.Name() != "pairwise" {
+		t.Error("PairwiseChecker adapter wrong")
+	}
+	var nc NoneChecker
+	if nc.Subsumed(narrow, []*model.Subscription{wide}) || nc.Name() != "none" {
+		t.Error("NoneChecker should never subsume")
+	}
+}
+
+// Table I of the paper: s3 is subsumed by {s1, s2} only after splitting into
+// the per-path operators; as whole subscriptions over different sensor sets
+// neither pairwise nor set filtering may detect subsumption.
+func tableISubs(t *testing.T) (s1, s2, s3 *model.Subscription) {
+	t.Helper()
+	mk := func(id string, ranges map[model.SensorID][2]float64) *model.Subscription {
+		var filters []model.SensorFilter
+		for d, r := range ranges {
+			filters = append(filters, model.SensorFilter{Sensor: d, Attr: model.AttributeType("attr_" + d), Range: geom.NewInterval(r[0], r[1])})
+		}
+		s, err := model.NewIdentifiedSubscription(model.SubscriptionID(id), filters, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s1 = mk("s1", map[model.SensorID][2]float64{"a": {50, 80}, "b": {10, 30}})
+	s2 = mk("s2", map[model.SensorID][2]float64{"b": {20, 40}, "c": {2, 20}})
+	s3 = mk("s3", map[model.SensorID][2]float64{"a": {55, 75}, "b": {15, 35}, "c": {5, 15}})
+	return
+}
+
+func TestTableIWholeSubscriptionsNotComparable(t *testing.T) {
+	s1, s2, s3 := tableISubs(t)
+	set := []*model.Subscription{s1, s2}
+	if PairwiseCovered(s3, set) {
+		t.Error("s3 must not be pairwise covered by s1/s2 (different sensor sets)")
+	}
+	checker := NewSetChecker(0.01, 1)
+	if checker.Subsumed(s3, set) {
+		t.Error("set filtering over different sensor sets must not subsume s3 directly")
+	}
+}
+
+func TestTableISplitOperatorsAreCovered(t *testing.T) {
+	s1, s2, s3 := tableISubs(t)
+	// After the split phase, s3's simple operators are compared against the
+	// simple operators split from s1 and s2 over the same sensors:
+	//   a: [55,75] ⊂ [50,80]            (covered by s1's a operator alone)
+	//   c: [5,15]  ⊂ [2,20]             (covered by s2's c operator alone)
+	//   b: [15,35] ⊂ [10,30] ∪ [20,40]  (covered only by the UNION — this is
+	//                                    where set filtering beats pairwise)
+	op3a := s3.ProjectSensors([]model.SensorID{"a"})
+	op3b := s3.ProjectSensors([]model.SensorID{"b"})
+	op3c := s3.ProjectSensors([]model.SensorID{"c"})
+	op1a := s1.ProjectSensors([]model.SensorID{"a"})
+	op1b := s1.ProjectSensors([]model.SensorID{"b"})
+	op2b := s2.ProjectSensors([]model.SensorID{"b"})
+	op2c := s2.ProjectSensors([]model.SensorID{"c"})
+
+	if !op3a.CoveredBy(op1a) {
+		t.Error("s3's a operator should be covered by s1's a operator")
+	}
+	if !op3c.CoveredBy(op2c) {
+		t.Error("s3's c operator should be covered by s2's c operator")
+	}
+	if op3b.CoveredBy(op1b) || op3b.CoveredBy(op2b) {
+		t.Error("s3's b operator must not be covered by a single operator")
+	}
+	checker := NewSetChecker(0.01, 1)
+	if !checker.Subsumed(op3a, []*model.Subscription{op1a}) {
+		t.Error("set checker should accept single-cover case for (a)")
+	}
+	if !checker.Subsumed(op3c, []*model.Subscription{op2c}) {
+		t.Error("set checker should accept single-cover case for (c)")
+	}
+	if !checker.Subsumed(op3b, []*model.Subscription{op1b, op2b}) {
+		t.Error("set checker should detect the union coverage of the b operator")
+	}
+	if PairwiseCovered(op3b, []*model.Subscription{op1b, op2b}) {
+		t.Error("pairwise filtering must not detect the union coverage of the b operator")
+	}
+	if !(ExactChecker{}).Subsumed(op3b, []*model.Subscription{op1b, op2b}) {
+		t.Error("exact checker should detect the union coverage of the b operator")
+	}
+}
+
+func TestSetCheckerUnionCoverage(t *testing.T) {
+	// Two subscriptions that only jointly cover the candidate: pairwise
+	// filtering fails, set filtering succeeds.
+	left := abs2(t, "left", 30, map[model.AttributeType][2]float64{"a": {0, 60}, "b": {0, 100}})
+	right := abs2(t, "right", 30, map[model.AttributeType][2]float64{"a": {40, 100}, "b": {0, 100}})
+	mid := abs2(t, "mid", 30, map[model.AttributeType][2]float64{"a": {20, 80}, "b": {10, 90}})
+
+	set := []*model.Subscription{left, right}
+	if PairwiseCovered(mid, set) {
+		t.Fatal("mid must not be covered by a single subscription")
+	}
+	checker := NewSetChecker(0.01, 42)
+	if !checker.Subsumed(mid, set) {
+		t.Error("set checker should detect union coverage")
+	}
+	exact := ExactChecker{}
+	if !exact.Subsumed(mid, set) {
+		t.Error("exact checker should detect union coverage")
+	}
+}
+
+func TestSetCheckerDetectsGap(t *testing.T) {
+	// The union leaves a hole in the middle of the candidate.
+	left := abs2(t, "left", 30, map[model.AttributeType][2]float64{"a": {0, 40}, "b": {0, 100}})
+	right := abs2(t, "right", 30, map[model.AttributeType][2]float64{"a": {60, 100}, "b": {0, 100}})
+	mid := abs2(t, "mid", 30, map[model.AttributeType][2]float64{"a": {20, 80}, "b": {10, 90}})
+
+	set := []*model.Subscription{left, right}
+	checker := NewSetChecker(0.01, 42)
+	if checker.Subsumed(mid, set) {
+		t.Error("set checker must detect the uncovered gap")
+	}
+	exact := ExactChecker{}
+	if exact.Subsumed(mid, set) {
+		t.Error("exact checker must detect the uncovered gap")
+	}
+}
+
+func TestSetCheckerInteriorGap(t *testing.T) {
+	// Gap strictly in the interior (all corners covered) — only sampling or
+	// exact subtraction can find it. Build a frame of four subscriptions
+	// around an uncovered centre square.
+	frame := []*model.Subscription{
+		abs2(t, "bottom", 30, map[model.AttributeType][2]float64{"a": {0, 100}, "b": {0, 30}}),
+		abs2(t, "top", 30, map[model.AttributeType][2]float64{"a": {0, 100}, "b": {70, 100}}),
+		abs2(t, "left", 30, map[model.AttributeType][2]float64{"a": {0, 30}, "b": {0, 100}}),
+		abs2(t, "right", 30, map[model.AttributeType][2]float64{"a": {70, 100}, "b": {0, 100}}),
+	}
+	candidate := abs2(t, "cand", 30, map[model.AttributeType][2]float64{"a": {10, 90}, "b": {10, 90}})
+
+	exact := ExactChecker{}
+	if exact.Subsumed(candidate, frame) {
+		t.Fatal("exact checker must find the interior gap")
+	}
+	// The gap is (0.6)^2/(0.8)^2 = 56% of the candidate volume; with error
+	// probability 0.01 the probabilistic checker finds it essentially always.
+	checker := NewSetChecker(0.01, 7)
+	if checker.Subsumed(candidate, frame) {
+		t.Error("probabilistic checker should find a 56% gap")
+	}
+}
+
+func TestSetCheckerErrorProbabilityTradeoff(t *testing.T) {
+	// A tiny interior gap: a sloppier checker (larger error probability,
+	// fewer samples) should miss it more often than a strict one. We only
+	// assert the sample counts are ordered and that the strict checker is
+	// not worse than the sloppy one on aggregate.
+	frame := []*model.Subscription{
+		abs2(t, "bottom", 30, map[model.AttributeType][2]float64{"a": {0, 100}, "b": {0, 49}}),
+		abs2(t, "top", 30, map[model.AttributeType][2]float64{"a": {0, 100}, "b": {51, 100}}),
+		abs2(t, "left", 30, map[model.AttributeType][2]float64{"a": {0, 49}, "b": {0, 100}}),
+		abs2(t, "right", 30, map[model.AttributeType][2]float64{"a": {51, 100}, "b": {0, 100}}),
+	}
+	candidate := abs2(t, "cand", 30, map[model.AttributeType][2]float64{"a": {40, 60}, "b": {40, 60}})
+
+	strict := NewSetChecker(0.001, 3)
+	sloppy := NewSetChecker(0.5, 3)
+	if strict.Samples() <= sloppy.Samples() {
+		t.Errorf("stricter checker should sample more: %d vs %d", strict.Samples(), sloppy.Samples())
+	}
+	strictMisses, sloppyMisses := 0, 0
+	for i := 0; i < 50; i++ {
+		if strict.Subsumed(candidate, frame) {
+			strictMisses++
+		}
+		if sloppy.Subsumed(candidate, frame) {
+			sloppyMisses++
+		}
+	}
+	if strictMisses > sloppyMisses {
+		t.Errorf("strict checker missed the gap more often (%d) than the sloppy one (%d)", strictMisses, sloppyMisses)
+	}
+}
+
+func TestSetCheckerIgnoresIncomparable(t *testing.T) {
+	cand := abs2(t, "cand", 30, map[model.AttributeType][2]float64{"a": {10, 20}, "b": {10, 20}})
+	otherAttrs := abs2(t, "other", 30, map[model.AttributeType][2]float64{"a": {0, 100}, "c": {0, 100}})
+	otherDeltaT := abs2(t, "dt", 60, map[model.AttributeType][2]float64{"a": {0, 100}, "b": {0, 100}})
+	checker := NewSetChecker(0.01, 5)
+	if checker.Subsumed(cand, []*model.Subscription{otherAttrs, otherDeltaT}) {
+		t.Error("incomparable subscriptions must not subsume")
+	}
+	if checker.Subsumed(cand, nil) {
+		t.Error("empty set must not subsume")
+	}
+}
+
+func TestNewSetCheckerValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid error probability should panic")
+		}
+	}()
+	NewSetChecker(1.5, 1)
+}
+
+func TestSetCheckerName(t *testing.T) {
+	c := NewSetChecker(0.02, 1)
+	if c.Name() != "set-filter(err=0.02)" {
+		t.Errorf("Name() = %q", c.Name())
+	}
+	if (ExactChecker{}).Name() != "exact" {
+		t.Error("ExactChecker name wrong")
+	}
+}
+
+// Property: whenever the exact checker declares subsumption the probabilistic
+// checker never produces a false negative that contradicts single-cover, and
+// whenever the exact checker finds a gap of substantial volume the
+// probabilistic checker agrees (no false positives beyond its error budget in
+// this easy regime).
+func TestPropertyExactVsProbabilistic(t *testing.T) {
+	rng := stats.NewRNG(99)
+	f := func(seedRaw int64) bool {
+		_ = seedRaw
+		// Generate 3 covering subscriptions and 1 candidate over 2 attrs.
+		mk := func(id string) *model.Subscription {
+			lo1 := rng.Range(0, 50)
+			lo2 := rng.Range(0, 50)
+			return abs2(t, id, 30, map[model.AttributeType][2]float64{
+				"a": {lo1, lo1 + rng.Range(10, 50)},
+				"b": {lo2, lo2 + rng.Range(10, 50)},
+			})
+		}
+		set := []*model.Subscription{mk("x"), mk("y"), mk("z")}
+		cand := mk("cand")
+		exact := ExactChecker{}.Subsumed(cand, set)
+		prob := NewSetChecker(0.001, rng.Int63()).Subsumed(cand, set)
+		if exact && !prob {
+			// The probabilistic checker may only err towards "subsumed";
+			// an exact "yes" with probabilistic "no" would be a real bug
+			// only if sampling hit a point outside the union, which cannot
+			// happen when the union truly covers the candidate.
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactCheckerBudgetExhaustion(t *testing.T) {
+	// With a budget of 1 the checker cannot finish and must answer "not
+	// subsumed" (the safe direction), even for an obviously covered case
+	// that is not single-covered.
+	left := abs2(t, "left", 30, map[model.AttributeType][2]float64{"a": {0, 60}, "b": {0, 100}})
+	right := abs2(t, "right", 30, map[model.AttributeType][2]float64{"a": {40, 100}, "b": {0, 100}})
+	mid := abs2(t, "mid", 30, map[model.AttributeType][2]float64{"a": {20, 80}, "b": {10, 90}})
+	c := ExactChecker{MaxDepth: 1}
+	if c.Subsumed(mid, []*model.Subscription{left, right}) {
+		t.Error("budget-exhausted exact checker must answer false")
+	}
+}
+
+func ExamplePairwiseCovered() {
+	wide, _ := model.NewAbstractSubscription("wide",
+		[]model.AttributeFilter{{Attr: "temp", Range: geom.NewInterval(-10, 10)}},
+		geom.WholePlane(), 30, model.NoSpatialConstraint)
+	narrow, _ := model.NewAbstractSubscription("narrow",
+		[]model.AttributeFilter{{Attr: "temp", Range: geom.NewInterval(0, 5)}},
+		geom.WholePlane(), 30, model.NoSpatialConstraint)
+	fmt.Println(PairwiseCovered(narrow, []*model.Subscription{wide}))
+	// Output: true
+}

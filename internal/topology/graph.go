@@ -1,0 +1,238 @@
+// Package topology models the processing-node network of Section IV-B: an
+// acyclic graph (a tree) of processing nodes, some of which have sensors
+// attached (sensor nodes) while the others only relay data. It provides the
+// generator that emulates the paper's SensorScope-like deployments (groups of
+// sensors behind base stations) and the routing primitives the centralized
+// baseline needs (shortest paths, centre election).
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a processing node. IDs are dense integers in [0, N).
+type NodeID int
+
+// Graph is an undirected graph over nodes 0..N-1. The protocols in this
+// library require it to be connected and acyclic (a tree), which Validate
+// checks.
+type Graph struct {
+	n   int
+	adj [][]NodeID
+}
+
+// NewGraph returns an edgeless graph with n nodes.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{n: n, adj: make([][]NodeID, n)}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, nb := range g.adj {
+		total += len(nb)
+	}
+	return total / 2
+}
+
+// AddEdge connects a and b. Adding an existing edge or a self-loop is an
+// error.
+func (g *Graph) AddEdge(a, b NodeID) error {
+	if a == b {
+		return fmt.Errorf("topology: self-loop on node %d", a)
+	}
+	if !g.valid(a) || !g.valid(b) {
+		return fmt.Errorf("topology: edge (%d,%d) references unknown node", a, b)
+	}
+	if g.HasEdge(a, b) {
+		return fmt.Errorf("topology: duplicate edge (%d,%d)", a, b)
+	}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+	return nil
+}
+
+// HasEdge reports whether a and b are directly connected.
+func (g *Graph) HasEdge(a, b NodeID) bool {
+	if !g.valid(a) || !g.valid(b) {
+		return false
+	}
+	for _, x := range g.adj[a] {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the neighbours of n in sorted order. The returned slice
+// must not be modified.
+func (g *Graph) Neighbors(n NodeID) []NodeID {
+	if !g.valid(n) {
+		return nil
+	}
+	sort.Slice(g.adj[n], func(i, j int) bool { return g.adj[n][i] < g.adj[n][j] })
+	return g.adj[n]
+}
+
+// Degree returns the number of neighbours of n.
+func (g *Graph) Degree(n NodeID) int {
+	if !g.valid(n) {
+		return 0
+	}
+	return len(g.adj[n])
+}
+
+func (g *Graph) valid(n NodeID) bool { return n >= 0 && int(n) < g.n }
+
+// Validate checks that the graph is connected and acyclic (|E| == |V|-1 and
+// every node reachable from node 0), which is what the paper's system model
+// assumes.
+func (g *Graph) Validate() error {
+	if g.n == 0 {
+		return errors.New("topology: empty graph")
+	}
+	if g.NumEdges() != g.n-1 {
+		return fmt.Errorf("topology: graph with %d nodes and %d edges is not a tree", g.n, g.NumEdges())
+	}
+	dist := g.BFS(0)
+	for i, d := range dist {
+		if d < 0 {
+			return fmt.Errorf("topology: node %d not reachable from node 0", i)
+		}
+	}
+	return nil
+}
+
+// BFS returns the hop distance from src to every node (-1 for unreachable).
+func (g *Graph) BFS(src NodeID) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if !g.valid(src) {
+		return dist
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.adj[cur] {
+			if dist[nb] < 0 {
+				dist[nb] = dist[cur] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return dist
+}
+
+// Path returns the unique path from a to b (inclusive of both endpoints).
+// It returns nil when no path exists.
+func (g *Graph) Path(a, b NodeID) []NodeID {
+	if !g.valid(a) || !g.valid(b) {
+		return nil
+	}
+	if a == b {
+		return []NodeID{a}
+	}
+	parent := make([]NodeID, g.n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[a] = a
+	queue := []NodeID{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == b {
+			break
+		}
+		for _, nb := range g.adj[cur] {
+			if parent[nb] < 0 {
+				parent[nb] = cur
+				queue = append(queue, nb)
+			}
+		}
+	}
+	if parent[b] < 0 {
+		return nil
+	}
+	var rev []NodeID
+	for cur := b; ; cur = parent[cur] {
+		rev = append(rev, cur)
+		if cur == a {
+			break
+		}
+	}
+	// reverse
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// NextHop returns the first hop on the path from a towards b, or -1 when no
+// path exists or a == b.
+func (g *Graph) NextHop(a, b NodeID) NodeID {
+	p := g.Path(a, b)
+	if len(p) < 2 {
+		return -1
+	}
+	return p[1]
+}
+
+// Center returns the node with the minimum total hop distance to all other
+// nodes — the paper's choice of central node for the centralized baseline.
+// Ties are broken towards the smaller node ID.
+func (g *Graph) Center() NodeID {
+	best := NodeID(0)
+	bestTotal := -1
+	for n := 0; n < g.n; n++ {
+		dist := g.BFS(NodeID(n))
+		total := 0
+		for _, d := range dist {
+			if d < 0 {
+				total = 1 << 30
+				break
+			}
+			total += d
+		}
+		if bestTotal < 0 || total < bestTotal {
+			bestTotal = total
+			best = NodeID(n)
+		}
+	}
+	return best
+}
+
+// Eccentricity returns the maximum hop distance from n to any other node.
+func (g *Graph) Eccentricity(n NodeID) int {
+	max := 0
+	for _, d := range g.BFS(n) {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Diameter returns the maximum eccentricity over all nodes.
+func (g *Graph) Diameter() int {
+	max := 0
+	for n := 0; n < g.n; n++ {
+		if e := g.Eccentricity(NodeID(n)); e > max {
+			max = e
+		}
+	}
+	return max
+}

@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"testing"
+
+	"sensorcq/internal/dataset"
+	"sensorcq/internal/model"
+	"sensorcq/internal/topology"
+)
+
+func fixture(t *testing.T) (*topology.Deployment, *dataset.Trace) {
+	t.Helper()
+	dep, err := topology.GenerateDeployment(topology.DeploymentConfig{
+		TotalNodes:  30,
+		SensorNodes: 20,
+		Groups:      4,
+		Attributes:  model.DefaultAttributes(),
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := dataset.Generate(dep, dataset.Config{Rounds: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep, trace
+}
+
+func TestGenerateWorkloadShape(t *testing.T) {
+	dep, trace := fixture(t)
+	placed, err := Generate(dep, trace, Config{Count: 40, MinAttrs: 3, MaxAttrs: 5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placed) != 40 {
+		t.Fatalf("got %d subscriptions", len(placed))
+	}
+	groupCounts := make([]int, len(dep.GroupRegions))
+	userNodeSet := map[topology.NodeID]bool{}
+	for _, n := range dep.UserNodes {
+		userNodeSet[n] = true
+	}
+	seenIDs := map[model.SubscriptionID]bool{}
+	for _, p := range placed {
+		if err := p.Sub.Validate(); err != nil {
+			t.Fatalf("invalid subscription %s: %v", p.Sub.ID, err)
+		}
+		if seenIDs[p.Sub.ID] {
+			t.Fatalf("duplicate subscription ID %s", p.Sub.ID)
+		}
+		seenIDs[p.Sub.ID] = true
+		if n := p.Sub.NumFilters(); n < 3 || n > 5 {
+			t.Errorf("subscription %s has %d attributes, want 3-5", p.Sub.ID, n)
+		}
+		if p.Sub.Kind != model.KindAbstract {
+			t.Errorf("subscriptions should be abstract")
+		}
+		if p.Sub.DeltaT != trace.RoundInterval {
+			t.Errorf("DeltaT = %d, want round interval %d", p.Sub.DeltaT, trace.RoundInterval)
+		}
+		if !userNodeSet[p.Node] {
+			t.Errorf("subscription %s placed on non-user node %d", p.Sub.ID, p.Node)
+		}
+		if p.Group < 0 || p.Group >= len(dep.GroupRegions) {
+			t.Fatalf("bad group %d", p.Group)
+		}
+		if !dep.GroupRegions[p.Group].Equal(p.Sub.Region) {
+			t.Errorf("subscription %s region does not match its group", p.Sub.ID)
+		}
+		groupCounts[p.Group]++
+	}
+	// Even targeting: 40 subscriptions over 4 groups.
+	for g, c := range groupCounts {
+		if c != 10 {
+			t.Errorf("group %d targeted by %d subscriptions, want 10", g, c)
+		}
+	}
+}
+
+func TestGenerateWorkloadRangesCentredOnMedians(t *testing.T) {
+	dep, trace := fixture(t)
+	placed, err := Generate(dep, trace, Config{Count: 200, MinAttrs: 5, MaxAttrs: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Most ranges should contain the attribute median (centres are jittered
+	// by only a quarter of the spread).
+	contains, total := 0, 0
+	for _, p := range placed {
+		for attr, f := range p.Sub.AttrFilters {
+			total++
+			if f.Range.Contains(trace.Medians[attr]) {
+				contains++
+			}
+			if f.Range.Width() <= 0 {
+				t.Errorf("degenerate range for %s", attr)
+			}
+			// The cap bounds the half width at 1.5 spreads.
+			if f.Range.Width() > 2*1.5*trace.Spreads[attr]+1e-9 {
+				t.Errorf("range for %s wider than the cap: %g", attr, f.Range.Width())
+			}
+		}
+	}
+	if float64(contains)/float64(total) < 0.6 {
+		t.Errorf("only %d/%d ranges contain the median", contains, total)
+	}
+}
+
+func TestGenerateWorkloadDeterministic(t *testing.T) {
+	dep, trace := fixture(t)
+	a, err := Generate(dep, trace, Config{Count: 30, MinAttrs: 3, MaxAttrs: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(dep, trace, Config{Count: 30, MinAttrs: 3, MaxAttrs: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Node != b[i].Node || a[i].Sub.String() != b[i].Sub.String() {
+			t.Fatalf("subscription %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateWorkloadValidation(t *testing.T) {
+	dep, trace := fixture(t)
+	if _, err := Generate(dep, trace, Config{Count: 0, MinAttrs: 1, MaxAttrs: 1}); err == nil {
+		t.Error("zero count should fail")
+	}
+	if _, err := Generate(dep, trace, Config{Count: 5, MinAttrs: 0, MaxAttrs: 2}); err == nil {
+		t.Error("non-positive MinAttrs should fail")
+	}
+	if _, err := Generate(dep, trace, Config{Count: 5, MinAttrs: 4, MaxAttrs: 2}); err == nil {
+		t.Error("MaxAttrs < MinAttrs should fail")
+	}
+	// Requesting more attributes than exist degrades gracefully to the
+	// available universe.
+	placed, err := Generate(dep, trace, Config{Count: 3, MinAttrs: 9, MaxAttrs: 9, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range placed {
+		if p.Sub.NumFilters() != 5 {
+			t.Errorf("subscription should use all 5 available attributes, got %d", p.Sub.NumFilters())
+		}
+	}
+}

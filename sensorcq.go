@@ -1,0 +1,174 @@
+// Package sensorcq is a library for evaluating continuous multi-join queries
+// (subscriptions) over distributed sensor networks. It reproduces the system
+// described in "Continuous Query Evaluation over Distributed Sensor
+// Networks" (Jurca, Michel, Herrmann, Aberer — ICDE 2010): a
+// publish/subscribe layer over an acyclic network of processing nodes in
+// which subscriptions are filtered, split and forwarded towards the sensors
+// along reverse advertisement paths, and sensor readings are correlated into
+// complex events as close to their sources as possible.
+//
+// The package exposes:
+//
+//   - the data model (sensors, advertisements, events, filters, identified
+//     and abstract subscriptions),
+//   - the five protocol variants evaluated in the paper (centralized, naive,
+//     distributed operator placement, distributed multi-join, and the
+//     paper's Filter-Split-Forward approach),
+//   - deployment, trace and workload generators that emulate the paper's
+//     SensorScope-based evaluation, and
+//   - the experiment harness and report writers that regenerate every figure
+//     of the paper's evaluation section.
+//
+// Most applications start from GenerateDeployment (or NewTopology for a
+// hand-built network), create a System with the approach of their choice,
+// register subscriptions and publish readings:
+//
+//	dep, _ := sensorcq.GenerateDeployment(sensorcq.DeploymentConfig{
+//	    TotalNodes: 60, SensorNodes: 50, Groups: 10,
+//	    Attributes: sensorcq.DefaultAttributes(), Seed: 1,
+//	})
+//	sys, _ := sensorcq.NewSystem(dep, sensorcq.Config{Approach: sensorcq.FilterSplitForward})
+//	defer sys.Close()
+package sensorcq
+
+import (
+	"sensorcq/internal/dataset"
+	"sensorcq/internal/experiment"
+	"sensorcq/internal/geom"
+	"sensorcq/internal/model"
+	"sensorcq/internal/netsim"
+	"sensorcq/internal/topology"
+	"sensorcq/internal/workload"
+)
+
+// Core model types, re-exported for users of the public API.
+type (
+	// AttributeType identifies a kind of measurement (temperature, ...).
+	AttributeType = model.AttributeType
+	// SensorID identifies a physical sensor (data source).
+	SensorID = model.SensorID
+	// SubscriptionID identifies a subscription or correlation operator.
+	SubscriptionID = model.SubscriptionID
+	// Timestamp is a logical time value in trace units (seconds).
+	Timestamp = model.Timestamp
+	// Sensor is a data source of a fixed type at a known location.
+	Sensor = model.Sensor
+	// Advertisement announces a sensor to the network.
+	Advertisement = model.Advertisement
+	// Event is one sensor reading.
+	Event = model.Event
+	// ComplexEvent is a set of time-correlated readings matching a
+	// subscription.
+	ComplexEvent = model.ComplexEvent
+	// AttributeFilter is a range condition over an attribute type.
+	AttributeFilter = model.AttributeFilter
+	// SensorFilter is a range condition bound to a specific sensor.
+	SensorFilter = model.SensorFilter
+	// Subscription is a user subscription or correlation operator.
+	Subscription = model.Subscription
+
+	// Interval is a closed numeric interval.
+	Interval = geom.Interval
+	// Point is a location in the 2D plane.
+	Point = geom.Point2D
+	// Region is an axis-aligned rectangle in the location domain.
+	Region = geom.Region
+
+	// NodeID identifies a processing node.
+	NodeID = topology.NodeID
+	// Graph is the acyclic processing-node network.
+	Graph = topology.Graph
+	// Deployment is a generated network plus its sensors.
+	Deployment = topology.Deployment
+	// DeploymentConfig parameterises deployment generation.
+	DeploymentConfig = topology.DeploymentConfig
+
+	// Delivery is a complex event handed to a subscribing user.
+	Delivery = netsim.Delivery
+
+	// TraceConfig parameterises synthetic trace generation.
+	TraceConfig = dataset.Config
+	// Trace is a generated measurement trace.
+	Trace = dataset.Trace
+	// AttributeProfile describes the synthetic behaviour of one attribute.
+	AttributeProfile = dataset.AttributeProfile
+	// WorkloadConfig parameterises subscription-workload generation.
+	WorkloadConfig = workload.Config
+	// PlacedSubscription is a generated subscription plus its user's node.
+	PlacedSubscription = workload.Placed
+
+	// Scenario describes one of the paper's experimental setups.
+	Scenario = experiment.Scenario
+	// ExperimentOptions tweaks an experiment run.
+	ExperimentOptions = experiment.Options
+	// Result is the outcome of an experiment run.
+	Result = experiment.Result
+	// ApproachSeries is one approach's measurement series.
+	ApproachSeries = experiment.ApproachSeries
+	// SeriesPoint is one measurement point of a series.
+	SeriesPoint = experiment.SeriesPoint
+)
+
+// The paper's five SensorScope measurement types.
+const (
+	AmbientTemperature = model.AmbientTemperature
+	SurfaceTemperature = model.SurfaceTemperature
+	RelativeHumidity   = model.RelativeHumidity
+	WindSpeed          = model.WindSpeed
+	WindDirection      = model.WindDirection
+)
+
+// NoSpatialConstraint disables the spatial correlation distance of an
+// abstract subscription (δl = ∞).
+var NoSpatialConstraint = model.NoSpatialConstraint
+
+// DefaultAttributes returns the paper's five attribute types.
+func DefaultAttributes() []AttributeType { return model.DefaultAttributes() }
+
+// DefaultAttributeProfiles returns the synthetic generation profiles of the
+// five default attribute types.
+func DefaultAttributeProfiles() []AttributeProfile { return dataset.DefaultProfiles() }
+
+// NewInterval returns the closed interval [min, max] (bounds are swapped if
+// given in the wrong order).
+func NewInterval(min, max float64) Interval { return geom.NewInterval(min, max) }
+
+// NewRegion returns the rectangle spanned by two opposite corners.
+func NewRegion(x0, y0, x1, y1 float64) Region { return geom.NewRegion(x0, y0, x1, y1) }
+
+// RegionAround returns the square region of half-width radius centred on p.
+func RegionAround(p Point, radius float64) Region { return geom.RegionAround(p, radius) }
+
+// Everywhere returns the unbounded region (no spatial constraint).
+func Everywhere() Region { return geom.WholePlane() }
+
+// NewIdentifiedSubscription builds a subscription over explicitly named
+// sensors with the given temporal correlation distance δt.
+func NewIdentifiedSubscription(id SubscriptionID, filters []SensorFilter, deltaT Timestamp) (*Subscription, error) {
+	return model.NewIdentifiedSubscription(id, filters, deltaT)
+}
+
+// NewAbstractSubscription builds a subscription over attribute types bound
+// to a region, with temporal correlation distance δt and spatial correlation
+// distance δl (use NoSpatialConstraint to disable the latter).
+func NewAbstractSubscription(id SubscriptionID, filters []AttributeFilter, region Region, deltaT Timestamp, deltaL float64) (*Subscription, error) {
+	return model.NewAbstractSubscription(id, filters, region, deltaT, deltaL)
+}
+
+// GenerateDeployment builds a SensorScope-like deployment: sensor nodes
+// grouped behind base stations, wired into an acyclic processing network.
+func GenerateDeployment(cfg DeploymentConfig) (*Deployment, error) {
+	return topology.GenerateDeployment(cfg)
+}
+
+// GenerateTrace produces a synthetic measurement trace for a deployment.
+func GenerateTrace(dep *Deployment, cfg TraceConfig) (*Trace, error) {
+	return dataset.Generate(dep, cfg)
+}
+
+// GenerateWorkload produces subscriptions the way the paper's evaluation
+// does: ranges centred on the trace's medians with Pareto-distributed
+// widths, targeting every sensor group evenly.
+func GenerateWorkload(dep *Deployment, trace *Trace, cfg WorkloadConfig) ([]PlacedSubscription, error) {
+	return workload.Generate(dep, trace, cfg)
+}

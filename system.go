@@ -1,0 +1,264 @@
+package sensorcq
+
+import (
+	"fmt"
+
+	"sensorcq/internal/experiment"
+	"sensorcq/internal/model"
+	"sensorcq/internal/netsim"
+	"sensorcq/internal/topology"
+)
+
+// Approach names one of the five evaluated query-processing approaches.
+type Approach = experiment.ApproachID
+
+// The five approaches of the paper's evaluation (Table II).
+const (
+	// Centralized ships every subscription and every reading to a central
+	// node with global knowledge and matches there.
+	Centralized = experiment.Centralized
+	// Naive forwards every subscription with no filtering and builds one
+	// result set per subscription.
+	Naive = experiment.Naive
+	// OperatorPlacement shares identical and covering operators between
+	// queries (pairwise covering) with per-subscription result sets.
+	OperatorPlacement = experiment.OperatorPlacement
+	// MultiJoin decomposes multi-joins into binary joins at the first
+	// divergence node, with publish/subscribe event forwarding.
+	MultiJoin = experiment.MultiJoin
+	// FilterSplitForward is the paper's contribution: probabilistic set
+	// subsumption, advertisement-driven splitting and per-neighbour
+	// publish/subscribe event forwarding.
+	FilterSplitForward = experiment.FilterSplitForward
+)
+
+// Approaches returns every available approach, centralized first.
+func Approaches() []Approach { return experiment.All() }
+
+// Config selects the approach and runtime of a System.
+type Config struct {
+	// Approach is the query-processing approach to run (default
+	// FilterSplitForward).
+	Approach Approach
+	// Seed drives the probabilistic set filter of FilterSplitForward.
+	Seed int64
+	// SetFilterError overrides the FSF set-filter error probability
+	// (0 keeps the default of 2%).
+	SetFilterError float64
+	// Concurrent runs one goroutine per processing node instead of the
+	// deterministic sequential engine.
+	Concurrent bool
+}
+
+// System is a running sensor network: a deployment whose processing nodes
+// execute the chosen approach. It is the main entry point of the public API.
+type System struct {
+	dep        *Deployment
+	runtime    netsim.Runtime
+	concurrent *netsim.ConcurrentEngine
+	approach   Approach
+}
+
+// TrafficStats summarises the traffic generated so far.
+type TrafficStats struct {
+	// AdvertisementLoad counts forwarded advertisements.
+	AdvertisementLoad int64
+	// SubscriptionLoad counts forwarded subscriptions/operators — the
+	// paper's "number of forwarded queries".
+	SubscriptionLoad int64
+	// EventLoad counts forwarded simple events — the paper's "number of
+	// forwarded data units".
+	EventLoad int64
+}
+
+// NewSystem builds a System over the deployment, attaches and advertises
+// every sensor of the deployment, and returns it ready for Subscribe and
+// Publish calls.
+func NewSystem(dep *Deployment, cfg Config) (*System, error) {
+	if dep == nil || dep.Graph == nil {
+		return nil, fmt.Errorf("sensorcq: nil deployment")
+	}
+	if cfg.Approach == "" {
+		cfg.Approach = FilterSplitForward
+	}
+	factory, err := experiment.FactoryFor(cfg.Approach, cfg.Seed, cfg.SetFilterError)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{dep: dep, approach: cfg.Approach}
+	if cfg.Concurrent {
+		conc := netsim.NewConcurrentEngine(dep.Graph, factory)
+		sys.runtime = conc
+		sys.concurrent = conc
+	} else {
+		sys.runtime = netsim.NewEngine(dep.Graph, factory)
+	}
+	for _, sensor := range dep.Sensors {
+		host, ok := dep.SensorHost[sensor.ID]
+		if !ok {
+			sys.Close()
+			return nil, fmt.Errorf("sensorcq: sensor %s has no host node", sensor.ID)
+		}
+		if err := sys.runtime.AttachSensor(host, sensor); err != nil {
+			sys.Close()
+			return nil, fmt.Errorf("sensorcq: attaching sensor %s: %w", sensor.ID, err)
+		}
+	}
+	sys.runtime.Flush()
+	return sys, nil
+}
+
+// Approach returns the approach this system runs.
+func (s *System) Approach() Approach { return s.approach }
+
+// Deployment returns the underlying deployment.
+func (s *System) Deployment() *Deployment { return s.dep }
+
+// Subscribe registers a user subscription at the given processing node.
+func (s *System) Subscribe(node NodeID, sub *Subscription) error {
+	if err := s.runtime.Subscribe(node, sub); err != nil {
+		return err
+	}
+	s.runtime.Flush()
+	return nil
+}
+
+// Publish injects a sensor reading. The event's Sensor must be part of the
+// deployment; the reading enters the network at the node hosting it.
+func (s *System) Publish(ev Event) error {
+	host, ok := s.dep.SensorHost[ev.Sensor]
+	if !ok {
+		return fmt.Errorf("sensorcq: unknown sensor %s", ev.Sensor)
+	}
+	return s.PublishAt(host, ev)
+}
+
+// PublishAt injects a reading at an explicit node (for hand-built
+// deployments or readings of sensors attached after construction).
+func (s *System) PublishAt(node NodeID, ev Event) error {
+	if err := s.runtime.Publish(node, ev); err != nil {
+		return err
+	}
+	s.runtime.Flush()
+	return nil
+}
+
+// Replay publishes every event of a trace in order.
+func (s *System) Replay(events []Event) error {
+	for _, ev := range events {
+		if err := s.Publish(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Traffic returns the accumulated traffic counters.
+func (s *System) Traffic() TrafficStats {
+	snap := s.runtime.Metrics().Snapshot()
+	return TrafficStats{
+		AdvertisementLoad: snap.AdvertisementLoad,
+		SubscriptionLoad:  snap.SubscriptionLoad,
+		EventLoad:         snap.EventLoad,
+	}
+}
+
+// Deliveries returns every complex event delivered to subscribing users so
+// far, in delivery order.
+func (s *System) Deliveries() []Delivery { return s.runtime.Deliveries() }
+
+// DeliveriesFor returns the deliveries of one subscription.
+func (s *System) DeliveriesFor(id SubscriptionID) []Delivery {
+	var out []Delivery
+	for _, d := range s.runtime.Deliveries() {
+		if d.SubID == id {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DeliveredEventSeqs returns the set of simple-event sequence numbers that
+// reached the user of the given subscription.
+func (s *System) DeliveredEventSeqs(id SubscriptionID) map[uint64]bool {
+	return s.runtime.Metrics().DeliveredSeqs(id)
+}
+
+// Close releases the per-node goroutines of a concurrent system; it is a
+// no-op for the sequential runtime.
+func (s *System) Close() {
+	if s.concurrent != nil {
+		s.concurrent.Flush()
+		s.concurrent.Close()
+	}
+}
+
+// TopologyBuilder builds a hand-crafted deployment: an explicit node graph
+// with sensors placed on chosen nodes. It is the public way to model a small
+// concrete network (the examples use it for the paper's six-node walkthrough
+// topology).
+type TopologyBuilder struct {
+	graph   *topology.Graph
+	sensors []Sensor
+	hosts   map[SensorID]NodeID
+	err     error
+}
+
+// NewTopology starts a builder for a network of n processing nodes
+// (identified 0..n-1).
+func NewTopology(n int) *TopologyBuilder {
+	return &TopologyBuilder{graph: topology.NewGraph(n), hosts: map[SensorID]NodeID{}}
+}
+
+// Link connects two nodes and returns the builder for chaining.
+func (b *TopologyBuilder) Link(a, c NodeID) *TopologyBuilder {
+	if b.err == nil {
+		b.err = b.graph.AddEdge(a, c)
+	}
+	return b
+}
+
+// PlaceSensor attaches a sensor to a node and returns the builder.
+func (b *TopologyBuilder) PlaceSensor(node NodeID, sensor Sensor) *TopologyBuilder {
+	if b.err != nil {
+		return b
+	}
+	if _, dup := b.hosts[sensor.ID]; dup {
+		b.err = fmt.Errorf("sensorcq: sensor %s placed twice", sensor.ID)
+		return b
+	}
+	b.sensors = append(b.sensors, sensor)
+	b.hosts[sensor.ID] = node
+	return b
+}
+
+// Build validates the topology (it must be a connected acyclic graph) and
+// returns the deployment.
+func (b *TopologyBuilder) Build() (*Deployment, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.graph.Validate(); err != nil {
+		return nil, err
+	}
+	dep := &Deployment{
+		Graph:       b.graph,
+		SensorHost:  map[model.SensorID]topology.NodeID{},
+		NodeSensors: map[topology.NodeID][]model.Sensor{},
+	}
+	sensorNodes := map[NodeID]bool{}
+	for _, s := range b.sensors {
+		node := b.hosts[s.ID]
+		dep.Sensors = append(dep.Sensors, s)
+		dep.SensorHost[s.ID] = node
+		dep.NodeSensors[node] = append(dep.NodeSensors[node], s)
+		sensorNodes[node] = true
+	}
+	for n := 0; n < b.graph.NumNodes(); n++ {
+		if !sensorNodes[NodeID(n)] {
+			dep.RelayNodes = append(dep.RelayNodes, NodeID(n))
+			dep.UserNodes = append(dep.UserNodes, NodeID(n))
+		}
+	}
+	return dep, nil
+}
