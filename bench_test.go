@@ -26,6 +26,8 @@ import (
 	"sensorcq/internal/experiment"
 	"sensorcq/internal/model"
 	"sensorcq/internal/netsim"
+	"sensorcq/internal/stats"
+	"sensorcq/internal/stores"
 	"sensorcq/internal/subsume"
 	"sensorcq/internal/topology"
 )
@@ -285,6 +287,157 @@ func BenchmarkAblationLinkDedup(b *testing.B) {
 			b.ReportMetric(float64(load), "event-load")
 		})
 	}
+}
+
+// --- index-vs-linear scaling: the event-matching fast path ---
+
+// indexBenchPopulation builds n abstract subscriptions with medium-selective
+// ranges (about 2% of the value domain each) over the five default
+// attributes, plus a deterministic stream of probe events.
+func indexBenchPopulation(n int) ([]*model.Subscription, []model.Event) {
+	rng := stats.NewRNG(42)
+	attrs := model.DefaultAttributes()
+	subs := make([]*model.Subscription, 0, n)
+	for i := 0; i < n; i++ {
+		na := 1 + rng.Intn(3)
+		picked := rng.Choose(len(attrs), na)
+		filters := make([]model.AttributeFilter, 0, na)
+		for _, a := range picked {
+			lo := rng.Range(0, 980)
+			filters = append(filters, model.AttributeFilter{
+				Attr:  attrs[a],
+				Range: NewInterval(lo, lo+rng.Range(5, 20)),
+			})
+		}
+		sub, err := model.NewAbstractSubscription(
+			model.SubscriptionID(fmt.Sprintf("ix%06d", i)),
+			filters, Everywhere(), 30, model.NoSpatialConstraint)
+		if err != nil {
+			panic(err)
+		}
+		subs = append(subs, sub)
+	}
+	events := make([]model.Event, 512)
+	for i := range events {
+		a := rng.Intn(len(attrs))
+		events[i] = model.Event{
+			Seq:    uint64(i + 1),
+			Sensor: model.SensorID(fmt.Sprintf("d%d", a)),
+			Attr:   attrs[a],
+			Value:  rng.Range(0, 1000),
+			Time:   model.Timestamp(i),
+		}
+	}
+	return subs, events
+}
+
+// BenchmarkEventMatchScaling compares the indexed candidate selection
+// (stores.EventIndex, the fast path the protocol nodes now use) against the
+// per-attribute linear scan it replaced, at growing subscription
+// populations. The per-event cost of the linear scan grows with the
+// population; the indexed cost grows with the number of actual matches.
+func BenchmarkEventMatchScaling(b *testing.B) {
+	for _, n := range []int{1000, 10000, 50000} {
+		subs, events := indexBenchPopulation(n)
+
+		b.Run(fmt.Sprintf("indexed/subs=%d", n), func(b *testing.B) {
+			idx := stores.NewEventIndex()
+			for _, s := range subs {
+				idx.Add(s)
+			}
+			// Prime the lazy rebuild outside the timed region.
+			idx.Candidates(events[0], func(*model.Subscription) bool { return true })
+			matches := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx.Candidates(events[i%len(events)], func(*model.Subscription) bool {
+					matches++
+					return true
+				})
+			}
+			b.ReportMetric(float64(matches)/float64(b.N), "matches/op")
+		})
+
+		b.Run(fmt.Sprintf("linear/subs=%d", n), func(b *testing.B) {
+			byAttr := map[model.AttributeType][]*model.Subscription{}
+			for _, s := range subs {
+				for _, a := range s.Attributes() {
+					byAttr[a] = append(byAttr[a], s)
+				}
+			}
+			matches := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := events[i%len(events)]
+				for _, s := range byAttr[ev.Attr] {
+					if s.MatchesEvent(ev) {
+						matches++
+					}
+				}
+			}
+			b.ReportMetric(float64(matches)/float64(b.N), "matches/op")
+		})
+	}
+}
+
+// BenchmarkPublishBatchReplay compares per-event Publish against the
+// batched replay path on the quick small-scale workload (full protocol
+// stack, Filter-Split-Forward).
+func BenchmarkPublishBatchReplay(b *testing.B) {
+	s := experiment.QuickScale(experiment.SmallScale())
+	w, err := experiment.BuildWorkload(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var events []model.Event
+	for _, segment := range w.Segments {
+		events = append(events, segment...)
+	}
+	setup := func(b *testing.B) *netsim.Engine {
+		b.Helper()
+		factory, err := experiment.FactoryFor(experiment.FilterSplitForward, s.Seed+7, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		engine := netsim.NewEngine(w.Deployment.Graph, factory)
+		for _, sensor := range w.Deployment.Sensors {
+			if err := engine.AttachSensor(w.Deployment.SensorHost[sensor.ID], sensor); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, p := range w.Placed {
+			if err := engine.Subscribe(p.Node, p.Sub.Clone()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return engine
+	}
+	b.Run("publish-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			engine := setup(b)
+			b.StartTimer()
+			for _, ev := range events {
+				if err := engine.Publish(w.Deployment.SensorHost[ev.Sensor], ev); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("publish-batch", func(b *testing.B) {
+		batch := make([]netsim.Publication, len(events))
+		for i, ev := range events {
+			batch[i] = netsim.Publication{Node: w.Deployment.SensorHost[ev.Sensor], Event: ev}
+		}
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			engine := setup(b)
+			b.StartTimer()
+			if err := engine.PublishBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- micro-benchmarks of the core building blocks ---

@@ -1,0 +1,3 @@
+module sensorcq
+
+go 1.24

@@ -181,15 +181,16 @@ type Node struct {
 	window *stores.EventWindow
 
 	// matchers holds, per origin, the operators used for event matching,
-	// indexed by attribute type. With SplitBinaryJoin, multi-joins are
-	// replaced here by their binary joins; with SplitSimple the uncovered
-	// (or, for per-subscription propagation, all) operators appear as-is.
-	matchers map[topology.NodeID]map[model.AttributeType][]*model.Subscription
+	// range-indexed over their filter predicates (stores.EventIndex). With
+	// SplitBinaryJoin, multi-joins are replaced here by their binary joins;
+	// with SplitSimple the uncovered (or, for per-subscription propagation,
+	// all) operators appear as-is.
+	matchers map[topology.NodeID]*stores.EventIndex
 
-	// localSubs are the whole user subscriptions registered at this node,
-	// indexed by attribute for delivery matching.
-	localSubs   []*model.Subscription
-	localByAttr map[model.AttributeType][]*model.Subscription
+	// localSubs are the whole user subscriptions registered at this node;
+	// localIdx range-indexes them for delivery matching.
+	localSubs []*model.Subscription
+	localIdx  *stores.EventIndex
 
 	maxDeltaT model.Timestamp
 }
@@ -201,14 +202,14 @@ func NewNode(self topology.NodeID, cfg Config) *Node {
 		cfg.ValidityFactor = 2
 	}
 	return &Node{
-		cfg:         cfg,
-		checker:     cfg.checkerFor(self),
-		self:        self,
-		advs:        stores.NewAdvertisementTable(self),
-		subs:        stores.NewSubscriptionTable(self),
-		window:      stores.NewEventWindow(1),
-		matchers:    map[topology.NodeID]map[model.AttributeType][]*model.Subscription{},
-		localByAttr: map[model.AttributeType][]*model.Subscription{},
+		cfg:      cfg,
+		checker:  cfg.checkerFor(self),
+		self:     self,
+		advs:     stores.NewAdvertisementTable(self),
+		subs:     stores.NewSubscriptionTable(self),
+		window:   stores.NewEventWindow(1),
+		matchers: map[topology.NodeID]*stores.EventIndex{},
+		localIdx: stores.NewEventIndex(),
 	}
 }
 
@@ -252,18 +253,10 @@ func (n *Node) addMatcher(origin topology.NodeID, sub *model.Subscription) {
 	}
 	idx := n.matchers[origin]
 	if idx == nil {
-		idx = map[model.AttributeType][]*model.Subscription{}
+		idx = stores.NewEventIndex()
 		n.matchers[origin] = idx
 	}
 	for _, op := range ops {
-		for _, a := range op.Attributes() {
-			idx[a] = append(idx[a], op)
-		}
+		idx.Add(op)
 	}
-}
-
-// matchersFor returns the operators of the given origin that could involve an
-// event of the given attribute type.
-func (n *Node) matchersFor(origin topology.NodeID, attr model.AttributeType) []*model.Subscription {
-	return n.matchers[origin][attr]
 }

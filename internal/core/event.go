@@ -66,15 +66,18 @@ func (n *Node) dedupKey(origin topology.NodeID, op *model.Subscription) string {
 // matchAndForward finds complex events involving ev that match operators
 // stored for origin and forwards their not-yet-sent component events to it.
 func (n *Node) matchAndForward(ctx *netsim.Context, origin topology.NodeID, ev model.Event) {
-	// Identified operators are indexed under the attributes of their sensor
-	// filters, so the attribute lookup covers both subscription kinds; an
-	// empty result means no operator from this origin can involve the event.
-	ops := n.matchersFor(origin, ev.Attr)
-	for _, op := range ops {
+	// The range index hands over exactly the operators the event satisfies
+	// (value inside the filter range, location inside the region); operators
+	// that merely share the attribute type are pruned without being visited.
+	idx := n.matchers[origin]
+	if idx == nil {
+		return
+	}
+	idx.Candidates(ev, func(op *model.Subscription) bool {
 		window := n.window.Around(ev.Time, op.DeltaT)
 		match, ok := op.FindComplexMatch(window, &ev)
 		if !ok {
-			continue
+			return true
 		}
 		key := n.dedupKey(origin, op)
 		for _, component := range match {
@@ -84,18 +87,19 @@ func (n *Node) matchAndForward(ctx *netsim.Context, origin topology.NodeID, ev m
 			ctx.SendEvent(origin, component)
 			n.window.MarkSent(component.Seq, key)
 		}
-	}
+		return true
+	})
 }
 
 // deliverLocal checks the whole user subscriptions registered at this node
 // and delivers any complex event completed by ev. Component events already
 // delivered for a subscription are not re-delivered.
 func (n *Node) deliverLocal(ctx *netsim.Context, ev model.Event) {
-	for _, sub := range n.localByAttr[ev.Attr] {
+	n.localIdx.Candidates(ev, func(sub *model.Subscription) bool {
 		window := n.window.Around(ev.Time, sub.DeltaT)
 		match, ok := sub.FindComplexMatch(window, &ev)
 		if !ok {
-			continue
+			return true
 		}
 		key := "user:" + string(sub.ID)
 		anyNew := false
@@ -106,11 +110,12 @@ func (n *Node) deliverLocal(ctx *netsim.Context, ev model.Event) {
 			}
 		}
 		if !anyNew {
-			continue
+			return true
 		}
 		ctx.DeliverToUser(sub.ID, match)
 		for _, component := range match {
 			n.window.MarkSent(component.Seq, key)
 		}
-	}
+		return true
+	})
 }

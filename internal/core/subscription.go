@@ -45,9 +45,7 @@ func (n *Node) registerLocal(sub *model.Subscription) {
 		}
 	}
 	n.localSubs = append(n.localSubs, sub)
-	for _, a := range sub.Attributes() {
-		n.localByAttr[a] = append(n.localByAttr[a], sub)
-	}
+	n.localIdx.Add(sub)
 }
 
 // processSubscription implements Algorithm 4 for a subscription arriving

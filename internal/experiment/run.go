@@ -239,14 +239,15 @@ func runApproach(w *Workload, id ApproachID, o Options) (*ApproachSeries, error)
 				return nil, fmt.Errorf("experiment: subscribing %s: %w", p.Sub.ID, err)
 			}
 		}
-		// Replay this batch's event segment and measure the traffic it
-		// generates.
+		// Replay this batch's event segment through the batched path and
+		// measure the traffic it generates.
 		before := engine.Metrics().Snapshot()
-		for _, ev := range w.Segments[b] {
-			host := w.Deployment.SensorHost[ev.Sensor]
-			if err := engine.Publish(host, ev); err != nil {
-				return nil, fmt.Errorf("experiment: publishing %d: %w", ev.Seq, err)
-			}
+		replay := make([]netsim.Publication, len(w.Segments[b]))
+		for i, ev := range w.Segments[b] {
+			replay[i] = netsim.Publication{Node: w.Deployment.SensorHost[ev.Sensor], Event: ev}
+		}
+		if err := engine.PublishBatch(replay); err != nil {
+			return nil, fmt.Errorf("experiment: replaying batch %d: %w", b, err)
 		}
 		after := engine.Metrics().Snapshot()
 

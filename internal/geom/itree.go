@@ -1,0 +1,168 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// IntervalTree is a stabbing index over a collection of closed intervals:
+// given a value v, it reports every stored interval containing v while
+// examining only O(log n + k) entries instead of scanning all n. It is the
+// data structure behind the indexed event-matching fast path: subscription
+// filter ranges are stored per attribute (or per sensor), and an incoming
+// reading's value is the stab query that selects the candidate
+// subscriptions.
+//
+// The tree is a classic centered interval tree (Edelsbrunner): each node
+// holds a center value, the intervals straddling the center (kept twice,
+// sorted by Min ascending and by Max descending), and two subtrees for the
+// intervals entirely below and entirely above the center.
+//
+// Intervals are registered with Add together with an opaque integer handle
+// (typically an index into a caller-side slice of payloads). The tree is
+// rebuilt lazily: Add only records the entry and marks the structure dirty;
+// the first Stab after a batch of insertions rebuilds in O(n log n). This
+// matches the workload of the protocols — subscriptions arrive in batches,
+// events are matched in long runs between batches — so the rebuild cost is
+// amortized over many stab queries.
+//
+// Empty intervals are ignored (they contain no value). Intervals with an
+// infinite bound are kept in a small overflow list that every query scans
+// linearly; filter predicates are finite in practice, so the overflow list
+// stays empty or tiny.
+//
+// An IntervalTree is not safe for concurrent use (Stab may rebuild); every
+// protocol handler owns its indexes and the engines guarantee per-node
+// sequential execution, matching the rest of the stores.
+type IntervalTree struct {
+	entries   []treeEntry
+	unbounded []treeEntry
+	root      *itNode
+	dirty     bool
+}
+
+type treeEntry struct {
+	iv     Interval
+	handle int
+}
+
+type itNode struct {
+	center float64
+	byMin  []treeEntry // intervals straddling center, Min ascending
+	byMax  []treeEntry // the same intervals, Max descending
+	left   *itNode
+	right  *itNode
+}
+
+// Add registers an interval under the given handle. Empty intervals are
+// dropped (no stab value can hit them). The tree is rebuilt lazily on the
+// next Stab.
+func (t *IntervalTree) Add(iv Interval, handle int) {
+	if iv.Empty() {
+		return
+	}
+	e := treeEntry{iv: iv, handle: handle}
+	if math.IsInf(iv.Min, -1) || math.IsInf(iv.Max, 1) {
+		t.unbounded = append(t.unbounded, e)
+		return
+	}
+	t.entries = append(t.entries, e)
+	t.dirty = true
+}
+
+// Len returns the number of stored (non-empty) intervals.
+func (t *IntervalTree) Len() int { return len(t.entries) + len(t.unbounded) }
+
+// Stab invokes fn with the handle of every stored interval containing v.
+// Iteration stops early when fn returns false. The order of handles is
+// unspecified.
+func (t *IntervalTree) Stab(v float64, fn func(handle int) bool) {
+	for _, e := range t.unbounded {
+		if e.iv.Contains(v) && !fn(e.handle) {
+			return
+		}
+	}
+	if t.dirty {
+		t.rebuild()
+	}
+	node := t.root
+	for node != nil {
+		switch {
+		case v < node.center:
+			// Straddlers have Max >= center > v, so containment reduces
+			// to Min <= v; the Min-ascending order makes the scan stop at
+			// the first miss.
+			for _, e := range node.byMin {
+				if e.iv.Min > v {
+					break
+				}
+				if !fn(e.handle) {
+					return
+				}
+			}
+			node = node.left
+		case v > node.center:
+			for _, e := range node.byMax {
+				if e.iv.Max < v {
+					break
+				}
+				if !fn(e.handle) {
+					return
+				}
+			}
+			node = node.right
+		default:
+			// v == center: every straddler contains it.
+			for _, e := range node.byMin {
+				if !fn(e.handle) {
+					return
+				}
+			}
+			return
+		}
+	}
+}
+
+// rebuild reconstructs the tree from the recorded entries.
+func (t *IntervalTree) rebuild() {
+	es := make([]treeEntry, len(t.entries))
+	copy(es, t.entries)
+	t.root = buildITNode(es)
+	t.dirty = false
+}
+
+// buildITNode builds the subtree over the given entries. The center is the
+// median interval midpoint, which keeps the tree balanced for the uniform
+// and Pareto-width ranges the workload generator produces.
+func buildITNode(es []treeEntry) *itNode {
+	if len(es) == 0 {
+		return nil
+	}
+	mids := make([]float64, len(es))
+	for i, e := range es {
+		mids[i] = e.iv.Mid()
+	}
+	sort.Float64s(mids)
+	center := mids[len(mids)/2]
+
+	node := &itNode{center: center}
+	var left, right []treeEntry
+	for _, e := range es {
+		switch {
+		case e.iv.Max < center:
+			left = append(left, e)
+		case e.iv.Min > center:
+			right = append(right, e)
+		default:
+			node.byMin = append(node.byMin, e)
+		}
+	}
+	// The entry whose midpoint is the center always straddles it, so the
+	// recursion strictly shrinks on both sides.
+	node.byMax = append([]treeEntry(nil), node.byMin...)
+	sort.Slice(node.byMin, func(i, j int) bool { return node.byMin[i].iv.Min < node.byMin[j].iv.Min })
+	sort.Slice(node.byMax, func(i, j int) bool { return node.byMax[i].iv.Max > node.byMax[j].iv.Max })
+	node.left = buildITNode(left)
+	node.right = buildITNode(right)
+	return node
+}

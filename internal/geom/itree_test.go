@@ -1,0 +1,156 @@
+package geom
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"sensorcq/internal/stats"
+)
+
+// stabLinear is the reference implementation: scan every interval.
+func stabLinear(entries []Interval, v float64) []int {
+	var out []int
+	for i, iv := range entries {
+		if iv.Contains(v) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func stabTree(t *IntervalTree, v float64) []int {
+	var out []int
+	t.Stab(v, func(h int) bool {
+		out = append(out, h)
+		return true
+	})
+	sort.Ints(out)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIntervalTreeMatchesLinearScan is the quick-check property test: for
+// random interval populations and random stab values (including exact
+// endpoints), the tree reports exactly the intervals a linear scan reports.
+func TestIntervalTreeMatchesLinearScan(t *testing.T) {
+	rng := stats.NewRNG(1234)
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + int(rng.Uint64()%200)
+		entries := make([]Interval, 0, n)
+		tree := &IntervalTree{}
+		for i := 0; i < n; i++ {
+			lo := rng.Range(-100, 100)
+			var iv Interval
+			switch rng.Uint64() % 5 {
+			case 0: // point interval
+				iv = Point(lo)
+			case 1: // empty interval (Min > Max); must never match
+				iv = Interval{Min: lo + 1, Max: lo}
+			default:
+				iv = NewInterval(lo, lo+rng.Range(0, 50))
+			}
+			entries = append(entries, iv)
+			tree.Add(iv, i)
+		}
+		// Stab at random values plus every stored endpoint (touching
+		// endpoints are the classic off-by-one spot).
+		var probes []float64
+		for i := 0; i < 50; i++ {
+			probes = append(probes, rng.Range(-150, 150))
+		}
+		for _, iv := range entries {
+			probes = append(probes, iv.Min, iv.Max)
+		}
+		for _, v := range probes {
+			want := stabLinear(entries, v)
+			got := stabTree(tree, v)
+			if !equalInts(got, want) {
+				t.Fatalf("trial %d: stab(%g) = %v, want %v", trial, v, got, want)
+			}
+		}
+	}
+}
+
+// TestIntervalTreeIncrementalAdds interleaves insertions and queries to
+// exercise the lazy rebuild path.
+func TestIntervalTreeIncrementalAdds(t *testing.T) {
+	rng := stats.NewRNG(99)
+	tree := &IntervalTree{}
+	var entries []Interval
+	for i := 0; i < 120; i++ {
+		lo := rng.Range(0, 1000)
+		iv := NewInterval(lo, lo+rng.Range(0, 80))
+		entries = append(entries, iv)
+		tree.Add(iv, i)
+		if i%7 == 0 {
+			v := rng.Range(-50, 1100)
+			if !equalInts(stabTree(tree, v), stabLinear(entries, v)) {
+				t.Fatalf("after %d adds: stab(%g) diverged from linear scan", i+1, v)
+			}
+		}
+	}
+	if tree.Len() != len(entries) {
+		t.Errorf("Len() = %d, want %d", tree.Len(), len(entries))
+	}
+}
+
+// TestIntervalTreeUnboundedIntervals covers the overflow list for intervals
+// with infinite endpoints.
+func TestIntervalTreeUnboundedIntervals(t *testing.T) {
+	tree := &IntervalTree{}
+	entries := []Interval{
+		{Min: math.Inf(-1), Max: math.Inf(1)},
+		{Min: math.Inf(-1), Max: 0},
+		{Min: 0, Max: math.Inf(1)},
+		NewInterval(-5, 5),
+	}
+	for i, iv := range entries {
+		tree.Add(iv, i)
+	}
+	for _, v := range []float64{-10, -5, 0, 3, 5, 10} {
+		if !equalInts(stabTree(tree, v), stabLinear(entries, v)) {
+			t.Errorf("stab(%g) diverged from linear scan", v)
+		}
+	}
+}
+
+// TestIntervalTreeEarlyStop checks that a false return from fn stops the
+// traversal.
+func TestIntervalTreeEarlyStop(t *testing.T) {
+	tree := &IntervalTree{}
+	for i := 0; i < 10; i++ {
+		tree.Add(NewInterval(0, 100), i)
+	}
+	calls := 0
+	tree.Stab(50, func(int) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Errorf("early stop visited %d entries, want 1", calls)
+	}
+}
+
+func TestIntervalTreeEmpty(t *testing.T) {
+	tree := &IntervalTree{}
+	tree.Stab(0, func(int) bool {
+		t.Fatal("empty tree must not report handles")
+		return true
+	})
+	tree.Add(Interval{Min: 1, Max: 0}, 7) // empty interval: dropped
+	if tree.Len() != 0 {
+		t.Errorf("Len() after adding empty interval = %d, want 0", tree.Len())
+	}
+}

@@ -204,6 +204,25 @@ func (e *ConcurrentEngine) Publish(node topology.NodeID, ev model.Event) error {
 	return e.submit(queued{to: node, from: node, injection: injectionPublish, ev: ev})
 }
 
+// PublishBatch implements Runtime. The batch is validated up front; each
+// event is then submitted and the network drained to quiescence before the
+// next one, preserving the per-event replay semantics the conformance suite
+// compares against the sequential engine.
+func (e *ConcurrentEngine) PublishBatch(batch []Publication) error {
+	for _, p := range batch {
+		if err := e.validNode(p.Node); err != nil {
+			return err
+		}
+	}
+	for _, p := range batch {
+		if err := e.submit(queued{to: p.Node, from: p.Node, injection: injectionPublish, ev: p.Event}); err != nil {
+			return err
+		}
+		e.Flush()
+	}
+	return nil
+}
+
 // Flush implements Runtime: it blocks until every in-flight message (and
 // every message transitively produced by it) has been processed.
 func (e *ConcurrentEngine) Flush() {

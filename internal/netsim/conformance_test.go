@@ -1,0 +1,137 @@
+// Cross-engine conformance suite: the sequential Engine and the
+// ConcurrentEngine must be observationally equivalent for every protocol
+// variant — identical traffic totals and identical delivery multisets —
+// over randomized seeded workloads.
+//
+// Two design decisions make this equivalence exact rather than statistical:
+// the topologies are trees (every message follows a unique path, so each
+// node processes a deterministic stream per link), and the probabilistic
+// set filter derives its sampling RNG per decision from the candidate
+// identity, so filtering verdicts cannot depend on how the engines
+// interleave unrelated decisions.
+package netsim_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"sensorcq/internal/experiment"
+	"sensorcq/internal/model"
+	"sensorcq/internal/netsim"
+)
+
+// conformanceScenario is a small randomized workload; the seed varies the
+// topology, the trace and the subscription population.
+func conformanceScenario(seed int64) experiment.Scenario {
+	return experiment.Scenario{
+		Name:           "conformance",
+		TotalNodes:     24,
+		SensorNodes:    15,
+		Groups:         5,
+		Batches:        2,
+		BatchSize:      12,
+		MinAttrs:       2,
+		MaxAttrs:       4,
+		RoundsPerBatch: 3,
+		RoundInterval:  1800,
+		Seed:           seed,
+	}
+}
+
+// drive replays the workload on the runtime: sensors first (sorted, like
+// the experiment harness), then each subscription propagated to quiescence,
+// then every event segment through the batched replay path.
+func drive(t *testing.T, rt netsim.Runtime, w *experiment.Workload) {
+	t.Helper()
+	sensors := make([]model.Sensor, len(w.Deployment.Sensors))
+	copy(sensors, w.Deployment.Sensors)
+	sort.Slice(sensors, func(i, j int) bool { return sensors[i].ID < sensors[j].ID })
+	for _, sensor := range sensors {
+		if err := rt.AttachSensor(w.Deployment.SensorHost[sensor.ID], sensor); err != nil {
+			t.Fatal(err)
+		}
+		rt.Flush()
+	}
+	for _, p := range w.Placed {
+		if err := rt.Subscribe(p.Node, p.Sub.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		rt.Flush()
+	}
+	for _, segment := range w.Segments {
+		batch := make([]netsim.Publication, len(segment))
+		for i, ev := range segment {
+			batch[i] = netsim.Publication{Node: w.Deployment.SensorHost[ev.Sensor], Event: ev}
+		}
+		if err := rt.PublishBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Flush()
+}
+
+// deliveryMultiset canonicalizes deliveries into a multiset keyed by
+// (node, subscription, sorted component sequence numbers), so engines may
+// deliver in any order but must deliver the same complex events the same
+// number of times.
+func deliveryMultiset(ds []netsim.Delivery) map[string]int {
+	m := map[string]int{}
+	for _, d := range ds {
+		m[fmt.Sprintf("%d|%s|%v", d.Node, d.SubID, d.Events.Seqs())]++
+	}
+	return m
+}
+
+func TestEngineConformanceAllApproaches(t *testing.T) {
+	for _, seed := range []int64{11, 42} {
+		w, err := experiment.BuildWorkload(conformanceScenario(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range experiment.All() {
+			id := id
+			t.Run(fmt.Sprintf("%s/seed=%d", id, seed), func(t *testing.T) {
+				seqFactory, err := experiment.FactoryFor(id, seed+7, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				concFactory, err := experiment.FactoryFor(id, seed+7, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				seq := netsim.NewEngine(w.Deployment.Graph, seqFactory)
+				conc := netsim.NewConcurrentEngine(w.Deployment.Graph, concFactory)
+				defer conc.Close()
+
+				drive(t, seq, w)
+				drive(t, conc, w)
+
+				a, b := seq.Metrics().Snapshot(), conc.Metrics().Snapshot()
+				if a.AdvertisementLoad != b.AdvertisementLoad {
+					t.Errorf("advertisement load: sequential=%d concurrent=%d", a.AdvertisementLoad, b.AdvertisementLoad)
+				}
+				if a.SubscriptionLoad != b.SubscriptionLoad {
+					t.Errorf("subscription load: sequential=%d concurrent=%d", a.SubscriptionLoad, b.SubscriptionLoad)
+				}
+				if a.EventLoad != b.EventLoad {
+					t.Errorf("event load: sequential=%d concurrent=%d", a.EventLoad, b.EventLoad)
+				}
+
+				sd, cd := seq.Deliveries(), conc.Deliveries()
+				if len(sd) == 0 {
+					t.Fatalf("workload produced no deliveries; the conformance check is vacuous")
+				}
+				sm, cm := deliveryMultiset(sd), deliveryMultiset(cd)
+				if len(sm) != len(cm) {
+					t.Fatalf("delivery multisets differ in size: sequential=%d concurrent=%d", len(sm), len(cm))
+				}
+				for k, n := range sm {
+					if cm[k] != n {
+						t.Errorf("delivery %q: sequential=%d concurrent=%d", k, n, cm[k])
+					}
+				}
+			})
+		}
+	}
+}

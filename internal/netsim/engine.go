@@ -17,6 +17,13 @@ type Runtime interface {
 	Subscribe(node topology.NodeID, sub *model.Subscription) error
 	// Publish injects a sensor reading at the node hosting the sensor.
 	Publish(node topology.NodeID, ev model.Event) error
+	// PublishBatch injects a trace of sensor readings in order. Each event
+	// is fully propagated before the next one is injected — the observable
+	// behaviour (traffic totals, deliveries) is identical to calling
+	// Publish per event — but the engine validates the batch up front and
+	// amortizes per-call queue management, so trace replay should prefer
+	// it. A batch is rejected as a whole when any target node is unknown.
+	PublishBatch(batch []Publication) error
 	// Flush processes messages until the network is quiescent.
 	Flush()
 	// Metrics returns the run's traffic and delivery counters.
@@ -58,6 +65,7 @@ type Engine struct {
 	ctxs       []*Context
 	metrics    *Metrics
 	queue      []queued
+	flushing   bool
 	deliveries []Delivery
 }
 
@@ -142,14 +150,45 @@ func (e *Engine) Publish(node topology.NodeID, ev model.Event) error {
 	return nil
 }
 
-// Flush implements Runtime: it processes queued messages in FIFO order until
-// none remain.
-func (e *Engine) Flush() {
-	for len(e.queue) > 0 {
-		item := e.queue[0]
-		e.queue = e.queue[1:]
-		e.dispatch(item)
+// PublishBatch implements Runtime: the whole batch is validated first, then
+// every event is injected and fully propagated in order, reusing the queue
+// storage across events.
+func (e *Engine) PublishBatch(batch []Publication) error {
+	for _, p := range batch {
+		if err := e.validNode(p.Node); err != nil {
+			return err
+		}
 	}
+	for _, p := range batch {
+		e.queue = append(e.queue, queued{to: p.Node, from: p.Node, injection: injectionPublish, ev: p.Event})
+		e.Flush()
+	}
+	return nil
+}
+
+// Flush implements Runtime: it processes queued messages in FIFO order until
+// none remain. The queue's backing array is retained and reused across
+// flushes, so a long replay does not reallocate it per event.
+//
+// Dispatched items stay in the queue until the drain completes, so a nested
+// Flush (a handler calling back into the engine mid-dispatch — nothing does
+// today) must not re-drain; it returns immediately and leaves the work to
+// the outer drain, which also picks up anything enqueued in between.
+func (e *Engine) Flush() {
+	if e.flushing {
+		return
+	}
+	e.flushing = true
+	for i := 0; i < len(e.queue); i++ {
+		e.dispatch(e.queue[i])
+	}
+	// Zero the processed items so queued subscriptions can be collected,
+	// then keep the backing array for the next flush.
+	for i := range e.queue {
+		e.queue[i] = queued{}
+	}
+	e.queue = e.queue[:0]
+	e.flushing = false
 }
 
 func (e *Engine) dispatch(item queued) {

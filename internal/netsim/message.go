@@ -68,6 +68,13 @@ type Delivery struct {
 	Events model.ComplexEvent
 }
 
+// Publication pairs a sensor reading with the node where it enters the
+// network. Trace replays hand slices of these to Runtime.PublishBatch.
+type Publication struct {
+	Node  topology.NodeID
+	Event model.Event
+}
+
 // Handler is the per-node protocol logic. The engine guarantees that all
 // calls for one node happen sequentially (never concurrently), so handlers
 // keep plain, unlocked state.

@@ -2,7 +2,10 @@
 // paper: the per-neighbour advertisement tables (DSA_m), the per-neighbour
 // subscription tables (S_m, split into covered and uncovered sets) and the
 // timestamp-ordered event store U with per-destination "already forwarded"
-// flags used by the event-propagation algorithm (Algorithm 5).
+// flags used by the event-propagation algorithm (Algorithm 5), plus the
+// range indexes (EventIndex, built on geom.IntervalTree and geom.PointGrid)
+// that keep subscription/advertisement matching sublinear as the stored
+// populations grow.
 //
 // The structures are not safe for concurrent use; each protocol handler owns
 // one set of them and the engines guarantee per-node sequential execution.
@@ -11,23 +14,62 @@ package stores
 import (
 	"sort"
 
+	"sensorcq/internal/geom"
 	"sensorcq/internal/model"
 	"sensorcq/internal/topology"
 )
 
 // AdvertisementTable stores the data-source advertisements received from
 // each neighbour (and from locally attached sensors, filed under the node's
-// own ID).
+// own ID). The advertised locations are additionally indexed in uniform
+// grids — per (origin, attribute) and globally per attribute — so that the
+// spatial projections of abstract subscriptions (Project, HasAllSources,
+// OriginsMatching) query only the advertisements near the subscription's
+// region instead of scanning every advertisement.
 type AdvertisementTable struct {
 	self     topology.NodeID
 	byOrigin map[topology.NodeID]map[model.SensorID]model.Advertisement
+	// attrLoc indexes, per origin and attribute type, the advertised sensor
+	// locations.
+	attrLoc map[topology.NodeID]map[model.AttributeType]*advGrid
+	// allAttrLoc indexes the advertised locations per attribute type across
+	// every origin (used by HasAllSources).
+	allAttrLoc map[model.AttributeType]*advGrid
+}
+
+// advGrid is a location grid over advertised sensor positions. The spatial
+// projections only ask existence questions ("is any advertised location of
+// this attribute inside the region?"), so the grid stores positions alone;
+// the advertisements themselves stay in byOrigin.
+type advGrid struct {
+	grid geom.PointGrid
+}
+
+func (g *advGrid) add(adv model.Advertisement) {
+	g.grid.Add(adv.Location, g.grid.Len())
+}
+
+// anyInRegion reports whether at least one advertised location lies inside
+// the region.
+func (g *advGrid) anyInRegion(r geom.Region) bool {
+	if g == nil {
+		return false
+	}
+	found := false
+	g.grid.Query(r, func(int) bool {
+		found = true
+		return false
+	})
+	return found
 }
 
 // NewAdvertisementTable returns an empty table for the given node.
 func NewAdvertisementTable(self topology.NodeID) *AdvertisementTable {
 	return &AdvertisementTable{
-		self:     self,
-		byOrigin: map[topology.NodeID]map[model.SensorID]model.Advertisement{},
+		self:       self,
+		byOrigin:   map[topology.NodeID]map[model.SensorID]model.Advertisement{},
+		attrLoc:    map[topology.NodeID]map[model.AttributeType]*advGrid{},
+		allAttrLoc: map[model.AttributeType]*advGrid{},
 	}
 }
 
@@ -44,6 +86,25 @@ func (t *AdvertisementTable) Add(origin topology.NodeID, adv model.Advertisement
 		return false
 	}
 	m[adv.Sensor] = adv
+
+	grids := t.attrLoc[origin]
+	if grids == nil {
+		grids = map[model.AttributeType]*advGrid{}
+		t.attrLoc[origin] = grids
+	}
+	g := grids[adv.Attr]
+	if g == nil {
+		g = &advGrid{}
+		grids[adv.Attr] = g
+	}
+	g.add(adv)
+
+	ag := t.allAttrLoc[adv.Attr]
+	if ag == nil {
+		ag = &advGrid{}
+		t.allAttrLoc[adv.Attr] = ag
+	}
+	ag.add(adv)
 	return true
 }
 
@@ -110,22 +171,15 @@ func (t *AdvertisementTable) Project(sub *model.Subscription, origin topology.No
 		}
 		return sub.ProjectSensors(sensors)
 	}
-	attrSet := map[model.AttributeType]bool{}
-	for _, adv := range m {
-		if _, filtered := sub.AttrFilters[adv.Attr]; !filtered {
-			continue
+	grids := t.attrLoc[origin]
+	var attrs []model.AttributeType
+	for a := range sub.AttrFilters {
+		if grids[a].anyInRegion(sub.Region) {
+			attrs = append(attrs, a)
 		}
-		if !sub.Region.Contains(adv.Location) {
-			continue
-		}
-		attrSet[adv.Attr] = true
 	}
-	if len(attrSet) == 0 {
+	if len(attrs) == 0 {
 		return nil
-	}
-	attrs := make([]model.AttributeType, 0, len(attrSet))
-	for a := range attrSet {
-		attrs = append(attrs, a)
 	}
 	return sub.ProjectAttributes(attrs)
 }
@@ -143,19 +197,7 @@ func (t *AdvertisementTable) HasAllSources(sub *model.Subscription) bool {
 		return true
 	}
 	for a := range sub.AttrFilters {
-		found := false
-		for _, m := range t.byOrigin {
-			for _, adv := range m {
-				if adv.Attr == a && sub.Region.Contains(adv.Location) {
-					found = true
-					break
-				}
-			}
-			if found {
-				break
-			}
-		}
-		if !found {
+		if !t.allAttrLoc[a].anyInRegion(sub.Region) {
 			return false
 		}
 	}

@@ -1,0 +1,117 @@
+package stores
+
+import (
+	"sensorcq/internal/geom"
+	"sensorcq/internal/model"
+)
+
+// EventIndex is the indexed event-matching fast path: it stores
+// subscriptions (correlation operators) so that, for an incoming simple
+// event, the candidate operators — exactly those for which
+// Subscription.MatchesEvent would return true — are found by range-pruned
+// index lookups instead of a linear scan over every operator filtering the
+// event's attribute.
+//
+// Internally the index keeps one interval stabbing tree (geom.IntervalTree)
+// per filtered sensor (identified subscriptions) and per filtered attribute
+// type (abstract subscriptions), over the filters' value ranges. A candidate
+// lookup for event e stabs bySensor[e.Sensor] and byAttr[e.Attr] with
+// e.Value; abstract hits are additionally pruned by the subscription
+// region's containment of e.Location. The result set is therefore exactly
+// {s : s.MatchesEvent(e)} — verified against the linear scan by the
+// property tests — so callers can feed candidates straight into
+// FindComplexMatch.
+//
+// A subscription appears at most once per lookup: identified subscriptions
+// have one filter per sensor and abstract ones one filter per attribute, so
+// no per-query deduplication is needed.
+//
+// Like the other stores, an EventIndex is not safe for concurrent use; each
+// protocol handler owns its indexes and the engines guarantee per-node
+// sequential execution.
+type EventIndex struct {
+	bySensor map[model.SensorID]*rangeList
+	byAttr   map[model.AttributeType]*rangeList
+	size     int
+}
+
+// rangeList pairs an interval tree with the subscriptions its handles refer
+// to: handle i is an index into subs.
+type rangeList struct {
+	tree geom.IntervalTree
+	subs []*model.Subscription
+}
+
+func (l *rangeList) add(iv geom.Interval, sub *model.Subscription) {
+	l.tree.Add(iv, len(l.subs))
+	l.subs = append(l.subs, sub)
+}
+
+// NewEventIndex returns an empty index.
+func NewEventIndex() *EventIndex {
+	return &EventIndex{
+		bySensor: map[model.SensorID]*rangeList{},
+		byAttr:   map[model.AttributeType]*rangeList{},
+	}
+}
+
+// Add registers a subscription (or correlation operator) for event
+// matching. The caller is responsible for not adding the same subscription
+// twice.
+func (x *EventIndex) Add(sub *model.Subscription) {
+	if sub == nil {
+		return
+	}
+	if sub.Kind == model.KindIdentified {
+		for d, f := range sub.SensorFilters {
+			l := x.bySensor[d]
+			if l == nil {
+				l = &rangeList{}
+				x.bySensor[d] = l
+			}
+			l.add(f.Range, sub)
+		}
+	} else {
+		for a, f := range sub.AttrFilters {
+			l := x.byAttr[a]
+			if l == nil {
+				l = &rangeList{}
+				x.byAttr[a] = l
+			}
+			l.add(f.Range, sub)
+		}
+	}
+	x.size++
+}
+
+// Len returns the number of subscriptions added to the index.
+func (x *EventIndex) Len() int { return x.size }
+
+// Candidates invokes fn with every stored subscription that matches the
+// simple event (Subscription.MatchesEvent holds for each candidate, and no
+// matching subscription is missed). Iteration stops early when fn returns
+// false; the candidate order is unspecified.
+func (x *EventIndex) Candidates(ev model.Event, fn func(*model.Subscription) bool) {
+	stopped := false
+	if l := x.bySensor[ev.Sensor]; l != nil {
+		l.tree.Stab(ev.Value, func(h int) bool {
+			if !fn(l.subs[h]) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+	}
+	if stopped {
+		return
+	}
+	if l := x.byAttr[ev.Attr]; l != nil {
+		l.tree.Stab(ev.Value, func(h int) bool {
+			s := l.subs[h]
+			if !s.Region.Contains(ev.Location) {
+				return true
+			}
+			return fn(s)
+		})
+	}
+}

@@ -17,10 +17,13 @@ type SubscriptionTable struct {
 	uncovered map[topology.NodeID][]*model.Subscription
 	covered   map[topology.NodeID][]*model.Subscription
 	ids       map[topology.NodeID]map[model.SubscriptionID]bool
-	// byAttr indexes the uncovered subscriptions of each origin by the
-	// attribute types they filter, so that event matching only considers
-	// subscriptions that can possibly involve the incoming event.
-	byAttr map[topology.NodeID]map[model.AttributeType][]*model.Subscription
+	// matchIdx holds, per origin, the range index over the uncovered
+	// subscriptions' filter predicates: the indexed event-matching fast
+	// path that replaces per-attribute linear scans with stabbing queries.
+	// An origin's index is built lazily on its first EventCandidates call
+	// (and kept current by AddUncovered afterwards), so tables whose
+	// callers never query it pay nothing.
+	matchIdx map[topology.NodeID]*EventIndex
 }
 
 // NewSubscriptionTable returns an empty table for the given node.
@@ -30,7 +33,7 @@ func NewSubscriptionTable(self topology.NodeID) *SubscriptionTable {
 		uncovered: map[topology.NodeID][]*model.Subscription{},
 		covered:   map[topology.NodeID][]*model.Subscription{},
 		ids:       map[topology.NodeID]map[model.SubscriptionID]bool{},
-		byAttr:    map[topology.NodeID]map[model.AttributeType][]*model.Subscription{},
+		matchIdx:  map[topology.NodeID]*EventIndex{},
 	}
 }
 
@@ -57,13 +60,8 @@ func (t *SubscriptionTable) AddUncovered(origin topology.NodeID, sub *model.Subs
 	}
 	t.markSeen(origin, sub.ID)
 	t.uncovered[origin] = append(t.uncovered[origin], sub)
-	idx := t.byAttr[origin]
-	if idx == nil {
-		idx = map[model.AttributeType][]*model.Subscription{}
-		t.byAttr[origin] = idx
-	}
-	for _, a := range sub.Attributes() {
-		idx[a] = append(idx[a], sub)
+	if ei := t.matchIdx[origin]; ei != nil {
+		ei.Add(sub)
 	}
 	return true
 }
@@ -98,10 +96,22 @@ func (t *SubscriptionTable) All(origin topology.NodeID) []*model.Subscription {
 	return out
 }
 
-// UncoveredForAttr returns the uncovered subscriptions of the origin that
-// filter the given attribute type.
-func (t *SubscriptionTable) UncoveredForAttr(origin topology.NodeID, attr model.AttributeType) []*model.Subscription {
-	return t.byAttr[origin][attr]
+// EventCandidates invokes fn with every uncovered subscription of the origin
+// that matches the simple event, using the range index instead of a scan
+// over the per-attribute lists. Iteration stops early when fn returns false.
+func (t *SubscriptionTable) EventCandidates(origin topology.NodeID, ev model.Event, fn func(*model.Subscription) bool) {
+	if len(t.uncovered[origin]) == 0 {
+		return
+	}
+	idx := t.matchIdx[origin]
+	if idx == nil {
+		idx = NewEventIndex()
+		for _, sub := range t.uncovered[origin] {
+			idx.Add(sub)
+		}
+		t.matchIdx[origin] = idx
+	}
+	idx.Candidates(ev, fn)
 }
 
 // Origins returns all origins with at least one stored subscription, sorted.

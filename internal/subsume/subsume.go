@@ -138,8 +138,13 @@ type SetChecker struct {
 	MinGapFraction float64
 	// MaxSamples caps the per-decision sampling effort (default 4096).
 	MaxSamples int
-	// rng drives the sampling; seeded for reproducibility.
-	rng *stats.RNG
+	// seed drives the sampling. Each decision derives its own RNG from the
+	// seed and the candidate's identity, so a verdict depends only on the
+	// (candidate, set) pair — never on how many decisions were made before
+	// it. That makes the sequential and concurrent engines reach identical
+	// filtering verdicts even though they interleave decisions differently,
+	// which the cross-engine conformance suite relies on.
+	seed int64
 }
 
 // NewSetChecker returns a set-subsumption checker with the given error
@@ -152,8 +157,19 @@ func NewSetChecker(errorProbability float64, seed int64) *SetChecker {
 		ErrorProbability: errorProbability,
 		MinGapFraction:   0.05,
 		MaxSamples:       4096,
-		rng:              stats.NewRNG(seed),
+		seed:             seed,
 	}
+}
+
+// decisionRNG derives the sampling stream of one subsumption decision from
+// the checker seed and the candidate identity (FNV-1a over the ID).
+func (c *SetChecker) decisionRNG(id model.SubscriptionID) *stats.RNG {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return stats.NewRNG(c.seed ^ int64(h))
 }
 
 // Name implements Checker.
@@ -208,6 +224,7 @@ func (c *SetChecker) Subsumed(candidate *model.Subscription, set []*model.Subscr
 
 	dims := cbox.Dims()
 	samples := c.Samples()
+	rng := c.decisionRNG(candidate.ID)
 	pt := make(map[string]float64, len(dims))
 	for i := 0; i < samples; i++ {
 		for _, d := range dims {
@@ -215,7 +232,7 @@ func (c *SetChecker) Subsumed(candidate *model.Subscription, set []*model.Subscr
 			if iv.Width() == 0 {
 				pt[d] = iv.Min
 			} else {
-				pt[d] = iv.Lerp(c.rng.Float64())
+				pt[d] = iv.Lerp(rng.Float64())
 			}
 		}
 		if !coveredByUnionAtPoint(pt, overlapping) {

@@ -143,14 +143,32 @@ func (s *System) PublishAt(node NodeID, ev Event) error {
 	return nil
 }
 
-// Replay publishes every event of a trace in order.
-func (s *System) Replay(events []Event) error {
-	for _, ev := range events {
-		if err := s.Publish(ev); err != nil {
-			return err
+// PublishBatch injects a trace of readings in order through the runtime's
+// batched path: the whole batch is validated first (unknown sensors reject
+// the batch before any event enters the network), then every event is
+// published and fully propagated in order. The observable behaviour is
+// identical to calling Publish per event; the batch amortizes per-event
+// bookkeeping, which matters when replaying long traces.
+func (s *System) PublishBatch(events []Event) error {
+	batch := make([]netsim.Publication, len(events))
+	for i, ev := range events {
+		host, ok := s.dep.SensorHost[ev.Sensor]
+		if !ok {
+			return fmt.Errorf("sensorcq: unknown sensor %s", ev.Sensor)
 		}
+		batch[i] = netsim.Publication{Node: host, Event: ev}
 	}
+	if err := s.runtime.PublishBatch(batch); err != nil {
+		return err
+	}
+	s.runtime.Flush()
 	return nil
+}
+
+// Replay publishes every event of a trace in order (an alias for
+// PublishBatch kept for readability at call sites).
+func (s *System) Replay(events []Event) error {
+	return s.PublishBatch(events)
 }
 
 // Traffic returns the accumulated traffic counters.
