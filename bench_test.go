@@ -21,6 +21,7 @@ package sensorcq
 import (
 	"flag"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"sensorcq/internal/experiment"
@@ -438,6 +439,101 @@ func BenchmarkPublishBatchReplay(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkReplayPipelined measures what the pipelined delivery mode buys on
+// a wide topology: the same round-structured trace is replayed through the
+// concurrent engine under quiescent semantics (the network drains after
+// every single event, so the per-node goroutines take turns) and pipelined
+// semantics (a whole round is in flight at once, so they genuinely run in
+// parallel), plus the sequential engine as the single-core reference. The
+// events/sec metric is the replay throughput; on a multi-core machine the
+// pipelined concurrent replay should beat the quiescent concurrent replay
+// by well over 2x.
+func BenchmarkReplayPipelined(b *testing.B) {
+	// A wide workload: 100 sensor nodes in 20 groups means every round
+	// spreads 100 readings across many independent subtrees.
+	s := experiment.Scenario{
+		Name:           "replay-throughput",
+		TotalNodes:     120,
+		SensorNodes:    100,
+		Groups:         20,
+		Batches:        1,
+		BatchSize:      80,
+		MinAttrs:       2,
+		MaxAttrs:       4,
+		RoundsPerBatch: 6,
+		RoundInterval:  1800,
+		Seed:           77,
+	}
+	w, err := experiment.BuildWorkload(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	replay := w.PublicationRounds(0)
+	events := 0
+	for _, round := range replay {
+		events += len(round)
+	}
+	prepare := func(b *testing.B, rt netsim.Runtime) {
+		b.Helper()
+		for _, sensor := range w.Deployment.Sensors {
+			if err := rt.AttachSensor(w.Deployment.SensorHost[sensor.ID], sensor); err != nil {
+				b.Fatal(err)
+			}
+			rt.Flush()
+		}
+		for _, p := range w.Placed {
+			if err := rt.Subscribe(p.Node, p.Sub.Clone()); err != nil {
+				b.Fatal(err)
+			}
+			rt.Flush()
+		}
+	}
+	factory := func(b *testing.B) netsim.HandlerFactory {
+		b.Helper()
+		f, err := experiment.FactoryFor(experiment.FilterSplitForward, s.Seed+7, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return f
+	}
+	bench := func(b *testing.B, concurrent bool, mode netsim.DeliveryMode) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			var rt netsim.Runtime
+			var conc *netsim.ConcurrentEngine
+			if concurrent {
+				conc = netsim.NewConcurrentEngine(w.Deployment.Graph, factory(b))
+				rt = conc
+			} else {
+				rt = netsim.NewEngine(w.Deployment.Graph, factory(b))
+			}
+			prepare(b, rt)
+			b.StartTimer()
+			if err := rt.ReplayRounds(replay, netsim.ReplayOptions{Mode: mode}); err != nil {
+				b.Fatal(err)
+			}
+			rt.Flush()
+			b.StopTimer()
+			if n := rt.Metrics().DroppedMessages(); n != 0 {
+				b.Fatalf("dropped %d messages", n)
+			}
+			if conc != nil {
+				conc.Close()
+			}
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+		// The parallel speedup only exists with GOMAXPROCS > 1; report it so
+		// single-core results are not misread as "pipelining does nothing".
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+	}
+	b.Run("concurrent-quiescent", func(b *testing.B) { bench(b, true, netsim.Quiescent) })
+	b.Run("concurrent-pipelined", func(b *testing.B) { bench(b, true, netsim.Pipelined) })
+	b.Run("sequential-quiescent", func(b *testing.B) { bench(b, false, netsim.Quiescent) })
+	b.Run("sequential-pipelined", func(b *testing.B) { bench(b, false, netsim.Pipelined) })
 }
 
 // --- micro-benchmarks of the core building blocks ---

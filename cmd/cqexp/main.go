@@ -12,6 +12,7 @@
 //	cqexp -scale full          # the paper's full workload (slow)
 //	cqexp -scale quick         # smoke-test scale
 //	cqexp -csv results.csv     # also write every series as CSV
+//	cqexp -concurrent -delivery pipelined   # parallel round-by-round replay
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"sensorcq/internal/experiment"
+	"sensorcq/internal/netsim"
 	"sensorcq/internal/report"
 )
 
@@ -33,9 +35,17 @@ func main() {
 		seed         = flag.Int64("seed", 0, "override the scenario seed (0 keeps the default)")
 		noRecall     = flag.Bool("no-recall", false, "skip the oracle-based recall computation")
 		quiet        = flag.Bool("quiet", false, "suppress per-batch progress lines")
+		concurrent   = flag.Bool("concurrent", false, "run each approach on the concurrent engine (one goroutine per node)")
+		delivery     = flag.String("delivery", "quiescent",
+			"replay delivery semantics: quiescent (drain after every event) or pipelined (drain after every round)")
 	)
 	flag.Parse()
 
+	mode, err := netsim.ParseDeliveryMode(*delivery)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	scenarios, err := selectScenarios(*scenarioFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -59,6 +69,8 @@ func main() {
 		}
 		opts := experiment.DefaultOptions()
 		opts.ComputeRecall = !*noRecall
+		opts.Concurrent = *concurrent
+		opts.Delivery = mode
 		if !*quiet {
 			opts.Progress = func(format string, args ...interface{}) {
 				fmt.Printf(format+"\n", args...)

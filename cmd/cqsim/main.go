@@ -7,12 +7,14 @@
 //
 //	cqsim -approach filter-split-forward -nodes 60 -sensors 50 -groups 10 \
 //	      -subs 200 -rounds 12
+//	cqsim -concurrent -delivery pipelined   # parallel round-by-round replay
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"sensorcq"
 )
@@ -21,25 +23,33 @@ func main() {
 	var (
 		approach = flag.String("approach", string(sensorcq.FilterSplitForward),
 			"approach: centralized, naive, operator-placement, distributed-multi-join or filter-split-forward")
-		nodes    = flag.Int("nodes", 60, "total processing nodes")
-		sensors  = flag.Int("sensors", 50, "sensor nodes")
-		groups   = flag.Int("groups", 10, "sensor groups (base stations)")
-		subs     = flag.Int("subs", 200, "number of subscriptions")
-		minAttrs = flag.Int("min-attrs", 3, "minimum attributes per subscription")
-		maxAttrs = flag.Int("max-attrs", 5, "maximum attributes per subscription")
-		rounds   = flag.Int("rounds", 12, "measurement rounds to replay")
-		seed     = flag.Int64("seed", 1, "random seed")
-		topN     = flag.Int("busiest", 5, "print the N busiest links")
+		nodes      = flag.Int("nodes", 60, "total processing nodes")
+		sensors    = flag.Int("sensors", 50, "sensor nodes")
+		groups     = flag.Int("groups", 10, "sensor groups (base stations)")
+		subs       = flag.Int("subs", 200, "number of subscriptions")
+		minAttrs   = flag.Int("min-attrs", 3, "minimum attributes per subscription")
+		maxAttrs   = flag.Int("max-attrs", 5, "maximum attributes per subscription")
+		rounds     = flag.Int("rounds", 12, "measurement rounds to replay")
+		seed       = flag.Int64("seed", 1, "random seed")
+		topN       = flag.Int("busiest", 5, "print the N busiest links")
+		concurrent = flag.Bool("concurrent", false, "run one goroutine per processing node")
+		delivery   = flag.String("delivery", "quiescent",
+			"replay delivery semantics: quiescent (drain after every event) or pipelined (drain after every round)")
 	)
 	flag.Parse()
 
-	if err := run(*approach, *nodes, *sensors, *groups, *subs, *minAttrs, *maxAttrs, *rounds, *seed, *topN); err != nil {
+	mode, err := sensorcq.ParseDeliveryMode(*delivery)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := run(*approach, *nodes, *sensors, *groups, *subs, *minAttrs, *maxAttrs, *rounds, *seed, *topN, *concurrent, mode); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(approach string, nodes, sensors, groups, subs, minAttrs, maxAttrs, rounds int, seed int64, topN int) error {
+func run(approach string, nodes, sensors, groups, subs, minAttrs, maxAttrs, rounds int, seed int64, topN int, concurrent bool, mode sensorcq.DeliveryMode) error {
 	dep, err := sensorcq.GenerateDeployment(sensorcq.DeploymentConfig{
 		TotalNodes:  nodes,
 		SensorNodes: sensors,
@@ -64,7 +74,12 @@ func run(approach string, nodes, sensors, groups, subs, minAttrs, maxAttrs, roun
 		return err
 	}
 
-	sys, err := sensorcq.NewSystem(dep, sensorcq.Config{Approach: sensorcq.Approach(approach), Seed: seed})
+	sys, err := sensorcq.NewSystem(dep, sensorcq.Config{
+		Approach:   sensorcq.Approach(approach),
+		Seed:       seed,
+		Concurrent: concurrent,
+		Delivery:   mode,
+	})
 	if err != nil {
 		return err
 	}
@@ -76,18 +91,30 @@ func run(approach string, nodes, sensors, groups, subs, minAttrs, maxAttrs, roun
 		}
 	}
 	afterSubs := sys.Traffic()
-	if err := sys.Replay(trace.Events); err != nil {
+	start := time.Now()
+	if err := sys.ReplayTrace(trace); err != nil {
 		return err
 	}
+	elapsed := time.Since(start)
 	final := sys.Traffic()
 
+	engine := "sequential"
+	if concurrent {
+		engine = "concurrent"
+	}
 	fmt.Printf("approach:            %s\n", approach)
+	fmt.Printf("engine:              %s, %s delivery\n", engine, mode)
 	fmt.Printf("network:             %d nodes (%d sensor nodes in %d groups)\n", nodes, sensors, groups)
 	fmt.Printf("workload:            %d subscriptions (%d-%d attrs), %d rounds (%d readings)\n",
 		subs, minAttrs, maxAttrs, rounds, trace.NumEvents())
 	fmt.Printf("advertisement load:  %d\n", final.AdvertisementLoad)
 	fmt.Printf("subscription load:   %d\n", afterSubs.SubscriptionLoad)
 	fmt.Printf("event load:          %d\n", final.EventLoad)
+	fmt.Printf("replay wall-clock:   %s (%.0f events/sec)\n",
+		elapsed.Round(time.Microsecond), float64(trace.NumEvents())/elapsed.Seconds())
+	if n := sys.DroppedMessages(); n != 0 {
+		fmt.Printf("DROPPED MESSAGES:    %d (run lost traffic!)\n", n)
+	}
 
 	delivered := 0
 	for _, p := range placed {

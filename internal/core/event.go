@@ -63,8 +63,15 @@ func (n *Node) dedupKey(origin topology.NodeID, op *model.Subscription) string {
 	return fmt.Sprintf("n:%d", origin)
 }
 
-// matchAndForward finds complex events involving ev that match operators
+// matchAndForward finds the complex events involving ev that match operators
 // stored for origin and forwards their not-yet-sent component events to it.
+//
+// Every completed match is enumerated, not just one: the set of components a
+// node forwards per round is then the union over all complex events the
+// round's arrivals complete, which is a monotone function of what arrived —
+// independent of arrival order. That is the property the pipelined delivery
+// mode's per-round conformance oracle rests on (a single selected match
+// would depend on which events happened to be in the window first).
 func (n *Node) matchAndForward(ctx *netsim.Context, origin topology.NodeID, ev model.Event) {
 	// The range index hands over exactly the operators the event satisfies
 	// (value inside the filter range, location inside the region); operators
@@ -74,48 +81,35 @@ func (n *Node) matchAndForward(ctx *netsim.Context, origin topology.NodeID, ev m
 		return
 	}
 	idx.Candidates(ev, func(op *model.Subscription) bool {
-		window := n.window.Around(ev.Time, op.DeltaT)
-		match, ok := op.FindComplexMatch(window, &ev)
-		if !ok {
-			return true
-		}
 		key := n.dedupKey(origin, op)
-		for _, component := range match {
-			if n.window.WasSent(component.Seq, key) {
-				continue
+		window := n.window.Around(ev.Time, op.DeltaT)
+		op.ForEachComplexMatch(window, &ev, func(match model.ComplexEvent) bool {
+			for _, component := range match {
+				if n.window.WasSent(component.Seq, key) {
+					continue
+				}
+				ctx.SendEvent(origin, component)
+				n.window.MarkSent(component.Seq, key)
 			}
-			ctx.SendEvent(origin, component)
-			n.window.MarkSent(component.Seq, key)
-		}
+			return true
+		})
 		return true
 	})
 }
 
 // deliverLocal checks the whole user subscriptions registered at this node
-// and delivers any complex event completed by ev. Component events already
-// delivered for a subscription are not re-delivered.
+// and delivers every complex event completed by ev. A complex event is
+// completed exactly once — when the last of its components arrives (a
+// duplicate arrival returns before matching, so it cannot re-complete
+// anything) — so each matching complex event is delivered exactly once, in
+// the round that completed it, whatever order the components arrived in.
 func (n *Node) deliverLocal(ctx *netsim.Context, ev model.Event) {
 	n.localIdx.Candidates(ev, func(sub *model.Subscription) bool {
 		window := n.window.Around(ev.Time, sub.DeltaT)
-		match, ok := sub.FindComplexMatch(window, &ev)
-		if !ok {
+		sub.ForEachComplexMatch(window, &ev, func(match model.ComplexEvent) bool {
+			ctx.DeliverToUser(sub.ID, match)
 			return true
-		}
-		key := "user:" + string(sub.ID)
-		anyNew := false
-		for _, component := range match {
-			if !n.window.WasSent(component.Seq, key) {
-				anyNew = true
-				break
-			}
-		}
-		if !anyNew {
-			return true
-		}
-		ctx.DeliverToUser(sub.ID, match)
-		for _, component := range match {
-			n.window.MarkSent(component.Seq, key)
-		}
+		})
 		return true
 	})
 }

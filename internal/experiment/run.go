@@ -71,6 +71,14 @@ type Options struct {
 	// Progress, when non-nil, receives a short line after each batch of
 	// each approach (used by the CLI).
 	Progress func(format string, args ...interface{})
+	// Concurrent runs each approach on the concurrent engine (one
+	// goroutine per node) instead of the deterministic sequential engine.
+	Concurrent bool
+	// Delivery selects the replay delivery semantics: Quiescent (default)
+	// drains the network after every event, Pipelined injects a whole
+	// measurement round before draining. Pipelined together with
+	// Concurrent is the configuration that actually runs in parallel.
+	Delivery netsim.DeliveryMode
 }
 
 // DefaultOptions returns the options used when nil is passed to Run.
@@ -130,15 +138,45 @@ func BuildWorkload(s Scenario) (*Workload, error) {
 		Placed:       placed,
 		Expectations: make([]*oracle.Expectation, s.Batches),
 	}
-	// Split the trace rounds into one segment per batch.
+	// Split the trace rounds into one segment per batch (a segment is its
+	// batch's rounds, flattened).
 	for b := 0; b < s.Batches; b++ {
 		var segment []model.Event
-		for r := b * s.RoundsPerBatch; r < (b+1)*s.RoundsPerBatch && r < len(trace.ByRound); r++ {
-			segment = append(segment, trace.ByRound[r]...)
+		for _, round := range w.RoundsForBatch(b) {
+			segment = append(segment, round...)
 		}
 		w.Segments = append(w.Segments, segment)
 	}
 	return w, nil
+}
+
+// RoundsForBatch returns the measurement rounds replayed after the given
+// batch, preserving the trace's round structure (Segments flattens them).
+func (w *Workload) RoundsForBatch(batch int) [][]model.Event {
+	start := batch * w.Scenario.RoundsPerBatch
+	end := start + w.Scenario.RoundsPerBatch
+	if end > len(w.Trace.ByRound) {
+		end = len(w.Trace.ByRound)
+	}
+	if start > end {
+		start = end
+	}
+	return w.Trace.ByRound[start:end]
+}
+
+// PublicationRounds returns the batch's measurement rounds converted to the
+// runtime's replay representation, each event paired with the node hosting
+// its sensor — ready to hand to Runtime.ReplayRounds.
+func (w *Workload) PublicationRounds(batch int) [][]netsim.Publication {
+	rounds := w.RoundsForBatch(batch)
+	out := make([][]netsim.Publication, len(rounds))
+	for r, events := range rounds {
+		out[r] = make([]netsim.Publication, len(events))
+		for i, ev := range events {
+			out[r][i] = netsim.Publication{Node: w.Deployment.SensorHost[ev.Sensor], Event: ev}
+		}
+	}
+	return out
 }
 
 // SubscriptionsUpTo returns the subscriptions of batches 0..batch inclusive.
@@ -214,7 +252,14 @@ func runApproach(w *Workload, id ApproachID, o Options) (*ApproachSeries, error)
 	if err != nil {
 		return nil, err
 	}
-	engine := netsim.NewEngine(w.Deployment.Graph, factory)
+	var engine netsim.Runtime
+	if o.Concurrent {
+		conc := netsim.NewConcurrentEngine(w.Deployment.Graph, factory)
+		defer conc.Close()
+		engine = conc
+	} else {
+		engine = netsim.NewEngine(w.Deployment.Graph, factory)
+	}
 
 	// Attach (and, for distributed approaches, advertise) every sensor.
 	sensorHosts := make([]model.Sensor, len(w.Deployment.Sensors))
@@ -224,6 +269,7 @@ func runApproach(w *Workload, id ApproachID, o Options) (*ApproachSeries, error)
 		if err := engine.AttachSensor(w.Deployment.SensorHost[sensor.ID], sensor); err != nil {
 			return nil, fmt.Errorf("experiment: attaching %s: %w", sensor.ID, err)
 		}
+		engine.Flush()
 	}
 
 	series := &ApproachSeries{Approach: id}
@@ -238,17 +284,15 @@ func runApproach(w *Workload, id ApproachID, o Options) (*ApproachSeries, error)
 			if err := engine.Subscribe(p.Node, p.Sub); err != nil {
 				return nil, fmt.Errorf("experiment: subscribing %s: %w", p.Sub.ID, err)
 			}
+			engine.Flush()
 		}
-		// Replay this batch's event segment through the batched path and
-		// measure the traffic it generates.
+		// Replay this batch's measurement rounds under the configured
+		// delivery semantics and measure the traffic they generate.
 		before := engine.Metrics().Snapshot()
-		replay := make([]netsim.Publication, len(w.Segments[b]))
-		for i, ev := range w.Segments[b] {
-			replay[i] = netsim.Publication{Node: w.Deployment.SensorHost[ev.Sensor], Event: ev}
-		}
-		if err := engine.PublishBatch(replay); err != nil {
+		if err := engine.ReplayRounds(w.PublicationRounds(b), netsim.ReplayOptions{Mode: o.Delivery}); err != nil {
 			return nil, fmt.Errorf("experiment: replaying batch %d: %w", b, err)
 		}
+		engine.Flush()
 		after := engine.Metrics().Snapshot()
 
 		point := SeriesPoint{

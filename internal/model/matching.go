@@ -96,16 +96,38 @@ func (s *Subscription) MatchesComplex(events ComplexEvent) bool {
 }
 
 // FindComplexMatch searches the candidate window for a complex event that
-// matches the subscription and that includes the mustInclude event (pass a
-// zero-Seq Event to disable that constraint). It returns the matching
-// component events and true, or nil and false when no combination matches.
+// matches the subscription and that includes the mustInclude event (pass nil
+// to disable that constraint). It returns the first matching combination in
+// the enumeration order of ForEachComplexMatch and true, or nil and false
+// when no combination matches.
+func (s *Subscription) FindComplexMatch(window []Event, mustInclude *Event) (ComplexEvent, bool) {
+	var out ComplexEvent
+	s.ForEachComplexMatch(window, mustInclude, func(match ComplexEvent) bool {
+		out = match
+		return false
+	})
+	return out, out != nil
+}
+
+// ForEachComplexMatch enumerates every complex event in the candidate window
+// that matches the subscription and includes the mustInclude event (pass nil
+// to disable that constraint), invoking fn for each; fn returns false to stop
+// the enumeration. Each invocation receives a fresh ComplexEvent the callback
+// may retain.
 //
 // The search is an exact backtracking search over one candidate list per
 // required sensor/attribute. Subscriptions in this system have at most a
 // handful of filters (the paper uses 3-5 attributes) and windows are short
 // (δt), so the search space stays tiny; the time-window and location-span
 // constraints additionally prune it.
-func (s *Subscription) FindComplexMatch(window []Event, mustInclude *Event) (ComplexEvent, bool) {
+//
+// Enumerating every completion — rather than selecting one — is what makes
+// event forwarding and user delivery independent of arrival interleaving:
+// with mustInclude set to the newly arrived event, a given complex event is
+// discovered exactly once, at the arrival of whichever of its components
+// shows up last, no matter the order the components arrived in. The
+// pipelined replay mode's per-round conformance oracle relies on this.
+func (s *Subscription) ForEachComplexMatch(window []Event, mustInclude *Event, fn func(ComplexEvent) bool) {
 	keys := s.filterKeys()
 	candidates := make(map[string][]Event, len(keys))
 	for _, e := range window {
@@ -118,7 +140,7 @@ func (s *Subscription) FindComplexMatch(window []Event, mustInclude *Event) (Com
 	var mustKey string
 	if mustInclude != nil {
 		if !s.MatchesEvent(*mustInclude) {
-			return nil, false
+			return
 		}
 		mustKey, _ = s.FilterKeyFor(*mustInclude)
 	}
@@ -128,40 +150,42 @@ func (s *Subscription) FindComplexMatch(window []Event, mustInclude *Event) (Com
 			continue
 		}
 		if len(candidates[k]) == 0 {
-			return nil, false
+			return
 		}
 	}
 
 	chosen := make(ComplexEvent, 0, len(keys))
-	var rec func(i int) bool
+	var rec func(i int) bool // returns false to abort the whole enumeration
+	emit := func() bool {
+		if !s.MatchesComplex(chosen) {
+			return true
+		}
+		out := make(ComplexEvent, len(chosen))
+		copy(out, chosen)
+		return fn(out)
+	}
 	rec = func(i int) bool {
 		if i == len(keys) {
-			return s.MatchesComplex(chosen)
+			return emit()
 		}
 		key := keys[i]
 		if key == mustKey {
 			chosen = append(chosen, *mustInclude)
-			if s.partialFeasible(chosen) && rec(i+1) {
-				return true
-			}
+			ok := !s.partialFeasible(chosen) || rec(i+1)
 			chosen = chosen[:len(chosen)-1]
-			return false
+			return ok
 		}
 		for _, e := range candidates[key] {
 			chosen = append(chosen, e)
-			if s.partialFeasible(chosen) && rec(i+1) {
-				return true
-			}
+			ok := !s.partialFeasible(chosen) || rec(i+1)
 			chosen = chosen[:len(chosen)-1]
+			if !ok {
+				return false
+			}
 		}
-		return false
+		return true
 	}
-	if rec(0) {
-		out := make(ComplexEvent, len(chosen))
-		copy(out, chosen)
-		return out, true
-	}
-	return nil, false
+	rec(0)
 }
 
 // partialFeasible prunes the backtracking search: a partial selection is

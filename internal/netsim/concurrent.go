@@ -14,6 +14,10 @@ import (
 // the same Runtime interface as the sequential Engine, so the two are
 // interchangeable; the experiments use the sequential engine for determinism
 // and the tests cross-check that both produce identical traffic totals.
+//
+// Under Quiescent replay at most one event is in flight, so the goroutines
+// take turns; Pipelined replay (ReplayRounds) keeps a whole round in flight
+// and is where the engine actually runs concurrently.
 type ConcurrentEngine struct {
 	graph    *topology.Graph
 	handlers []Handler
@@ -26,6 +30,7 @@ type ConcurrentEngine struct {
 	idle       *sync.Cond
 	closed     bool
 	deliveries []Delivery
+	round      int
 }
 
 var _ Runtime = (*ConcurrentEngine)(nil)
@@ -55,18 +60,23 @@ func (w *worker) push(item queued) bool {
 	return true
 }
 
-func (w *worker) pop() (queued, bool) {
+// popAll blocks until the mailbox is non-empty (or closed) and then takes
+// every queued item in one swap, leaving spare as the mailbox's next backing
+// array. Draining in batches rather than item by item keeps the mailbox lock
+// out of the pipelined hot path: under a full round in flight a node pays one
+// lock round-trip per burst instead of one per message.
+func (w *worker) popAll(spare []queued) ([]queued, bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for len(w.queue) == 0 && !w.closed {
 		w.cond.Wait()
 	}
 	if len(w.queue) == 0 {
-		return queued{}, false
+		return nil, false
 	}
-	item := w.queue[0]
-	w.queue = w.queue[1:]
-	return item, true
+	items := w.queue
+	w.queue = spare[:0]
+	return items, true
 }
 
 func (w *worker) close() {
@@ -101,42 +111,29 @@ func NewConcurrentEngine(graph *topology.Graph, factory HandlerFactory) *Concurr
 }
 
 func (e *ConcurrentEngine) runWorker(n int) {
+	h := e.handlers[n]
+	ctx := e.ctxs[n]
+	var spare []queued
 	for {
-		item, ok := e.workers[n].pop()
+		items, ok := e.workers[n].popAll(spare)
 		if !ok {
 			return
 		}
-		e.process(n, item)
+		for i := range items {
+			dispatch(h, ctx, items[i])
+		}
 		e.mu.Lock()
-		e.inflight--
+		e.inflight -= len(items)
 		if e.inflight == 0 {
 			e.idle.Broadcast()
 		}
 		e.mu.Unlock()
-	}
-}
-
-func (e *ConcurrentEngine) process(n int, item queued) {
-	h := e.handlers[n]
-	ctx := e.ctxs[n]
-	if item.injection != injectionNone {
-		switch item.injection {
-		case injectionSensor:
-			h.LocalSensor(ctx, item.sensor)
-		case injectionSubscribe:
-			h.LocalSubscribe(ctx, item.sub)
-		case injectionPublish:
-			h.LocalPublish(ctx, item.ev)
+		// Zero the processed items (so queued subscriptions can be
+		// collected) and hand the array back to the mailbox.
+		for i := range items {
+			items[i] = queued{}
 		}
-		return
-	}
-	switch item.msg.Kind {
-	case KindAdvertisement:
-		h.HandleAdvertisement(ctx, item.from, item.msg.Adv)
-	case KindSubscription:
-		h.HandleSubscription(ctx, item.from, item.msg.Sub)
-	case KindEvent:
-		h.HandleEvent(ctx, item.from, item.msg.Ev)
+		spare = items
 	}
 }
 
@@ -151,23 +148,42 @@ func (e *ConcurrentEngine) submit(item queued) error {
 	if !e.workers[item.to].push(item) {
 		e.mu.Lock()
 		e.inflight--
+		if e.inflight == 0 {
+			e.idle.Broadcast()
+		}
 		e.mu.Unlock()
 		return fmt.Errorf("netsim: node %d mailbox closed", item.to)
 	}
 	return nil
 }
 
-// enqueue implements sink (called from worker goroutines).
+// enqueue implements sink (called from worker goroutines). A failed submit —
+// only possible when a send races engine shutdown — is counted as a dropped
+// message so lossy runs are detectable; the conformance suite asserts the
+// counter stays zero.
 func (e *ConcurrentEngine) enqueue(from, to topology.NodeID, msg Message) {
-	_ = e.submit(queued{from: from, to: to, msg: msg})
+	if err := e.submit(queued{from: from, to: to, msg: msg}); err != nil {
+		e.metrics.recordDrop()
+	}
 }
 
 // deliver implements sink.
 func (e *ConcurrentEngine) deliver(d Delivery) {
 	e.mu.Lock()
+	d.Round = e.round
 	e.deliveries = append(e.deliveries, d)
 	e.mu.Unlock()
 	e.metrics.recordDelivery(d)
+}
+
+// advanceRound bumps the round counter deliveries are stamped with. Callers
+// advance it only between rounds, when their own injections are the only
+// possible source of new work, so a delivery is always stamped with the round
+// of the event that caused it.
+func (e *ConcurrentEngine) advanceRound() {
+	e.mu.Lock()
+	e.round++
+	e.mu.Unlock()
 }
 
 func (e *ConcurrentEngine) validNode(n topology.NodeID) error {
@@ -175,6 +191,16 @@ func (e *ConcurrentEngine) validNode(n topology.NodeID) error {
 		return fmt.Errorf("netsim: unknown node %d", n)
 	}
 	return nil
+}
+
+// Handler returns the protocol handler of a node (used by white-box tests,
+// matching Engine.Handler). The caller must Flush first so no worker
+// goroutine is concurrently touching the handler's state.
+func (e *ConcurrentEngine) Handler(n topology.NodeID) Handler {
+	if n < 0 || int(n) >= len(e.handlers) {
+		return nil
+	}
+	return e.handlers[n]
 }
 
 // AttachSensor implements Runtime.
@@ -204,21 +230,46 @@ func (e *ConcurrentEngine) Publish(node topology.NodeID, ev model.Event) error {
 	return e.submit(queued{to: node, from: node, injection: injectionPublish, ev: ev})
 }
 
-// PublishBatch implements Runtime. The batch is validated up front; each
-// event is then submitted and the network drained to quiescence before the
-// next one, preserving the per-event replay semantics the conformance suite
-// compares against the sequential engine.
+// PublishBatch implements Runtime: one quiescent round, preserving the
+// per-event replay semantics the conformance suite compares against the
+// sequential engine.
 func (e *ConcurrentEngine) PublishBatch(batch []Publication) error {
-	for _, p := range batch {
-		if err := e.validNode(p.Node); err != nil {
-			return err
+	return e.ReplayRounds([][]Publication{batch}, ReplayOptions{Mode: Quiescent})
+}
+
+// ReplayRounds implements Runtime. In Pipelined mode a whole round is
+// submitted before the drain, so every node whose mailbox has work runs at
+// the same time; the network is drained to quiescence between rounds, which
+// is what makes the per-round conformance oracle well defined.
+func (e *ConcurrentEngine) ReplayRounds(rounds [][]Publication, opts ReplayOptions) error {
+	if err := opts.validate(); err != nil {
+		return err
+	}
+	for _, round := range rounds {
+		for _, p := range round {
+			if err := e.validNode(p.Node); err != nil {
+				return err
+			}
 		}
 	}
-	for _, p := range batch {
-		if err := e.submit(queued{to: p.Node, from: p.Node, injection: injectionPublish, ev: p.Event}); err != nil {
-			return err
+	for _, round := range rounds {
+		e.advanceRound()
+		switch opts.Mode {
+		case Quiescent:
+			for _, p := range round {
+				if err := e.submit(queued{to: p.Node, from: p.Node, injection: injectionPublish, ev: p.Event}); err != nil {
+					return err
+				}
+				e.Flush()
+			}
+		case Pipelined:
+			for _, p := range round {
+				if err := e.submit(queued{to: p.Node, from: p.Node, injection: injectionPublish, ev: p.Event}); err != nil {
+					return err
+				}
+			}
+			e.Flush()
 		}
-		e.Flush()
 	}
 	return nil
 }
@@ -246,7 +297,8 @@ func (e *ConcurrentEngine) Deliveries() []Delivery {
 }
 
 // Close shuts the per-node goroutines down. The engine must be quiescent
-// (Flush) before closing; messages submitted after Close are rejected.
+// (Flush) before closing; messages submitted after Close are rejected and
+// Close is idempotent.
 func (e *ConcurrentEngine) Close() {
 	e.mu.Lock()
 	if e.closed {

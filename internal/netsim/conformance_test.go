@@ -83,6 +83,142 @@ func deliveryMultiset(ds []netsim.Delivery) map[string]int {
 	return m
 }
 
+// driveRounds replays the workload like drive, but pushes the event trace
+// through Runtime.ReplayRounds with the given delivery mode, one ReplayRounds
+// call per batch with the batch's true round structure — the replay shape the
+// experiment harness and the pipelined benchmark use.
+func driveRounds(t *testing.T, rt netsim.Runtime, w *experiment.Workload, mode netsim.DeliveryMode) {
+	t.Helper()
+	sensors := make([]model.Sensor, len(w.Deployment.Sensors))
+	copy(sensors, w.Deployment.Sensors)
+	sort.Slice(sensors, func(i, j int) bool { return sensors[i].ID < sensors[j].ID })
+	for _, sensor := range sensors {
+		if err := rt.AttachSensor(w.Deployment.SensorHost[sensor.ID], sensor); err != nil {
+			t.Fatal(err)
+		}
+		rt.Flush()
+	}
+	for _, p := range w.Placed {
+		if err := rt.Subscribe(p.Node, p.Sub.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		rt.Flush()
+	}
+	for b := 0; b < w.Scenario.Batches; b++ {
+		if err := rt.ReplayRounds(w.PublicationRounds(b), netsim.ReplayOptions{Mode: mode}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Flush()
+}
+
+// perRoundMultisets groups the delivery multiset by replay round.
+func perRoundMultisets(ds []netsim.Delivery) map[int]map[string]int {
+	out := map[int]map[string]int{}
+	for _, d := range ds {
+		m := out[d.Round]
+		if m == nil {
+			m = map[string]int{}
+			out[d.Round] = m
+		}
+		m[fmt.Sprintf("%d|%s|%v", d.Node, d.SubID, d.Events.Seqs())]++
+	}
+	return out
+}
+
+// assertSameTraffic compares the headline traffic counters of two runs.
+func assertSameTraffic(t *testing.T, label string, a, b netsim.Snapshot) {
+	t.Helper()
+	if a.AdvertisementLoad != b.AdvertisementLoad {
+		t.Errorf("%s: advertisement load: baseline=%d got=%d", label, a.AdvertisementLoad, b.AdvertisementLoad)
+	}
+	if a.SubscriptionLoad != b.SubscriptionLoad {
+		t.Errorf("%s: subscription load: baseline=%d got=%d", label, a.SubscriptionLoad, b.SubscriptionLoad)
+	}
+	if a.EventLoad != b.EventLoad {
+		t.Errorf("%s: event load: baseline=%d got=%d", label, a.EventLoad, b.EventLoad)
+	}
+}
+
+// assertSamePerRoundDeliveries compares delivery multisets round by round.
+func assertSamePerRoundDeliveries(t *testing.T, label string, base, got []netsim.Delivery) {
+	t.Helper()
+	bm, gm := perRoundMultisets(base), perRoundMultisets(got)
+	if len(bm) == 0 {
+		t.Fatalf("%s: baseline produced no deliveries; the conformance check is vacuous", label)
+	}
+	for round, bset := range bm {
+		gset := gm[round]
+		for k, n := range bset {
+			if gset[k] != n {
+				t.Errorf("%s: round %d delivery %q: baseline=%d got=%d", label, round, k, n, gset[k])
+			}
+		}
+		for k, n := range gset {
+			if _, ok := bset[k]; !ok {
+				t.Errorf("%s: round %d delivery %q: baseline=0 got=%d", label, round, k, n)
+			}
+		}
+	}
+	for round := range gm {
+		if _, ok := bm[round]; !ok {
+			t.Errorf("%s: round %d has deliveries only in the pipelined run", label, round)
+		}
+	}
+}
+
+// TestPipelinedConformanceAllApproaches is the per-round oracle of the
+// pipelined delivery mode: for every approach, a sequential pipelined run and
+// a concurrent pipelined run must produce the sequential quiescent run's
+// traffic totals and, round by round, the same multiset of deliveries — the
+// interleaving within a round is free, the outcome of the round is not.
+func TestPipelinedConformanceAllApproaches(t *testing.T) {
+	for _, seed := range []int64{11, 42, 1234} {
+		w, err := experiment.BuildWorkload(conformanceScenario(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range experiment.All() {
+			id := id
+			t.Run(fmt.Sprintf("%s/seed=%d", id, seed), func(t *testing.T) {
+				newRuntime := func(concurrent bool) netsim.Runtime {
+					factory, err := experiment.FactoryFor(id, seed+7, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if concurrent {
+						return netsim.NewConcurrentEngine(w.Deployment.Graph, factory)
+					}
+					return netsim.NewEngine(w.Deployment.Graph, factory)
+				}
+
+				baseline := newRuntime(false)
+				driveRounds(t, baseline, w, netsim.Quiescent)
+
+				seqPipelined := newRuntime(false)
+				driveRounds(t, seqPipelined, w, netsim.Pipelined)
+
+				concPipelined := newRuntime(true)
+				defer concPipelined.(*netsim.ConcurrentEngine).Close()
+				driveRounds(t, concPipelined, w, netsim.Pipelined)
+
+				base := baseline.Metrics().Snapshot()
+				assertSameTraffic(t, "sequential-pipelined", base, seqPipelined.Metrics().Snapshot())
+				assertSameTraffic(t, "concurrent-pipelined", base, concPipelined.Metrics().Snapshot())
+				assertSamePerRoundDeliveries(t, "sequential-pipelined", baseline.Deliveries(), seqPipelined.Deliveries())
+				assertSamePerRoundDeliveries(t, "concurrent-pipelined", baseline.Deliveries(), concPipelined.Deliveries())
+				for name, rt := range map[string]netsim.Runtime{
+					"baseline": baseline, "sequential-pipelined": seqPipelined, "concurrent-pipelined": concPipelined,
+				} {
+					if n := rt.Metrics().DroppedMessages(); n != 0 {
+						t.Errorf("%s dropped %d messages", name, n)
+					}
+				}
+			})
+		}
+	}
+}
+
 func TestEngineConformanceAllApproaches(t *testing.T) {
 	for _, seed := range []int64{11, 42} {
 		w, err := experiment.BuildWorkload(conformanceScenario(seed))
@@ -130,6 +266,12 @@ func TestEngineConformanceAllApproaches(t *testing.T) {
 					if cm[k] != n {
 						t.Errorf("delivery %q: sequential=%d concurrent=%d", k, n, cm[k])
 					}
+				}
+				if n := seq.Metrics().DroppedMessages(); n != 0 {
+					t.Errorf("sequential engine dropped %d messages", n)
+				}
+				if n := conc.Metrics().DroppedMessages(); n != 0 {
+					t.Errorf("concurrent engine dropped %d messages", n)
 				}
 			})
 		}

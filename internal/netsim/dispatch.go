@@ -1,0 +1,28 @@
+package netsim
+
+// dispatch routes one queued item to the owning node's handler. It is the
+// single place that understands the injection/message discrimination; both
+// engines call it (the sequential engine from the caller's goroutine, the
+// concurrent engine from the node's worker goroutine), so the two can never
+// drift apart in how they present work to a protocol handler.
+func dispatch(h Handler, ctx *Context, item queued) {
+	if item.injection != injectionNone {
+		switch item.injection {
+		case injectionSensor:
+			h.LocalSensor(ctx, item.sensor)
+		case injectionSubscribe:
+			h.LocalSubscribe(ctx, item.sub)
+		case injectionPublish:
+			h.LocalPublish(ctx, item.ev)
+		}
+		return
+	}
+	switch item.msg.Kind {
+	case KindAdvertisement:
+		h.HandleAdvertisement(ctx, item.from, item.msg.Adv)
+	case KindSubscription:
+		h.HandleSubscription(ctx, item.from, item.msg.Sub)
+	case KindEvent:
+		h.HandleEvent(ctx, item.from, item.msg.Ev)
+	}
+}

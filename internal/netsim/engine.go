@@ -23,7 +23,18 @@ type Runtime interface {
 	// Publish per event — but the engine validates the batch up front and
 	// amortizes per-call queue management, so trace replay should prefer
 	// it. A batch is rejected as a whole when any target node is unknown.
+	// The batch counts as one replay round (deliveries are stamped with
+	// it); it is equivalent to ReplayRounds with a single quiescent round.
 	PublishBatch(batch []Publication) error
+	// ReplayRounds injects a trace structured as rounds of events, under
+	// the delivery semantics selected by opts: Quiescent drains the
+	// network after every single event (the conformance baseline),
+	// Pipelined injects a whole round before draining, which lets the
+	// concurrent engine's per-node goroutines run simultaneously. Every
+	// round advances the engine's round counter, and deliveries are
+	// stamped with it. The whole trace is validated up front; an unknown
+	// target node rejects it before any event enters the network.
+	ReplayRounds(rounds [][]Publication, opts ReplayOptions) error
 	// Flush processes messages until the network is quiescent.
 	Flush()
 	// Metrics returns the run's traffic and delivery counters.
@@ -31,6 +42,11 @@ type Runtime interface {
 	// Deliveries returns every complex-event delivery recorded so far, in
 	// delivery order (sequential engine) or an arbitrary order (concurrent).
 	Deliveries() []Delivery
+	// Handler returns the protocol handler of a node (nil for unknown
+	// nodes). White-box protocol tests use it to inspect per-node state on
+	// either engine; for the concurrent engine the caller must Flush first
+	// so no worker goroutine is touching the handler.
+	Handler(node topology.NodeID) Handler
 }
 
 // queued is one in-flight item: either a link message or a local injection.
@@ -67,6 +83,7 @@ type Engine struct {
 	queue      []queued
 	flushing   bool
 	deliveries []Delivery
+	round      int
 }
 
 var _ Runtime = (*Engine)(nil)
@@ -154,14 +171,38 @@ func (e *Engine) Publish(node topology.NodeID, ev model.Event) error {
 // every event is injected and fully propagated in order, reusing the queue
 // storage across events.
 func (e *Engine) PublishBatch(batch []Publication) error {
-	for _, p := range batch {
-		if err := e.validNode(p.Node); err != nil {
-			return err
+	return e.ReplayRounds([][]Publication{batch}, ReplayOptions{Mode: Quiescent})
+}
+
+// ReplayRounds implements Runtime. On the sequential engine both modes are
+// deterministic; they differ in interleaving only (Pipelined enqueues a whole
+// round before draining it FIFO, so a node sees round events in injection
+// order rather than fully propagated one at a time).
+func (e *Engine) ReplayRounds(rounds [][]Publication, opts ReplayOptions) error {
+	if err := opts.validate(); err != nil {
+		return err
+	}
+	for _, round := range rounds {
+		for _, p := range round {
+			if err := e.validNode(p.Node); err != nil {
+				return err
+			}
 		}
 	}
-	for _, p := range batch {
-		e.queue = append(e.queue, queued{to: p.Node, from: p.Node, injection: injectionPublish, ev: p.Event})
-		e.Flush()
+	for _, round := range rounds {
+		e.round++
+		switch opts.Mode {
+		case Quiescent:
+			for _, p := range round {
+				e.queue = append(e.queue, queued{to: p.Node, from: p.Node, injection: injectionPublish, ev: p.Event})
+				e.Flush()
+			}
+		case Pipelined:
+			for _, p := range round {
+				e.queue = append(e.queue, queued{to: p.Node, from: p.Node, injection: injectionPublish, ev: p.Event})
+			}
+			e.Flush()
+		}
 	}
 	return nil
 }
@@ -180,7 +221,8 @@ func (e *Engine) Flush() {
 	}
 	e.flushing = true
 	for i := 0; i < len(e.queue); i++ {
-		e.dispatch(e.queue[i])
+		item := e.queue[i]
+		dispatch(e.handlers[item.to], e.ctxs[item.to], item)
 	}
 	// Zero the processed items so queued subscriptions can be collected,
 	// then keep the backing array for the next flush.
@@ -191,30 +233,6 @@ func (e *Engine) Flush() {
 	e.flushing = false
 }
 
-func (e *Engine) dispatch(item queued) {
-	h := e.handlers[item.to]
-	ctx := e.ctxs[item.to]
-	if item.injection != injectionNone {
-		switch item.injection {
-		case injectionSensor:
-			h.LocalSensor(ctx, item.sensor)
-		case injectionSubscribe:
-			h.LocalSubscribe(ctx, item.sub)
-		case injectionPublish:
-			h.LocalPublish(ctx, item.ev)
-		}
-		return
-	}
-	switch item.msg.Kind {
-	case KindAdvertisement:
-		h.HandleAdvertisement(ctx, item.from, item.msg.Adv)
-	case KindSubscription:
-		h.HandleSubscription(ctx, item.from, item.msg.Sub)
-	case KindEvent:
-		h.HandleEvent(ctx, item.from, item.msg.Ev)
-	}
-}
-
 // enqueue implements sink.
 func (e *Engine) enqueue(from, to topology.NodeID, msg Message) {
 	e.queue = append(e.queue, queued{from: from, to: to, msg: msg})
@@ -222,6 +240,7 @@ func (e *Engine) enqueue(from, to topology.NodeID, msg Message) {
 
 // deliver implements sink.
 func (e *Engine) deliver(d Delivery) {
+	d.Round = e.round
 	e.deliveries = append(e.deliveries, d)
 	e.metrics.recordDelivery(d)
 }

@@ -66,6 +66,12 @@ type Delivery struct {
 	Node   topology.NodeID
 	SubID  model.SubscriptionID
 	Events model.ComplexEvent
+	// Round is the replay round during which the delivery happened: the
+	// engines advance a round counter once per round of ReplayRounds (and
+	// once per PublishBatch call), and stamp every delivery with it. The
+	// pipelined conformance oracle groups deliveries by round, so runs with
+	// different intra-round interleavings stay comparable.
+	Round int
 }
 
 // Publication pairs a sensor reading with the node where it enters the

@@ -26,6 +26,7 @@ type Metrics struct {
 	advertisementLoad int64
 	subscriptionLoad  int64
 	eventLoad         int64
+	droppedMessages   int64
 
 	linkSubscription map[Link]int64
 	linkEvent        map[Link]int64
@@ -79,6 +80,23 @@ func (m *Metrics) recordDelivery(d Delivery) {
 		set[e.Seq] = true
 	}
 	m.complexDeliveries[d.SubID]++
+}
+
+// recordDrop counts a message an engine failed to enqueue.
+func (m *Metrics) recordDrop() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.droppedMessages++
+}
+
+// DroppedMessages returns the number of messages an engine failed to enqueue
+// (for example a send racing engine shutdown). A run whose dropped count is
+// non-zero lost traffic and must not be compared against a lossless run; the
+// conformance suite asserts it is zero.
+func (m *Metrics) DroppedMessages() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.droppedMessages
 }
 
 // AdvertisementLoad returns the number of advertisement link traversals.

@@ -73,25 +73,23 @@ func Compute(subs []*model.Subscription, events []model.Event) *Expectation {
 		window.Prune(ev.Time)
 		for _, s := range byAttr[ev.Attr] {
 			candidates := window.Around(ev.Time, s.DeltaT)
-			match, ok := s.FindComplexMatch(candidates, &ev)
-			if !ok {
-				continue
-			}
-			set := exp.ExpectedSeqs[s.ID]
-			if set == nil {
-				set = map[uint64]bool{}
-				exp.ExpectedSeqs[s.ID] = set
-			}
-			anyNew := false
-			for _, component := range match {
-				if !set[component.Seq] {
-					set[component.Seq] = true
-					anyNew = true
+			// Enumerate every complex event the trigger completes, exactly
+			// like the protocol nodes do: a single-pick match would
+			// under-approximate the ground truth (components that only
+			// appear in the non-picked combinations would never be
+			// expected, inflating measured recall).
+			s.ForEachComplexMatch(candidates, &ev, func(match model.ComplexEvent) bool {
+				set := exp.ExpectedSeqs[s.ID]
+				if set == nil {
+					set = map[uint64]bool{}
+					exp.ExpectedSeqs[s.ID] = set
 				}
-			}
-			if anyNew {
+				for _, component := range match {
+					set[component.Seq] = true
+				}
 				exp.ComplexMatches[s.ID]++
-			}
+				return true
+			})
 		}
 	}
 	return exp

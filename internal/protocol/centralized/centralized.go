@@ -169,26 +169,27 @@ func (n *Node) matchAtCenter(ctx *netsim.Context, ev model.Event) {
 	}
 	n.window.Prune(now)
 
+	// Every completed match is enumerated and delivered — not just one pick
+	// from the current window — so the per-round result sets and downward
+	// traffic are independent of the order readings reached the centre
+	// (matching the order-independent forwarding of internal/core, which the
+	// pipelined delivery mode's conformance oracle relies on). Each
+	// component is still shipped down at most once per subscription.
 	for _, entry := range n.subsByAttr[ev.Attr] {
-		window := n.window.Around(ev.Time, entry.sub.DeltaT)
-		match, ok := entry.sub.FindComplexMatch(window, &ev)
-		if !ok {
-			continue
-		}
 		key := "s:" + string(entry.sub.ID)
-		anyNew := false
-		for _, component := range match {
-			if n.window.WasSent(component.Seq, key) {
-				continue
+		window := n.window.Around(ev.Time, entry.sub.DeltaT)
+		entry.sub.ForEachComplexMatch(window, &ev, func(match model.ComplexEvent) bool {
+			for _, component := range match {
+				if n.window.WasSent(component.Seq, key) {
+					continue
+				}
+				if entry.pathLen > 0 {
+					ctx.SendEventUnits(entry.firstHop, component, entry.pathLen)
+				}
+				n.window.MarkSent(component.Seq, key)
 			}
-			anyNew = true
-			if entry.pathLen > 0 {
-				ctx.SendEventUnits(entry.firstHop, component, entry.pathLen)
-			}
-			n.window.MarkSent(component.Seq, key)
-		}
-		if anyNew {
 			ctx.DeliverToUser(entry.sub.ID, match)
-		}
+			return true
+		})
 	}
 }

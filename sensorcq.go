@@ -85,6 +85,9 @@ type (
 
 	// Delivery is a complex event handed to a subscribing user.
 	Delivery = netsim.Delivery
+	// DeliveryMode selects the replay delivery semantics (quiescent or
+	// pipelined).
+	DeliveryMode = netsim.DeliveryMode
 
 	// TraceConfig parameterises synthetic trace generation.
 	TraceConfig = dataset.Config
@@ -117,6 +120,19 @@ const (
 	WindSpeed          = model.WindSpeed
 	WindDirection      = model.WindDirection
 )
+
+// The replay delivery semantics of Config.Delivery: Quiescent fully
+// propagates every event before the next one is injected (the deterministic
+// baseline); Pipelined injects a whole measurement round before draining,
+// letting a concurrent System evaluate the round in parallel.
+const (
+	Quiescent = netsim.Quiescent
+	Pipelined = netsim.Pipelined
+)
+
+// ParseDeliveryMode maps the CLI spelling of a delivery mode ("quiescent",
+// "pipelined") onto its value.
+func ParseDeliveryMode(s string) (DeliveryMode, error) { return netsim.ParseDeliveryMode(s) }
 
 // NoSpatialConstraint disables the spatial correlation distance of an
 // abstract subscription (δl = ∞).

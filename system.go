@@ -48,6 +48,22 @@ type Config struct {
 	// Concurrent runs one goroutine per processing node instead of the
 	// deterministic sequential engine.
 	Concurrent bool
+	// Delivery selects the replay delivery semantics used by ReplayRounds
+	// and ReplayTrace: Quiescent (the default) fully propagates every
+	// event before injecting the next one; Pipelined injects a whole
+	// measurement round before draining, which is what lets a Concurrent
+	// system evaluate a round in parallel.
+	//
+	// Pipelined runs produce the same traffic totals and the same
+	// per-round delivery multisets as quiescent runs — only the delivery
+	// order within a round may differ — provided every subscription's
+	// temporal correlation distance δt is at least the timestamp spread
+	// within one replayed round (the experiment traces satisfy this: one
+	// reading per sensor per round, δt = one round interval). With a
+	// smaller δt, out-of-order arrival within a round can prune window
+	// events a quiescent run would still have matched, and pipelined
+	// deliveries may diverge.
+	Delivery DeliveryMode
 }
 
 // System is a running sensor network: a deployment whose processing nodes
@@ -57,6 +73,7 @@ type System struct {
 	runtime    netsim.Runtime
 	concurrent *netsim.ConcurrentEngine
 	approach   Approach
+	delivery   DeliveryMode
 }
 
 // TrafficStats summarises the traffic generated so far.
@@ -85,7 +102,7 @@ func NewSystem(dep *Deployment, cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys := &System{dep: dep, approach: cfg.Approach}
+	sys := &System{dep: dep, approach: cfg.Approach, delivery: cfg.Delivery}
 	if cfg.Concurrent {
 		conc := netsim.NewConcurrentEngine(dep.Graph, factory)
 		sys.runtime = conc
@@ -166,9 +183,49 @@ func (s *System) PublishBatch(events []Event) error {
 }
 
 // Replay publishes every event of a trace in order (an alias for
-// PublishBatch kept for readability at call sites).
+// PublishBatch kept for readability at call sites). It always uses quiescent
+// semantics; use ReplayRounds or ReplayTrace for the configured Delivery
+// mode.
 func (s *System) Replay(events []Event) error {
 	return s.PublishBatch(events)
+}
+
+// ReplayRounds replays a trace structured as measurement rounds under the
+// system's configured Delivery mode. With Delivery: Pipelined on a
+// Concurrent system, each round is evaluated by all processing nodes in
+// parallel; the network is drained to quiescence between rounds.
+func (s *System) ReplayRounds(rounds [][]Event) error {
+	pubRounds := make([][]netsim.Publication, len(rounds))
+	for r, events := range rounds {
+		pubRounds[r] = make([]netsim.Publication, len(events))
+		for i, ev := range events {
+			host, ok := s.dep.SensorHost[ev.Sensor]
+			if !ok {
+				return fmt.Errorf("sensorcq: unknown sensor %s", ev.Sensor)
+			}
+			pubRounds[r][i] = netsim.Publication{Node: host, Event: ev}
+		}
+	}
+	if err := s.runtime.ReplayRounds(pubRounds, netsim.ReplayOptions{Mode: s.delivery}); err != nil {
+		return err
+	}
+	s.runtime.Flush()
+	return nil
+}
+
+// ReplayTrace replays a generated trace round by round under the system's
+// configured Delivery mode.
+func (s *System) ReplayTrace(trace *Trace) error {
+	if trace == nil {
+		return fmt.Errorf("sensorcq: nil trace")
+	}
+	return s.ReplayRounds(trace.ByRound)
+}
+
+// DroppedMessages returns the number of messages the runtime failed to
+// enqueue (non-zero only if a send raced engine shutdown).
+func (s *System) DroppedMessages() int64 {
+	return s.runtime.Metrics().DroppedMessages()
 }
 
 // Traffic returns the accumulated traffic counters.
