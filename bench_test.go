@@ -441,18 +441,14 @@ func BenchmarkPublishBatchReplay(b *testing.B) {
 	})
 }
 
-// BenchmarkReplayPipelined measures what the pipelined delivery mode buys on
-// a wide topology: the same round-structured trace is replayed through the
-// concurrent engine under quiescent semantics (the network drains after
-// every single event, so the per-node goroutines take turns) and pipelined
-// semantics (a whole round is in flight at once, so they genuinely run in
-// parallel), plus the sequential engine as the single-core reference. The
-// events/sec metric is the replay throughput; on a multi-core machine the
-// pipelined concurrent replay should beat the quiescent concurrent replay
-// by well over 2x.
-func BenchmarkReplayPipelined(b *testing.B) {
-	// A wide workload: 100 sensor nodes in 20 groups means every round
-	// spreads 100 readings across many independent subtrees.
+// replayThroughputWorkload builds the wide replay-benchmark workload: 100
+// sensor nodes in 20 groups means every round spreads 100 readings across
+// many independent subtrees, which is what gives the pipelined/windowed
+// modes parallelism to exploit. The -benchscale=quick setting shrinks the
+// subscription population and round count so the CI benchmark-regression
+// job finishes fast.
+func replayThroughputWorkload(b *testing.B) (*experiment.Workload, [][]netsim.Publication, int) {
+	b.Helper()
 	s := experiment.Scenario{
 		Name:           "replay-throughput",
 		TotalNodes:     120,
@@ -466,6 +462,10 @@ func BenchmarkReplayPipelined(b *testing.B) {
 		RoundInterval:  1800,
 		Seed:           77,
 	}
+	if *benchScale == "quick" {
+		s.BatchSize = 40
+		s.RoundsPerBatch = 4
+	}
 	w, err := experiment.BuildWorkload(s)
 	if err != nil {
 		b.Fatal(err)
@@ -474,6 +474,24 @@ func BenchmarkReplayPipelined(b *testing.B) {
 	events := 0
 	for _, round := range replay {
 		events += len(round)
+	}
+	return w, replay, events
+}
+
+// benchReplay replays the workload once per iteration under the given
+// engine/delivery configuration and reports events/sec and GOMAXPROCS.
+func benchReplay(b *testing.B, w *experiment.Workload, replay [][]netsim.Publication, events int, concurrent bool, opts netsim.ReplayOptions) {
+	b.Helper()
+	factory := func(b *testing.B) netsim.HandlerFactory {
+		b.Helper()
+		f, err := experiment.FactoryForSpec(experiment.FilterSplitForward, experiment.FactorySpec{
+			Seed:           w.Scenario.Seed + 7,
+			ValidityFactor: netsim.RequiredValidityFactor(opts.Mode, opts.Lag),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return f
 	}
 	prepare := func(b *testing.B, rt netsim.Runtime) {
 		b.Helper()
@@ -490,50 +508,75 @@ func BenchmarkReplayPipelined(b *testing.B) {
 			rt.Flush()
 		}
 	}
-	factory := func(b *testing.B) netsim.HandlerFactory {
-		b.Helper()
-		f, err := experiment.FactoryFor(experiment.FilterSplitForward, s.Seed+7, 0)
-		if err != nil {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var rt netsim.Runtime
+		var conc *netsim.ConcurrentEngine
+		if concurrent {
+			conc = netsim.NewConcurrentEngine(w.Deployment.Graph, factory(b))
+			rt = conc
+		} else {
+			rt = netsim.NewEngine(w.Deployment.Graph, factory(b))
+		}
+		prepare(b, rt)
+		b.StartTimer()
+		if err := rt.ReplayRounds(replay, opts); err != nil {
 			b.Fatal(err)
 		}
-		return f
-	}
-	bench := func(b *testing.B, concurrent bool, mode netsim.DeliveryMode) {
-		b.Helper()
-		for i := 0; i < b.N; i++ {
-			b.StopTimer()
-			var rt netsim.Runtime
-			var conc *netsim.ConcurrentEngine
-			if concurrent {
-				conc = netsim.NewConcurrentEngine(w.Deployment.Graph, factory(b))
-				rt = conc
-			} else {
-				rt = netsim.NewEngine(w.Deployment.Graph, factory(b))
-			}
-			prepare(b, rt)
-			b.StartTimer()
-			if err := rt.ReplayRounds(replay, netsim.ReplayOptions{Mode: mode}); err != nil {
-				b.Fatal(err)
-			}
-			rt.Flush()
-			b.StopTimer()
-			if n := rt.Metrics().DroppedMessages(); n != 0 {
-				b.Fatalf("dropped %d messages", n)
-			}
-			if conc != nil {
-				conc.Close()
-			}
-			b.StartTimer()
+		rt.Flush()
+		b.StopTimer()
+		if n := rt.Metrics().DroppedMessages(); n != 0 {
+			b.Fatalf("dropped %d messages", n)
 		}
-		b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
-		// The parallel speedup only exists with GOMAXPROCS > 1; report it so
-		// single-core results are not misread as "pipelining does nothing".
-		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+		if conc != nil {
+			conc.Close()
+		}
+		b.StartTimer()
 	}
-	b.Run("concurrent-quiescent", func(b *testing.B) { bench(b, true, netsim.Quiescent) })
-	b.Run("concurrent-pipelined", func(b *testing.B) { bench(b, true, netsim.Pipelined) })
-	b.Run("sequential-quiescent", func(b *testing.B) { bench(b, false, netsim.Quiescent) })
-	b.Run("sequential-pipelined", func(b *testing.B) { bench(b, false, netsim.Pipelined) })
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	// The parallel speedup only exists with GOMAXPROCS > 1; report it so
+	// single-core results are not misread as "pipelining does nothing".
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}
+
+// BenchmarkReplayPipelined measures what the pipelined delivery mode buys on
+// a wide topology: the same round-structured trace is replayed through the
+// concurrent engine under quiescent semantics (the network drains after
+// every single event, so the per-node goroutines take turns) and pipelined
+// semantics (a whole round is in flight at once, so they genuinely run in
+// parallel), plus the sequential engine as the single-core reference. The
+// events/sec metric is the replay throughput; on a multi-core machine the
+// pipelined concurrent replay should beat the quiescent concurrent replay
+// by well over 2x.
+func BenchmarkReplayPipelined(b *testing.B) {
+	w, replay, events := replayThroughputWorkload(b)
+	bench := func(concurrent bool, mode netsim.DeliveryMode) func(*testing.B) {
+		return func(b *testing.B) {
+			benchReplay(b, w, replay, events, concurrent, netsim.ReplayOptions{Mode: mode})
+		}
+	}
+	b.Run("concurrent-quiescent", bench(true, netsim.Quiescent))
+	b.Run("concurrent-pipelined", bench(true, netsim.Pipelined))
+	b.Run("sequential-quiescent", bench(false, netsim.Quiescent))
+	b.Run("sequential-pipelined", bench(false, netsim.Pipelined))
+}
+
+// BenchmarkReplayWindowed sweeps the cross-round pipelining bound of the
+// windowed delivery mode on the concurrent engine. Lag 0 is the pipelined
+// schedule (drain at every round boundary); higher lags let the per-node
+// goroutines keep working across round boundaries, which removes the
+// round-barrier idle time on multi-core machines (run with -cpu 1,2,4 to
+// see the effect appear with parallelism). Deliveries and traffic stay
+// conformant with the quiescent baseline at every lag — that is enforced
+// by TestPipelinedConformanceAllApproaches, not measured here.
+func BenchmarkReplayWindowed(b *testing.B) {
+	w, replay, events := replayThroughputWorkload(b)
+	for _, lag := range []int{0, 1, 2, 4} {
+		lag := lag
+		b.Run(fmt.Sprintf("lag=%d", lag), func(b *testing.B) {
+			benchReplay(b, w, replay, events, true, netsim.ReplayOptions{Mode: netsim.Windowed, Lag: lag})
+		})
+	}
 }
 
 // --- micro-benchmarks of the core building blocks ---

@@ -1,0 +1,112 @@
+// Command benchgate turns `go test -bench` output into a JSON benchmark
+// report and gates it against a committed baseline: the build fails when any
+// baseline benchmark's events/sec throughput drops by more than -max-drop,
+// or when a gated benchmark disappears from the run.
+//
+// CI usage (see .github/workflows/ci.yml):
+//
+//	go test -run '^$' -bench '...' -benchscale quick -cpu 1,2,4 . | tee bench.out
+//	benchgate -input bench.out -baseline ci/bench-baseline.json \
+//	          -out BENCH_$GITHUB_SHA.json -sha $GITHUB_SHA
+//
+// Refreshing the baseline after an intentional performance change:
+//
+//	benchgate -input bench.out -update ci/bench-baseline.json -note "runner X"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sensorcq/internal/benchgate"
+)
+
+func main() {
+	var (
+		input    = flag.String("input", "-", "benchmark output to parse ('-' for stdin)")
+		baseline = flag.String("baseline", "", "baseline report JSON to gate against (no gating when empty)")
+		out      = flag.String("out", "", "write the parsed report JSON to this path")
+		update   = flag.String("update", "", "write the parsed report as the new baseline at this path")
+		sha      = flag.String("sha", "", "commit SHA recorded in the report")
+		note     = flag.String("note", "", "free-form provenance note recorded in the report")
+		maxDrop  = flag.Float64("max-drop", 0.25, "maximum tolerated fractional events/sec drop vs the baseline")
+	)
+	flag.Parse()
+	if err := run(*input, *baseline, *out, *update, *sha, *note, *maxDrop); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(input, baseline, out, update, sha, note string, maxDrop float64) error {
+	if maxDrop <= 0 || maxDrop >= 1 {
+		return fmt.Errorf("benchgate: -max-drop %g out of range (0, 1)", maxDrop)
+	}
+	var in io.Reader = os.Stdin
+	if input != "-" {
+		f, err := os.Open(input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := benchgate.Parse(in)
+	if err != nil {
+		return err
+	}
+	report := &benchgate.Report{SHA: sha, Note: note, Results: results}
+
+	writeReport := func(path string) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return benchgate.Encode(f, report)
+	}
+	if out != "" {
+		if err := writeReport(out); err != nil {
+			return err
+		}
+		fmt.Printf("benchgate: wrote %s (%d benchmarks)\n", out, len(results))
+	}
+	if update != "" {
+		if err := writeReport(update); err != nil {
+			return err
+		}
+		fmt.Printf("benchgate: baseline %s updated (%d benchmarks)\n", update, len(results))
+	}
+
+	if baseline == "" {
+		return nil
+	}
+	bf, err := os.Open(baseline)
+	if err != nil {
+		return fmt.Errorf("benchgate: opening baseline: %w", err)
+	}
+	defer bf.Close()
+	base, err := benchgate.Decode(bf)
+	if err != nil {
+		return err
+	}
+	regressions := benchgate.Gate(base, results, maxDrop)
+	gated := 0
+	for _, r := range base.Results {
+		if r.EventsPerSec > 0 {
+			gated++
+		}
+	}
+	if len(regressions) == 0 {
+		fmt.Printf("benchgate: OK — %d gated benchmarks within %.0f%% of baseline %s\n",
+			gated, maxDrop*100, base.SHA)
+		return nil
+	}
+	for _, r := range regressions {
+		fmt.Fprintf(os.Stderr, "benchgate: REGRESSION %s\n", r)
+	}
+	return fmt.Errorf("benchgate: %d benchmark(s) regressed more than %.0f%% vs baseline %s",
+		len(regressions), maxDrop*100, base.SHA)
+}

@@ -12,7 +12,8 @@
 //	cqexp -scale full          # the paper's full workload (slow)
 //	cqexp -scale quick         # smoke-test scale
 //	cqexp -csv results.csv     # also write every series as CSV
-//	cqexp -concurrent -delivery pipelined   # parallel round-by-round replay
+//	cqexp -concurrent -delivery pipelined        # parallel round-by-round replay
+//	cqexp -concurrent -delivery windowed -lag 2  # overlap up to 3 rounds in flight
 package main
 
 import (
@@ -37,13 +38,21 @@ func main() {
 		quiet        = flag.Bool("quiet", false, "suppress per-batch progress lines")
 		concurrent   = flag.Bool("concurrent", false, "run each approach on the concurrent engine (one goroutine per node)")
 		delivery     = flag.String("delivery", "quiescent",
-			"replay delivery semantics: quiescent (drain after every event) or pipelined (drain after every round)")
+			"replay delivery semantics: quiescent (drain after every event), pipelined (drain after every round) or windowed (overlap up to -lag+1 rounds)")
+		lag = flag.Int("lag", 0, "cross-round pipelining bound of the windowed delivery mode (requires -delivery windowed)")
 	)
 	flag.Parse()
 
 	mode, err := netsim.ParseDeliveryMode(*delivery)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintf(os.Stderr, "invalid -delivery %q: valid modes are %s\n",
+			*delivery, strings.Join(netsim.DeliveryModeNames(), ", "))
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *lag < 0 || (*lag > 0 && mode != netsim.Windowed) {
+		fmt.Fprintf(os.Stderr, "invalid -lag %d: it must be >= 0 and requires -delivery windowed\n", *lag)
+		flag.Usage()
 		os.Exit(2)
 	}
 	scenarios, err := selectScenarios(*scenarioFlag)
@@ -71,6 +80,7 @@ func main() {
 		opts.ComputeRecall = !*noRecall
 		opts.Concurrent = *concurrent
 		opts.Delivery = mode
+		opts.Lag = *lag
 		if !*quiet {
 			opts.Progress = func(format string, args ...interface{}) {
 				fmt.Printf(format+"\n", args...)

@@ -7,13 +7,15 @@
 //
 //	cqsim -approach filter-split-forward -nodes 60 -sensors 50 -groups 10 \
 //	      -subs 200 -rounds 12
-//	cqsim -concurrent -delivery pipelined   # parallel round-by-round replay
+//	cqsim -concurrent -delivery pipelined        # parallel round-by-round replay
+//	cqsim -concurrent -delivery windowed -lag 2  # overlap up to 3 rounds in flight
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"sensorcq"
@@ -34,22 +36,30 @@ func main() {
 		topN       = flag.Int("busiest", 5, "print the N busiest links")
 		concurrent = flag.Bool("concurrent", false, "run one goroutine per processing node")
 		delivery   = flag.String("delivery", "quiescent",
-			"replay delivery semantics: quiescent (drain after every event) or pipelined (drain after every round)")
+			"replay delivery semantics: quiescent (drain after every event), pipelined (drain after every round) or windowed (overlap up to -lag+1 rounds)")
+		lag = flag.Int("lag", 0, "cross-round pipelining bound of the windowed delivery mode (requires -delivery windowed)")
 	)
 	flag.Parse()
 
 	mode, err := sensorcq.ParseDeliveryMode(*delivery)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintf(os.Stderr, "invalid -delivery %q: valid modes are %s\n",
+			*delivery, strings.Join(sensorcq.DeliveryModeNames(), ", "))
+		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*approach, *nodes, *sensors, *groups, *subs, *minAttrs, *maxAttrs, *rounds, *seed, *topN, *concurrent, mode); err != nil {
+	if *lag < 0 || (*lag > 0 && mode != sensorcq.Windowed) {
+		fmt.Fprintf(os.Stderr, "invalid -lag %d: it must be >= 0 and requires -delivery windowed\n", *lag)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*approach, *nodes, *sensors, *groups, *subs, *minAttrs, *maxAttrs, *rounds, *seed, *topN, *concurrent, mode, *lag); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(approach string, nodes, sensors, groups, subs, minAttrs, maxAttrs, rounds int, seed int64, topN int, concurrent bool, mode sensorcq.DeliveryMode) error {
+func run(approach string, nodes, sensors, groups, subs, minAttrs, maxAttrs, rounds int, seed int64, topN int, concurrent bool, mode sensorcq.DeliveryMode, lag int) error {
 	dep, err := sensorcq.GenerateDeployment(sensorcq.DeploymentConfig{
 		TotalNodes:  nodes,
 		SensorNodes: sensors,
@@ -79,6 +89,7 @@ func run(approach string, nodes, sensors, groups, subs, minAttrs, maxAttrs, roun
 		Seed:       seed,
 		Concurrent: concurrent,
 		Delivery:   mode,
+		Lag:        lag,
 	})
 	if err != nil {
 		return err
@@ -102,8 +113,12 @@ func run(approach string, nodes, sensors, groups, subs, minAttrs, maxAttrs, roun
 	if concurrent {
 		engine = "concurrent"
 	}
+	deliveryDesc := mode.String()
+	if mode == sensorcq.Windowed {
+		deliveryDesc = fmt.Sprintf("%s (lag %d, final watermark %d)", mode, lag, sys.Watermark())
+	}
 	fmt.Printf("approach:            %s\n", approach)
-	fmt.Printf("engine:              %s, %s delivery\n", engine, mode)
+	fmt.Printf("engine:              %s, %s delivery\n", engine, deliveryDesc)
 	fmt.Printf("network:             %d nodes (%d sensor nodes in %d groups)\n", nodes, sensors, groups)
 	fmt.Printf("workload:            %d subscriptions (%d-%d attrs), %d rounds (%d readings)\n",
 		subs, minAttrs, maxAttrs, rounds, trace.NumEvents())

@@ -1,0 +1,213 @@
+// Package benchgate parses `go test -bench` output into a machine-readable
+// report and gates benchmark regressions against a committed baseline. The
+// CI pipeline runs the replay and event-matching benchmarks, emits the
+// report as a BENCH_<sha>.json artifact, and fails the build when a
+// benchmark's events/sec throughput drops by more than the configured
+// fraction below the baseline.
+//
+// Only the events/sec metric gates (wall-clock throughput of the replay
+// benchmarks); ns/op and the other custom metrics are recorded in the
+// report for trend analysis but do not fail the build — absolute per-op
+// times vary too much across runner generations to gate on, while a
+// same-machine throughput collapse is exactly what the gate exists to
+// catch.
+package benchgate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements.
+type Result struct {
+	// Name is the full benchmark name including sub-benchmark path and the
+	// -N GOMAXPROCS suffix (e.g. "BenchmarkReplayWindowed/lag=2-4"); the
+	// baseline is keyed by it.
+	Name string `json:"name"`
+	// Iterations is the b.N the line reported.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the ns/op column (0 when absent).
+	NsPerOp float64 `json:"ns_per_op,omitempty"`
+	// EventsPerSec is the custom events/sec metric (0 when the benchmark
+	// does not report one). It is the only gated metric.
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// Metrics holds every other reported unit (matches/op, gomaxprocs,
+	// sub-load/..., MB/s, allocs/op, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the JSON document emitted per CI run and committed as the
+// baseline.
+type Report struct {
+	// SHA is the commit the benchmarks ran at.
+	SHA string `json:"sha,omitempty"`
+	// Note is free-form provenance (runner type, how it was generated).
+	Note    string   `json:"note,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// Lookup returns the named result, if present.
+func (r *Report) Lookup(name string) (Result, bool) {
+	for _, res := range r.Results {
+		if res.Name == name {
+			return res, true
+		}
+	}
+	return Result{}, false
+}
+
+// Parse reads `go test -bench` output and extracts every benchmark line.
+// Lines that are not benchmark results (headers, PASS/ok, test logs) are
+// ignored. Multiple lines with the same name (e.g. -count > 1) are merged
+// by keeping the higher events/sec and lower ns/op — the standard
+// best-of-N treatment for noisy runs.
+func Parse(r io.Reader) ([]Result, error) {
+	byName := map[string]*Result{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		res, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		prev, seen := byName[res.Name]
+		if !seen {
+			cp := res
+			byName[res.Name] = &cp
+			order = append(order, res.Name)
+			continue
+		}
+		if res.NsPerOp > 0 && (prev.NsPerOp == 0 || res.NsPerOp < prev.NsPerOp) {
+			prev.NsPerOp = res.NsPerOp
+		}
+		if res.EventsPerSec > prev.EventsPerSec {
+			prev.EventsPerSec = res.EventsPerSec
+		}
+		for k, v := range res.Metrics {
+			if prev.Metrics == nil {
+				prev.Metrics = map[string]float64{}
+			}
+			prev.Metrics[k] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchgate: no benchmark lines found in input")
+	}
+	return out, nil
+}
+
+// parseLine parses one "BenchmarkName-4  10  123 ns/op  456 unit" line.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters}
+	// The remainder is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+		case "events/sec":
+			res.EventsPerSec = v
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = v
+		}
+	}
+	return res, true
+}
+
+// Regression describes one gated metric that fell below the baseline.
+type Regression struct {
+	Name     string
+	Baseline float64
+	Current  float64
+	Drop     float64 // fractional drop, e.g. 0.31 for -31%
+	Missing  bool    // the benchmark vanished from the current run
+}
+
+// String implements fmt.Stringer.
+func (r Regression) String() string {
+	if r.Missing {
+		return fmt.Sprintf("%s: present in baseline (%.0f events/sec) but missing from this run — "+
+			"renamed or removed benchmarks need a baseline update", r.Name, r.Baseline)
+	}
+	return fmt.Sprintf("%s: events/sec %.0f -> %.0f (-%.1f%%)",
+		r.Name, r.Baseline, r.Current, r.Drop*100)
+}
+
+// Gate compares the current results against the baseline: every baseline
+// entry with an events/sec measurement must be present in the current run
+// and within maxDrop (a fraction, e.g. 0.25) of the baseline throughput.
+// Benchmarks only in the current run pass freely (they will gate once the
+// baseline is refreshed to include them).
+func Gate(baseline *Report, current []Result, maxDrop float64) []Regression {
+	curByName := map[string]Result{}
+	for _, res := range current {
+		curByName[res.Name] = res
+	}
+	var regressions []Regression
+	names := make([]string, 0, len(baseline.Results))
+	for _, res := range baseline.Results {
+		names = append(names, res.Name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base, _ := baseline.Lookup(name)
+		if base.EventsPerSec <= 0 {
+			continue // not a gated benchmark (no throughput metric)
+		}
+		cur, ok := curByName[name]
+		if !ok {
+			regressions = append(regressions, Regression{Name: name, Baseline: base.EventsPerSec, Missing: true})
+			continue
+		}
+		drop := 1 - cur.EventsPerSec/base.EventsPerSec
+		if drop > maxDrop {
+			regressions = append(regressions, Regression{
+				Name: name, Baseline: base.EventsPerSec, Current: cur.EventsPerSec, Drop: drop,
+			})
+		}
+	}
+	return regressions
+}
+
+// Encode writes the report as indented JSON.
+func Encode(w io.Writer, r *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Decode reads a report written by Encode.
+func Decode(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("benchgate: decoding report: %w", err)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,142 @@
+package benchgate
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: sensorcq
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkReplayWindowed/lag=0-4         	       5	  10002796 ns/op	     39995 events/sec	         4.000 gomaxprocs
+BenchmarkReplayWindowed/lag=2-4         	       5	   7903138 ns/op	     50620 events/sec	         4.000 gomaxprocs
+BenchmarkEventMatchScaling/indexed/subs=1000-4 	16504officially bogus line
+BenchmarkEventMatchScaling/indexed/subs=1000-4 	 1000000	        70.5 ns/op	         3.000 matches/op
+PASS
+ok  	sensorcq	0.124s
+`
+
+func TestParse(t *testing.T) {
+	results, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	lag0 := results[0]
+	if lag0.Name != "BenchmarkReplayWindowed/lag=0-4" || lag0.Iterations != 5 {
+		t.Errorf("unexpected first result %+v", lag0)
+	}
+	if lag0.NsPerOp != 10002796 || lag0.EventsPerSec != 39995 {
+		t.Errorf("lag0 metrics wrong: %+v", lag0)
+	}
+	if lag0.Metrics["gomaxprocs"] != 4 {
+		t.Errorf("gomaxprocs not captured: %+v", lag0.Metrics)
+	}
+	idx := results[2]
+	if idx.EventsPerSec != 0 || idx.NsPerOp != 70.5 || idx.Metrics["matches/op"] != 3 {
+		t.Errorf("indexed result wrong: %+v", idx)
+	}
+}
+
+func TestParseMergesRepeatedRuns(t *testing.T) {
+	repeated := "BenchmarkX-1 1 200 ns/op 1000 events/sec\nBenchmarkX-1 1 100 ns/op 1500 events/sec\n"
+	results, err := Parse(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("parsed %d results, want 1 merged", len(results))
+	}
+	if results[0].NsPerOp != 100 || results[0].EventsPerSec != 1500 {
+		t.Errorf("best-of merge wrong: %+v", results[0])
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok  \tsensorcq\t0.1s\n")); err == nil {
+		t.Error("input with no benchmark lines should be an error")
+	}
+}
+
+func baselineReport() *Report {
+	return &Report{
+		SHA: "abc123",
+		Results: []Result{
+			{Name: "BenchmarkReplayWindowed/lag=0-4", NsPerOp: 1e7, EventsPerSec: 40000},
+			{Name: "BenchmarkReplayWindowed/lag=2-4", NsPerOp: 8e6, EventsPerSec: 50000},
+			{Name: "BenchmarkEventMatchScaling/indexed/subs=1000-4", NsPerOp: 70},
+		},
+	}
+}
+
+// TestGateFailsOnInjectedSlowdown is the gate's own regression test: a run
+// whose throughput collapsed beyond the threshold must be flagged, one
+// within the threshold must pass.
+func TestGateFailsOnInjectedSlowdown(t *testing.T) {
+	base := baselineReport()
+	slow := []Result{
+		{Name: "BenchmarkReplayWindowed/lag=0-4", EventsPerSec: 20000}, // -50%: regression
+		{Name: "BenchmarkReplayWindowed/lag=2-4", EventsPerSec: 45000}, // -10%: fine
+		{Name: "BenchmarkEventMatchScaling/indexed/subs=1000-4", NsPerOp: 500},
+	}
+	regs := Gate(base, slow, 0.25)
+	if len(regs) != 1 {
+		t.Fatalf("Gate flagged %d regressions, want exactly the injected one: %v", len(regs), regs)
+	}
+	if regs[0].Name != "BenchmarkReplayWindowed/lag=0-4" || regs[0].Drop < 0.49 {
+		t.Errorf("unexpected regression %+v", regs[0])
+	}
+	if !strings.Contains(regs[0].String(), "-50.0%") {
+		t.Errorf("regression message %q should state the drop", regs[0].String())
+	}
+}
+
+func TestGatePassesHealthyRun(t *testing.T) {
+	base := baselineReport()
+	healthy := []Result{
+		{Name: "BenchmarkReplayWindowed/lag=0-4", EventsPerSec: 41000},
+		{Name: "BenchmarkReplayWindowed/lag=2-4", EventsPerSec: 60000},
+		// ns/op-only benchmarks never gate, whatever they report.
+		{Name: "BenchmarkEventMatchScaling/indexed/subs=1000-4", NsPerOp: 9999},
+		// New benchmarks absent from the baseline pass freely.
+		{Name: "BenchmarkBrandNew-4", EventsPerSec: 1},
+	}
+	if regs := Gate(base, healthy, 0.25); len(regs) != 0 {
+		t.Errorf("healthy run flagged: %v", regs)
+	}
+}
+
+func TestGateFlagsMissingBenchmark(t *testing.T) {
+	base := baselineReport()
+	partial := []Result{
+		{Name: "BenchmarkReplayWindowed/lag=0-4", EventsPerSec: 40000},
+	}
+	regs := Gate(base, partial, 0.25)
+	if len(regs) != 1 || !regs[0].Missing {
+		t.Fatalf("missing gated benchmark not flagged: %v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "missing") {
+		t.Errorf("message %q should mention the benchmark is missing", regs[0].String())
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, baselineReport()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SHA != "abc123" || len(got.Results) != 3 {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+	if r, ok := got.Lookup("BenchmarkReplayWindowed/lag=2-4"); !ok || r.EventsPerSec != 50000 {
+		t.Errorf("Lookup after round trip wrong: %+v ok=%v", r, ok)
+	}
+}

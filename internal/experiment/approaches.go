@@ -9,6 +9,8 @@ package experiment
 import (
 	"fmt"
 
+	"sensorcq/internal/core"
+	"sensorcq/internal/model"
 	"sensorcq/internal/netsim"
 	"sensorcq/internal/protocol/centralized"
 	"sensorcq/internal/protocol/fsf"
@@ -40,27 +42,51 @@ func All() []ApproachID {
 	return append([]ApproachID{Centralized}, AllDistributed()...)
 }
 
-// FactoryFor returns a fresh handler factory for the approach. The seed
-// controls the probabilistic set filter of Filter-Split-Forward and the
-// setFilterError its false-positive probability (pass 0 to use the default).
-func FactoryFor(id ApproachID, seed int64, setFilterError float64) (netsim.HandlerFactory, error) {
-	if setFilterError <= 0 || setFilterError >= 1 {
-		setFilterError = fsf.DefaultSetFilterError
+// FactorySpec parameterises handler construction beyond the approach itself.
+type FactorySpec struct {
+	// Seed controls the probabilistic set filter of Filter-Split-Forward.
+	Seed int64
+	// SetFilterError is the FSF false-positive probability (<=0 or >=1
+	// selects the default).
+	SetFilterError float64
+	// ValidityFactor scales each node's event-window validity (validity =
+	// factor x max δt); 0 keeps the protocol default of 2. Windowed replays
+	// with lag L need at least L+2 (netsim.RequiredValidityFactor) so a
+	// late-arriving trigger still finds its in-window partners stored.
+	ValidityFactor int
+}
+
+// FactoryForSpec returns a fresh handler factory for the approach with the
+// given construction parameters.
+func FactoryForSpec(id ApproachID, spec FactorySpec) (netsim.HandlerFactory, error) {
+	if spec.SetFilterError <= 0 || spec.SetFilterError >= 1 {
+		spec.SetFilterError = fsf.DefaultSetFilterError
 	}
+	var cfg core.Config
 	switch id {
 	case Centralized:
-		return centralized.NewFactory(), nil
+		return centralized.NewFactoryWithValidity(spec.ValidityFactor), nil
 	case Naive:
-		return naive.NewFactory(), nil
+		cfg = naive.NewConfig()
 	case OperatorPlacement:
-		return operatorplace.NewFactory(), nil
+		cfg = operatorplace.NewConfig()
 	case MultiJoin:
-		return multijoin.NewFactory(), nil
+		cfg = multijoin.NewConfig(model.RingPairing)
 	case FilterSplitForward:
-		return fsf.NewFactoryWithError(setFilterError, seed), nil
+		cfg = fsf.NewConfig(spec.SetFilterError, spec.Seed)
 	default:
 		return nil, fmt.Errorf("experiment: unknown approach %q", id)
 	}
+	cfg.ValidityFactor = spec.ValidityFactor
+	return core.NewFactory(cfg), nil
+}
+
+// FactoryFor returns a fresh handler factory for the approach with the
+// default validity factor. The seed controls the probabilistic set filter of
+// Filter-Split-Forward and the setFilterError its false-positive probability
+// (pass 0 to use the default).
+func FactoryFor(id ApproachID, seed int64, setFilterError float64) (netsim.HandlerFactory, error) {
+	return FactoryForSpec(id, FactorySpec{Seed: seed, SetFilterError: setFilterError})
 }
 
 // IsDeterministicLossless reports whether the approach delivers every

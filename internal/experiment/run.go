@@ -76,9 +76,16 @@ type Options struct {
 	Concurrent bool
 	// Delivery selects the replay delivery semantics: Quiescent (default)
 	// drains the network after every event, Pipelined injects a whole
-	// measurement round before draining. Pipelined together with
-	// Concurrent is the configuration that actually runs in parallel.
+	// measurement round before draining, Windowed overlaps up to Lag+1
+	// rounds in flight under watermark accounting. Pipelined or Windowed
+	// together with Concurrent are the configurations that actually run in
+	// parallel.
 	Delivery netsim.DeliveryMode
+	// Lag is the cross-round pipelining bound of the Windowed delivery
+	// mode (ignored by the other modes; Windowed with Lag 0 behaves like
+	// Pipelined). Nodes are built with the matching event-window validity
+	// factor so late-arriving triggers still find their partners.
+	Lag int
 }
 
 // DefaultOptions returns the options used when nil is passed to Run.
@@ -248,7 +255,11 @@ func RunOnWorkload(w *Workload, o Options) (*Result, error) {
 // runApproach runs one approach over the shared workload.
 func runApproach(w *Workload, id ApproachID, o Options) (*ApproachSeries, error) {
 	s := w.Scenario
-	factory, err := FactoryFor(id, s.Seed+7, s.SetFilterError)
+	factory, err := FactoryForSpec(id, FactorySpec{
+		Seed:           s.Seed + 7,
+		SetFilterError: s.SetFilterError,
+		ValidityFactor: netsim.RequiredValidityFactor(o.Delivery, o.Lag),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -289,7 +300,7 @@ func runApproach(w *Workload, id ApproachID, o Options) (*ApproachSeries, error)
 		// Replay this batch's measurement rounds under the configured
 		// delivery semantics and measure the traffic they generate.
 		before := engine.Metrics().Snapshot()
-		if err := engine.ReplayRounds(w.PublicationRounds(b), netsim.ReplayOptions{Mode: o.Delivery}); err != nil {
+		if err := engine.ReplayRounds(w.PublicationRounds(b), netsim.ReplayOptions{Mode: o.Delivery, Lag: o.Lag}); err != nil {
 			return nil, fmt.Errorf("experiment: replaying batch %d: %w", b, err)
 		}
 		engine.Flush()

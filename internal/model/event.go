@@ -19,6 +19,13 @@ type Event struct {
 	Location geom.Point2D
 	Value    float64
 	Time     Timestamp
+	// Round is the replay round during which the event entered the network
+	// (0 outside round-structured replay). The engines stamp it at injection
+	// time and it travels with the event through forwarding and storage, so
+	// a delivery can be attributed to the round of its newest component even
+	// when several rounds are in flight at once (windowed replay). Two
+	// events with the same Seq always carry the same Round.
+	Round int
 }
 
 // String implements fmt.Stringer.

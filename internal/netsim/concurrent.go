@@ -2,7 +2,9 @@ package netsim
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"sensorcq/internal/model"
 	"sensorcq/internal/topology"
@@ -16,8 +18,15 @@ import (
 // and the tests cross-check that both produce identical traffic totals.
 //
 // Under Quiescent replay at most one event is in flight, so the goroutines
-// take turns; Pipelined replay (ReplayRounds) keeps a whole round in flight
-// and is where the engine actually runs concurrently.
+// take turns; Pipelined replay (ReplayRounds) keeps a whole round in flight;
+// Windowed replay keeps up to Lag+1 rounds in flight, with per-node round
+// ledgers aggregated into a network watermark that gates injection.
+//
+// The hot delivery path is lock-free with respect to the engine: traffic
+// counters and deliveries go to per-node shards (see Metrics and
+// deliveryShard), in-flight accounting is a single atomic, and the only
+// per-message lock is the target node's mailbox mutex — which the worker
+// drains in batches, one lock round-trip per burst.
 type ConcurrentEngine struct {
 	graph    *topology.Graph
 	handlers []Handler
@@ -25,15 +34,41 @@ type ConcurrentEngine struct {
 	metrics  *Metrics
 	workers  []*worker
 
-	mu         sync.Mutex
-	inflight   int
-	idle       *sync.Cond
-	closed     bool
-	deliveries []Delivery
-	round      int
+	// inflight counts queued-but-not-yet-dispatched items; Flush waits for
+	// it to reach zero via idleCond.
+	inflight atomic.Int64
+	closed   atomic.Bool
+	idleMu   sync.Mutex
+	idleCond *sync.Cond
+
+	// roundMu guards the round counter (cold path: once per round).
+	roundMu sync.Mutex
+	round   int
+
+	// wmMu guards the windowed-replay injection frontier and the condition
+	// the injector waits on; workers broadcast wmCond when one of their
+	// per-round pending counts drains to zero. wmWatching keeps workers off
+	// that lock entirely outside windowed replays.
+	wmMu       sync.Mutex
+	wmCond     *sync.Cond
+	wmInjected int
+	wmWatching atomic.Bool
+
+	// delivShards is the per-node delivery log: node n's worker is the only
+	// writer of shard n, so appends never contend; Deliveries() merges on
+	// read.
+	delivShards []deliveryShard
 }
 
 var _ Runtime = (*ConcurrentEngine)(nil)
+
+// deliveryShard is one node's slice of the delivery log, padded so that
+// neighbouring shards do not false-share a cache line.
+type deliveryShard struct {
+	mu  sync.Mutex
+	log []Delivery
+	_   [64]byte
+}
 
 // worker is the per-node mailbox and goroutine.
 type worker struct {
@@ -41,10 +76,16 @@ type worker struct {
 	cond   *sync.Cond
 	queue  []queued
 	closed bool
+	// pending counts this node's not-yet-dispatched items per lineage
+	// round; the node's low-watermark is derived from it (the round below
+	// the lowest round with work still pending). Maintained under mu:
+	// incremented by push, decremented in one batch after the worker
+	// dispatches a burst.
+	pending map[int]int
 }
 
 func newWorker() *worker {
-	w := &worker{}
+	w := &worker{pending: map[int]int{}}
 	w.cond = sync.NewCond(&w.mu)
 	return w
 }
@@ -56,6 +97,7 @@ func (w *worker) push(item queued) bool {
 		return false
 	}
 	w.queue = append(w.queue, item)
+	w.pending[item.round]++
 	w.cond.Signal()
 	return true
 }
@@ -64,7 +106,9 @@ func (w *worker) push(item queued) bool {
 // every queued item in one swap, leaving spare as the mailbox's next backing
 // array. Draining in batches rather than item by item keeps the mailbox lock
 // out of the pipelined hot path: under a full round in flight a node pays one
-// lock round-trip per burst instead of one per message.
+// lock round-trip per burst instead of one per message. The per-round
+// pending counts are NOT released here — the items are still in flight until
+// dispatched — the worker settles them after the burst via settle().
 func (w *worker) popAll(spare []queued) ([]queued, bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -79,6 +123,42 @@ func (w *worker) popAll(spare []queued) ([]queued, bool) {
 	return items, true
 }
 
+// settle releases a dispatched burst from the per-round pending counts and
+// reports whether any round's count reached zero at this node (the only
+// transition that can advance the network watermark).
+func (w *worker) settle(counts map[int]int) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	zeroed := false
+	for round, n := range counts {
+		if left := w.pending[round] - n; left > 0 {
+			w.pending[round] = left
+		} else {
+			delete(w.pending, round)
+			zeroed = true
+		}
+	}
+	return zeroed
+}
+
+// lowWatermarkLocked returns this node's low-watermark bound: one less than
+// the lowest round with pending work, or maxInt when the node is idle (an
+// idle node places no bound — its watermark is whatever the injection
+// frontier allows, which is how a node with no work in a round still
+// advances). Callers must hold w.mu.
+func (w *worker) lowWatermarkLocked() int {
+	if len(w.pending) == 0 {
+		return math.MaxInt
+	}
+	low := math.MaxInt
+	for round := range w.pending {
+		if round < low {
+			low = round
+		}
+	}
+	return low - 1
+}
+
 func (w *worker) close() {
 	w.mu.Lock()
 	w.closed = true
@@ -90,13 +170,15 @@ func (w *worker) close() {
 // starts one goroutine per node. Callers must Close it when done.
 func NewConcurrentEngine(graph *topology.Graph, factory HandlerFactory) *ConcurrentEngine {
 	e := &ConcurrentEngine{
-		graph:    graph,
-		handlers: make([]Handler, graph.NumNodes()),
-		ctxs:     make([]*Context, graph.NumNodes()),
-		metrics:  NewMetrics(),
-		workers:  make([]*worker, graph.NumNodes()),
+		graph:       graph,
+		handlers:    make([]Handler, graph.NumNodes()),
+		ctxs:        make([]*Context, graph.NumNodes()),
+		metrics:     NewMetrics(graph.NumNodes()),
+		workers:     make([]*worker, graph.NumNodes()),
+		delivShards: make([]deliveryShard, graph.NumNodes()),
 	}
-	e.idle = sync.NewCond(&e.mu)
+	e.idleCond = sync.NewCond(&e.idleMu)
+	e.wmCond = sync.NewCond(&e.wmMu)
 	for n := 0; n < graph.NumNodes(); n++ {
 		id := topology.NodeID(n)
 		e.handlers[n] = factory(id)
@@ -113,21 +195,32 @@ func NewConcurrentEngine(graph *topology.Graph, factory HandlerFactory) *Concurr
 func (e *ConcurrentEngine) runWorker(n int) {
 	h := e.handlers[n]
 	ctx := e.ctxs[n]
+	w := e.workers[n]
 	var spare []queued
+	counts := map[int]int{}
 	for {
-		items, ok := e.workers[n].popAll(spare)
+		items, ok := w.popAll(spare)
 		if !ok {
 			return
 		}
 		for i := range items {
 			dispatch(h, ctx, items[i])
+			counts[items[i].round]++
 		}
-		e.mu.Lock()
-		e.inflight -= len(items)
-		if e.inflight == 0 {
-			e.idle.Broadcast()
+		zeroed := w.settle(counts)
+		for round := range counts {
+			delete(counts, round)
 		}
-		e.mu.Unlock()
+		if e.inflight.Add(int64(-len(items))) == 0 {
+			e.idleMu.Lock()
+			e.idleCond.Broadcast()
+			e.idleMu.Unlock()
+		}
+		if zeroed && e.wmWatching.Load() {
+			e.wmMu.Lock()
+			e.wmCond.Broadcast()
+			e.wmMu.Unlock()
+		}
 		// Zero the processed items (so queued subscriptions can be
 		// collected) and hand the array back to the mailbox.
 		for i := range items {
@@ -138,20 +231,16 @@ func (e *ConcurrentEngine) runWorker(n int) {
 }
 
 func (e *ConcurrentEngine) submit(item queued) error {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if e.closed.Load() {
 		return fmt.Errorf("netsim: engine is closed")
 	}
-	e.inflight++
-	e.mu.Unlock()
+	e.inflight.Add(1)
 	if !e.workers[item.to].push(item) {
-		e.mu.Lock()
-		e.inflight--
-		if e.inflight == 0 {
-			e.idle.Broadcast()
+		if e.inflight.Add(-1) == 0 {
+			e.idleMu.Lock()
+			e.idleCond.Broadcast()
+			e.idleMu.Unlock()
 		}
-		e.mu.Unlock()
 		return fmt.Errorf("netsim: node %d mailbox closed", item.to)
 	}
 	return nil
@@ -161,29 +250,41 @@ func (e *ConcurrentEngine) submit(item queued) error {
 // only possible when a send races engine shutdown — is counted as a dropped
 // message so lossy runs are detectable; the conformance suite asserts the
 // counter stays zero.
-func (e *ConcurrentEngine) enqueue(from, to topology.NodeID, msg Message) {
-	if err := e.submit(queued{from: from, to: to, msg: msg}); err != nil {
+//
+// Watermark safety: the child item is counted in its target's pending map
+// (inside push) while the parent item is still unsettled at the sender, so
+// there is never an instant where a round looks drained while one of its
+// messages is in flight between nodes.
+func (e *ConcurrentEngine) enqueue(from, to topology.NodeID, msg Message, round int) {
+	if err := e.submit(queued{from: from, to: to, msg: msg, round: round}); err != nil {
 		e.metrics.recordDrop()
 	}
 }
 
-// deliver implements sink.
+// deliver implements sink: the delivery arrives already stamped
+// (Context.DeliverToUser) and goes to the delivering node's own shard, so
+// the hot path takes no engine-wide lock.
 func (e *ConcurrentEngine) deliver(d Delivery) {
-	e.mu.Lock()
-	d.Round = e.round
-	e.deliveries = append(e.deliveries, d)
-	e.mu.Unlock()
+	s := &e.delivShards[d.Node]
+	s.mu.Lock()
+	s.log = append(s.log, d)
+	s.mu.Unlock()
 	e.metrics.recordDelivery(d)
 }
 
-// advanceRound bumps the round counter deliveries are stamped with. Callers
-// advance it only between rounds, when their own injections are the only
-// possible source of new work, so a delivery is always stamped with the round
-// of the event that caused it.
-func (e *ConcurrentEngine) advanceRound() {
-	e.mu.Lock()
+// advanceRound bumps the round counter injections are stamped with and
+// returns the new round. Callers advance it only between rounds.
+func (e *ConcurrentEngine) advanceRound() int {
+	e.roundMu.Lock()
+	defer e.roundMu.Unlock()
 	e.round++
-	e.mu.Unlock()
+	return e.round
+}
+
+func (e *ConcurrentEngine) currentRound() int {
+	e.roundMu.Lock()
+	defer e.roundMu.Unlock()
+	return e.round
 }
 
 func (e *ConcurrentEngine) validNode(n topology.NodeID) error {
@@ -208,7 +309,7 @@ func (e *ConcurrentEngine) AttachSensor(node topology.NodeID, sensor model.Senso
 	if err := e.validNode(node); err != nil {
 		return err
 	}
-	return e.submit(queued{to: node, from: node, injection: injectionSensor, sensor: sensor})
+	return e.submit(queued{to: node, from: node, injection: injectionSensor, sensor: sensor, round: e.currentRound()})
 }
 
 // Subscribe implements Runtime.
@@ -219,7 +320,7 @@ func (e *ConcurrentEngine) Subscribe(node topology.NodeID, sub *model.Subscripti
 	if err := sub.Validate(); err != nil {
 		return err
 	}
-	return e.submit(queued{to: node, from: node, injection: injectionSubscribe, sub: sub})
+	return e.submit(queued{to: node, from: node, injection: injectionSubscribe, sub: sub, round: e.currentRound()})
 }
 
 // Publish implements Runtime.
@@ -227,7 +328,9 @@ func (e *ConcurrentEngine) Publish(node topology.NodeID, ev model.Event) error {
 	if err := e.validNode(node); err != nil {
 		return err
 	}
-	return e.submit(queued{to: node, from: node, injection: injectionPublish, ev: ev})
+	r := e.currentRound()
+	ev.Round = r
+	return e.submit(queued{to: node, from: node, injection: injectionPublish, ev: ev, round: r})
 }
 
 // PublishBatch implements Runtime: one quiescent round, preserving the
@@ -239,8 +342,11 @@ func (e *ConcurrentEngine) PublishBatch(batch []Publication) error {
 
 // ReplayRounds implements Runtime. In Pipelined mode a whole round is
 // submitted before the drain, so every node whose mailbox has work runs at
-// the same time; the network is drained to quiescence between rounds, which
-// is what makes the per-round conformance oracle well defined.
+// the same time; the network is drained to quiescence between rounds. In
+// Windowed mode the drain between rounds is replaced by a watermark gate:
+// round r is injected as soon as every round <= r-1-Lag has fully drained,
+// so up to Lag+1 rounds of messages overlap and the per-node goroutines
+// never idle at a round boundary while they still have in-window work.
 func (e *ConcurrentEngine) ReplayRounds(rounds [][]Publication, opts ReplayOptions) error {
 	if err := opts.validate(); err != nil {
 		return err
@@ -252,19 +358,22 @@ func (e *ConcurrentEngine) ReplayRounds(rounds [][]Publication, opts ReplayOptio
 			}
 		}
 	}
+	if opts.Mode == Windowed {
+		return e.replayWindowed(rounds, opts.Lag)
+	}
 	for _, round := range rounds {
-		e.advanceRound()
+		r := e.advanceRound()
 		switch opts.Mode {
 		case Quiescent:
 			for _, p := range round {
-				if err := e.submit(queued{to: p.Node, from: p.Node, injection: injectionPublish, ev: p.Event}); err != nil {
+				if err := e.submitPublication(p, r); err != nil {
 					return err
 				}
 				e.Flush()
 			}
 		case Pipelined:
 			for _, p := range round {
-				if err := e.submit(queued{to: p.Node, from: p.Node, injection: injectionPublish, ev: p.Event}); err != nil {
+				if err := e.submitPublication(p, r); err != nil {
 					return err
 				}
 			}
@@ -274,25 +383,152 @@ func (e *ConcurrentEngine) ReplayRounds(rounds [][]Publication, opts ReplayOptio
 	return nil
 }
 
+func (e *ConcurrentEngine) replayWindowed(rounds [][]Publication, lag int) error {
+	e.wmMu.Lock()
+	e.wmInjected = e.currentRound()
+	e.wmMu.Unlock()
+	e.wmWatching.Store(true)
+	defer e.wmWatching.Store(false)
+	for _, round := range rounds {
+		r := e.advanceRound()
+		e.waitWatermark(r - 1 - lag)
+		for _, p := range round {
+			if err := e.submitPublication(p, r); err != nil {
+				return err
+			}
+		}
+		e.wmMu.Lock()
+		e.wmInjected = r
+		e.wmMu.Unlock()
+	}
+	e.Flush()
+	return nil
+}
+
+func (e *ConcurrentEngine) submitPublication(p Publication, round int) error {
+	ev := p.Event
+	ev.Round = round
+	return e.submit(queued{to: p.Node, from: p.Node, injection: injectionPublish, ev: ev, round: round})
+}
+
+// waitWatermark blocks the injector until the network watermark reaches the
+// target round (or the engine is closed). Workers broadcast wmCond whenever
+// one of their per-round pending counts drains to zero; holding wmMu across
+// the recheck closes the missed-wakeup window.
+func (e *ConcurrentEngine) waitWatermark(target int) {
+	e.wmMu.Lock()
+	for e.watermarkLocked() < target && !e.closed.Load() {
+		e.wmCond.Wait()
+	}
+	e.wmMu.Unlock()
+}
+
+// watermarkLocked aggregates the per-node low-watermarks under wmMu: the
+// network watermark is the minimum per-node bound, capped by the injection
+// frontier (a round retires only once fully injected, so empty rounds do not
+// let the watermark run ahead of the trace).
+//
+// The scan holds EVERY worker's mailbox lock simultaneously, which makes it
+// a linearizable snapshot: no push or settle can interleave, so an item
+// cannot migrate from a not-yet-scanned worker to an already-scanned one and
+// make the watermark over-advance past a round with work still in flight
+// (locking workers one at a time admits exactly that race — the
+// child-before-parent accounting rule only protects an atomic observer).
+// Workers never hold their own lock while acquiring another (push locks the
+// target only, settle locks the owner only, dispatch holds nothing) and only
+// take wmMu lock-free of their mailbox, so the ordered multi-lock cannot
+// deadlock. The scan runs once per injector wake-up, not per message.
+func (e *ConcurrentEngine) watermarkLocked() int {
+	for _, w := range e.workers {
+		w.mu.Lock()
+	}
+	wm := e.wmInjected
+	for _, w := range e.workers {
+		if low := w.lowWatermarkLocked(); low < wm {
+			wm = low
+		}
+	}
+	for i := len(e.workers) - 1; i >= 0; i-- {
+		e.workers[i].mu.Unlock()
+	}
+	return wm
+}
+
+// Watermark implements Runtime: the highest round whose work has been fully
+// processed network-wide. Outside a windowed replay the engine drains
+// between rounds, so after Flush it equals the round counter.
+func (e *ConcurrentEngine) Watermark() int {
+	e.wmMu.Lock()
+	defer e.wmMu.Unlock()
+	if !e.wmWatching.Load() {
+		// No windowed replay in progress: the cap is the round counter.
+		e.wmInjected = e.currentRound()
+	}
+	return e.watermarkLocked()
+}
+
+// NodeWatermarks returns every node's low-watermark: the highest round r
+// such that the node has no pending work of any round <= r, capped at the
+// highest injected round. A node with no work at all in some round reports
+// the cap — its watermark advances with the network even though it never
+// processed anything. Intended for tests and diagnostics.
+func (e *ConcurrentEngine) NodeWatermarks() []int {
+	e.wmMu.Lock()
+	defer e.wmMu.Unlock()
+	frontier := e.wmInjected
+	if !e.wmWatching.Load() {
+		frontier = e.currentRound()
+	}
+	// Hold every mailbox lock at once so the vector is a consistent
+	// snapshot (see watermarkLocked for the migration race this prevents).
+	for _, w := range e.workers {
+		w.mu.Lock()
+	}
+	out := make([]int, len(e.workers))
+	for n, w := range e.workers {
+		low := w.lowWatermarkLocked()
+		if low > frontier {
+			low = frontier
+		}
+		out[n] = low
+	}
+	for i := len(e.workers) - 1; i >= 0; i-- {
+		e.workers[i].mu.Unlock()
+	}
+	return out
+}
+
 // Flush implements Runtime: it blocks until every in-flight message (and
 // every message transitively produced by it) has been processed.
 func (e *ConcurrentEngine) Flush() {
-	e.mu.Lock()
-	for e.inflight > 0 {
-		e.idle.Wait()
+	e.idleMu.Lock()
+	for e.inflight.Load() > 0 {
+		e.idleCond.Wait()
 	}
-	e.mu.Unlock()
+	e.idleMu.Unlock()
 }
 
 // Metrics implements Runtime.
 func (e *ConcurrentEngine) Metrics() *Metrics { return e.metrics }
 
-// Deliveries implements Runtime.
+// Deliveries implements Runtime: the per-node shards are concatenated in
+// node order; the order within the result is therefore not delivery order
+// (it never was specified to be for this engine).
 func (e *ConcurrentEngine) Deliveries() []Delivery {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := make([]Delivery, len(e.deliveries))
-	copy(out, e.deliveries)
+	total := 0
+	for i := range e.delivShards {
+		s := &e.delivShards[i]
+		s.mu.Lock()
+		total += len(s.log)
+		s.mu.Unlock()
+	}
+	out := make([]Delivery, 0, total)
+	for i := range e.delivShards {
+		s := &e.delivShards[i]
+		s.mu.Lock()
+		out = append(out, s.log...)
+		s.mu.Unlock()
+	}
 	return out
 }
 
@@ -300,14 +536,15 @@ func (e *ConcurrentEngine) Deliveries() []Delivery {
 // (Flush) before closing; messages submitted after Close are rejected and
 // Close is idempotent.
 func (e *ConcurrentEngine) Close() {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if e.closed.Swap(true) {
 		return
 	}
-	e.closed = true
-	e.mu.Unlock()
 	for _, w := range e.workers {
 		w.close()
 	}
+	// Wake a windowed injector that might be waiting on the watermark so it
+	// can observe the closed flag instead of blocking forever.
+	e.wmMu.Lock()
+	e.wmCond.Broadcast()
+	e.wmMu.Unlock()
 }

@@ -84,10 +84,10 @@ func deliveryMultiset(ds []netsim.Delivery) map[string]int {
 }
 
 // driveRounds replays the workload like drive, but pushes the event trace
-// through Runtime.ReplayRounds with the given delivery mode, one ReplayRounds
-// call per batch with the batch's true round structure — the replay shape the
-// experiment harness and the pipelined benchmark use.
-func driveRounds(t *testing.T, rt netsim.Runtime, w *experiment.Workload, mode netsim.DeliveryMode) {
+// through Runtime.ReplayRounds with the given replay options, one
+// ReplayRounds call per batch with the batch's true round structure — the
+// replay shape the experiment harness and the replay benchmarks use.
+func driveRounds(t *testing.T, rt netsim.Runtime, w *experiment.Workload, opts netsim.ReplayOptions) {
 	t.Helper()
 	sensors := make([]model.Sensor, len(w.Deployment.Sensors))
 	copy(sensors, w.Deployment.Sensors)
@@ -105,7 +105,7 @@ func driveRounds(t *testing.T, rt netsim.Runtime, w *experiment.Workload, mode n
 		rt.Flush()
 	}
 	for b := 0; b < w.Scenario.Batches; b++ {
-		if err := rt.ReplayRounds(w.PublicationRounds(b), netsim.ReplayOptions{Mode: mode}); err != nil {
+		if err := rt.ReplayRounds(w.PublicationRounds(b), opts); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -167,11 +167,35 @@ func assertSamePerRoundDeliveries(t *testing.T, label string, base, got []netsim
 	}
 }
 
+// conformanceVariants are the replay configurations validated against the
+// sequential quiescent baseline: the pipelined mode on both engines, the
+// windowed mode at lag 0 (which must degenerate to exactly pipelined
+// behaviour) on both engines, and the windowed mode at lag >= 1 — genuine
+// cross-round overlap — where the relaxed oracle still requires identical
+// traffic totals and identical per-round delivery multisets, with only the
+// ordering inside the lag window left free.
+var conformanceVariants = []struct {
+	name       string
+	concurrent bool
+	opts       netsim.ReplayOptions
+}{
+	{"sequential-pipelined", false, netsim.ReplayOptions{Mode: netsim.Pipelined}},
+	{"concurrent-pipelined", true, netsim.ReplayOptions{Mode: netsim.Pipelined}},
+	{"sequential-windowed-lag0", false, netsim.ReplayOptions{Mode: netsim.Windowed, Lag: 0}},
+	{"concurrent-windowed-lag0", true, netsim.ReplayOptions{Mode: netsim.Windowed, Lag: 0}},
+	{"sequential-windowed-lag1", false, netsim.ReplayOptions{Mode: netsim.Windowed, Lag: 1}},
+	{"concurrent-windowed-lag1", true, netsim.ReplayOptions{Mode: netsim.Windowed, Lag: 1}},
+	{"concurrent-windowed-lag2", true, netsim.ReplayOptions{Mode: netsim.Windowed, Lag: 2}},
+}
+
 // TestPipelinedConformanceAllApproaches is the per-round oracle of the
-// pipelined delivery mode: for every approach, a sequential pipelined run and
-// a concurrent pipelined run must produce the sequential quiescent run's
-// traffic totals and, round by round, the same multiset of deliveries — the
-// interleaving within a round is free, the outcome of the round is not.
+// pipelined and windowed delivery modes: for every approach, each replay
+// variant must produce the sequential quiescent run's traffic totals and,
+// round by round, the same multiset of deliveries — the interleaving within
+// the lag window is free, the outcome of each round is not. Windowed
+// variants build their nodes with the lag-matched validity factor; that
+// never changes match sets (see netsim.RequiredValidityFactor), so they stay
+// comparable with the default-validity baseline.
 func TestPipelinedConformanceAllApproaches(t *testing.T) {
 	for _, seed := range []int64{11, 42, 1234} {
 		w, err := experiment.BuildWorkload(conformanceScenario(seed))
@@ -181,8 +205,11 @@ func TestPipelinedConformanceAllApproaches(t *testing.T) {
 		for _, id := range experiment.All() {
 			id := id
 			t.Run(fmt.Sprintf("%s/seed=%d", id, seed), func(t *testing.T) {
-				newRuntime := func(concurrent bool) netsim.Runtime {
-					factory, err := experiment.FactoryFor(id, seed+7, 0)
+				newRuntime := func(concurrent bool, opts netsim.ReplayOptions) netsim.Runtime {
+					factory, err := experiment.FactoryForSpec(id, experiment.FactorySpec{
+						Seed:           seed + 7,
+						ValidityFactor: netsim.RequiredValidityFactor(opts.Mode, opts.Lag),
+					})
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -192,26 +219,26 @@ func TestPipelinedConformanceAllApproaches(t *testing.T) {
 					return netsim.NewEngine(w.Deployment.Graph, factory)
 				}
 
-				baseline := newRuntime(false)
-				driveRounds(t, baseline, w, netsim.Quiescent)
-
-				seqPipelined := newRuntime(false)
-				driveRounds(t, seqPipelined, w, netsim.Pipelined)
-
-				concPipelined := newRuntime(true)
-				defer concPipelined.(*netsim.ConcurrentEngine).Close()
-				driveRounds(t, concPipelined, w, netsim.Pipelined)
-
+				baseline := newRuntime(false, netsim.ReplayOptions{Mode: netsim.Quiescent})
+				driveRounds(t, baseline, w, netsim.ReplayOptions{Mode: netsim.Quiescent})
 				base := baseline.Metrics().Snapshot()
-				assertSameTraffic(t, "sequential-pipelined", base, seqPipelined.Metrics().Snapshot())
-				assertSameTraffic(t, "concurrent-pipelined", base, concPipelined.Metrics().Snapshot())
-				assertSamePerRoundDeliveries(t, "sequential-pipelined", baseline.Deliveries(), seqPipelined.Deliveries())
-				assertSamePerRoundDeliveries(t, "concurrent-pipelined", baseline.Deliveries(), concPipelined.Deliveries())
-				for name, rt := range map[string]netsim.Runtime{
-					"baseline": baseline, "sequential-pipelined": seqPipelined, "concurrent-pipelined": concPipelined,
-				} {
+				if n := baseline.Metrics().DroppedMessages(); n != 0 {
+					t.Errorf("baseline dropped %d messages", n)
+				}
+
+				for _, v := range conformanceVariants {
+					rt := newRuntime(v.concurrent, v.opts)
+					if conc, ok := rt.(*netsim.ConcurrentEngine); ok {
+						defer conc.Close()
+					}
+					driveRounds(t, rt, w, v.opts)
+					assertSameTraffic(t, v.name, base, rt.Metrics().Snapshot())
+					assertSamePerRoundDeliveries(t, v.name, baseline.Deliveries(), rt.Deliveries())
 					if n := rt.Metrics().DroppedMessages(); n != 0 {
-						t.Errorf("%s dropped %d messages", name, n)
+						t.Errorf("%s dropped %d messages", v.name, n)
+					}
+					if wm, want := rt.Watermark(), w.Scenario.Batches*w.Scenario.RoundsPerBatch; wm != want {
+						t.Errorf("%s: final watermark = %d, want %d (all rounds retired)", v.name, wm, want)
 					}
 				}
 			})

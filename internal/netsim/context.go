@@ -8,9 +8,11 @@ import (
 )
 
 // sink is the engine-side interface a Context uses to hand off outgoing
-// messages and user deliveries. Both engines implement it.
+// messages and user deliveries. Both engines implement it. The round is the
+// lineage round of the item whose dispatch produced the message (see
+// watermark.go); deliveries carry their own round stamp.
 type sink interface {
-	enqueue(from, to topology.NodeID, msg Message)
+	enqueue(from, to topology.NodeID, msg Message, round int)
 	deliver(d Delivery)
 }
 
@@ -23,6 +25,12 @@ type Context struct {
 	graph   *topology.Graph
 	metrics *Metrics
 	out     sink
+
+	// round is the lineage round of the item currently being dispatched on
+	// this node; dispatch() maintains it. A context is only ever touched by
+	// one goroutine at a time (the caller's for the sequential engine, the
+	// node's worker for the concurrent engine), so the field needs no lock.
+	round int
 }
 
 // Self returns this node's identifier.
@@ -75,14 +83,27 @@ func (c *Context) send(to topology.NodeID, msg Message) {
 		panic(fmt.Sprintf("netsim: node %d attempted to send %s to non-neighbour %d", c.self, msg.Kind, to))
 	}
 	c.metrics.recordSend(c.self, to, msg)
-	c.out.enqueue(c.self, to, msg)
+	c.out.enqueue(c.self, to, msg, c.round)
 }
 
 // DeliverToUser hands a complex event to the local user owning the given
 // (root) subscription. Deliveries are recorded in the metrics for recall
 // accounting but generate no link traffic.
+//
+// The delivery is stamped with the round of its newest component event (the
+// replay round during which the complex event logically completed). That
+// stamp is a pure function of the delivered complex event, so runs that
+// interleave rounds differently — pipelined, windowed at any lag — attribute
+// identical deliveries to identical rounds, which is what makes the
+// per-round conformance oracle comparable across delivery modes.
 func (c *Context) DeliverToUser(sub model.SubscriptionID, events model.ComplexEvent) {
 	cp := make(model.ComplexEvent, len(events))
 	copy(cp, events)
-	c.out.deliver(Delivery{Node: c.self, SubID: sub, Events: cp})
+	round := c.round
+	for i, e := range cp {
+		if i == 0 || e.Round > round {
+			round = e.Round
+		}
+	}
+	c.out.deliver(Delivery{Node: c.self, SubID: sub, Events: cp, Round: round})
 }

@@ -1,10 +1,14 @@
 package netsim
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // DeliveryMode selects how a trace replay interleaves event injection with
 // message propagation. It is the knob that decides whether the concurrent
-// engine actually runs concurrently.
+// engine actually runs concurrently — and, for Windowed, how many rounds it
+// may keep in flight at once.
 type DeliveryMode int
 
 const (
@@ -23,6 +27,18 @@ const (
 	// per round instead: the traffic totals and the multiset of deliveries
 	// of each round must equal the sequential quiescent run's.
 	Pipelined
+	// Windowed relaxes the round barrier of Pipelined: round r+1..r+Lag may
+	// be injected while round r is still draining, so up to Lag+1 rounds of
+	// messages overlap in flight. Round progress is tracked with per-node
+	// low-watermarks (the highest round whose work a node has fully
+	// processed) aggregated into a network watermark that retires rounds:
+	// round r is injected only once the network watermark has reached
+	// r-1-Lag. Deliveries are stamped with the round of their newest
+	// component event, which is a pure function of the delivered complex
+	// event and therefore identical across interleavings. Windowed with
+	// Lag 0 degenerates to exactly Pipelined behaviour (inject one round,
+	// drain, inject the next).
+	Windowed
 )
 
 // String implements fmt.Stringer.
@@ -32,9 +48,18 @@ func (m DeliveryMode) String() string {
 		return "quiescent"
 	case Pipelined:
 		return "pipelined"
+	case Windowed:
+		return "windowed"
 	default:
 		return fmt.Sprintf("mode(%d)", int(m))
 	}
+}
+
+// DeliveryModeNames returns the CLI spellings of every delivery mode, in
+// definition order. CLIs use it to build usage and error messages that stay
+// in sync with the engine.
+func DeliveryModeNames() []string {
+	return []string{Quiescent.String(), Pipelined.String(), Windowed.String()}
 }
 
 // ParseDeliveryMode maps the CLI spelling of a mode onto its value.
@@ -44,8 +69,11 @@ func ParseDeliveryMode(s string) (DeliveryMode, error) {
 		return Quiescent, nil
 	case "pipelined":
 		return Pipelined, nil
+	case "windowed":
+		return Windowed, nil
 	default:
-		return Quiescent, fmt.Errorf("netsim: unknown delivery mode %q (want quiescent or pipelined)", s)
+		return Quiescent, fmt.Errorf("netsim: unknown delivery mode %q (valid modes: %s)",
+			s, strings.Join(DeliveryModeNames(), ", "))
 	}
 }
 
@@ -53,13 +81,41 @@ func ParseDeliveryMode(s string) (DeliveryMode, error) {
 type ReplayOptions struct {
 	// Mode is the delivery semantics of the replay (default Quiescent).
 	Mode DeliveryMode
+	// Lag is the cross-round pipelining bound of the Windowed mode: round
+	// r+1..r+Lag may be injected while round r is still draining. It must
+	// be zero for the other modes. Lag 0 under Windowed reproduces
+	// Pipelined behaviour exactly.
+	Lag int
 }
 
 func (o ReplayOptions) validate() error {
 	switch o.Mode {
-	case Quiescent, Pipelined:
-		return nil
+	case Quiescent, Pipelined, Windowed:
 	default:
 		return fmt.Errorf("netsim: invalid delivery mode %v", o.Mode)
 	}
+	if o.Lag < 0 {
+		return fmt.Errorf("netsim: negative replay lag %d", o.Lag)
+	}
+	if o.Lag > 0 && o.Mode != Windowed {
+		return fmt.Errorf("netsim: replay lag %d requires the windowed delivery mode (got %v)", o.Lag, o.Mode)
+	}
+	return nil
+}
+
+// RequiredValidityFactor returns the minimum event-window validity factor
+// (validity = factor x max δt) a protocol node needs for the given replay
+// semantics. Quiescent and Pipelined replays skew arrivals by less than one
+// round interval, so the default factor of 2 suffices; a Windowed replay with
+// lag L lets arrivals of rounds r..r+L interleave, so a node may see a
+// round-r trigger after it already pruned against a round-(r+L) timestamp —
+// retaining L+2 round intervals guarantees every partner within δt of a
+// late trigger is still stored. A larger window never changes match sets
+// (candidate partners are selected by the δt correlation predicate, not by
+// storage), so runs with different factors remain conformant.
+func RequiredValidityFactor(mode DeliveryMode, lag int) int {
+	if mode == Windowed && lag > 0 {
+		return lag + 2
+	}
+	return 2
 }

@@ -6,6 +6,11 @@ package netsim
 // concurrent engine from the node's worker goroutine), so the two can never
 // drift apart in how they present work to a protocol handler.
 func dispatch(h Handler, ctx *Context, item queued) {
+	// Expose the item's lineage round to the context: messages the handler
+	// sends while processing this item belong to the same round (watermark
+	// accounting), and deliveries fall back to it when a complex event has
+	// no components to derive a round from.
+	ctx.round = item.round
 	if item.injection != injectionNone {
 		switch item.injection {
 		case injectionSensor:

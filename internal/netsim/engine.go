@@ -29,11 +29,13 @@ type Runtime interface {
 	// ReplayRounds injects a trace structured as rounds of events, under
 	// the delivery semantics selected by opts: Quiescent drains the
 	// network after every single event (the conformance baseline),
-	// Pipelined injects a whole round before draining, which lets the
-	// concurrent engine's per-node goroutines run simultaneously. Every
-	// round advances the engine's round counter, and deliveries are
-	// stamped with it. The whole trace is validated up front; an unknown
-	// target node rejects it before any event enters the network.
+	// Pipelined injects a whole round before draining, and Windowed lets
+	// up to opts.Lag+1 rounds overlap in flight, gating each injection on
+	// the network watermark (see watermark.go). Every round advances the
+	// engine's round counter; deliveries are stamped with the round of
+	// their newest component event. The whole trace is validated up front;
+	// an unknown target node rejects it before any event enters the
+	// network.
 	ReplayRounds(rounds [][]Publication, opts ReplayOptions) error
 	// Flush processes messages until the network is quiescent.
 	Flush()
@@ -47,6 +49,11 @@ type Runtime interface {
 	// either engine; for the concurrent engine the caller must Flush first
 	// so no worker goroutine is touching the handler.
 	Handler(node topology.NodeID) Handler
+	// Watermark returns the network low-watermark: the highest replay round
+	// whose work (injections and every message transitively produced by
+	// them) has been fully processed. Outside a windowed replay the network
+	// is drained between rounds, so the watermark equals the round counter.
+	Watermark() int
 }
 
 // queued is one in-flight item: either a link message or a local injection.
@@ -54,6 +61,12 @@ type queued struct {
 	to   topology.NodeID
 	from topology.NodeID
 	msg  Message
+
+	// round is the lineage round of the item: the replay round being
+	// injected (injections), or the round of the item whose dispatch
+	// produced the message. Watermark accounting retires a round when no
+	// item of that lineage remains in flight.
+	round int
 
 	// Local injections (from == to) use the fields below instead of msg.
 	injection injectionKind
@@ -81,9 +94,14 @@ type Engine struct {
 	ctxs       []*Context
 	metrics    *Metrics
 	queue      []queued
+	head       int
 	flushing   bool
 	deliveries []Delivery
 	round      int
+
+	// ledger tracks per-round in-flight counts during a windowed replay
+	// (nil otherwise); see watermark.go.
+	ledger *roundLedger
 }
 
 var _ Runtime = (*Engine)(nil)
@@ -95,7 +113,7 @@ func NewEngine(graph *topology.Graph, factory HandlerFactory) *Engine {
 		graph:    graph,
 		handlers: make([]Handler, graph.NumNodes()),
 		ctxs:     make([]*Context, graph.NumNodes()),
-		metrics:  NewMetrics(),
+		metrics:  NewMetrics(graph.NumNodes()),
 	}
 	for n := 0; n < graph.NumNodes(); n++ {
 		id := topology.NodeID(n)
@@ -124,6 +142,16 @@ func (e *Engine) Handler(n topology.NodeID) Handler {
 	return e.handlers[n]
 }
 
+// Watermark implements Runtime. During a windowed replay it is the ledger's
+// watermark; otherwise the engine drains between rounds, so every injected
+// round is retired and the watermark is the round counter itself.
+func (e *Engine) Watermark() int {
+	if e.ledger != nil {
+		return e.ledger.watermark()
+	}
+	return e.round
+}
+
 func (e *Engine) validNode(n topology.NodeID) error {
 	if n < 0 || int(n) >= len(e.handlers) {
 		return fmt.Errorf("netsim: unknown node %d", n)
@@ -137,7 +165,7 @@ func (e *Engine) AttachSensor(node topology.NodeID, sensor model.Sensor) error {
 	if err := e.validNode(node); err != nil {
 		return err
 	}
-	e.queue = append(e.queue, queued{to: node, from: node, injection: injectionSensor, sensor: sensor})
+	e.push(queued{to: node, from: node, injection: injectionSensor, sensor: sensor, round: e.round})
 	e.Flush()
 	return nil
 }
@@ -151,7 +179,7 @@ func (e *Engine) Subscribe(node topology.NodeID, sub *model.Subscription) error 
 	if err := sub.Validate(); err != nil {
 		return err
 	}
-	e.queue = append(e.queue, queued{to: node, from: node, injection: injectionSubscribe, sub: sub})
+	e.push(queued{to: node, from: node, injection: injectionSubscribe, sub: sub, round: e.round})
 	e.Flush()
 	return nil
 }
@@ -162,7 +190,8 @@ func (e *Engine) Publish(node topology.NodeID, ev model.Event) error {
 	if err := e.validNode(node); err != nil {
 		return err
 	}
-	e.queue = append(e.queue, queued{to: node, from: node, injection: injectionPublish, ev: ev})
+	ev.Round = e.round
+	e.push(queued{to: node, from: node, injection: injectionPublish, ev: ev, round: e.round})
 	e.Flush()
 	return nil
 }
@@ -174,10 +203,12 @@ func (e *Engine) PublishBatch(batch []Publication) error {
 	return e.ReplayRounds([][]Publication{batch}, ReplayOptions{Mode: Quiescent})
 }
 
-// ReplayRounds implements Runtime. On the sequential engine both modes are
-// deterministic; they differ in interleaving only (Pipelined enqueues a whole
-// round before draining it FIFO, so a node sees round events in injection
-// order rather than fully propagated one at a time).
+// ReplayRounds implements Runtime. On the sequential engine every mode is
+// deterministic; they differ in interleaving only. Quiescent fully drains
+// after each event; Pipelined enqueues a whole round before draining it
+// FIFO; Windowed additionally overlaps rounds — round r+1..r+Lag are
+// enqueued while round r's items are still being worked off the FIFO queue,
+// gated on the same watermark the concurrent engine uses.
 func (e *Engine) ReplayRounds(rounds [][]Publication, opts ReplayOptions) error {
 	if err := opts.validate(); err != nil {
 		return err
@@ -189,22 +220,76 @@ func (e *Engine) ReplayRounds(rounds [][]Publication, opts ReplayOptions) error 
 			}
 		}
 	}
+	if opts.Mode == Windowed {
+		return e.replayWindowed(rounds, opts.Lag)
+	}
 	for _, round := range rounds {
 		e.round++
 		switch opts.Mode {
 		case Quiescent:
 			for _, p := range round {
-				e.queue = append(e.queue, queued{to: p.Node, from: p.Node, injection: injectionPublish, ev: p.Event})
+				e.pushPublication(p, e.round)
 				e.Flush()
 			}
 		case Pipelined:
 			for _, p := range round {
-				e.queue = append(e.queue, queued{to: p.Node, from: p.Node, injection: injectionPublish, ev: p.Event})
+				e.pushPublication(p, e.round)
 			}
 			e.Flush()
 		}
 	}
 	return nil
+}
+
+// replayWindowed is the bounded-lag replay: before injecting round r it
+// drains the FIFO queue only until the watermark reaches r-1-lag, so up to
+// lag+1 rounds of items interleave on the queue. With lag 0 the drain runs
+// to quiescence before each injection — exactly the Pipelined schedule.
+func (e *Engine) replayWindowed(rounds [][]Publication, lag int) error {
+	led := newRoundLedger(e.round)
+	e.ledger = led
+	defer func() { e.ledger = nil }()
+	for _, round := range rounds {
+		r := e.round + 1
+		e.drainUntil(led, r-1-lag)
+		e.round = r
+		for _, p := range round {
+			e.pushPublication(p, r)
+		}
+		led.markInjected(r)
+	}
+	e.Flush()
+	return nil
+}
+
+// pushPublication enqueues one replayed event stamped with its round.
+func (e *Engine) pushPublication(p Publication, round int) {
+	ev := p.Event
+	ev.Round = round
+	e.push(queued{to: p.Node, from: p.Node, injection: injectionPublish, ev: ev, round: round})
+}
+
+// push appends an item to the FIFO queue, accounting it in the windowed
+// ledger when one is active.
+func (e *Engine) push(item queued) {
+	if e.ledger != nil {
+		e.ledger.add(item.round)
+	}
+	e.queue = append(e.queue, item)
+}
+
+// drainUntil dispatches queued items in FIFO order until the ledger's
+// watermark reaches the target (a no-op when it already has).
+func (e *Engine) drainUntil(led *roundLedger, target int) {
+	if e.flushing {
+		return
+	}
+	e.flushing = true
+	for led.watermark() < target && e.head < len(e.queue) {
+		e.step()
+	}
+	e.compact()
+	e.flushing = false
 }
 
 // Flush implements Runtime: it processes queued messages in FIFO order until
@@ -220,27 +305,57 @@ func (e *Engine) Flush() {
 		return
 	}
 	e.flushing = true
-	for i := 0; i < len(e.queue); i++ {
-		item := e.queue[i]
-		dispatch(e.handlers[item.to], e.ctxs[item.to], item)
+	for e.head < len(e.queue) {
+		e.step()
 	}
-	// Zero the processed items so queued subscriptions can be collected,
-	// then keep the backing array for the next flush.
-	for i := range e.queue {
-		e.queue[i] = queued{}
-	}
-	e.queue = e.queue[:0]
+	e.compact()
 	e.flushing = false
 }
 
-// enqueue implements sink.
-func (e *Engine) enqueue(from, to topology.NodeID, msg Message) {
-	e.queue = append(e.queue, queued{from: from, to: to, msg: msg})
+// step dispatches the item at the queue head and releases it in the ledger.
+func (e *Engine) step() {
+	item := e.queue[e.head]
+	e.head++
+	dispatch(e.handlers[item.to], e.ctxs[item.to], item)
+	if e.ledger != nil {
+		e.ledger.done(item.round)
+	}
 }
 
-// deliver implements sink.
+// compact reclaims queue storage between drains. When everything enqueued so
+// far has been dispatched the queue resets in place; during a windowed
+// replay the queue may never fully drain until the final Flush, so a long
+// consumed prefix is shifted out instead, keeping the backlog bounded by the
+// lag window rather than the whole trace. Zeroing released slots lets queued
+// subscriptions be collected while the backing array is kept.
+func (e *Engine) compact() {
+	if e.head == len(e.queue) {
+		for i := range e.queue {
+			e.queue[i] = queued{}
+		}
+		e.queue = e.queue[:0]
+		e.head = 0
+		return
+	}
+	if e.head < 1024 {
+		return
+	}
+	n := copy(e.queue, e.queue[e.head:])
+	for i := n; i < len(e.queue); i++ {
+		e.queue[i] = queued{}
+	}
+	e.queue = e.queue[:n]
+	e.head = 0
+}
+
+// enqueue implements sink.
+func (e *Engine) enqueue(from, to topology.NodeID, msg Message, round int) {
+	e.push(queued{from: from, to: to, msg: msg, round: round})
+}
+
+// deliver implements sink. The delivery arrives already stamped with the
+// round of its newest component (Context.DeliverToUser).
 func (e *Engine) deliver(d Delivery) {
-	d.Round = e.round
 	e.deliveries = append(e.deliveries, d)
 	e.metrics.recordDelivery(d)
 }

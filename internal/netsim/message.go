@@ -66,11 +66,15 @@ type Delivery struct {
 	Node   topology.NodeID
 	SubID  model.SubscriptionID
 	Events model.ComplexEvent
-	// Round is the replay round during which the delivery happened: the
-	// engines advance a round counter once per round of ReplayRounds (and
-	// once per PublishBatch call), and stamp every delivery with it. The
-	// pipelined conformance oracle groups deliveries by round, so runs with
-	// different intra-round interleavings stay comparable.
+	// Round is the replay round the complex event belongs to: the round of
+	// its newest component (events are stamped with their injection round,
+	// see model.Event.Round). In the quiescent and pipelined modes this
+	// equals the round counter at delivery time — a complex event completes
+	// when its last component arrives, and rounds drain in order — but
+	// unlike a wall-clock stamp it is a pure function of the delivered
+	// complex event, so windowed replays that overlap rounds in flight
+	// attribute identical deliveries to identical rounds. The per-round
+	// conformance oracle groups deliveries by it.
 	Round int
 }
 

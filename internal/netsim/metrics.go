@@ -3,6 +3,7 @@ package netsim
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"sensorcq/internal/model"
 	"sensorcq/internal/topology"
@@ -15,18 +16,32 @@ type Link struct {
 }
 
 // Metrics accumulates the traffic counters of one simulation run. It is safe
-// for concurrent use (the concurrent engine records from many goroutines).
+// for concurrent use: the counters and the per-subscription delivery maps
+// are sharded per node, and every record path touches only the shard of the
+// node doing the work — the sending node for traffic, the delivering node
+// for deliveries. Each shard is written by exactly one worker goroutine of
+// the concurrent engine, so the per-shard mutex is uncontended on the hot
+// path (it exists so that merge-on-read accessors are race-free while a
+// replay is still in flight). This is what removed the single metrics mutex
+// every node used to funnel through under pipelined/windowed replay.
 //
 // The two headline metrics correspond directly to the paper's figures:
 // SubscriptionLoad is the "number of forwarded queries" (Figs. 4, 6, 8, 10)
 // and EventLoad is the "number of forwarded data units" (Figs. 5, 7, 9, 11).
 type Metrics struct {
+	shards  []metricsShard
+	dropped atomic.Int64
+}
+
+// metricsShard holds one node's slice of every counter. The trailing pad
+// keeps neighbouring shards out of each other's cache lines, so per-node
+// writers do not false-share.
+type metricsShard struct {
 	mu sync.Mutex
 
 	advertisementLoad int64
 	subscriptionLoad  int64
 	eventLoad         int64
-	droppedMessages   int64
 
 	linkSubscription map[Link]int64
 	linkEvent        map[Link]int64
@@ -37,16 +52,34 @@ type Metrics struct {
 	deliveredSeqs map[model.SubscriptionID]map[uint64]bool
 	// complexDeliveries counts complex-event notifications per subscription.
 	complexDeliveries map[model.SubscriptionID]int64
+
+	_ [64]byte
 }
 
-// NewMetrics returns an empty metrics accumulator.
-func NewMetrics() *Metrics {
-	return &Metrics{
-		linkSubscription:  map[Link]int64{},
-		linkEvent:         map[Link]int64{},
-		deliveredSeqs:     map[model.SubscriptionID]map[uint64]bool{},
-		complexDeliveries: map[model.SubscriptionID]int64{},
+// NewMetrics returns an empty metrics accumulator with one shard per node.
+func NewMetrics(nodes int) *Metrics {
+	if nodes < 1 {
+		nodes = 1
 	}
+	m := &Metrics{shards: make([]metricsShard, nodes)}
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.linkSubscription = map[Link]int64{}
+		s.linkEvent = map[Link]int64{}
+		s.deliveredSeqs = map[model.SubscriptionID]map[uint64]bool{}
+		s.complexDeliveries = map[model.SubscriptionID]int64{}
+	}
+	return m
+}
+
+// shardFor returns the shard owned by the given node (clamped for safety:
+// records must never be lost to an out-of-range attribution).
+func (m *Metrics) shardFor(node topology.NodeID) *metricsShard {
+	i := int(node)
+	if i < 0 || i >= len(m.shards) {
+		i = 0
+	}
+	return &m.shards[i]
 }
 
 func (m *Metrics) recordSend(from, to topology.NodeID, msg Message) {
@@ -54,89 +87,92 @@ func (m *Metrics) recordSend(from, to topology.NodeID, msg Message) {
 	if units <= 0 {
 		units = 1
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	s := m.shardFor(from)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	switch msg.Kind {
 	case KindAdvertisement:
-		m.advertisementLoad += units
+		s.advertisementLoad += units
 	case KindSubscription:
-		m.subscriptionLoad += units
-		m.linkSubscription[Link{From: from, To: to}] += units
+		s.subscriptionLoad += units
+		s.linkSubscription[Link{From: from, To: to}] += units
 	case KindEvent:
-		m.eventLoad += units
-		m.linkEvent[Link{From: from, To: to}] += units
+		s.eventLoad += units
+		s.linkEvent[Link{From: from, To: to}] += units
 	}
 }
 
 func (m *Metrics) recordDelivery(d Delivery) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	set := m.deliveredSeqs[d.SubID]
+	s := m.shardFor(d.Node)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := s.deliveredSeqs[d.SubID]
 	if set == nil {
 		set = map[uint64]bool{}
-		m.deliveredSeqs[d.SubID] = set
+		s.deliveredSeqs[d.SubID] = set
 	}
 	for _, e := range d.Events {
 		set[e.Seq] = true
 	}
-	m.complexDeliveries[d.SubID]++
+	s.complexDeliveries[d.SubID]++
 }
 
 // recordDrop counts a message an engine failed to enqueue.
-func (m *Metrics) recordDrop() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.droppedMessages++
-}
+func (m *Metrics) recordDrop() { m.dropped.Add(1) }
 
 // DroppedMessages returns the number of messages an engine failed to enqueue
 // (for example a send racing engine shutdown). A run whose dropped count is
 // non-zero lost traffic and must not be compared against a lossless run; the
 // conformance suite asserts it is zero.
-func (m *Metrics) DroppedMessages() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.droppedMessages
+func (m *Metrics) DroppedMessages() int64 { return m.dropped.Load() }
+
+// sum folds one int64 field across every shard.
+func (m *Metrics) sum(get func(*metricsShard) int64) int64 {
+	var total int64
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		total += get(s)
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // AdvertisementLoad returns the number of advertisement link traversals.
 func (m *Metrics) AdvertisementLoad() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.advertisementLoad
+	return m.sum(func(s *metricsShard) int64 { return s.advertisementLoad })
 }
 
 // SubscriptionLoad returns the number of forwarded subscriptions/operators
 // (one per link traversal).
 func (m *Metrics) SubscriptionLoad() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.subscriptionLoad
+	return m.sum(func(s *metricsShard) int64 { return s.subscriptionLoad })
 }
 
 // EventLoad returns the number of forwarded data units (simple events, one
 // per link traversal).
 func (m *Metrics) EventLoad() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.eventLoad
+	return m.sum(func(s *metricsShard) int64 { return s.eventLoad })
 }
 
 // TotalLoad returns the sum of all three loads.
 func (m *Metrics) TotalLoad() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.advertisementLoad + m.subscriptionLoad + m.eventLoad
+	return m.sum(func(s *metricsShard) int64 {
+		return s.advertisementLoad + s.subscriptionLoad + s.eventLoad
+	})
 }
 
 // DeliveredSeqs returns a copy of the delivered event sequence numbers for
-// the given user subscription.
+// the given user subscription, merged across every node's shard.
 func (m *Metrics) DeliveredSeqs(sub model.SubscriptionID) map[uint64]bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[uint64]bool, len(m.deliveredSeqs[sub]))
-	for k, v := range m.deliveredSeqs[sub] {
-		out[k] = v
+	out := map[uint64]bool{}
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for k, v := range s.deliveredSeqs[sub] {
+			out[k] = v
+		}
+		s.mu.Unlock()
 	}
 	return out
 }
@@ -144,18 +180,23 @@ func (m *Metrics) DeliveredSeqs(sub model.SubscriptionID) map[uint64]bool {
 // ComplexDeliveries returns the number of complex-event notifications
 // delivered for the given subscription.
 func (m *Metrics) ComplexDeliveries(sub model.SubscriptionID) int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.complexDeliveries[sub]
+	return m.sum(func(s *metricsShard) int64 { return s.complexDeliveries[sub] })
 }
 
 // SubscriptionsWithDeliveries returns the IDs of subscriptions that received
 // at least one delivery, sorted.
 func (m *Metrics) SubscriptionsWithDeliveries() []model.SubscriptionID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]model.SubscriptionID, 0, len(m.deliveredSeqs))
-	for id := range m.deliveredSeqs {
+	seen := map[model.SubscriptionID]bool{}
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for id := range s.deliveredSeqs {
+			seen[id] = true
+		}
+		s.mu.Unlock()
+	}
+	out := make([]model.SubscriptionID, 0, len(seen))
+	for id := range seen {
 		out = append(out, id)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -168,14 +209,21 @@ func (m *Metrics) BusiestEventLinks(n int) []struct {
 	Link  Link
 	Units int64
 } {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	merged := map[Link]int64{}
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		for l, u := range s.linkEvent {
+			merged[l] += u
+		}
+		s.mu.Unlock()
+	}
 	type row struct {
 		Link  Link
 		Units int64
 	}
-	rows := make([]row, 0, len(m.linkEvent))
-	for l, u := range m.linkEvent {
+	rows := make([]row, 0, len(merged))
+	for l, u := range merged {
 		rows = append(rows, row{Link: l, Units: u})
 	}
 	sort.Slice(rows, func(i, j int) bool {
@@ -211,15 +259,18 @@ type Snapshot struct {
 	EventLoad         int64
 }
 
-// Snapshot returns the current headline counters.
+// Snapshot returns the current headline counters (merged across shards).
 func (m *Metrics) Snapshot() Snapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return Snapshot{
-		AdvertisementLoad: m.advertisementLoad,
-		SubscriptionLoad:  m.subscriptionLoad,
-		EventLoad:         m.eventLoad,
+	var snap Snapshot
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		snap.AdvertisementLoad += s.advertisementLoad
+		snap.SubscriptionLoad += s.subscriptionLoad
+		snap.EventLoad += s.eventLoad
+		s.mu.Unlock()
 	}
+	return snap
 }
 
 // Diff returns the change from an earlier snapshot to this one.

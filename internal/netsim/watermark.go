@@ -1,0 +1,73 @@
+package netsim
+
+// Watermark accounting for the Windowed delivery mode.
+//
+// Every queued item (an injected publication or a link message) carries the
+// replay round it belongs to: injections are stamped with the round being
+// injected, and a message produced while dispatching a round-r item inherits
+// round r (lineage, not the round of the event payload — forwarding a stored
+// round-(r-1) component during a round-r cascade is round-r work). Because a
+// child item is always accounted before its parent is released, the count of
+// in-flight items per round can only reach zero once no item of that round
+// can ever exist again. That makes the watermark — the highest round R such
+// that every round <= R is fully injected and has zero in-flight items —
+// monotone, and retiring a round on it is safe: no message of that round is
+// in any mailbox, and none can be created.
+//
+// The sequential engine uses one global roundLedger (it is single-threaded,
+// so the per-node decomposition is degenerate); the concurrent engine keeps
+// the per-round pending counts in each worker's mailbox (see concurrent.go)
+// and aggregates the per-node low-watermarks on demand.
+
+// roundLedger tracks in-flight work per replay round and derives the
+// watermark. It is not safe for concurrent use; the sequential engine owns
+// it from a single goroutine.
+type roundLedger struct {
+	// wm is the watermark: every round <= wm is fully injected and drained.
+	wm int
+	// injected is the highest round whose injections have all been enqueued.
+	// The watermark never advances past it, so a round with no events (or a
+	// round whose events produced no messages) still retires only once its
+	// injection is complete.
+	injected int
+	// pending counts the in-flight items of each round > wm.
+	pending map[int]int
+}
+
+// newRoundLedger starts a ledger considering every round <= base retired.
+func newRoundLedger(base int) *roundLedger {
+	return &roundLedger{wm: base, injected: base, pending: map[int]int{}}
+}
+
+// add accounts one in-flight item of the given round.
+func (l *roundLedger) add(round int) { l.pending[round]++ }
+
+// markInjected records that every event of the given round has been enqueued
+// and advances the watermark if the round already drained (empty rounds
+// retire immediately).
+func (l *roundLedger) markInjected(round int) {
+	if round > l.injected {
+		l.injected = round
+	}
+	l.advance()
+}
+
+// done releases one in-flight item of the given round and advances the
+// watermark when the round fully drains.
+func (l *roundLedger) done(round int) {
+	if n := l.pending[round] - 1; n > 0 {
+		l.pending[round] = n
+	} else {
+		delete(l.pending, round)
+		l.advance()
+	}
+}
+
+func (l *roundLedger) advance() {
+	for l.wm < l.injected && l.pending[l.wm+1] == 0 {
+		l.wm++
+	}
+}
+
+// watermark returns the highest retired round.
+func (l *roundLedger) watermark() int { return l.wm }

@@ -25,10 +25,23 @@ import (
 // Name is the approach identifier used in reports.
 const Name = "centralized"
 
-// NewFactory returns the handler factory for the centralized baseline.
+// NewFactory returns the handler factory for the centralized baseline with
+// the default event-window validity factor of 2 (validity = 2 x max δt).
 func NewFactory() netsim.HandlerFactory {
+	return NewFactoryWithValidity(0)
+}
+
+// NewFactoryWithValidity returns the handler factory with an explicit
+// event-window validity factor; factor <= 0 keeps the default of 2. Windowed
+// replays with lag L need a factor of at least L+2 so that a late-arriving
+// trigger still finds every partner within δt stored at the centre (see
+// netsim.RequiredValidityFactor).
+func NewFactoryWithValidity(factor int) netsim.HandlerFactory {
+	if factor <= 0 {
+		factor = 2
+	}
 	return func(node topology.NodeID) netsim.Handler {
-		return &Node{self: node}
+		return &Node{self: node, validityFactor: model.Timestamp(factor)}
 	}
 }
 
@@ -36,9 +49,10 @@ func NewFactory() netsim.HandlerFactory {
 // centre; the central node holds the subscription table and the event
 // window and performs all matching.
 type Node struct {
-	self     topology.NodeID
-	center   topology.NodeID
-	toCenter topology.NodeID // next hop towards the centre; -1 when self is the centre
+	self           topology.NodeID
+	center         topology.NodeID
+	toCenter       topology.NodeID // next hop towards the centre; -1 when self is the centre
+	validityFactor model.Timestamp // event-window validity = factor x max δt
 
 	// Central-node state (nil elsewhere).
 	window     *stores.EventWindow
@@ -127,7 +141,11 @@ func (n *Node) register(ctx *netsim.Context, sub *model.Subscription) {
 	}
 	if sub.DeltaT > n.maxDeltaT {
 		n.maxDeltaT = sub.DeltaT
-		n.window.Validity = 2 * n.maxDeltaT
+		factor := n.validityFactor
+		if factor <= 0 {
+			factor = 2
+		}
+		n.window.Validity = factor * n.maxDeltaT
 	}
 }
 

@@ -124,15 +124,23 @@ const (
 // The replay delivery semantics of Config.Delivery: Quiescent fully
 // propagates every event before the next one is injected (the deterministic
 // baseline); Pipelined injects a whole measurement round before draining,
-// letting a concurrent System evaluate the round in parallel.
+// letting a concurrent System evaluate the round in parallel; Windowed
+// additionally overlaps up to Config.Lag+1 successive rounds in flight,
+// gated on a network watermark, so the concurrent engine never idles at a
+// round boundary.
 const (
 	Quiescent = netsim.Quiescent
 	Pipelined = netsim.Pipelined
+	Windowed  = netsim.Windowed
 )
 
 // ParseDeliveryMode maps the CLI spelling of a delivery mode ("quiescent",
-// "pipelined") onto its value.
+// "pipelined", "windowed") onto its value.
 func ParseDeliveryMode(s string) (DeliveryMode, error) { return netsim.ParseDeliveryMode(s) }
+
+// DeliveryModeNames returns the CLI spellings of every delivery mode; CLIs
+// use it to print usage messages that stay in sync with the engine.
+func DeliveryModeNames() []string { return netsim.DeliveryModeNames() }
 
 // NoSpatialConstraint disables the spatial correlation distance of an
 // abstract subscription (δl = ∞).

@@ -63,7 +63,21 @@ type Config struct {
 	// smaller δt, out-of-order arrival within a round can prune window
 	// events a quiescent run would still have matched, and pipelined
 	// deliveries may diverge.
+	//
+	// Windowed additionally overlaps successive rounds: ReplayRounds and
+	// ReplayTrace inject round r+1..r+Lag while round r is still draining,
+	// gated on the network watermark. Nodes are built with an event-window
+	// validity factor of Lag+2 so the cross-round arrival skew cannot
+	// prune events still needed by a late trigger; with that, windowed
+	// runs keep the quiescent run's traffic totals and per-round delivery
+	// multisets (deliveries are stamped with the round of their newest
+	// component, which does not depend on interleaving).
 	Delivery DeliveryMode
+	// Lag bounds the cross-round pipelining of the Windowed delivery mode:
+	// how many rounds beyond the oldest still-draining round may be in
+	// flight. It must be 0 unless Delivery is Windowed; Windowed with
+	// Lag 0 behaves exactly like Pipelined.
+	Lag int
 }
 
 // System is a running sensor network: a deployment whose processing nodes
@@ -74,6 +88,7 @@ type System struct {
 	concurrent *netsim.ConcurrentEngine
 	approach   Approach
 	delivery   DeliveryMode
+	lag        int
 }
 
 // TrafficStats summarises the traffic generated so far.
@@ -98,11 +113,21 @@ func NewSystem(dep *Deployment, cfg Config) (*System, error) {
 	if cfg.Approach == "" {
 		cfg.Approach = FilterSplitForward
 	}
-	factory, err := experiment.FactoryFor(cfg.Approach, cfg.Seed, cfg.SetFilterError)
+	if cfg.Lag < 0 {
+		return nil, fmt.Errorf("sensorcq: negative replay lag %d", cfg.Lag)
+	}
+	if cfg.Lag > 0 && cfg.Delivery != Windowed {
+		return nil, fmt.Errorf("sensorcq: replay lag %d requires the windowed delivery mode (got %v)", cfg.Lag, cfg.Delivery)
+	}
+	factory, err := experiment.FactoryForSpec(cfg.Approach, experiment.FactorySpec{
+		Seed:           cfg.Seed,
+		SetFilterError: cfg.SetFilterError,
+		ValidityFactor: netsim.RequiredValidityFactor(cfg.Delivery, cfg.Lag),
+	})
 	if err != nil {
 		return nil, err
 	}
-	sys := &System{dep: dep, approach: cfg.Approach, delivery: cfg.Delivery}
+	sys := &System{dep: dep, approach: cfg.Approach, delivery: cfg.Delivery, lag: cfg.Lag}
 	if cfg.Concurrent {
 		conc := netsim.NewConcurrentEngine(dep.Graph, factory)
 		sys.runtime = conc
@@ -206,7 +231,7 @@ func (s *System) ReplayRounds(rounds [][]Event) error {
 			pubRounds[r][i] = netsim.Publication{Node: host, Event: ev}
 		}
 	}
-	if err := s.runtime.ReplayRounds(pubRounds, netsim.ReplayOptions{Mode: s.delivery}); err != nil {
+	if err := s.runtime.ReplayRounds(pubRounds, netsim.ReplayOptions{Mode: s.delivery, Lag: s.lag}); err != nil {
 		return err
 	}
 	s.runtime.Flush()
@@ -227,6 +252,12 @@ func (s *System) ReplayTrace(trace *Trace) error {
 func (s *System) DroppedMessages() int64 {
 	return s.runtime.Metrics().DroppedMessages()
 }
+
+// Watermark returns the network low-watermark: the highest replay round
+// whose work has been fully processed. After a drained replay it equals the
+// number of rounds replayed so far; during a Windowed replay it trails the
+// injection frontier by at most Lag+1 rounds.
+func (s *System) Watermark() int { return s.runtime.Watermark() }
 
 // Traffic returns the accumulated traffic counters.
 func (s *System) Traffic() TrafficStats {
