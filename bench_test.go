@@ -579,6 +579,71 @@ func BenchmarkReplayWindowed(b *testing.B) {
 	}
 }
 
+// BenchmarkSubscriptionChurn measures the subscription-lifecycle hot path:
+// full subscribe → network-wide unsubscribe round-trips over the wide
+// replay-benchmark topology, each operation fully propagated (subscription
+// split-and-forward on the way in, retraction walking the recorded reverse
+// forwarding paths — including covered-operator re-exposure — on the way
+// out). Throughput is reported as lifecycle operations per second under the
+// standard events/sec key so the benchgate regression gate covers churn
+// alongside the replay benchmarks.
+func BenchmarkSubscriptionChurn(b *testing.B) {
+	w, _, _ := replayThroughputWorkload(b)
+	bench := func(concurrent bool) func(*testing.B) {
+		return func(b *testing.B) {
+			factory, err := experiment.FactoryForSpec(experiment.FilterSplitForward, experiment.FactorySpec{
+				Seed: w.Scenario.Seed + 7,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rt netsim.Runtime
+			if concurrent {
+				conc := netsim.NewConcurrentEngine(w.Deployment.Graph, factory)
+				defer conc.Close()
+				rt = conc
+			} else {
+				rt = netsim.NewEngine(w.Deployment.Graph, factory)
+			}
+			for _, sensor := range w.Deployment.Sensors {
+				if err := rt.AttachSensor(w.Deployment.SensorHost[sensor.ID], sensor); err != nil {
+					b.Fatal(err)
+				}
+				rt.Flush()
+			}
+			b.ResetTimer()
+			ops := 0
+			for i := 0; i < b.N; i++ {
+				for _, p := range w.Placed {
+					if err := rt.Subscribe(p.Node, p.Sub.Clone()); err != nil {
+						b.Fatal(err)
+					}
+					rt.Flush()
+					ops++
+				}
+				for _, p := range w.Placed {
+					if err := rt.Unsubscribe(p.Node, p.Sub.ID); err != nil {
+						b.Fatal(err)
+					}
+					rt.Flush()
+					ops++
+				}
+			}
+			b.StopTimer()
+			if n := rt.Metrics().DroppedMessages(); n != 0 {
+				b.Fatalf("dropped %d messages", n)
+			}
+			if rt.Metrics().UnsubscriptionLoad() == 0 {
+				b.Fatal("churn generated no retraction traffic")
+			}
+			b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "events/sec")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+		}
+	}
+	b.Run("sequential", bench(false))
+	b.Run("concurrent", bench(true))
+}
+
 // --- micro-benchmarks of the core building blocks ---
 
 func BenchmarkSetCheckerSubsumed(b *testing.B) {

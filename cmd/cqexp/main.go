@@ -39,7 +39,9 @@ func main() {
 		concurrent   = flag.Bool("concurrent", false, "run each approach on the concurrent engine (one goroutine per node)")
 		delivery     = flag.String("delivery", "quiescent",
 			"replay delivery semantics: quiescent (drain after every event), pipelined (drain after every round) or windowed (overlap up to -lag+1 rounds)")
-		lag = flag.Int("lag", 0, "cross-round pipelining bound of the windowed delivery mode (requires -delivery windowed)")
+		lag   = flag.Int("lag", 0, "cross-round pipelining bound of the windowed delivery mode (requires -delivery windowed)")
+		churn = flag.Float64("churn", 0,
+			"fraction of each batch's subscriptions to retract after the batch's rounds replayed (0..1); later batches run against the survivors")
 	)
 	flag.Parse()
 
@@ -52,6 +54,11 @@ func main() {
 	}
 	if *lag < 0 || (*lag > 0 && mode != netsim.Windowed) {
 		fmt.Fprintf(os.Stderr, "invalid -lag %d: it must be >= 0 and requires -delivery windowed\n", *lag)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *churn < 0 || *churn > 1 {
+		fmt.Fprintf(os.Stderr, "invalid -churn %g: it must be in [0,1]\n", *churn)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -81,6 +88,7 @@ func main() {
 		opts.Concurrent = *concurrent
 		opts.Delivery = mode
 		opts.Lag = *lag
+		opts.Churn = *churn
 		if !*quiet {
 			opts.Progress = func(format string, args ...interface{}) {
 				fmt.Printf(format+"\n", args...)

@@ -37,7 +37,9 @@ func main() {
 		concurrent = flag.Bool("concurrent", false, "run one goroutine per processing node")
 		delivery   = flag.String("delivery", "quiescent",
 			"replay delivery semantics: quiescent (drain after every event), pipelined (drain after every round) or windowed (overlap up to -lag+1 rounds)")
-		lag = flag.Int("lag", 0, "cross-round pipelining bound of the windowed delivery mode (requires -delivery windowed)")
+		lag   = flag.Int("lag", 0, "cross-round pipelining bound of the windowed delivery mode (requires -delivery windowed)")
+		churn = flag.Float64("churn", 0,
+			"fraction of subscriptions to unsubscribe halfway through the replay (0..1); exercises the retraction path and prints the traffic it saves")
 	)
 	flag.Parse()
 
@@ -53,13 +55,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*approach, *nodes, *sensors, *groups, *subs, *minAttrs, *maxAttrs, *rounds, *seed, *topN, *concurrent, mode, *lag); err != nil {
+	if *churn < 0 || *churn > 1 {
+		fmt.Fprintf(os.Stderr, "invalid -churn %g: it must be in [0,1]\n", *churn)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*approach, *nodes, *sensors, *groups, *subs, *minAttrs, *maxAttrs, *rounds, *seed, *topN, *concurrent, mode, *lag, *churn); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(approach string, nodes, sensors, groups, subs, minAttrs, maxAttrs, rounds int, seed int64, topN int, concurrent bool, mode sensorcq.DeliveryMode, lag int) error {
+func run(approach string, nodes, sensors, groups, subs, minAttrs, maxAttrs, rounds int, seed int64, topN int, concurrent bool, mode sensorcq.DeliveryMode, lag int, churn float64) error {
 	dep, err := sensorcq.GenerateDeployment(sensorcq.DeploymentConfig{
 		TotalNodes:  nodes,
 		SensorNodes: sensors,
@@ -96,14 +103,38 @@ func run(approach string, nodes, sensors, groups, subs, minAttrs, maxAttrs, roun
 	}
 	defer sys.Close()
 
+	handles := make([]*sensorcq.SubscriptionHandle, 0, len(placed))
 	for _, p := range placed {
-		if err := sys.Subscribe(p.Node, p.Sub); err != nil {
+		// The delivery channel is unused here (the counters and the pull
+		// log are enough for a batch report), so disable it instead of
+		// buffering deliveries nobody reads.
+		h, err := sys.Subscribe(p.Node, p.Sub, sensorcq.WithSinkBuffer(0))
+		if err != nil {
 			return fmt.Errorf("subscribing %s: %w", p.Sub.ID, err)
 		}
+		handles = append(handles, h)
 	}
 	afterSubs := sys.Traffic()
 	start := time.Now()
-	if err := sys.ReplayTrace(trace); err != nil {
+	retracted := 0
+	if churn > 0 {
+		// Replay the first half, retract the requested fraction, replay the
+		// rest: the traffic report then shows the event load the retraction
+		// saved on the second half.
+		half := len(trace.ByRound) / 2
+		if err := sys.ReplayRounds(trace.ByRound[:half]); err != nil {
+			return err
+		}
+		for _, h := range handles[:int(float64(len(handles))*churn)] {
+			if err := h.Unsubscribe(); err != nil {
+				return fmt.Errorf("unsubscribing %s: %w", h.ID(), err)
+			}
+			retracted++
+		}
+		if err := sys.ReplayRounds(trace.ByRound[half:]); err != nil {
+			return err
+		}
+	} else if err := sys.ReplayTrace(trace); err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
@@ -124,6 +155,10 @@ func run(approach string, nodes, sensors, groups, subs, minAttrs, maxAttrs, roun
 		subs, minAttrs, maxAttrs, rounds, trace.NumEvents())
 	fmt.Printf("advertisement load:  %d\n", final.AdvertisementLoad)
 	fmt.Printf("subscription load:   %d\n", afterSubs.SubscriptionLoad)
+	if retracted > 0 {
+		fmt.Printf("churn:               %d subscriptions retracted mid-replay (%d unsubscription messages)\n",
+			retracted, final.UnsubscriptionLoad)
+	}
 	fmt.Printf("event load:          %d\n", final.EventLoad)
 	fmt.Printf("replay wall-clock:   %s (%.0f events/sec)\n",
 		elapsed.Round(time.Microsecond), float64(trace.NumEvents())/elapsed.Seconds())

@@ -87,7 +87,7 @@ func run(dep *sensorcq.Deployment, trace *sensorcq.Trace, approach sensorcq.Appr
 			return 0, 0, err
 		}
 		for _, sub := range []*sensorcq.Subscription{broad, strict} {
-			if err := sys.Subscribe(userNode, sub); err != nil {
+			if _, err := sys.Subscribe(userNode, sub); err != nil {
 				return 0, 0, err
 			}
 			subIDs = append(subIDs, sub.ID)

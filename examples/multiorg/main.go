@@ -55,7 +55,7 @@ func main() {
 			log.Fatal(err)
 		}
 		for _, p := range subs {
-			if err := sys.Subscribe(p.Node, p.Sub); err != nil {
+			if _, err := sys.Subscribe(p.Node, p.Sub); err != nil {
 				log.Fatal(err)
 			}
 		}

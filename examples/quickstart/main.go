@@ -46,7 +46,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := sys.Subscribe(5, sub); err != nil {
+	handle, err := sys.Subscribe(5, sub)
+	if err != nil {
 		log.Fatal(err)
 	}
 
@@ -60,13 +61,32 @@ func main() {
 		log.Fatal(err)
 	}
 
-	for _, d := range sys.DeliveriesFor("mild-and-dry") {
+	// Results are pushed to the handle's delivery channel as they are
+	// produced; Unsubscribe retracts the query network-wide and closes the
+	// channel, so ranging over it terminates with the subscription.
+	if err := handle.Unsubscribe(); err != nil {
+		log.Fatal(err)
+	}
+	for d := range handle.Deliveries() {
 		fmt.Printf("complex event delivered to node %d:\n", d.Node)
 		for _, e := range d.Events {
 			fmt.Printf("  %s\n", e)
 		}
 	}
+
+	// The query is gone from every node: the same mild-and-dry conditions no
+	// longer produce deliveries or event traffic.
+	after := sys.Traffic().EventLoad
+	if err := sys.Replay([]sensorcq.Event{
+		{Seq: 5, Sensor: "a", Attr: sensorcq.AmbientTemperature, Value: 60, Time: 300},
+		{Seq: 6, Sensor: "b", Attr: sensorcq.RelativeHumidity, Value: 25, Time: 301},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
 	traffic := sys.Traffic()
-	fmt.Printf("traffic: %d advertisement, %d subscription, %d event link traversals\n",
-		traffic.AdvertisementLoad, traffic.SubscriptionLoad, traffic.EventLoad)
+	fmt.Printf("notifications delivered: %d (pushed to the handle's channel)\n", handle.Delivered())
+	fmt.Printf("after unsubscribe:       %d further data units forwarded\n", traffic.EventLoad-after)
+	fmt.Printf("traffic: %d advertisement, %d subscription, %d unsubscription, %d event link traversals\n",
+		traffic.AdvertisementLoad, traffic.SubscriptionLoad, traffic.UnsubscriptionLoad, traffic.EventLoad)
 }

@@ -1,0 +1,197 @@
+package sensorcq
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Typed sentinel errors of the public subscription-lifecycle surface. Match
+// them with errors.Is; the returned errors may carry additional context
+// (sensor IDs, subscription IDs) in their message.
+var (
+	// ErrUnknownSensor is returned when a published event names a sensor
+	// that is not part of the deployment.
+	ErrUnknownSensor = errors.New("sensorcq: unknown sensor")
+	// ErrClosed is returned by every mutating System method (Publish,
+	// Subscribe, Replay, Unsubscribe, ...) called after Close, and by Close
+	// itself on the second and later calls. Read-only accessors stay
+	// usable on a closed system.
+	ErrClosed = errors.New("sensorcq: system is closed")
+	// ErrUnsubscribed is returned by SubscriptionHandle.Unsubscribe when the
+	// subscription was already retracted.
+	ErrUnsubscribed = errors.New("sensorcq: subscription already unsubscribed")
+	// ErrDuplicateSubscription is returned by Subscribe when a subscription
+	// with the same ID is still active on the system.
+	ErrDuplicateSubscription = errors.New("sensorcq: duplicate subscription")
+)
+
+// DefaultSinkBuffer is the capacity of a handle's push-delivery channel when
+// Subscribe is not given an explicit WithSinkBuffer option.
+const DefaultSinkBuffer = 1024
+
+// SubscribeOption customises the push-delivery sink of a subscription
+// handle.
+type SubscribeOption func(*subscribeOptions)
+
+type subscribeOptions struct {
+	sinkBuffer int
+	callback   func(Delivery)
+}
+
+// WithSinkBuffer sets the capacity of the handle's push-delivery channel.
+// Zero disables the channel entirely (Deliveries returns nil); negative
+// values keep the default. When the consumer falls behind and the channel
+// fills up, further deliveries are counted in DroppedPushes instead of
+// blocking the engine — the pull log (Log, System.DeliveriesFor) always
+// remains complete.
+func WithSinkBuffer(n int) SubscribeOption {
+	return func(o *subscribeOptions) {
+		if n >= 0 {
+			o.sinkBuffer = n
+		}
+	}
+}
+
+// WithCallback registers a function invoked synchronously for every delivery
+// of the subscription, on the delivering node's dispatch path. The callback
+// must be fast and must not call back into the System (doing so can
+// deadlock a concurrent system). It runs in addition to the channel sink,
+// and on the concurrent runtime it may run on a worker goroutine.
+func WithCallback(fn func(Delivery)) SubscribeOption {
+	return func(o *subscribeOptions) { o.callback = fn }
+}
+
+// SubscriptionHandle is the live registration of one continuous query: it
+// carries the subscription's identity, a push-delivery sink fed from the
+// per-node delivery shards (no engine-wide lock on the hot path),
+// per-subscription counters, and the Unsubscribe that retracts the query
+// network-wide.
+//
+// A handle stays valid after Unsubscribe for reading counters and the pull
+// log; only the delivery stream ends (the channel is closed).
+type SubscriptionHandle struct {
+	sys  *System
+	node NodeID
+	sub  *Subscription
+
+	// mu orders channel sends against the close in Unsubscribe; it is a
+	// per-handle lock touched only when delivering to this subscription.
+	mu     sync.Mutex
+	ch     chan Delivery
+	closed bool
+
+	cb func(Delivery)
+
+	delivered    atomic.Int64
+	droppedPush  atomic.Int64
+	unsubscribed atomic.Bool
+}
+
+// ID returns the subscription's identifier.
+func (h *SubscriptionHandle) ID() SubscriptionID { return h.sub.ID }
+
+// Node returns the processing node the subscription was registered at.
+func (h *SubscriptionHandle) Node() NodeID { return h.node }
+
+// Subscription returns the registered subscription.
+func (h *SubscriptionHandle) Subscription() *Subscription { return h.sub }
+
+// Deliveries returns the push-delivery stream: every complex event delivered
+// to this subscription is sent to the channel as it happens. The channel is
+// closed by Unsubscribe and by System.Close, so ranging over it terminates
+// with the subscription. It returns nil when the channel sink was disabled
+// with WithSinkBuffer(0).
+func (h *SubscriptionHandle) Deliveries() <-chan Delivery {
+	if h.ch == nil {
+		return nil
+	}
+	return h.ch
+}
+
+// Delivered returns the number of complex-event notifications delivered to
+// this subscription so far.
+func (h *SubscriptionHandle) Delivered() int64 { return h.delivered.Load() }
+
+// DroppedPushes returns the number of deliveries that could not be pushed to
+// the channel sink because the consumer fell behind (the pull log still
+// recorded them).
+func (h *SubscriptionHandle) DroppedPushes() int64 { return h.droppedPush.Load() }
+
+// Active reports whether the subscription is still registered (not yet
+// unsubscribed, system not closed).
+func (h *SubscriptionHandle) Active() bool {
+	return !h.unsubscribed.Load() && !h.sys.closed.Load()
+}
+
+// Log returns the subscription's pull log: every delivery recorded so far,
+// served from the per-subscription delivery maps (cost proportional to this
+// subscription's deliveries, not the whole system log).
+func (h *SubscriptionHandle) Log() []Delivery { return h.sys.DeliveriesFor(h.sub.ID) }
+
+// DeliveredSeqs returns the set of simple-event sequence numbers delivered
+// to this subscription as components of some complex event.
+func (h *SubscriptionHandle) DeliveredSeqs() map[uint64]bool {
+	return h.sys.DeliveredEventSeqs(h.sub.ID)
+}
+
+// Unsubscribe retracts the subscription network-wide: every node that stored
+// or forwarded one of its operators removes it, releases the pub/sub routing
+// entries it held, and re-exposes operators that were only filtered out
+// because this subscription covered them. When Unsubscribe returns, the
+// retraction has fully propagated — a subsequent replay produces zero
+// deliveries for this subscription — and the delivery channel is closed.
+//
+// The second and later calls return ErrUnsubscribed; after System.Close it
+// returns ErrClosed.
+func (h *SubscriptionHandle) Unsubscribe() error {
+	if h.sys.closed.Load() {
+		return ErrClosed
+	}
+	if h.unsubscribed.Swap(true) {
+		return ErrUnsubscribed
+	}
+	if err := h.sys.unsubscribe(h); err != nil {
+		// The retraction did not run (e.g. the runtime shut down under us):
+		// the subscription is still registered, so the handle must not wedge
+		// in a half-unsubscribed state where retries report ErrUnsubscribed.
+		h.unsubscribed.Store(false)
+		return err
+	}
+	return nil
+}
+
+// push feeds one delivery into the handle's sinks. It runs on the delivering
+// node's dispatch path: the only lock taken is the handle's own.
+func (h *SubscriptionHandle) push(d Delivery) {
+	h.delivered.Add(1)
+	if h.cb != nil {
+		h.cb(d)
+	}
+	if h.ch == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	select {
+	case h.ch <- d:
+	default:
+		h.droppedPush.Add(1)
+	}
+}
+
+// closeSink closes the delivery channel exactly once.
+func (h *SubscriptionHandle) closeSink() {
+	if h.ch == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !h.closed {
+		h.closed = true
+		close(h.ch)
+	}
+}

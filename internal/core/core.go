@@ -192,7 +192,20 @@ type Node struct {
 	localSubs []*model.Subscription
 	localIdx  *stores.EventIndex
 
+	// forwards records, per origin and stored operator, the links the
+	// operator's split projections were forwarded on (and under which
+	// derived operator ID): the reverse forwarding paths a retraction must
+	// walk. Entries are released when the operator is retracted.
+	forwards map[topology.NodeID]map[model.SubscriptionID][]forwardedOp
+
 	maxDeltaT model.Timestamp
+}
+
+// forwardedOp is one recorded forwarding decision: the operator with ID op
+// was sent to neighbour to.
+type forwardedOp struct {
+	to topology.NodeID
+	op model.SubscriptionID
 }
 
 // NewNode builds a protocol node. Most callers should use NewFactory and let
@@ -210,6 +223,7 @@ func NewNode(self topology.NodeID, cfg Config) *Node {
 		window:   stores.NewEventWindow(1),
 		matchers: map[topology.NodeID]*stores.EventIndex{},
 		localIdx: stores.NewEventIndex(),
+		forwards: map[topology.NodeID]map[model.SubscriptionID][]forwardedOp{},
 	}
 }
 
@@ -247,16 +261,35 @@ func (n *Node) observeDeltaT(dt model.Timestamp) {
 
 // addMatcher registers an operator for event matching on behalf of origin.
 func (n *Node) addMatcher(origin topology.NodeID, sub *model.Subscription) {
-	ops := []*model.Subscription{sub}
-	if n.cfg.Split == SplitBinaryJoin && sub.NumFilters() > 2 {
-		ops = sub.SplitBinaryJoins(n.cfg.Pairing)
-	}
 	idx := n.matchers[origin]
 	if idx == nil {
 		idx = stores.NewEventIndex()
 		n.matchers[origin] = idx
 	}
-	for _, op := range ops {
+	for _, op := range n.matcherOps(sub) {
 		idx.Add(op)
 	}
+}
+
+// removeMatcher retracts an operator (and, for the binary-join split, every
+// binary join derived from it) from the origin's match index.
+func (n *Node) removeMatcher(origin topology.NodeID, sub *model.Subscription) {
+	idx := n.matchers[origin]
+	if idx == nil {
+		return
+	}
+	for _, op := range n.matcherOps(sub) {
+		idx.Remove(op.ID)
+	}
+}
+
+// matcherOps returns the operators a stored subscription contributes to the
+// match index: the binary-join decomposition when configured, the operator
+// itself otherwise. The decomposition derives deterministic operator IDs, so
+// add and remove resolve the same entries.
+func (n *Node) matcherOps(sub *model.Subscription) []*model.Subscription {
+	if n.cfg.Split == SplitBinaryJoin && sub.NumFilters() > 2 {
+		return sub.SplitBinaryJoins(n.cfg.Pairing)
+	}
+	return []*model.Subscription{sub}
 }

@@ -98,6 +98,19 @@ func (n *Node) splitAndForward(ctx *netsim.Context, m topology.NodeID, sub *mode
 		}
 		if op := n.advs.Project(sub, j); op != nil {
 			ctx.SendSubscription(j, op)
+			n.recordForward(m, sub.ID, j, op.ID)
 		}
 	}
+}
+
+// recordForward remembers that the operator stored under (origin, id) was
+// forwarded to neighbour j as operator op. A retraction of (origin, id)
+// replays these links with unsubscription messages (see unsubscribe.go).
+func (n *Node) recordForward(origin topology.NodeID, id model.SubscriptionID, j topology.NodeID, op model.SubscriptionID) {
+	byID := n.forwards[origin]
+	if byID == nil {
+		byID = map[model.SubscriptionID][]forwardedOp{}
+		n.forwards[origin] = byID
+	}
+	byID[id] = append(byID[id], forwardedOp{to: j, op: op})
 }

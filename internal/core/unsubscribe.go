@@ -1,0 +1,105 @@
+package core
+
+import (
+	"sensorcq/internal/model"
+	"sensorcq/internal/netsim"
+	"sensorcq/internal/topology"
+)
+
+// This file implements subscription retraction: the inverse of the
+// split-and-forward phase. An unsubscription walks the recorded reverse
+// forwarding paths of the retracted operator, releasing per-link routing
+// state (stored operators, match-index entries) at every node it visits, and
+// re-exposes operators that were previously filtered out as covered by the
+// now-retracted subscription — those must be re-split and forwarded so their
+// remaining dependants keep receiving results, rather than being orphaned
+// with the covering operator gone.
+
+// LocalUnsubscribe implements netsim.Handler: a user at this node retracts a
+// previously registered subscription. An unknown ID is a no-op.
+func (n *Node) LocalUnsubscribe(ctx *netsim.Context, id model.SubscriptionID) {
+	n.unregisterLocal(id)
+	n.retract(ctx, n.self, id)
+}
+
+// HandleUnsubscription implements netsim.Handler: the retraction of an
+// operator previously received from a neighbour.
+func (n *Node) HandleUnsubscription(ctx *netsim.Context, from topology.NodeID, id model.SubscriptionID) {
+	n.retract(ctx, from, id)
+}
+
+// unregisterLocal removes a user subscription from the local delivery state
+// (the counterpart of registerLocal).
+func (n *Node) unregisterLocal(id model.SubscriptionID) {
+	for i, existing := range n.localSubs {
+		if existing.ID == id {
+			n.localSubs = append(n.localSubs[:i:i], n.localSubs[i+1:]...)
+			n.localIdx.Remove(id)
+			return
+		}
+	}
+}
+
+// retract removes the operator stored under (m, id), forwards the retraction
+// along the links the operator was forwarded on, and — when the operator was
+// part of the uncovered (filtering) set — re-exposes covered operators it
+// may have been subsuming.
+func (n *Node) retract(ctx *netsim.Context, m topology.NodeID, id model.SubscriptionID) {
+	sub, wasUncovered, ok := n.subs.Remove(m, id)
+	if !ok {
+		return
+	}
+	isLocal := m == n.self
+	// Release the match-index entries mirroring the storage rules of
+	// processSubscription: uncovered remote operators always match; covered
+	// remote operators match only under per-subscription propagation.
+	if !isLocal && (wasUncovered || n.cfg.Propagation == PerSubscription) {
+		n.removeMatcher(m, sub)
+	}
+	// Walk the recorded reverse forwarding paths.
+	if byID := n.forwards[m]; byID != nil {
+		for _, f := range byID[id] {
+			ctx.SendUnsubscription(f.to, f.op)
+		}
+		delete(byID, id)
+	}
+	if wasUncovered {
+		n.reexpose(ctx, m)
+	}
+}
+
+// reexpose re-evaluates the covered operators of an origin after one of the
+// origin's uncovered operators was retracted: any operator no longer
+// subsumed by the remaining uncovered set is promoted back into it, added to
+// the match index (unless it is already there, or local), and re-split along
+// the reverse advertisement paths — sharing policies must re-split shared
+// operators for their remaining dependants, not orphan them.
+//
+// The covered list is iterated in storage order and the uncovered set grows
+// as operators are promoted, so the outcome is deterministic: it depends
+// only on the stored populations, never on message interleaving (the
+// subsumption verdict is a pure function of candidate and set contents).
+func (n *Node) reexpose(ctx *netsim.Context, m topology.NodeID) {
+	covered := n.subs.Covered(m)
+	if len(covered) == 0 {
+		return
+	}
+	snapshot := make([]*model.Subscription, len(covered))
+	copy(snapshot, covered)
+	isLocal := m == n.self
+	for _, c := range snapshot {
+		if n.checker.Subsumed(c, n.subs.Uncovered(m)) {
+			continue
+		}
+		if n.subs.Promote(m, c.ID) == nil {
+			continue
+		}
+		// Under per-subscription propagation a covered remote operator was
+		// already registered for matching when it was filed as covered;
+		// per-neighbour propagation registers it only now.
+		if !isLocal && n.cfg.Propagation != PerSubscription {
+			n.addMatcher(m, c)
+		}
+		n.splitAndForward(ctx, m, c, isLocal)
+	}
+}

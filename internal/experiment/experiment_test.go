@@ -164,3 +164,56 @@ func TestQuickSmallScaleRun(t *testing.T) {
 		t.Errorf("FSF recall = %.3f, want >= 0.90", r)
 	}
 }
+
+// TestChurnRun exercises the subscription-churn option: retracting half of
+// each batch after its segment replayed must keep the run valid (recall in
+// range against the surviving population) and must shed event traffic on
+// later batches compared to a churn-free run of the same workload.
+func TestChurnRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run skipped in -short mode")
+	}
+	s := QuickScale(SmallScale())
+	w, err := BuildWorkload(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Approaches = []ApproachID{OperatorPlacement, FilterSplitForward}
+	steady, err := RunOnWorkload(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Churn = 0.5
+	churned, err := RunOnWorkload(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range opts.Approaches {
+		base := steady.SeriesFor(id)
+		got := churned.SeriesFor(id)
+		if base == nil || got == nil || len(got.Points) != s.Batches {
+			t.Fatalf("%s: missing series", id)
+		}
+		for i, p := range got.Points {
+			if p.Recall < 0 || p.Recall > 1 {
+				t.Errorf("%s batch %d: recall %f out of range", id, i, p.Recall)
+			}
+		}
+		// The first batch replays before any retraction, so its event load
+		// matches the steady run; the final batch runs against roughly half
+		// the population and must be strictly cheaper.
+		if got.Points[0].EventLoad != base.Points[0].EventLoad {
+			t.Errorf("%s: batch-0 event load %d differs from churn-free %d",
+				id, got.Points[0].EventLoad, base.Points[0].EventLoad)
+		}
+		if got.Final().EventLoad >= base.Final().EventLoad {
+			t.Errorf("%s: final event load %d not below churn-free %d",
+				id, got.Final().EventLoad, base.Final().EventLoad)
+		}
+	}
+	opts.Churn = 1.5
+	if _, err := RunOnWorkload(w, opts); err == nil {
+		t.Error("churn outside [0,1] should be rejected")
+	}
+}

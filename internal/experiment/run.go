@@ -86,6 +86,13 @@ type Options struct {
 	// Pipelined). Nodes are built with the matching event-window validity
 	// factor so late-arriving triggers still find their partners.
 	Lag int
+	// Churn is the fraction (in [0,1]) of each batch's subscriptions that
+	// are retracted again after the batch's measurement rounds have been
+	// replayed, modelling long-running query churn: later batches then run
+	// against the surviving population only. Recall is computed against the
+	// subscriptions active while each segment replayed. Zero (the default)
+	// reproduces the paper's churn-free evaluation.
+	Churn float64
 }
 
 // DefaultOptions returns the options used when nil is passed to Run.
@@ -106,6 +113,9 @@ type Workload struct {
 	// subscriptions of batches 0..b active (filled lazily by Run when
 	// recall is requested).
 	Expectations []*oracle.Expectation
+	// churnExpectations caches the ground truth of churned runs per
+	// (batch, churn fraction); see churnExpectation.
+	churnExpectations map[string]*oracle.Expectation
 }
 
 // BuildWorkload generates the deployment, trace and subscription workload of
@@ -208,6 +218,57 @@ func (w *Workload) expectation(batch int) *oracle.Expectation {
 	return w.Expectations[batch]
 }
 
+// churnCount returns how many of a batch's n subscriptions the churn
+// schedule retires. The retraction loop in runApproach and the oracle
+// schedule in survivorsForBatch must agree bit-for-bit on this count, so
+// both call this helper.
+func churnCount(n int, churn float64) int {
+	return int(float64(n) * churn)
+}
+
+// survivorsForBatch returns the subscriptions active while the given batch's
+// segment replays under the churn schedule: every subscription of the batch
+// itself plus the not-yet-retired tail of each earlier batch (the first
+// churnCount of a batch are retired after its segment). The schedule
+// depends only on the workload and the churn fraction, never on the
+// approach.
+func (w *Workload) survivorsForBatch(batch int, churn float64) []*model.Subscription {
+	var out []*model.Subscription
+	for b := 0; b <= batch; b++ {
+		start := b * w.Scenario.BatchSize
+		end := start + w.Scenario.BatchSize
+		if end > len(w.Placed) {
+			end = len(w.Placed)
+		}
+		if start > end {
+			start = end
+		}
+		placed := w.Placed[start:end]
+		if b < batch {
+			placed = placed[churnCount(len(placed), churn):]
+		}
+		for _, p := range placed {
+			out = append(out, p.Sub)
+		}
+	}
+	return out
+}
+
+// churnExpectation returns (computing lazily) the oracle ground truth for a
+// batch under the churn schedule. The survivor population is identical for
+// every approach, so the expectation is cached on the workload and computed
+// once per (batch, churn) rather than once per approach.
+func (w *Workload) churnExpectation(batch int, churn float64) *oracle.Expectation {
+	key := fmt.Sprintf("%d|%g", batch, churn)
+	if w.churnExpectations == nil {
+		w.churnExpectations = map[string]*oracle.Expectation{}
+	}
+	if w.churnExpectations[key] == nil {
+		w.churnExpectations[key] = oracle.Compute(w.survivorsForBatch(batch, churn), w.Segments[batch])
+	}
+	return w.churnExpectations[key]
+}
+
 // approachesFor resolves the approach list of a run.
 func approachesFor(s Scenario, opts Options) []ApproachID {
 	if len(opts.Approaches) > 0 {
@@ -255,6 +316,9 @@ func RunOnWorkload(w *Workload, o Options) (*Result, error) {
 // runApproach runs one approach over the shared workload.
 func runApproach(w *Workload, id ApproachID, o Options) (*ApproachSeries, error) {
 	s := w.Scenario
+	if o.Churn < 0 || o.Churn > 1 {
+		return nil, fmt.Errorf("experiment: churn %g outside [0,1]", o.Churn)
+	}
 	factory, err := FactoryForSpec(id, FactorySpec{
 		Seed:           s.Seed + 7,
 		SetFilterError: s.SetFilterError,
@@ -291,7 +355,8 @@ func runApproach(w *Workload, id ApproachID, o Options) (*ApproachSeries, error)
 		if end > len(w.Placed) {
 			end = len(w.Placed)
 		}
-		for _, p := range w.Placed[start:end] {
+		batch := w.Placed[start:end]
+		for _, p := range batch {
 			if err := engine.Subscribe(p.Node, p.Sub); err != nil {
 				return nil, fmt.Errorf("experiment: subscribing %s: %w", p.Sub.ID, err)
 			}
@@ -313,8 +378,28 @@ func runApproach(w *Workload, id ApproachID, o Options) (*ApproachSeries, error)
 			Recall:           1,
 		}
 		if o.ComputeRecall {
-			exp := w.expectation(b)
+			// The plain expectation assumes every injected subscription is
+			// still active; under churn the ground truth is the surviving
+			// population instead (cached across approaches — the schedule
+			// is approach-independent).
+			var exp *oracle.Expectation
+			if o.Churn > 0 {
+				exp = w.churnExpectation(b, o.Churn)
+			} else {
+				exp = w.expectation(b)
+			}
 			point.Recall = exp.Recall(engine.Metrics().DeliveredSeqs)
+		}
+		// Retract this batch's churned fraction (oldest first, the schedule
+		// survivorsForBatch mirrors) now that its segment has been
+		// measured; later batches run against the survivors.
+		if k := churnCount(len(batch), o.Churn); k > 0 {
+			for _, p := range batch[:k] {
+				if err := engine.Unsubscribe(p.Node, p.Sub.ID); err != nil {
+					return nil, fmt.Errorf("experiment: unsubscribing %s: %w", p.Sub.ID, err)
+				}
+				engine.Flush()
+			}
 		}
 		series.Points = append(series.Points, point)
 		if o.Progress != nil {

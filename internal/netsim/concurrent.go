@@ -58,16 +58,24 @@ type ConcurrentEngine struct {
 	// writer of shard n, so appends never contend; Deliveries() merges on
 	// read.
 	delivShards []deliveryShard
+
+	// observer, when set, is invoked for every recorded delivery on the
+	// delivering worker's goroutine (push delivery). Loaded atomically so
+	// installing it does not race the workers.
+	observer atomic.Pointer[func(Delivery)]
 }
 
 var _ Runtime = (*ConcurrentEngine)(nil)
 
 // deliveryShard is one node's slice of the delivery log, padded so that
-// neighbouring shards do not false-share a cache line.
+// neighbouring shards do not false-share a cache line. bySub indexes the
+// shard's log per subscription so DeliveriesFor merges only the target
+// subscription's entries instead of rescanning every delivery.
 type deliveryShard struct {
-	mu  sync.Mutex
-	log []Delivery
-	_   [64]byte
+	mu    sync.Mutex
+	log   []Delivery
+	bySub map[model.SubscriptionID][]int
+	_     [64]byte
 }
 
 // worker is the per-node mailbox and goroutine.
@@ -267,9 +275,26 @@ func (e *ConcurrentEngine) enqueue(from, to topology.NodeID, msg Message, round 
 func (e *ConcurrentEngine) deliver(d Delivery) {
 	s := &e.delivShards[d.Node]
 	s.mu.Lock()
+	if s.bySub == nil {
+		s.bySub = map[model.SubscriptionID][]int{}
+	}
+	s.bySub[d.SubID] = append(s.bySub[d.SubID], len(s.log))
 	s.log = append(s.log, d)
 	s.mu.Unlock()
 	e.metrics.recordDelivery(d)
+	if fn := e.observer.Load(); fn != nil {
+		(*fn)(d)
+	}
+}
+
+// SetDeliveryObserver implements Runtime. Install the observer before any
+// event enters the network; it runs on worker goroutines.
+func (e *ConcurrentEngine) SetDeliveryObserver(fn func(Delivery)) {
+	if fn == nil {
+		e.observer.Store(nil)
+		return
+	}
+	e.observer.Store(&fn)
 }
 
 // advanceRound bumps the round counter injections are stamped with and
@@ -321,6 +346,19 @@ func (e *ConcurrentEngine) Subscribe(node topology.NodeID, sub *model.Subscripti
 		return err
 	}
 	return e.submit(queued{to: node, from: node, injection: injectionSubscribe, sub: sub, round: e.currentRound()})
+}
+
+// Unsubscribe implements Runtime. Callers who need the retraction fully
+// propagated before continuing (e.g. to guarantee zero further deliveries)
+// must Flush afterwards, exactly like Subscribe.
+func (e *ConcurrentEngine) Unsubscribe(node topology.NodeID, id model.SubscriptionID) error {
+	if err := e.validNode(node); err != nil {
+		return err
+	}
+	if id == "" {
+		return fmt.Errorf("netsim: empty subscription ID")
+	}
+	return e.submit(queued{to: node, from: node, injection: injectionUnsubscribe, unsub: id, round: e.currentRound()})
 }
 
 // Publish implements Runtime.
@@ -527,6 +565,23 @@ func (e *ConcurrentEngine) Deliveries() []Delivery {
 		s := &e.delivShards[i]
 		s.mu.Lock()
 		out = append(out, s.log...)
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// DeliveriesFor implements Runtime: the per-shard per-subscription indexes
+// are merged in node order, so the cost is proportional to the target
+// subscription's own deliveries (a subscription is typically delivered at a
+// single node — its owner's).
+func (e *ConcurrentEngine) DeliveriesFor(id model.SubscriptionID) []Delivery {
+	var out []Delivery
+	for i := range e.delivShards {
+		s := &e.delivShards[i]
+		s.mu.Lock()
+		for _, pos := range s.bySub[id] {
+			out = append(out, s.log[pos])
+		}
 		s.mu.Unlock()
 	}
 	return out

@@ -62,6 +62,17 @@ func (c *Context) SendSubscription(to topology.NodeID, sub *model.Subscription) 
 	c.send(to, Message{Kind: KindSubscription, Sub: sub})
 }
 
+// SendUnsubscription forwards the retraction of a subscription or operator
+// to a neighbouring node. Each call counts one unit of unsubscription load
+// (control traffic, accounted separately from the subscription load the
+// paper plots).
+func (c *Context) SendUnsubscription(to topology.NodeID, id model.SubscriptionID) {
+	if id == "" {
+		panic("netsim: SendUnsubscription with empty subscription ID")
+	}
+	c.send(to, Message{Kind: KindUnsubscription, UnsubID: id})
+}
+
 // SendEvent forwards one simple event (one data unit) to a neighbouring
 // node. Each call counts one unit of event load.
 func (c *Context) SendEvent(to topology.NodeID, ev model.Event) {

@@ -17,6 +17,8 @@ func dispatch(h Handler, ctx *Context, item queued) {
 			h.LocalSensor(ctx, item.sensor)
 		case injectionSubscribe:
 			h.LocalSubscribe(ctx, item.sub)
+		case injectionUnsubscribe:
+			h.LocalUnsubscribe(ctx, item.unsub)
 		case injectionPublish:
 			h.LocalPublish(ctx, item.ev)
 		}
@@ -27,6 +29,8 @@ func dispatch(h Handler, ctx *Context, item queued) {
 		h.HandleAdvertisement(ctx, item.from, item.msg.Adv)
 	case KindSubscription:
 		h.HandleSubscription(ctx, item.from, item.msg.Sub)
+	case KindUnsubscription:
+		h.HandleUnsubscription(ctx, item.from, item.msg.UnsubID)
 	case KindEvent:
 		h.HandleEvent(ctx, item.from, item.msg.Ev)
 	}

@@ -15,6 +15,13 @@ type Runtime interface {
 	AttachSensor(node topology.NodeID, sensor model.Sensor) error
 	// Subscribe registers a user subscription at a node.
 	Subscribe(node topology.NodeID, sub *model.Subscription) error
+	// Unsubscribe retracts a subscription previously registered at the node.
+	// The retraction propagates network-wide: every node that stored or
+	// forwarded one of the subscription's operators removes it and releases
+	// the associated routing state. Unsubscribing an ID that was never
+	// registered at the node is a silent no-op (the injection is processed,
+	// nothing matches).
+	Unsubscribe(node topology.NodeID, id model.SubscriptionID) error
 	// Publish injects a sensor reading at the node hosting the sensor.
 	Publish(node topology.NodeID, ev model.Event) error
 	// PublishBatch injects a trace of sensor readings in order. Each event
@@ -44,6 +51,18 @@ type Runtime interface {
 	// Deliveries returns every complex-event delivery recorded so far, in
 	// delivery order (sequential engine) or an arbitrary order (concurrent).
 	Deliveries() []Delivery
+	// DeliveriesFor returns the deliveries of one subscription, served from
+	// the per-subscription delivery maps rather than a scan over the whole
+	// log: the cost is proportional to the subscription's own deliveries,
+	// not to the total delivered by the run.
+	DeliveriesFor(id model.SubscriptionID) []Delivery
+	// SetDeliveryObserver installs a function invoked for every delivery as
+	// it is recorded (push delivery). The observer runs on the delivering
+	// node's dispatch path — the sequential engine's caller goroutine or a
+	// concurrent worker — so it must be fast and must not call back into the
+	// runtime. Install it before any event enters the network; nil removes
+	// it.
+	SetDeliveryObserver(fn func(Delivery))
 	// Handler returns the protocol handler of a node (nil for unknown
 	// nodes). White-box protocol tests use it to inspect per-node state on
 	// either engine; for the concurrent engine the caller must Flush first
@@ -72,6 +91,7 @@ type queued struct {
 	injection injectionKind
 	sensor    model.Sensor
 	sub       *model.Subscription
+	unsub     model.SubscriptionID
 	ev        model.Event
 }
 
@@ -81,6 +101,7 @@ const (
 	injectionNone injectionKind = iota
 	injectionSensor
 	injectionSubscribe
+	injectionUnsubscribe
 	injectionPublish
 )
 
@@ -97,6 +118,11 @@ type Engine struct {
 	head       int
 	flushing   bool
 	deliveries []Delivery
+	// delivBySub indexes deliveries per subscription (positions into the
+	// deliveries log), so DeliveriesFor is proportional to one
+	// subscription's deliveries rather than the whole log.
+	delivBySub map[model.SubscriptionID][]int
+	observer   func(Delivery)
 	round      int
 
 	// ledger tracks per-round in-flight counts during a windowed replay
@@ -110,10 +136,11 @@ var _ Runtime = (*Engine)(nil)
 // handler per node with the factory.
 func NewEngine(graph *topology.Graph, factory HandlerFactory) *Engine {
 	e := &Engine{
-		graph:    graph,
-		handlers: make([]Handler, graph.NumNodes()),
-		ctxs:     make([]*Context, graph.NumNodes()),
-		metrics:  NewMetrics(graph.NumNodes()),
+		graph:      graph,
+		handlers:   make([]Handler, graph.NumNodes()),
+		ctxs:       make([]*Context, graph.NumNodes()),
+		metrics:    NewMetrics(graph.NumNodes()),
+		delivBySub: map[model.SubscriptionID][]int{},
 	}
 	for n := 0; n < graph.NumNodes(); n++ {
 		id := topology.NodeID(n)
@@ -133,6 +160,23 @@ func (e *Engine) Deliveries() []Delivery {
 	copy(out, e.deliveries)
 	return out
 }
+
+// DeliveriesFor implements Runtime: the per-subscription index makes this
+// proportional to the subscription's own deliveries.
+func (e *Engine) DeliveriesFor(id model.SubscriptionID) []Delivery {
+	idxs := e.delivBySub[id]
+	if len(idxs) == 0 {
+		return nil
+	}
+	out := make([]Delivery, len(idxs))
+	for i, pos := range idxs {
+		out[i] = e.deliveries[pos]
+	}
+	return out
+}
+
+// SetDeliveryObserver implements Runtime.
+func (e *Engine) SetDeliveryObserver(fn func(Delivery)) { e.observer = fn }
 
 // Handler returns the protocol handler of a node (used by white-box tests).
 func (e *Engine) Handler(n topology.NodeID) Handler {
@@ -180,6 +224,21 @@ func (e *Engine) Subscribe(node topology.NodeID, sub *model.Subscription) error 
 		return err
 	}
 	e.push(queued{to: node, from: node, injection: injectionSubscribe, sub: sub, round: e.round})
+	e.Flush()
+	return nil
+}
+
+// Unsubscribe implements Runtime; the retraction is fully propagated (every
+// node on the subscription's forwarding paths has released its state) before
+// it returns.
+func (e *Engine) Unsubscribe(node topology.NodeID, id model.SubscriptionID) error {
+	if err := e.validNode(node); err != nil {
+		return err
+	}
+	if id == "" {
+		return fmt.Errorf("netsim: empty subscription ID")
+	}
+	e.push(queued{to: node, from: node, injection: injectionUnsubscribe, unsub: id, round: e.round})
 	e.Flush()
 	return nil
 }
@@ -356,6 +415,10 @@ func (e *Engine) enqueue(from, to topology.NodeID, msg Message, round int) {
 // deliver implements sink. The delivery arrives already stamped with the
 // round of its newest component (Context.DeliverToUser).
 func (e *Engine) deliver(d Delivery) {
+	e.delivBySub[d.SubID] = append(e.delivBySub[d.SubID], len(e.deliveries))
 	e.deliveries = append(e.deliveries, d)
 	e.metrics.recordDelivery(d)
+	if e.observer != nil {
+		e.observer(d)
+	}
 }

@@ -18,9 +18,11 @@ import (
 	"sensorcq/internal/topology"
 )
 
-// MessageKind discriminates the three kinds of data the system propagates
-// (Section IV-B): advertisements, subscriptions (correlation operators) and
-// events.
+// MessageKind discriminates the kinds of data the system propagates
+// (Section IV-B): advertisements, subscriptions (correlation operators),
+// events, and the retraction companion of a subscription — the unsubscription
+// that walks the reverse forwarding paths when a continuous query is
+// deregistered.
 type MessageKind int
 
 const (
@@ -30,6 +32,11 @@ const (
 	KindSubscription
 	// KindEvent carries one simple event (one data unit).
 	KindEvent
+	// KindUnsubscription retracts a previously forwarded subscription or
+	// correlation operator, identified by its ID. It follows the recorded
+	// forwarding links of the operator it retracts, releasing the per-link
+	// routing state the subscription built up.
+	KindUnsubscription
 )
 
 // String implements fmt.Stringer.
@@ -41,6 +48,8 @@ func (k MessageKind) String() string {
 		return "subscription"
 	case KindEvent:
 		return "event"
+	case KindUnsubscription:
+		return "unsubscription"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -52,6 +61,9 @@ type Message struct {
 	Adv  model.Advertisement
 	Sub  *model.Subscription
 	Ev   model.Event
+	// UnsubID identifies the subscription or operator a KindUnsubscription
+	// message retracts.
+	UnsubID model.SubscriptionID
 	// Units is the number of accounting units this message contributes to
 	// its kind's load metric. It defaults to 1; the centralized baseline
 	// uses it when shipping an event across a multi-hop path in one logical
@@ -102,6 +114,11 @@ type Handler interface {
 	LocalSensor(ctx *Context, sensor model.Sensor)
 	// LocalSubscribe registers a subscription issued by a user at this node.
 	LocalSubscribe(ctx *Context, sub *model.Subscription)
+	// LocalUnsubscribe retracts a subscription previously registered by a
+	// user at this node. The handler removes its local registration and
+	// propagates the retraction along the paths the subscription's operators
+	// were forwarded on; an unknown ID is a no-op.
+	LocalUnsubscribe(ctx *Context, id model.SubscriptionID)
 	// LocalPublish injects a reading produced by a sensor at this node.
 	LocalPublish(ctx *Context, ev model.Event)
 
@@ -111,6 +128,9 @@ type Handler interface {
 	// HandleSubscription processes a subscription/operator received from a
 	// neighbour.
 	HandleSubscription(ctx *Context, from topology.NodeID, sub *model.Subscription)
+	// HandleUnsubscription processes the retraction of a subscription or
+	// operator previously received from the same neighbour.
+	HandleUnsubscription(ctx *Context, from topology.NodeID, id model.SubscriptionID)
 	// HandleEvent processes a simple event received from a neighbour.
 	HandleEvent(ctx *Context, from topology.NodeID, ev model.Event)
 }

@@ -24,8 +24,9 @@ func newFloodHandler(node topology.NodeID) Handler {
 	return &floodHandler{node: node, seen: map[uint64]bool{}, advSeen: map[model.SensorID]bool{}}
 }
 
-func (h *floodHandler) Init(ctx *Context)                                  { h.ctx = ctx }
-func (h *floodHandler) LocalSubscribe(ctx *Context, s *model.Subscription) {}
+func (h *floodHandler) Init(ctx *Context)                                      { h.ctx = ctx }
+func (h *floodHandler) LocalSubscribe(ctx *Context, s *model.Subscription)     {}
+func (h *floodHandler) LocalUnsubscribe(ctx *Context, id model.SubscriptionID) {}
 
 func (h *floodHandler) LocalSensor(ctx *Context, sensor model.Sensor) {
 	h.HandleAdvertisement(ctx, h.node, sensor.Advertisement())
@@ -48,6 +49,9 @@ func (h *floodHandler) HandleAdvertisement(ctx *Context, from topology.NodeID, a
 }
 
 func (h *floodHandler) HandleSubscription(ctx *Context, from topology.NodeID, sub *model.Subscription) {
+}
+
+func (h *floodHandler) HandleUnsubscription(ctx *Context, from topology.NodeID, id model.SubscriptionID) {
 }
 
 func (h *floodHandler) HandleEvent(ctx *Context, from topology.NodeID, ev model.Event) {

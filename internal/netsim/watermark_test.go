@@ -113,10 +113,13 @@ type silentHandler struct{}
 func (silentHandler) Init(*Context)                                                      {}
 func (silentHandler) LocalSensor(*Context, model.Sensor)                                 {}
 func (silentHandler) LocalSubscribe(*Context, *model.Subscription)                       {}
+func (silentHandler) LocalUnsubscribe(*Context, model.SubscriptionID)                    {}
 func (silentHandler) LocalPublish(*Context, model.Event)                                 {}
 func (silentHandler) HandleAdvertisement(*Context, topology.NodeID, model.Advertisement) {}
 func (silentHandler) HandleSubscription(*Context, topology.NodeID, *model.Subscription)  {}
-func (silentHandler) HandleEvent(*Context, topology.NodeID, model.Event)                 {}
+func (silentHandler) HandleUnsubscription(*Context, topology.NodeID, model.SubscriptionID) {
+}
+func (silentHandler) HandleEvent(*Context, topology.NodeID, model.Event) {}
 
 // TestWindowedIdleNodeWatermarkAdvances injects every event at node 0 of a
 // line while the handlers never forward, so nodes 1 and 2 have no work in

@@ -120,6 +120,61 @@ func (n *Node) HandleSubscription(ctx *netsim.Context, from topology.NodeID, sub
 	n.register(ctx, sub)
 }
 
+// LocalUnsubscribe implements netsim.Handler: the retraction travels the
+// same shortest path to the centre the subscription took, where the global
+// table entry is dropped.
+func (n *Node) LocalUnsubscribe(ctx *netsim.Context, id model.SubscriptionID) {
+	if n.self == n.center {
+		n.deregister(id)
+		return
+	}
+	ctx.SendUnsubscription(n.toCenter, id)
+}
+
+// HandleUnsubscription implements netsim.Handler: relay towards the centre,
+// or drop the registration when this node is the centre.
+func (n *Node) HandleUnsubscription(ctx *netsim.Context, from topology.NodeID, id model.SubscriptionID) {
+	if n.self != n.center {
+		ctx.SendUnsubscription(n.toCenter, id)
+		return
+	}
+	n.deregister(id)
+}
+
+// deregister removes the subscription from the central tables; matching and
+// result routing stop immediately. Unknown IDs are a no-op.
+func (n *Node) deregister(id model.SubscriptionID) {
+	kept := n.subs[:0]
+	for _, entry := range n.subs {
+		if entry.sub.ID != id {
+			kept = append(kept, entry)
+		}
+	}
+	if len(kept) == len(n.subs) {
+		return
+	}
+	for i := len(kept); i < len(n.subs); i++ {
+		n.subs[i] = nil
+	}
+	n.subs = kept
+	for attr, entries := range n.subsByAttr {
+		filtered := entries[:0]
+		for _, entry := range entries {
+			if entry.sub.ID != id {
+				filtered = append(filtered, entry)
+			}
+		}
+		for i := len(filtered); i < len(entries); i++ {
+			entries[i] = nil
+		}
+		if len(filtered) == 0 {
+			delete(n.subsByAttr, attr)
+		} else {
+			n.subsByAttr[attr] = filtered
+		}
+	}
+}
+
 func (n *Node) register(ctx *netsim.Context, sub *model.Subscription) {
 	subscriber := n.self
 	if sub.SubscriberNode != "" {

@@ -26,13 +26,21 @@ import (
 // have one filter per sensor and abstract ones one filter per attribute, so
 // no per-query deduplication is needed.
 //
+// Removal (subscription churn) is tombstone-based: Remove marks the ID dead
+// and Candidates skips it; the interval trees are rebuilt from the live
+// members once tombstones outnumber them, so steady-state churn keeps both
+// lookup cost and memory bounded without paying a rebuild per retraction.
+//
 // Like the other stores, an EventIndex is not safe for concurrent use; each
 // protocol handler owns its indexes and the engines guarantee per-node
 // sequential execution.
 type EventIndex struct {
 	bySensor map[model.SensorID]*rangeList
 	byAttr   map[model.AttributeType]*rangeList
-	size     int
+	// members holds the live subscriptions by ID; removed holds the
+	// tombstoned IDs whose tree entries are still physically present.
+	members map[model.SubscriptionID]*model.Subscription
+	removed map[model.SubscriptionID]bool
 }
 
 // rangeList pairs an interval tree with the subscriptions its handles refer
@@ -52,16 +60,34 @@ func NewEventIndex() *EventIndex {
 	return &EventIndex{
 		bySensor: map[model.SensorID]*rangeList{},
 		byAttr:   map[model.AttributeType]*rangeList{},
+		members:  map[model.SubscriptionID]*model.Subscription{},
+		removed:  map[model.SubscriptionID]bool{},
 	}
 }
 
-// Add registers a subscription (or correlation operator) for event
-// matching. The caller is responsible for not adding the same subscription
-// twice.
+// Add registers a subscription (or correlation operator) for event matching.
+// Adding an ID already present is a no-op, so callers retracting and
+// re-registering subscriptions need no extra bookkeeping.
 func (x *EventIndex) Add(sub *model.Subscription) {
 	if sub == nil {
 		return
 	}
+	if _, live := x.members[sub.ID]; live {
+		return
+	}
+	if x.removed[sub.ID] {
+		// The trees still hold stale entries for this ID; purge them first
+		// so the fresh registration is not shadowed by (or duplicated with)
+		// the tombstoned one.
+		x.rebuild()
+	}
+	x.members[sub.ID] = sub
+	x.addToTrees(sub)
+}
+
+// addToTrees inserts the subscription's filter ranges into the stabbing
+// trees.
+func (x *EventIndex) addToTrees(sub *model.Subscription) {
 	if sub.Kind == model.KindIdentified {
 		for d, f := range sub.SensorFilters {
 			l := x.bySensor[d]
@@ -81,11 +107,37 @@ func (x *EventIndex) Add(sub *model.Subscription) {
 			l.add(f.Range, sub)
 		}
 	}
-	x.size++
 }
 
-// Len returns the number of subscriptions added to the index.
-func (x *EventIndex) Len() int { return x.size }
+// Remove retracts a subscription from the index by ID. It returns false when
+// the ID is not (or no longer) indexed. The tree entries are tombstoned, not
+// excised; once tombstones outnumber live members the trees are rebuilt from
+// the live set, keeping churned indexes compact.
+func (x *EventIndex) Remove(id model.SubscriptionID) bool {
+	if _, live := x.members[id]; !live {
+		return false
+	}
+	delete(x.members, id)
+	x.removed[id] = true
+	if len(x.removed) > len(x.members) && len(x.removed) >= 16 {
+		x.rebuild()
+	}
+	return true
+}
+
+// rebuild reconstructs the stabbing trees from the live members, discarding
+// every tombstone.
+func (x *EventIndex) rebuild() {
+	x.bySensor = map[model.SensorID]*rangeList{}
+	x.byAttr = map[model.AttributeType]*rangeList{}
+	x.removed = map[model.SubscriptionID]bool{}
+	for _, sub := range x.members {
+		x.addToTrees(sub)
+	}
+}
+
+// Len returns the number of live subscriptions in the index.
+func (x *EventIndex) Len() int { return len(x.members) }
 
 // Candidates invokes fn with every stored subscription that matches the
 // simple event (Subscription.MatchesEvent holds for each candidate, and no
@@ -95,7 +147,11 @@ func (x *EventIndex) Candidates(ev model.Event, fn func(*model.Subscription) boo
 	stopped := false
 	if l := x.bySensor[ev.Sensor]; l != nil {
 		l.tree.Stab(ev.Value, func(h int) bool {
-			if !fn(l.subs[h]) {
+			s := l.subs[h]
+			if len(x.removed) > 0 && x.removed[s.ID] {
+				return true
+			}
+			if !fn(s) {
 				stopped = true
 				return false
 			}
@@ -108,6 +164,9 @@ func (x *EventIndex) Candidates(ev model.Event, fn func(*model.Subscription) boo
 	if l := x.byAttr[ev.Attr]; l != nil {
 		l.tree.Stab(ev.Value, func(h int) bool {
 			s := l.subs[h]
+			if len(x.removed) > 0 && x.removed[s.ID] {
+				return true
+			}
 			if !s.Region.Contains(ev.Location) {
 				return true
 			}

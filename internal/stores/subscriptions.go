@@ -96,6 +96,58 @@ func (t *SubscriptionTable) All(origin topology.NodeID) []*model.Subscription {
 	return out
 }
 
+// Remove retracts the subscription with the given ID from the origin's
+// stores (covered or uncovered) and from the origin's match index. It
+// returns the removed subscription and whether it was stored uncovered; ok
+// is false when the origin never stored the ID. After Remove the ID is no
+// longer Seen, so a later re-subscription is processed afresh.
+func (t *SubscriptionTable) Remove(origin topology.NodeID, id model.SubscriptionID) (sub *model.Subscription, wasUncovered, ok bool) {
+	if !t.Seen(origin, id) {
+		return nil, false, false
+	}
+	delete(t.ids[origin], id)
+	if sub = removeByID(t.uncovered, origin, id); sub != nil {
+		if ei := t.matchIdx[origin]; ei != nil {
+			ei.Remove(id)
+		}
+		return sub, true, true
+	}
+	if sub = removeByID(t.covered, origin, id); sub != nil {
+		return sub, false, true
+	}
+	// Seen but stored nowhere — cannot happen; treat as unknown.
+	return nil, false, false
+}
+
+// Promote moves a covered subscription of the origin into the uncovered set
+// (and the origin's match index), re-exposing it after the subscription that
+// covered it was retracted. It returns the promoted subscription, or nil
+// when the ID is not stored covered for the origin.
+func (t *SubscriptionTable) Promote(origin topology.NodeID, id model.SubscriptionID) *model.Subscription {
+	sub := removeByID(t.covered, origin, id)
+	if sub == nil {
+		return nil
+	}
+	t.uncovered[origin] = append(t.uncovered[origin], sub)
+	if ei := t.matchIdx[origin]; ei != nil {
+		ei.Add(sub)
+	}
+	return sub
+}
+
+// removeByID removes (order-preserving) the subscription with the given ID
+// from the origin's slice and returns it, or nil when absent.
+func removeByID(m map[topology.NodeID][]*model.Subscription, origin topology.NodeID, id model.SubscriptionID) *model.Subscription {
+	subs := m[origin]
+	for i, s := range subs {
+		if s.ID == id {
+			m[origin] = append(subs[:i:i], subs[i+1:]...)
+			return s
+		}
+	}
+	return nil
+}
+
 // EventCandidates invokes fn with every uncovered subscription of the origin
 // that matches the simple event, using the range index instead of a scan
 // over the per-attribute lists. Iteration stops early when fn returns false.

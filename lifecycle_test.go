@@ -1,0 +1,298 @@
+package sensorcq
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// matchingPair returns one (a, b) reading pair matching the walkthrough
+// subscriptions, with fresh sequence numbers.
+func matchingPair(seq uint64, at Timestamp) []Event {
+	return []Event{
+		{Seq: seq, Sensor: "a", Attr: AmbientTemperature, Value: 60, Time: at},
+		{Seq: seq + 1, Sensor: "b", Attr: RelativeHumidity, Value: 20, Time: at + 2},
+	}
+}
+
+func walkthroughSub(t *testing.T, id SubscriptionID) *Subscription {
+	t.Helper()
+	sub, err := NewIdentifiedSubscription(id, []SensorFilter{
+		{Sensor: "a", Attr: AmbientTemperature, Range: NewInterval(50, 80)},
+		{Sensor: "b", Attr: RelativeHumidity, Range: NewInterval(10, 30)},
+	}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sub
+}
+
+// TestSubscriptionHandleLifecycle walks the full subscribe → stream →
+// unsubscribe story on both runtimes: push sinks (channel and callback) must
+// mirror the pull log exactly, Unsubscribe must close the stream and stop
+// deliveries network-wide, and the retracted ID must be reusable.
+func TestSubscriptionHandleLifecycle(t *testing.T) {
+	for _, concurrent := range []bool{false, true} {
+		name := "sequential"
+		if concurrent {
+			name = "concurrent"
+		}
+		t.Run(name, func(t *testing.T) {
+			dep := buildWalkthroughDeployment(t)
+			sys, err := NewSystem(dep, Config{Approach: FilterSplitForward, Seed: 1, Concurrent: concurrent})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sys.Close()
+
+			var callbackCount atomic.Int64
+			h, err := sys.Subscribe(5, walkthroughSub(t, "alert"),
+				WithCallback(func(Delivery) { callbackCount.Add(1) }))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.ID() != "alert" || h.Node() != 5 || !h.Active() {
+				t.Error("handle identity accessors wrong")
+			}
+			if sys.Handle("alert") != h || sys.ActiveSubscriptions() != 1 {
+				t.Error("handle registry lookup wrong")
+			}
+
+			// A second registration of an active ID is rejected.
+			if _, err := sys.Subscribe(5, walkthroughSub(t, "alert")); !errors.Is(err, ErrDuplicateSubscription) {
+				t.Errorf("duplicate subscribe error = %v, want ErrDuplicateSubscription", err)
+			}
+
+			if err := sys.Replay(matchingPair(1, 100)); err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Replay(matchingPair(3, 200)); err != nil {
+				t.Fatal(err)
+			}
+			if got := h.Delivered(); got != 2 {
+				t.Errorf("handle delivered = %d, want 2", got)
+			}
+			if got := callbackCount.Load(); got != 2 {
+				t.Errorf("callback invocations = %d, want 2", got)
+			}
+			if h.DroppedPushes() != 0 {
+				t.Errorf("dropped pushes = %d, want 0", h.DroppedPushes())
+			}
+			seqs := h.DeliveredSeqs()
+			for _, want := range []uint64{1, 2, 3, 4} {
+				if !seqs[want] {
+					t.Errorf("delivered seqs missing %d: %v", want, seqs)
+				}
+			}
+
+			// Unsubscribe closes the stream; the pushed stream must equal
+			// the pull log exactly (same complex events, same multiplicity).
+			if err := h.Unsubscribe(); err != nil {
+				t.Fatal(err)
+			}
+			if h.Active() || sys.Handle("alert") != nil || sys.ActiveSubscriptions() != 0 {
+				t.Error("handle should be retired after Unsubscribe")
+			}
+			var pushed []Delivery
+			for d := range h.Deliveries() {
+				pushed = append(pushed, d)
+			}
+			pulled := h.Log()
+			if len(pushed) != len(pulled) || len(pushed) != 2 {
+				t.Fatalf("pushed %d deliveries, pulled %d, want 2", len(pushed), len(pulled))
+			}
+			for i := range pushed {
+				if fmt.Sprintf("%v", pushed[i].Events.Seqs()) != fmt.Sprintf("%v", pulled[i].Events.Seqs()) {
+					t.Errorf("push/pull mismatch at %d: %v vs %v", i, pushed[i].Events, pulled[i].Events)
+				}
+			}
+
+			// Double unsubscribe (both spellings) reports the terminal state.
+			if err := h.Unsubscribe(); !errors.Is(err, ErrUnsubscribed) {
+				t.Errorf("second Unsubscribe = %v, want ErrUnsubscribed", err)
+			}
+			if err := sys.Unsubscribe("alert"); !errors.Is(err, ErrUnsubscribed) {
+				t.Errorf("System.Unsubscribe of retired ID = %v, want ErrUnsubscribed", err)
+			}
+
+			// The network no longer delivers or forwards for the retracted
+			// subscription.
+			traffic := sys.Traffic()
+			if traffic.UnsubscriptionLoad == 0 {
+				t.Error("retraction generated no unsubscription traffic")
+			}
+			eventsBefore := traffic.EventLoad
+			if err := sys.Replay(matchingPair(5, 300)); err != nil {
+				t.Fatal(err)
+			}
+			if got := len(sys.DeliveriesFor("alert")); got != 2 {
+				t.Errorf("deliveries after unsubscribe = %d, want 2 (no new)", got)
+			}
+			if got := sys.Traffic().EventLoad; got != eventsBefore {
+				t.Errorf("event load grew from %d to %d after unsubscribe", eventsBefore, got)
+			}
+
+			// The ID is free again.
+			h2, err := sys.Subscribe(5, walkthroughSub(t, "alert"))
+			if err != nil {
+				t.Fatalf("re-subscribe after unsubscribe: %v", err)
+			}
+			if err := sys.Replay(matchingPair(7, 400)); err != nil {
+				t.Fatal(err)
+			}
+			if got := h2.Delivered(); got != 1 {
+				t.Errorf("re-subscribed handle delivered = %d, want 1", got)
+			}
+		})
+	}
+}
+
+// TestSinkBufferOverflowCounts verifies the bounded channel sink: with a
+// one-slot buffer and no consumer, extra deliveries are counted as dropped
+// pushes while the pull log stays complete.
+func TestSinkBufferOverflowCounts(t *testing.T) {
+	dep := buildWalkthroughDeployment(t)
+	sys, err := NewSystem(dep, Config{Approach: FilterSplitForward, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	h, err := sys.Subscribe(5, walkthroughSub(t, "q"), WithSinkBuffer(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := sys.Replay(matchingPair(uint64(1+2*i), Timestamp(100*(i+1)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.Delivered(); got != 3 {
+		t.Fatalf("delivered = %d, want 3", got)
+	}
+	if got := h.DroppedPushes(); got != 2 {
+		t.Errorf("dropped pushes = %d, want 2 (buffer of 1, no consumer)", got)
+	}
+	if got := len(h.Log()); got != 3 {
+		t.Errorf("pull log = %d deliveries, want 3 (never drops)", got)
+	}
+	// A disabled sink never buffers and never drops.
+	h2, err := sys.Subscribe(5, walkthroughSub(t, "nosink"), WithSinkBuffer(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Deliveries() != nil {
+		t.Error("WithSinkBuffer(0) should disable the delivery channel")
+	}
+	if err := sys.Replay(matchingPair(7, 400)); err != nil {
+		t.Fatal(err)
+	}
+	if h2.DroppedPushes() != 0 || h2.Delivered() == 0 {
+		t.Errorf("disabled sink: delivered=%d dropped=%d, want >0 and 0", h2.Delivered(), h2.DroppedPushes())
+	}
+}
+
+// TestSystemCloseGuards verifies the use-after-Close contract on both
+// runtimes: Close is idempotent with an error return, and every operation on
+// a closed system fails with ErrClosed instead of panicking or silently
+// dropping work.
+func TestSystemCloseGuards(t *testing.T) {
+	for _, concurrent := range []bool{false, true} {
+		name := "sequential"
+		if concurrent {
+			name = "concurrent"
+		}
+		t.Run(name, func(t *testing.T) {
+			dep := buildWalkthroughDeployment(t)
+			sys, err := NewSystem(dep, Config{Approach: FilterSplitForward, Seed: 1, Concurrent: concurrent})
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := sys.Subscribe(5, walkthroughSub(t, "q"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Close(); err != nil {
+				t.Fatalf("first Close = %v, want nil", err)
+			}
+			if err := sys.Close(); !errors.Is(err, ErrClosed) {
+				t.Errorf("second Close = %v, want ErrClosed", err)
+			}
+			if err := sys.Publish(matchingPair(1, 100)[0]); !errors.Is(err, ErrClosed) {
+				t.Errorf("Publish after Close = %v, want ErrClosed", err)
+			}
+			if err := sys.PublishBatch(matchingPair(1, 100)); !errors.Is(err, ErrClosed) {
+				t.Errorf("PublishBatch after Close = %v, want ErrClosed", err)
+			}
+			if err := sys.ReplayRounds([][]Event{matchingPair(1, 100)}); !errors.Is(err, ErrClosed) {
+				t.Errorf("ReplayRounds after Close = %v, want ErrClosed", err)
+			}
+			if _, err := sys.Subscribe(5, walkthroughSub(t, "late")); !errors.Is(err, ErrClosed) {
+				t.Errorf("Subscribe after Close = %v, want ErrClosed", err)
+			}
+			if err := h.Unsubscribe(); !errors.Is(err, ErrClosed) {
+				t.Errorf("Unsubscribe after Close = %v, want ErrClosed", err)
+			}
+			// Close drained and closed the handle's stream.
+			if _, open := <-h.Deliveries(); open {
+				t.Error("handle channel should be closed by Close")
+			}
+		})
+	}
+}
+
+// TestTypedSentinelErrors verifies the errors.Is contracts of the public
+// surface that do not need a closed system.
+func TestTypedSentinelErrors(t *testing.T) {
+	dep := buildWalkthroughDeployment(t)
+	sys, err := NewSystem(dep, Config{Approach: FilterSplitForward, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.Publish(Event{Seq: 1, Sensor: "ghost", Attr: WindSpeed}); !errors.Is(err, ErrUnknownSensor) {
+		t.Errorf("Publish unknown sensor = %v, want ErrUnknownSensor", err)
+	}
+	if err := sys.PublishBatch([]Event{{Seq: 1, Sensor: "ghost", Attr: WindSpeed}}); !errors.Is(err, ErrUnknownSensor) {
+		t.Errorf("PublishBatch unknown sensor = %v, want ErrUnknownSensor", err)
+	}
+	if err := sys.ReplayRounds([][]Event{{{Seq: 1, Sensor: "ghost", Attr: WindSpeed}}}); !errors.Is(err, ErrUnknownSensor) {
+		t.Errorf("ReplayRounds unknown sensor = %v, want ErrUnknownSensor", err)
+	}
+	if err := sys.Unsubscribe("never-registered"); !errors.Is(err, ErrUnsubscribed) {
+		t.Errorf("Unsubscribe unknown ID = %v, want ErrUnsubscribed", err)
+	}
+}
+
+// TestParseDeliveryModeRoundTrip pins the CLI spelling contract: every name
+// DeliveryModeNames advertises parses back to a mode whose String form is
+// that same name, the empty string selects the quiescent default, and
+// unknown spellings fail with an error listing the valid modes.
+func TestParseDeliveryModeRoundTrip(t *testing.T) {
+	names := DeliveryModeNames()
+	if len(names) != 3 {
+		t.Fatalf("DeliveryModeNames = %v, want 3 modes", names)
+	}
+	for _, name := range names {
+		mode, err := ParseDeliveryMode(name)
+		if err != nil {
+			t.Fatalf("ParseDeliveryMode(%q): %v", name, err)
+		}
+		if got := mode.String(); got != name {
+			t.Errorf("round trip %q -> %v -> %q", name, mode, got)
+		}
+	}
+	if mode, err := ParseDeliveryMode(""); err != nil || mode != Quiescent {
+		t.Errorf("empty spelling = (%v, %v), want (Quiescent, nil)", mode, err)
+	}
+	if _, err := ParseDeliveryMode("bogus"); err == nil {
+		t.Error("unknown spelling should fail")
+	} else {
+		for _, name := range names {
+			if !strings.Contains(err.Error(), name) {
+				t.Errorf("error %q does not list valid mode %q", err, name)
+			}
+		}
+	}
+}

@@ -29,6 +29,33 @@
 //	})
 //	sys, _ := sensorcq.NewSystem(dep, sensorcq.Config{Approach: sensorcq.FilterSplitForward})
 //	defer sys.Close()
+//
+// # Subscription lifecycle
+//
+// Subscriptions are continuous queries with a full lifecycle. Subscribe
+// returns a *SubscriptionHandle that streams results as they are produced
+// and can retract the query again; Unsubscribe propagates the retraction
+// through the whole network (stored operators are removed along the reverse
+// forwarding paths, operators that were shared or subsumed by the retracted
+// query are re-exposed for their remaining dependants) and closes the
+// handle's delivery channel:
+//
+//	handle, err := sys.Subscribe(userNode, sub)         // register
+//	if err != nil { ... }                               // e.g. ErrDuplicateSubscription
+//	go func() {
+//	    for d := range handle.Deliveries() {            // stream results (push)
+//	        fmt.Println("complex event:", d.Events)
+//	    }                                               // loop ends at Unsubscribe
+//	}()
+//	_ = sys.Publish(reading)                            // results flow to the handle
+//	_ = handle.Unsubscribe()                            // retract network-wide
+//
+// After Unsubscribe returns, a replayed trace produces zero further
+// deliveries for the retracted subscription and strictly less event traffic;
+// the handle's counters (Delivered, DroppedPushes) and pull log (Log,
+// System.DeliveriesFor) remain readable. Failures on this surface are typed
+// sentinel errors — ErrUnknownSensor, ErrClosed, ErrUnsubscribed,
+// ErrDuplicateSubscription — matched with errors.Is.
 package sensorcq
 
 import (

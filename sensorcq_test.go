@@ -28,10 +28,25 @@ func TestTopologyBuilderErrors(t *testing.T) {
 	if _, err := NewTopology(2).Link(0, 5).Build(); err == nil {
 		t.Error("out-of-range link should fail")
 	}
+	if _, err := NewTopology(2).Link(-1, 0).Build(); err == nil {
+		t.Error("negative node link should fail")
+	}
+	if _, err := NewTopology(2).Link(0, 0).Build(); err == nil {
+		t.Error("self-link should fail")
+	}
+	if _, err := NewTopology(3).Link(0, 1).Link(1, 2).Link(2, 0).Build(); err == nil {
+		t.Error("cyclic topology should fail (the network must be acyclic)")
+	}
 	if _, err := NewTopology(2).Link(0, 1).
 		PlaceSensor(0, Sensor{ID: "x", Attr: WindSpeed}).
 		PlaceSensor(1, Sensor{ID: "x", Attr: WindSpeed}).Build(); err == nil {
 		t.Error("duplicate sensor placement should fail")
+	}
+	// A builder error is sticky: later stages keep reporting it and Build
+	// never partially succeeds.
+	b := NewTopology(2).Link(0, 9).PlaceSensor(0, Sensor{ID: "y", Attr: WindSpeed})
+	if _, err := b.Build(); err == nil {
+		t.Error("builder should carry the first error through chained calls")
 	}
 }
 
@@ -54,7 +69,7 @@ func TestSystemEndToEndFSF(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Subscribe(5, sub); err != nil {
+	if _, err := sys.Subscribe(5, sub); err != nil {
 		t.Fatal(err)
 	}
 	if got := sys.Traffic().SubscriptionLoad; got != 4 {
@@ -96,7 +111,7 @@ func TestSystemConcurrentRuntime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Subscribe(5, sub); err != nil {
+	if _, err := sys.Subscribe(5, sub); err != nil {
 		t.Fatal(err)
 	}
 	if err := sys.Publish(Event{Seq: 1, Sensor: "a", Attr: AmbientTemperature, Value: 50, Time: 1}); err != nil {
@@ -123,7 +138,7 @@ func TestSystemDefaultsAndErrors(t *testing.T) {
 	if _, err := NewSystem(dep, Config{Approach: "bogus"}); err == nil {
 		t.Error("unknown approach should fail")
 	}
-	if err := sys.Subscribe(99, nil); err == nil {
+	if _, err := sys.Subscribe(99, nil); err == nil {
 		t.Error("subscribing nil at an unknown node should fail")
 	}
 }
