@@ -381,6 +381,61 @@ func BenchmarkEventMatchScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkIndexChurn measures the match index under steady-state
+// subscription churn: every iteration retracts the oldest live subscription,
+// registers a fresh one and matches an event — the interleaved
+// subscribe/match/unsubscribe workload the PR 4 lifecycle API produces. The
+// incremental index (stores.NewEventIndex) splices single entries in and out
+// in O(log n); the rebuild baseline (stores.NewEventIndexRebuild) is the
+// superseded maintenance branch — tombstoned removals with
+// rebuild-on-half-dead compaction over lazily rebuilt interval trees — which
+// pays a full rebuild whenever a match follows an insertion. Throughput is
+// reported as lifecycle operations per second under the events/sec key so
+// the benchgate regression gate covers it; the incremental/rebuild gap is
+// the measured win of incremental maintenance.
+func BenchmarkIndexChurn(b *testing.B) {
+	const live = 4000
+	pool, events := indexBenchPopulation(2 * live)
+	impls := []struct {
+		name string
+		mk   func() *stores.EventIndex
+	}{
+		{"incremental", stores.NewEventIndex},
+		{"rebuild", stores.NewEventIndexRebuild},
+	}
+	for _, impl := range impls {
+		impl := impl
+		b.Run(fmt.Sprintf("%s/subs=%d", impl.name, live), func(b *testing.B) {
+			idx := impl.mk()
+			for _, s := range pool[:live] {
+				idx.Add(s)
+			}
+			// Prime any lazy structures outside the timed region.
+			idx.Candidates(events[0], func(*model.Subscription) bool { return true })
+			matches := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// The live population is a sliding window over the pool:
+				// pool[i..i+live-1] (mod 2*live) is live at iteration i.
+				idx.Remove(pool[i%len(pool)].ID)
+				idx.Add(pool[(i+live)%len(pool)])
+				idx.Candidates(events[i%len(events)], func(*model.Subscription) bool {
+					matches++
+					return true
+				})
+			}
+			b.StopTimer()
+			if idx.Len() != live {
+				b.Fatalf("live population drifted to %d, want %d", idx.Len(), live)
+			}
+			b.ReportMetric(float64(matches)/float64(b.N), "matches/op")
+			// Three lifecycle operations per iteration: one retraction, one
+			// registration, one match.
+			b.ReportMetric(float64(b.N)*3/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}
+
 // BenchmarkPublishBatchReplay compares per-event Publish against the
 // batched replay path on the quick small-scale workload (full protocol
 // stack, Filter-Split-Forward).

@@ -14,12 +14,14 @@
 //	cqexp -csv results.csv     # also write every series as CSV
 //	cqexp -concurrent -delivery pipelined        # parallel round-by-round replay
 //	cqexp -concurrent -delivery windowed -lag 2  # overlap up to 3 rounds in flight
+//	cqexp -concurrent -lagsweep 0,1,2,4          # windowed lag comparison table
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -42,6 +44,8 @@ func main() {
 		lag   = flag.Int("lag", 0, "cross-round pipelining bound of the windowed delivery mode (requires -delivery windowed)")
 		churn = flag.Float64("churn", 0,
 			"fraction of each batch's subscriptions to retract after the batch's rounds replayed (0..1); later batches run against the survivors")
+		lagSweep = flag.String("lagsweep", "",
+			"comma-separated windowed lag settings (e.g. 0,1,2,4): run each scenario's Filter-Split-Forward replay once per lag on one shared workload and print a comparison table instead of the figure series; use instead of -delivery/-lag (the sweep is always windowed)")
 	)
 	flag.Parse()
 
@@ -66,6 +70,26 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	if *lagSweep != "" {
+		lags, err := parseLags(*lagSweep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "invalid -lagsweep %q: %v\n", *lagSweep, err)
+			flag.Usage()
+			os.Exit(2)
+		}
+		for _, s := range scenarios {
+			s = applyScale(s, *scaleFlag)
+			if *seed != 0 {
+				s.Seed = *seed
+			}
+			if err := runLagSweep(s, lags, *concurrent, *noRecall, *churn); err != nil {
+				fmt.Fprintf(os.Stderr, "lag sweep %s: %v\n", s.Name, err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	var csvFile *os.File
@@ -114,6 +138,107 @@ func main() {
 			}
 		}
 	}
+}
+
+// parseLags parses the -lagsweep flag: a comma-separated list of
+// non-negative windowed lag settings.
+func parseLags(spec string) ([]int, error) {
+	var lags []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("lag %q is not an integer", part)
+		}
+		if n < 0 || n > netsim.MaxReplayLag {
+			return nil, fmt.Errorf("lag %d outside 0..%d", n, netsim.MaxReplayLag)
+		}
+		lags = append(lags, n)
+	}
+	if len(lags) == 0 {
+		return nil, fmt.Errorf("no lag settings given")
+	}
+	return lags, nil
+}
+
+// runLagSweep replays one scenario's Filter-Split-Forward workload once per
+// windowed lag setting — every lag against the identical generated workload —
+// and prints a comparison table: wall-clock and throughput per lag, plus the
+// paper's load metrics and recall, which must not change with the lag (the
+// windowed mode trades latency semantics for parallelism, not results; the
+// table flags any deviation from the first lag's totals).
+func runLagSweep(s experiment.Scenario, lags []int, concurrent, noRecall bool, churn float64) error {
+	w, err := experiment.BuildWorkload(s)
+	if err != nil {
+		return err
+	}
+	events := 0
+	for _, segment := range w.Segments {
+		events += len(segment)
+	}
+	engine := "sequential"
+	if concurrent {
+		engine = "concurrent"
+	}
+	fmt.Printf("=== %s windowed lag sweep (%s engine, filter-split-forward) — %d queries, %d events ===\n",
+		s.Name, engine, s.TotalSubscriptions(), events)
+	fmt.Printf("%-6s %12s %12s %10s %12s %8s %10s\n",
+		"lag", "wall-clock", "events/sec", "sub-load", "event-load", "recall", "conformant")
+
+	type sweepPoint struct {
+		subLoad, eventLoad int64
+		recall             float64
+	}
+	optsFor := func(lag int) experiment.Options {
+		opts := experiment.DefaultOptions()
+		opts.Approaches = []experiment.ApproachID{experiment.FilterSplitForward}
+		opts.ComputeRecall = !noRecall
+		opts.Concurrent = concurrent
+		opts.Delivery = netsim.Windowed
+		opts.Lag = lag
+		opts.Churn = churn
+		return opts
+	}
+	if !noRecall {
+		// The oracle ground truth is computed lazily and cached on the
+		// workload; pay for it in an untimed warm-up run so the first lag's
+		// wall-clock is comparable with the rest.
+		if _, err := experiment.RunOnWorkload(w, optsFor(lags[0])); err != nil {
+			return err
+		}
+	}
+	var baseline *sweepPoint
+	for _, lag := range lags {
+		opts := optsFor(lag)
+		start := time.Now()
+		res, err := experiment.RunOnWorkload(w, opts)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		final := res.Approaches[0].Final()
+		pt := sweepPoint{subLoad: final.SubscriptionLoad, eventLoad: final.EventLoad, recall: final.Recall}
+		conformant := "-"
+		if baseline == nil {
+			baseline = &pt
+		} else if pt == *baseline {
+			conformant = "yes"
+		} else {
+			conformant = "NO"
+		}
+		recallCol := "n/a"
+		if !noRecall {
+			recallCol = fmt.Sprintf("%.3f", pt.recall)
+		}
+		fmt.Printf("%-6d %12s %12.0f %10d %12d %8s %10s\n",
+			lag, elapsed.Round(time.Millisecond), float64(events)/elapsed.Seconds(),
+			pt.subLoad, pt.eventLoad, recallCol, conformant)
+	}
+	fmt.Println()
+	return nil
 }
 
 func selectScenarios(name string) ([]experiment.Scenario, error) {

@@ -37,6 +37,7 @@ type SubscribeOption func(*subscribeOptions)
 type subscribeOptions struct {
 	sinkBuffer int
 	callback   func(Delivery)
+	retainLog  bool
 }
 
 // WithSinkBuffer sets the capacity of the handle's push-delivery channel.
@@ -62,6 +63,18 @@ func WithCallback(fn func(Delivery)) SubscribeOption {
 	return func(o *subscribeOptions) { o.callback = fn }
 }
 
+// WithRetainLog keeps the subscription's pull log (Log, DeliveriesFor,
+// DeliveredSeqs) readable after Unsubscribe. By default the per-subscription
+// delivery-map entries are evicted when the retraction completes, so a
+// long-running system does not hold every retracted subscription's delivery
+// history for the rest of its life; a handle subscribed with WithRetainLog
+// opts out and keeps its history until the ID's next registration is itself
+// unsubscribed without the option (eviction is per subscription ID). The
+// system-wide delivery log (System.Deliveries) is never evicted either way.
+func WithRetainLog() SubscribeOption {
+	return func(o *subscribeOptions) { o.retainLog = true }
+}
+
 // SubscriptionHandle is the live registration of one continuous query: it
 // carries the subscription's identity, a push-delivery sink fed from the
 // per-node delivery shards (no engine-wide lock on the hot path),
@@ -82,6 +95,8 @@ type SubscriptionHandle struct {
 	closed bool
 
 	cb func(Delivery)
+	// retainLog keeps the pull log after Unsubscribe (WithRetainLog).
+	retainLog bool
 
 	delivered    atomic.Int64
 	droppedPush  atomic.Int64
@@ -126,7 +141,9 @@ func (h *SubscriptionHandle) Active() bool {
 
 // Log returns the subscription's pull log: every delivery recorded so far,
 // served from the per-subscription delivery maps (cost proportional to this
-// subscription's deliveries, not the whole system log).
+// subscription's deliveries, not the whole system log). After Unsubscribe
+// the log is empty unless the handle was subscribed with WithRetainLog —
+// the delivery-map entries of a retracted subscription are evicted with it.
 func (h *SubscriptionHandle) Log() []Delivery { return h.sys.DeliveriesFor(h.sub.ID) }
 
 // DeliveredSeqs returns the set of simple-event sequence numbers delivered

@@ -198,6 +198,11 @@ type Node struct {
 	// walk. Entries are released when the operator is retracted.
 	forwards map[topology.NodeID]map[model.SubscriptionID][]forwardedOp
 
+	// pending is the scratch buffer matchAndForward gathers a trigger's
+	// not-yet-sent match components into before sending them in canonical
+	// (sequence) order; kept on the node to avoid a per-event allocation.
+	pending []model.Event
+
 	maxDeltaT model.Timestamp
 }
 
@@ -214,12 +219,17 @@ func NewNode(self topology.NodeID, cfg Config) *Node {
 	if cfg.ValidityFactor <= 0 {
 		cfg.ValidityFactor = 2
 	}
+	subs := stores.NewSubscriptionTable(self)
+	// Remote covered operators are registered for matching (and hence can
+	// consume a cover link) only under per-subscription propagation; other
+	// policies skip the table's link-recording scan for remote arrivals.
+	subs.RecordRemoteCoverLinks(cfg.Propagation == PerSubscription)
 	return &Node{
 		cfg:      cfg,
 		checker:  cfg.checkerFor(self),
 		self:     self,
 		advs:     stores.NewAdvertisementTable(self),
-		subs:     stores.NewSubscriptionTable(self),
+		subs:     subs,
 		window:   stores.NewEventWindow(1),
 		matchers: map[topology.NodeID]*stores.EventIndex{},
 		localIdx: stores.NewEventIndex(),
@@ -261,12 +271,27 @@ func (n *Node) observeDeltaT(dt model.Timestamp) {
 
 // addMatcher registers an operator for event matching on behalf of origin.
 func (n *Node) addMatcher(origin topology.NodeID, sub *model.Subscription) {
+	n.addMatcherWithCover(origin, sub, "")
+}
+
+// addMatcherWithCover registers an operator for event matching, threading
+// the cover link recorded by the subscription table into the index: a
+// covered operator attaches to its covering operator's tree entries and is
+// tested only when the cover matched, instead of adding entries of its own.
+// The link is ignored for the binary-join decomposition, whose derived
+// operators are not the subscription the cover relation was computed for.
+func (n *Node) addMatcherWithCover(origin topology.NodeID, sub *model.Subscription, cover model.SubscriptionID) {
 	idx := n.matchers[origin]
 	if idx == nil {
 		idx = stores.NewEventIndex()
 		n.matchers[origin] = idx
 	}
-	for _, op := range n.matcherOps(sub) {
+	ops := n.matcherOps(sub)
+	if cover != "" && len(ops) == 1 && ops[0] == sub {
+		idx.AddCovered(sub, cover)
+		return
+	}
+	for _, op := range ops {
 		idx.Add(op)
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"sensorcq/internal/model"
 	"sensorcq/internal/netsim"
@@ -72,6 +73,13 @@ func (n *Node) dedupKey(origin topology.NodeID, op *model.Subscription) string {
 // independent of arrival order. That is the property the pipelined delivery
 // mode's per-round conformance oracle rests on (a single selected match
 // would depend on which events happened to be in the window first).
+//
+// The components are sent in sequence-number order, not in the order the
+// candidate enumeration discovered them: the index's candidate order is
+// unspecified (a tree walk, not insertion order), and the arrival order on a
+// link decides how the receiver's window prunes near the validity boundary —
+// sending in canonical order keeps the protocol's observable behaviour a
+// function of the match set alone, whatever structure the index uses.
 func (n *Node) matchAndForward(ctx *netsim.Context, origin topology.NodeID, ev model.Event) {
 	// The range index hands over exactly the operators the event satisfies
 	// (value inside the filter range, location inside the region); operators
@@ -80,6 +88,7 @@ func (n *Node) matchAndForward(ctx *netsim.Context, origin topology.NodeID, ev m
 	if idx == nil {
 		return
 	}
+	pending := n.pending[:0]
 	idx.Candidates(ev, func(op *model.Subscription) bool {
 		key := n.dedupKey(origin, op)
 		window := n.window.Around(ev.Time, op.DeltaT)
@@ -88,13 +97,20 @@ func (n *Node) matchAndForward(ctx *netsim.Context, origin topology.NodeID, ev m
 				if n.window.WasSent(component.Seq, key) {
 					continue
 				}
-				ctx.SendEvent(origin, component)
 				n.window.MarkSent(component.Seq, key)
+				pending = append(pending, component)
 			}
 			return true
 		})
 		return true
 	})
+	if len(pending) > 1 {
+		sort.Slice(pending, func(i, j int) bool { return pending[i].Seq < pending[j].Seq })
+	}
+	for _, component := range pending {
+		ctx.SendEvent(origin, component)
+	}
+	n.pending = pending[:0]
 }
 
 // deliverLocal checks the whole user subscriptions registered at this node

@@ -20,8 +20,14 @@ func (n *Node) LocalSubscribe(ctx *netsim.Context, sub *model.Subscription) {
 		return
 	}
 	n.observeDeltaT(sub.DeltaT)
-	n.registerLocal(sub)
+	// Filtering runs first so that registerLocal can reuse the cover link
+	// the subscription table records when the checker files the
+	// subscription as covered — local delivery matching then prunes it
+	// behind its cover without a scan of its own. No event can interleave
+	// between the two calls (the engines dispatch one item at a time per
+	// node), so delivery registration is not delayed observably.
 	n.processSubscription(ctx, n.self, sub, true)
+	n.registerLocal(sub)
 }
 
 // HandleSubscription implements netsim.Handler: a subscription or operator
@@ -44,8 +50,19 @@ func (n *Node) registerLocal(sub *model.Subscription) {
 			return
 		}
 	}
+	// Covering-aware delivery matching: when the filtering pass stored the
+	// subscription as covered by a single earlier one (the table records
+	// the link as a by-product — no scan is paid here), it rides that
+	// subscription's index entries and is tested only when the cover
+	// matched. The cover is a local subscription too (origin self), so it
+	// is in localIdx; the index degrades to a plain Add when the link is
+	// empty or the cover is itself attached as covered.
 	n.localSubs = append(n.localSubs, sub)
-	n.localIdx.Add(sub)
+	if cover := n.subs.CoverOf(n.self, sub.ID); cover != "" {
+		n.localIdx.AddCovered(sub, cover)
+	} else {
+		n.localIdx.Add(sub)
+	}
 }
 
 // processSubscription implements Algorithm 4 for a subscription arriving
@@ -63,7 +80,11 @@ func (n *Node) processSubscription(ctx *netsim.Context, m topology.NodeID, sub *
 		// generated where covering was detected" of Section III-A.
 		n.subs.AddCovered(m, sub)
 		if n.cfg.Propagation == PerSubscription && !isLocal {
-			n.addMatcher(m, sub)
+			// The table just recorded which uncovered operator covers this
+			// one (when a single cover exists); threading the link into the
+			// match index lets candidate enumeration skip this operator
+			// whenever its cover did not match the event.
+			n.addMatcherWithCover(m, sub, n.subs.CoverOf(m, sub.ID))
 		}
 		return
 	}

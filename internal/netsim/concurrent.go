@@ -45,14 +45,28 @@ type ConcurrentEngine struct {
 	roundMu sync.Mutex
 	round   int
 
-	// wmMu guards the windowed-replay injection frontier and the condition
-	// the injector waits on; workers broadcast wmCond when one of their
-	// per-round pending counts drains to zero. wmWatching keeps workers off
-	// that lock entirely outside windowed replays.
+	// wmMu guards the windowed-replay injection frontier, the retired-round
+	// cursor and the condition the injector waits on; workers broadcast
+	// wmCond when a round's network-wide in-flight count drains to zero.
+	// wmWatching keeps workers off that lock entirely outside windowed
+	// replays.
 	wmMu       sync.Mutex
 	wmCond     *sync.Cond
 	wmInjected int
+	wmRetired  int
 	wmWatching atomic.Bool
+
+	// wmRing is the incremental watermark min-tracker: the network-wide
+	// in-flight item count of round r lives in slot r % wmRingSize. submit
+	// increments a round's slot before the item is enqueued and the worker
+	// decrements it after dispatching the item, preserving the
+	// child-before-parent accounting rule, so a slot reads zero only when no
+	// item of the round exists or can ever exist again. Advancing the
+	// watermark is then a scan of at most the active rounds' slots from
+	// wmRetired+1 upward — O(lag), not O(nodes): the old implementation took
+	// every worker's mailbox lock and scanned every node's pending map on
+	// each injector wake-up.
+	wmRing [wmRingSize]atomic.Int64
 
 	// delivShards is the per-node delivery log: node n's worker is the only
 	// writer of shard n, so appends never contend; Deliveries() merges on
@@ -66,6 +80,13 @@ type ConcurrentEngine struct {
 }
 
 var _ Runtime = (*ConcurrentEngine)(nil)
+
+// wmRingSize is the per-round in-flight counter ring of the watermark
+// tracker. Slot reuse is safe because at most MaxReplayLag+2 rounds can be
+// active at once (Flush re-syncs the retired cursor between replays and the
+// windowed injection gate bounds the spread during one), so distinct active
+// rounds never collide in the ring.
+const wmRingSize = 1024
 
 // deliveryShard is one node's slice of the delivery log, padded so that
 // neighbouring shards do not false-share a cache line. bySub indexes the
@@ -131,22 +152,20 @@ func (w *worker) popAll(spare []queued) ([]queued, bool) {
 	return items, true
 }
 
-// settle releases a dispatched burst from the per-round pending counts and
-// reports whether any round's count reached zero at this node (the only
-// transition that can advance the network watermark).
-func (w *worker) settle(counts map[int]int) bool {
+// settle releases a dispatched burst from the per-round pending counts — the
+// per-node decomposition NodeWatermarks reports. The network watermark
+// itself is tracked by the engine's global per-round slots (wmRing), which
+// the worker decrements separately.
+func (w *worker) settle(counts map[int]int) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	zeroed := false
 	for round, n := range counts {
 		if left := w.pending[round] - n; left > 0 {
 			w.pending[round] = left
 		} else {
 			delete(w.pending, round)
-			zeroed = true
 		}
 	}
-	return zeroed
 }
 
 // lowWatermarkLocked returns this node's low-watermark bound: one less than
@@ -215,8 +234,15 @@ func (e *ConcurrentEngine) runWorker(n int) {
 			dispatch(h, ctx, items[i])
 			counts[items[i].round]++
 		}
-		zeroed := w.settle(counts)
-		for round := range counts {
+		w.settle(counts)
+		// Release the burst from the global per-round watermark slots; a
+		// slot draining to zero is the only transition that can advance the
+		// network watermark.
+		zeroed := false
+		for round, n := range counts {
+			if e.wmRing[round%wmRingSize].Add(int64(-n)) == 0 {
+				zeroed = true
+			}
 			delete(counts, round)
 		}
 		if e.inflight.Add(int64(-len(items))) == 0 {
@@ -225,9 +251,7 @@ func (e *ConcurrentEngine) runWorker(n int) {
 			e.idleMu.Unlock()
 		}
 		if zeroed && e.wmWatching.Load() {
-			e.wmMu.Lock()
-			e.wmCond.Broadcast()
-			e.wmMu.Unlock()
+			e.wmBroadcast()
 		}
 		// Zero the processed items (so queued subscriptions can be
 		// collected) and hand the array back to the mailbox.
@@ -243,7 +267,15 @@ func (e *ConcurrentEngine) submit(item queued) error {
 		return fmt.Errorf("netsim: engine is closed")
 	}
 	e.inflight.Add(1)
+	// Count the item in its round's watermark slot before it becomes
+	// reachable: a child produced during a dispatch is therefore counted
+	// while its parent is still counted, so a slot can only read zero once
+	// no item of the round can ever exist again.
+	e.wmRing[item.round%wmRingSize].Add(1)
 	if !e.workers[item.to].push(item) {
+		if e.wmRing[item.round%wmRingSize].Add(-1) == 0 && e.wmWatching.Load() {
+			e.wmBroadcast()
+		}
 		if e.inflight.Add(-1) == 0 {
 			e.idleMu.Lock()
 			e.idleCond.Broadcast()
@@ -252,6 +284,13 @@ func (e *ConcurrentEngine) submit(item queued) error {
 		return fmt.Errorf("netsim: node %d mailbox closed", item.to)
 	}
 	return nil
+}
+
+// wmBroadcast wakes a windowed injector waiting on the watermark.
+func (e *ConcurrentEngine) wmBroadcast() {
+	e.wmMu.Lock()
+	e.wmCond.Broadcast()
+	e.wmMu.Unlock()
 }
 
 // enqueue implements sink (called from worker goroutines). A failed submit —
@@ -451,58 +490,51 @@ func (e *ConcurrentEngine) submitPublication(p Publication, round int) error {
 
 // waitWatermark blocks the injector until the network watermark reaches the
 // target round (or the engine is closed). Workers broadcast wmCond whenever
-// one of their per-round pending counts drains to zero; holding wmMu across
-// the recheck closes the missed-wakeup window.
+// a round's global in-flight count drains to zero; holding wmMu across the
+// recheck closes the missed-wakeup window.
 func (e *ConcurrentEngine) waitWatermark(target int) {
 	e.wmMu.Lock()
-	for e.watermarkLocked() < target && !e.closed.Load() {
+	for e.advanceWatermarkLocked(e.wmInjected) < target && !e.closed.Load() {
 		e.wmCond.Wait()
 	}
 	e.wmMu.Unlock()
 }
 
-// watermarkLocked aggregates the per-node low-watermarks under wmMu: the
-// network watermark is the minimum per-node bound, capped by the injection
-// frontier (a round retires only once fully injected, so empty rounds do not
-// let the watermark run ahead of the trace).
+// advanceWatermarkLocked is the incremental min-tracker behind the network
+// watermark: rounds retire in order, so the watermark advances by walking the
+// retired-round cursor over consecutive ring slots that read zero, capped by
+// the injection frontier (a round retires only once fully injected, so empty
+// rounds do not let the watermark run ahead of the trace). Each wake-up
+// touches at most the active rounds' slots — O(lag) — where the previous
+// implementation locked every mailbox and scanned every node's pending map.
 //
-// The scan holds EVERY worker's mailbox lock simultaneously, which makes it
-// a linearizable snapshot: no push or settle can interleave, so an item
-// cannot migrate from a not-yet-scanned worker to an already-scanned one and
-// make the watermark over-advance past a round with work still in flight
-// (locking workers one at a time admits exactly that race — the
-// child-before-parent accounting rule only protects an atomic observer).
-// Workers never hold their own lock while acquiring another (push locks the
-// target only, settle locks the owner only, dispatch holds nothing) and only
-// take wmMu lock-free of their mailbox, so the ordered multi-lock cannot
-// deadlock. The scan runs once per injector wake-up, not per message.
-func (e *ConcurrentEngine) watermarkLocked() int {
-	for _, w := range e.workers {
-		w.mu.Lock()
+// Correctness does not need a multi-node snapshot any more: a single ring
+// slot is one atomic, and the child-before-parent accounting rule (submit
+// counts an item before its parent's dispatch is released) guarantees a slot
+// reads zero only when no item of that round exists or can ever exist again.
+// The cursor is monotone under wmMu, so a transient later re-increment of a
+// colliding slot (a reused slot of a much newer round) can never un-retire a
+// round. Callers must hold wmMu.
+func (e *ConcurrentEngine) advanceWatermarkLocked(frontier int) int {
+	for e.wmRetired < frontier && e.wmRing[(e.wmRetired+1)%wmRingSize].Load() == 0 {
+		e.wmRetired++
 	}
-	wm := e.wmInjected
-	for _, w := range e.workers {
-		if low := w.lowWatermarkLocked(); low < wm {
-			wm = low
-		}
-	}
-	for i := len(e.workers) - 1; i >= 0; i-- {
-		e.workers[i].mu.Unlock()
-	}
-	return wm
+	return e.wmRetired
 }
 
 // Watermark implements Runtime: the highest round whose work has been fully
 // processed network-wide. Outside a windowed replay the engine drains
 // between rounds, so after Flush it equals the round counter.
 func (e *ConcurrentEngine) Watermark() int {
+	frontier := e.currentRound()
 	e.wmMu.Lock()
 	defer e.wmMu.Unlock()
-	if !e.wmWatching.Load() {
-		// No windowed replay in progress: the cap is the round counter.
-		e.wmInjected = e.currentRound()
+	if e.wmWatching.Load() {
+		// Mid-replay the cap is the injection frontier, not the round
+		// counter: the round being injected right now must not retire.
+		frontier = e.wmInjected
 	}
-	return e.watermarkLocked()
+	return e.advanceWatermarkLocked(frontier)
 }
 
 // NodeWatermarks returns every node's low-watermark: the highest round r
@@ -518,7 +550,11 @@ func (e *ConcurrentEngine) NodeWatermarks() []int {
 		frontier = e.currentRound()
 	}
 	// Hold every mailbox lock at once so the vector is a consistent
-	// snapshot (see watermarkLocked for the migration race this prevents).
+	// snapshot: locking workers one at a time would let an item migrate
+	// from a not-yet-scanned worker to an already-scanned one and report a
+	// node low-watermark past a round with work still in flight. This
+	// diagnostics call is the only remaining all-mailbox scan; the network
+	// watermark itself is tracked incrementally (see advanceWatermarkLocked).
 	for _, w := range e.workers {
 		w.mu.Lock()
 	}
@@ -544,6 +580,19 @@ func (e *ConcurrentEngine) Flush() {
 		e.idleCond.Wait()
 	}
 	e.idleMu.Unlock()
+	// The network is quiescent: retire every drained round now so the
+	// cursor keeps pace with the round counter even across replays that
+	// never consult the watermark. This is what keeps distinct active
+	// rounds from ever colliding in the ring — the cursor is re-synced at
+	// least once per drained round, and a windowed replay's injection gate
+	// bounds the spread in between.
+	frontier := e.currentRound()
+	e.wmMu.Lock()
+	if e.wmWatching.Load() {
+		frontier = e.wmInjected
+	}
+	e.advanceWatermarkLocked(frontier)
+	e.wmMu.Unlock()
 }
 
 // Metrics implements Runtime.
@@ -585,6 +634,21 @@ func (e *ConcurrentEngine) DeliveriesFor(id model.SubscriptionID) []Delivery {
 		s.mu.Unlock()
 	}
 	return out
+}
+
+// EvictDeliveries implements Runtime: the subscription's slots in every
+// shard's per-subscription delivery index and metric maps are released; the
+// shard logs keep their entries (Deliveries is unaffected). Callers should
+// be quiescent with respect to this subscription (retraction fully
+// propagated), which System guarantees by flushing before eviction.
+func (e *ConcurrentEngine) EvictDeliveries(id model.SubscriptionID) {
+	for i := range e.delivShards {
+		s := &e.delivShards[i]
+		s.mu.Lock()
+		delete(s.bySub, id)
+		s.mu.Unlock()
+	}
+	e.metrics.evictSubscription(id)
 }
 
 // Close shuts the per-node goroutines down. The engine must be quiescent

@@ -77,14 +77,23 @@ func ParseDeliveryMode(s string) (DeliveryMode, error) {
 	}
 }
 
+// MaxReplayLag bounds the cross-round pipelining of the Windowed mode. The
+// concurrent engine's watermark tracker counts each active round's in-flight
+// items in a fixed ring indexed by round number, so the number of rounds
+// simultaneously in flight (Lag+1, plus the round being injected) must stay
+// well below the ring size; 512 leaves a 2x margin and is far beyond any
+// useful overlap (the benefit of additional lag flattens within single
+// digits).
+const MaxReplayLag = 512
+
 // ReplayOptions parameterise Runtime.ReplayRounds.
 type ReplayOptions struct {
 	// Mode is the delivery semantics of the replay (default Quiescent).
 	Mode DeliveryMode
 	// Lag is the cross-round pipelining bound of the Windowed mode: round
 	// r+1..r+Lag may be injected while round r is still draining. It must
-	// be zero for the other modes. Lag 0 under Windowed reproduces
-	// Pipelined behaviour exactly.
+	// be zero for the other modes and at most MaxReplayLag for Windowed.
+	// Lag 0 under Windowed reproduces Pipelined behaviour exactly.
 	Lag int
 }
 
@@ -99,6 +108,9 @@ func (o ReplayOptions) validate() error {
 	}
 	if o.Lag > 0 && o.Mode != Windowed {
 		return fmt.Errorf("netsim: replay lag %d requires the windowed delivery mode (got %v)", o.Lag, o.Mode)
+	}
+	if o.Lag > MaxReplayLag {
+		return fmt.Errorf("netsim: replay lag %d exceeds the maximum of %d", o.Lag, MaxReplayLag)
 	}
 	return nil
 }

@@ -56,6 +56,14 @@ type Runtime interface {
 	// log: the cost is proportional to the subscription's own deliveries,
 	// not to the total delivered by the run.
 	DeliveriesFor(id model.SubscriptionID) []Delivery
+	// EvictDeliveries releases the per-subscription delivery-map entries of
+	// the given subscription — the DeliveriesFor index and the delivered
+	// sequence/notification counters — so a retracted subscription's history
+	// does not stay resident for the lifetime of the run. The system-wide
+	// delivery log (Deliveries) is unaffected. Serving layers call it on
+	// unsubscribe; callers that want the pull log to outlive the
+	// subscription simply do not.
+	EvictDeliveries(id model.SubscriptionID)
 	// SetDeliveryObserver installs a function invoked for every delivery as
 	// it is recorded (push delivery). The observer runs on the delivering
 	// node's dispatch path — the sequential engine's caller goroutine or a
@@ -177,6 +185,14 @@ func (e *Engine) DeliveriesFor(id model.SubscriptionID) []Delivery {
 
 // SetDeliveryObserver implements Runtime.
 func (e *Engine) SetDeliveryObserver(fn func(Delivery)) { e.observer = fn }
+
+// EvictDeliveries implements Runtime: the subscription's entry in the
+// per-subscription delivery index and its metric maps are released; the
+// append-only delivery log keeps its entries.
+func (e *Engine) EvictDeliveries(id model.SubscriptionID) {
+	delete(e.delivBySub, id)
+	e.metrics.evictSubscription(id)
+}
 
 // Handler returns the protocol handler of a node (used by white-box tests).
 func (e *Engine) Handler(n topology.NodeID) Handler {

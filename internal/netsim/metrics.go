@@ -123,6 +123,20 @@ func (m *Metrics) recordDelivery(d Delivery) {
 // recordDrop counts a message an engine failed to enqueue.
 func (m *Metrics) recordDrop() { m.dropped.Add(1) }
 
+// evictSubscription releases one subscription's delivery maps across every
+// shard: the delivered-sequence set (the big one — it grows with every
+// distinct component delivered) and the notification counter. Traffic
+// counters are untouched.
+func (m *Metrics) evictSubscription(sub model.SubscriptionID) {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		delete(s.deliveredSeqs, sub)
+		delete(s.complexDeliveries, sub)
+		s.mu.Unlock()
+	}
+}
+
 // DroppedMessages returns the number of messages an engine failed to enqueue
 // (for example a send racing engine shutdown). A run whose dropped count is
 // non-zero lost traffic and must not be compared against a lossless run; the

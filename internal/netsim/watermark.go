@@ -16,8 +16,12 @@ package netsim
 //
 // The sequential engine uses one global roundLedger (it is single-threaded,
 // so the per-node decomposition is degenerate); the concurrent engine keeps
-// the per-round pending counts in each worker's mailbox (see concurrent.go)
-// and aggregates the per-node low-watermarks on demand.
+// the network-wide per-round in-flight counts in a ring of atomics and
+// advances a retired-round cursor over consecutive drained slots (see
+// advanceWatermarkLocked in concurrent.go) — an incremental min-tracker
+// whose cost per injector wake-up is the number of active rounds, not the
+// number of nodes. Per-node pending counts still live in each worker's
+// mailbox, but only for the NodeWatermarks diagnostics.
 
 // roundLedger tracks in-flight work per replay round and derives the
 // watermark. It is not safe for concurrent use; the sequential engine owns

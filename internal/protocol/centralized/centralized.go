@@ -54,11 +54,15 @@ type Node struct {
 	toCenter       topology.NodeID // next hop towards the centre; -1 when self is the centre
 	validityFactor model.Timestamp // event-window validity = factor x max δt
 
-	// Central-node state (nil elsewhere).
-	window     *stores.EventWindow
-	subs       []*subEntry
-	subsByAttr map[model.AttributeType][]*subEntry
-	maxDeltaT  model.Timestamp
+	// Central-node state (nil elsewhere). The global subscription table is
+	// range-indexed (stores.EventIndex): an arriving reading selects exactly
+	// the subscriptions it satisfies instead of scanning every registration
+	// that shares the attribute, and retractions splice entries out
+	// incrementally.
+	window    *stores.EventWindow
+	entries   map[model.SubscriptionID]*subEntry
+	idx       *stores.EventIndex
+	maxDeltaT model.Timestamp
 }
 
 // subEntry is a subscription registered at the central node together with
@@ -77,7 +81,8 @@ func (n *Node) Init(ctx *netsim.Context) {
 	if n.self == n.center {
 		n.toCenter = -1
 		n.window = stores.NewEventWindow(1)
-		n.subsByAttr = map[model.AttributeType][]*subEntry{}
+		n.entries = map[model.SubscriptionID]*subEntry{}
+		n.idx = stores.NewEventIndex()
 	} else {
 		n.toCenter = ctx.Graph().NextHop(n.self, n.center)
 	}
@@ -141,38 +146,15 @@ func (n *Node) HandleUnsubscription(ctx *netsim.Context, from topology.NodeID, i
 	n.deregister(id)
 }
 
-// deregister removes the subscription from the central tables; matching and
-// result routing stop immediately. Unknown IDs are a no-op.
+// deregister removes the subscription from the central table and the range
+// index (an incremental splice, not a rebuild); matching and result routing
+// stop immediately. Unknown IDs are a no-op.
 func (n *Node) deregister(id model.SubscriptionID) {
-	kept := n.subs[:0]
-	for _, entry := range n.subs {
-		if entry.sub.ID != id {
-			kept = append(kept, entry)
-		}
-	}
-	if len(kept) == len(n.subs) {
+	if _, known := n.entries[id]; !known {
 		return
 	}
-	for i := len(kept); i < len(n.subs); i++ {
-		n.subs[i] = nil
-	}
-	n.subs = kept
-	for attr, entries := range n.subsByAttr {
-		filtered := entries[:0]
-		for _, entry := range entries {
-			if entry.sub.ID != id {
-				filtered = append(filtered, entry)
-			}
-		}
-		for i := len(filtered); i < len(entries); i++ {
-			entries[i] = nil
-		}
-		if len(filtered) == 0 {
-			delete(n.subsByAttr, attr)
-		} else {
-			n.subsByAttr[attr] = filtered
-		}
-	}
+	delete(n.entries, id)
+	n.idx.Remove(id)
 }
 
 func (n *Node) register(ctx *netsim.Context, sub *model.Subscription) {
@@ -190,10 +172,8 @@ func (n *Node) register(ctx *netsim.Context, sub *model.Subscription) {
 			entry.pathLen = int64(len(path) - 1)
 		}
 	}
-	n.subs = append(n.subs, entry)
-	for _, a := range sub.Attributes() {
-		n.subsByAttr[a] = append(n.subsByAttr[a], entry)
-	}
+	n.entries[sub.ID] = entry
+	n.idx.Add(sub)
 	if sub.DeltaT > n.maxDeltaT {
 		n.maxDeltaT = sub.DeltaT
 		factor := n.validityFactor
@@ -242,16 +222,20 @@ func (n *Node) matchAtCenter(ctx *netsim.Context, ev model.Event) {
 	}
 	n.window.Prune(now)
 
-	// Every completed match is enumerated and delivered — not just one pick
-	// from the current window — so the per-round result sets and downward
-	// traffic are independent of the order readings reached the centre
-	// (matching the order-independent forwarding of internal/core, which the
-	// pipelined delivery mode's conformance oracle relies on). Each
-	// component is still shipped down at most once per subscription.
-	for _, entry := range n.subsByAttr[ev.Attr] {
-		key := "s:" + string(entry.sub.ID)
-		window := n.window.Around(ev.Time, entry.sub.DeltaT)
-		entry.sub.ForEachComplexMatch(window, &ev, func(match model.ComplexEvent) bool {
+	// The range index hands over exactly the subscriptions the reading
+	// satisfies; registrations that merely share the attribute are pruned
+	// without being visited. Every completed match is enumerated and
+	// delivered — not just one pick from the current window — so the
+	// per-round result sets and downward traffic are independent of the
+	// order readings reached the centre (matching the order-independent
+	// forwarding of internal/core, which the pipelined delivery mode's
+	// conformance oracle relies on). Each component is still shipped down at
+	// most once per subscription.
+	n.idx.Candidates(ev, func(sub *model.Subscription) bool {
+		entry := n.entries[sub.ID]
+		key := "s:" + string(sub.ID)
+		window := n.window.Around(ev.Time, sub.DeltaT)
+		sub.ForEachComplexMatch(window, &ev, func(match model.ComplexEvent) bool {
 			for _, component := range match {
 				if n.window.WasSent(component.Seq, key) {
 					continue
@@ -261,8 +245,9 @@ func (n *Node) matchAtCenter(ctx *netsim.Context, ev model.Event) {
 				}
 				n.window.MarkSent(component.Seq, key)
 			}
-			ctx.DeliverToUser(entry.sub.ID, match)
+			ctx.DeliverToUser(sub.ID, match)
 			return true
 		})
-	}
+		return true
+	})
 }

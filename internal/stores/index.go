@@ -12,35 +12,351 @@ import (
 // index lookups instead of a linear scan over every operator filtering the
 // event's attribute.
 //
-// Internally the index keeps one interval stabbing tree (geom.IntervalTree)
-// per filtered sensor (identified subscriptions) and per filtered attribute
-// type (abstract subscriptions), over the filters' value ranges. A candidate
-// lookup for event e stabs bySensor[e.Sensor] and byAttr[e.Attr] with
-// e.Value; abstract hits are additionally pruned by the subscription
-// region's containment of e.Location. The result set is therefore exactly
-// {s : s.MatchesEvent(e)} — verified against the linear scan by the
-// property tests — so callers can feed candidates straight into
-// FindComplexMatch.
+// Internally the index keeps one composite box structure (geom.BoxTree) per
+// operator class: per filtered sensor for identified subscriptions (the
+// filter's value range), and per filtered attribute type for abstract ones —
+// where each entry is the filter's value range and the subscription region
+// as one three-dimensional box, so a lookup stabs value and location at once
+// instead of stabbing a per-attribute interval tree and re-checking region
+// containment on every candidate. A candidate lookup for event e stabs
+// bySensor[e.Sensor] with e.Value, or byAttr[e.Attr] with
+// (e.Value, e.Location). The result set is exactly {s : s.MatchesEvent(e)} —
+// verified against the linear scan by the property tests — so callers can
+// feed candidates straight into FindComplexMatch.
+//
+// Maintenance is fully incremental: Add and Remove splice single boxes in
+// and out of the trees in O(log n), so steady-state subscribe/unsubscribe
+// churn never tombstones entries or rebuilds a structure from scratch (the
+// PR 4 rebuild-on-half-dead compaction path is gone; NewEventIndexRebuild
+// keeps it reachable as a benchmark baseline).
+//
+// Covering-aware pruning: AddCovered registers a subscription known to be
+// covered by an already-indexed one. Covered entries are not stored in the
+// trees at all — they attach to their covering subscription and are tested
+// (one MatchesEvent call) only after the covering subscription matched.
+// Because covering implies per-filter range and region containment, a
+// covered subscription can only match events its cover also matches, so the
+// candidate set is provably unchanged while the trees stay smaller and
+// enumeration skips entire covered sets whenever their cover missed.
 //
 // A subscription appears at most once per lookup: identified subscriptions
 // have one filter per sensor and abstract ones one filter per attribute, so
-// no per-query deduplication is needed.
-//
-// Removal (subscription churn) is tombstone-based: Remove marks the ID dead
-// and Candidates skips it; the interval trees are rebuilt from the live
-// members once tombstones outnumber them, so steady-state churn keeps both
-// lookup cost and memory bounded without paying a rebuild per retraction.
+// no per-query deduplication is needed; covered subscriptions hang off
+// exactly one cover.
 //
 // Like the other stores, an EventIndex is not safe for concurrent use; each
 // protocol handler owns its indexes and the engines guarantee per-node
 // sequential execution.
 type EventIndex struct {
+	// Exactly one of the two implementations is set: the incremental
+	// composite index (the default) or the legacy tombstone-and-rebuild
+	// index retained as the BenchmarkIndexChurn baseline.
+	inc    *compositeIndex
+	legacy *rebuildIndex
+}
+
+// NewEventIndex returns an empty index with incremental maintenance.
+func NewEventIndex() *EventIndex {
+	return &EventIndex{inc: newCompositeIndex()}
+}
+
+// NewEventIndexRebuild returns an index using the superseded maintenance
+// strategy — per-attribute lazily rebuilt interval trees with tombstoned
+// removals compacted by a rebuild once tombstones outnumber live members.
+// It exists solely as the comparison baseline for BenchmarkIndexChurn (the
+// branch point that forces the old rebuild path); protocol code always uses
+// NewEventIndex.
+func NewEventIndexRebuild() *EventIndex {
+	return &EventIndex{legacy: newRebuildIndex()}
+}
+
+// Add registers a subscription (or correlation operator) for event matching.
+// Adding an ID already present is a no-op — unless the ID is attached as a
+// covered entry, in which case it is promoted to a full tree member (its
+// matches no longer depend on its former cover being present).
+func (x *EventIndex) Add(sub *model.Subscription) {
+	if sub == nil {
+		return
+	}
+	if x.legacy != nil {
+		x.legacy.add(sub)
+		return
+	}
+	x.inc.add(sub)
+}
+
+// AddCovered registers a subscription whose matches are known to be a subset
+// of the already-indexed cover's (sub.CoveredBy(cover's subscription) holds):
+// it is attached to the cover and tested only when the cover matches,
+// skipping the trees entirely. When the cover is unknown, itself covered, or
+// empty, AddCovered degrades to a plain Add — pruning is an optimisation,
+// never a requirement.
+func (x *EventIndex) AddCovered(sub *model.Subscription, cover model.SubscriptionID) {
+	if sub == nil {
+		return
+	}
+	if x.legacy != nil {
+		x.legacy.add(sub)
+		return
+	}
+	x.inc.addCovered(sub, cover)
+}
+
+// Remove retracts a subscription from the index by ID. It returns false when
+// the ID is not (or no longer) indexed. Removal is incremental: the entry's
+// boxes are spliced out of the trees in O(log n); covered entries attached
+// to the removed subscription are re-indexed as full members (they remain
+// registered — only their pruning shortcut dies with the cover).
+func (x *EventIndex) Remove(id model.SubscriptionID) bool {
+	if x.legacy != nil {
+		return x.legacy.remove(id)
+	}
+	return x.inc.remove(id)
+}
+
+// Len returns the number of live subscriptions in the index (tree members
+// plus attached covered entries).
+func (x *EventIndex) Len() int {
+	if x.legacy != nil {
+		return x.legacy.len()
+	}
+	return x.inc.len()
+}
+
+// Candidates invokes fn with every stored subscription that matches the
+// simple event (Subscription.MatchesEvent holds for each candidate, and no
+// matching subscription is missed). Iteration stops early when fn returns
+// false; the candidate order is unspecified.
+func (x *EventIndex) Candidates(ev model.Event, fn func(*model.Subscription) bool) {
+	if x.legacy != nil {
+		x.legacy.candidates(ev, fn)
+		return
+	}
+	x.inc.candidates(ev, fn)
+}
+
+// --- incremental composite implementation ---
+
+// compositeIndex is the incremental implementation behind NewEventIndex.
+type compositeIndex struct {
+	bySensor map[model.SensorID]*boxList        // 1-D: filter value range
+	byAttr   map[model.AttributeType]*boxList   // 3-D: value range × region
+	members  map[model.SubscriptionID]*ixMember // every live subscription
+}
+
+// boxList pairs one composite tree with the members its slots refer to
+// (tree handle i is an index into members; freed slots are reused).
+type boxList struct {
+	tree    *geom.BoxTree
+	members []*ixMember
+	free    []int
+}
+
+// ixEntry is one tree entry of a member: the list it lives in, the slot its
+// handle points at and the token Remove hands back to the tree.
+type ixEntry struct {
+	list  *boxList
+	token int32
+	slot  int
+}
+
+// ixMember is the per-subscription state: its tree entries (full members),
+// or the cover it is attached under (covered entries), plus the covered
+// entries attached to it.
+type ixMember struct {
+	sub      *model.Subscription
+	entries  []ixEntry
+	parent   *ixMember
+	children []*ixMember
+}
+
+func newCompositeIndex() *compositeIndex {
+	return &compositeIndex{
+		bySensor: map[model.SensorID]*boxList{},
+		byAttr:   map[model.AttributeType]*boxList{},
+		members:  map[model.SubscriptionID]*ixMember{},
+	}
+}
+
+func (x *compositeIndex) len() int { return len(x.members) }
+
+func (x *compositeIndex) add(sub *model.Subscription) {
+	if m, live := x.members[sub.ID]; live {
+		if m.parent != nil {
+			// Promote a covered entry to a full member: detach from its
+			// cover and give it tree entries of its own.
+			m.parent.dropChild(m)
+			m.parent = nil
+			x.insertEntries(m)
+		}
+		return
+	}
+	m := &ixMember{sub: sub}
+	x.members[sub.ID] = m
+	x.insertEntries(m)
+}
+
+func (x *compositeIndex) addCovered(sub *model.Subscription, cover model.SubscriptionID) {
+	if _, live := x.members[sub.ID]; live {
+		return
+	}
+	root := x.members[cover]
+	if cover == "" || cover == sub.ID || root == nil || root.parent != nil {
+		x.add(sub)
+		return
+	}
+	m := &ixMember{sub: sub, parent: root}
+	x.members[sub.ID] = m
+	root.children = append(root.children, m)
+}
+
+func (x *compositeIndex) remove(id model.SubscriptionID) bool {
+	m, live := x.members[id]
+	if !live {
+		return false
+	}
+	delete(x.members, id)
+	if m.parent != nil {
+		m.parent.dropChild(m)
+		m.parent = nil
+		return true
+	}
+	for _, e := range m.entries {
+		e.list.release(e)
+	}
+	m.entries = nil
+	// Re-index the covered entries that were pruned through this member:
+	// they stay registered, as full members now.
+	for _, c := range m.children {
+		c.parent = nil
+		x.insertEntries(c)
+	}
+	m.children = nil
+	return true
+}
+
+// insertEntries inserts the member's filter boxes into the composite trees.
+func (x *compositeIndex) insertEntries(m *ixMember) {
+	sub := m.sub
+	if sub.Kind == model.KindIdentified {
+		var box [1]geom.Interval
+		for d, f := range sub.SensorFilters {
+			l := x.bySensor[d]
+			if l == nil {
+				l = &boxList{tree: geom.NewBoxTree(1)}
+				x.bySensor[d] = l
+			}
+			box[0] = f.Range
+			l.insert(box[:], m)
+		}
+		return
+	}
+	var box [3]geom.Interval
+	box[1] = sub.Region.X
+	box[2] = sub.Region.Y
+	for a, f := range sub.AttrFilters {
+		l := x.byAttr[a]
+		if l == nil {
+			l = &boxList{tree: geom.NewBoxTree(3)}
+			x.byAttr[a] = l
+		}
+		box[0] = f.Range
+		l.insert(box[:], m)
+	}
+}
+
+// insert stores one box for the member, reusing a freed slot when available.
+// Boxes with an empty dimension are unmatchable and not stored (the tree
+// reports them with a negative token).
+func (l *boxList) insert(box []geom.Interval, m *ixMember) {
+	slot := -1
+	if n := len(l.free); n > 0 {
+		slot = l.free[n-1]
+		l.free = l.free[:n-1]
+		l.members[slot] = m
+	} else {
+		slot = len(l.members)
+		l.members = append(l.members, m)
+	}
+	token := l.tree.Insert(box, slot)
+	if token < 0 {
+		l.members[slot] = nil
+		l.free = append(l.free, slot)
+		return
+	}
+	m.entries = append(m.entries, ixEntry{list: l, token: token, slot: slot})
+}
+
+// release takes one entry back out of the tree and recycles its slot.
+func (l *boxList) release(e ixEntry) {
+	l.tree.Remove(e.token)
+	l.members[e.slot] = nil
+	l.free = append(l.free, e.slot)
+}
+
+// dropChild detaches a covered entry from this member's children.
+func (m *ixMember) dropChild(c *ixMember) {
+	for i, cc := range m.children {
+		if cc == c {
+			last := len(m.children) - 1
+			m.children[i] = m.children[last]
+			m.children[last] = nil
+			m.children = m.children[:last]
+			return
+		}
+	}
+}
+
+func (x *compositeIndex) candidates(ev model.Event, fn func(*model.Subscription) bool) {
+	emit := func(h int, l *boxList) bool {
+		m := l.members[h]
+		if !fn(m.sub) {
+			return false
+		}
+		// The member matched, so its covered entries may too: each costs one
+		// exact MatchesEvent test. When the member does not match, its whole
+		// covered set is skipped without being visited (covering implies the
+		// cover matches every event a covered subscription matches).
+		for _, c := range m.children {
+			if c.sub.MatchesEvent(ev) && !fn(c.sub) {
+				return false
+			}
+		}
+		return true
+	}
+	if l := x.bySensor[ev.Sensor]; l != nil {
+		pt := [1]float64{ev.Value}
+		stopped := false
+		l.tree.Stab(pt[:], func(h int) bool {
+			if !emit(h, l) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+	if l := x.byAttr[ev.Attr]; l != nil {
+		pt := [3]float64{ev.Value, ev.Location.X, ev.Location.Y}
+		l.tree.Stab(pt[:], func(h int) bool {
+			return emit(h, l)
+		})
+	}
+}
+
+// --- legacy tombstone-and-rebuild implementation (benchmark baseline) ---
+
+// rebuildIndex is the PR 4 maintenance strategy: one lazily rebuilt interval
+// stabbing tree per sensor/attribute, tombstone-based removal, and a full
+// rebuild once tombstones outnumber live members. Kept only so that
+// BenchmarkIndexChurn can measure what incremental maintenance replaced.
+type rebuildIndex struct {
 	bySensor map[model.SensorID]*rangeList
 	byAttr   map[model.AttributeType]*rangeList
-	// members holds the live subscriptions by ID; removed holds the
-	// tombstoned IDs whose tree entries are still physically present.
-	members map[model.SubscriptionID]*model.Subscription
-	removed map[model.SubscriptionID]bool
+	members  map[model.SubscriptionID]*model.Subscription
+	removed  map[model.SubscriptionID]bool
 }
 
 // rangeList pairs an interval tree with the subscriptions its handles refer
@@ -55,9 +371,8 @@ func (l *rangeList) add(iv geom.Interval, sub *model.Subscription) {
 	l.subs = append(l.subs, sub)
 }
 
-// NewEventIndex returns an empty index.
-func NewEventIndex() *EventIndex {
-	return &EventIndex{
+func newRebuildIndex() *rebuildIndex {
+	return &rebuildIndex{
 		bySensor: map[model.SensorID]*rangeList{},
 		byAttr:   map[model.AttributeType]*rangeList{},
 		members:  map[model.SubscriptionID]*model.Subscription{},
@@ -65,13 +380,9 @@ func NewEventIndex() *EventIndex {
 	}
 }
 
-// Add registers a subscription (or correlation operator) for event matching.
-// Adding an ID already present is a no-op, so callers retracting and
-// re-registering subscriptions need no extra bookkeeping.
-func (x *EventIndex) Add(sub *model.Subscription) {
-	if sub == nil {
-		return
-	}
+func (x *rebuildIndex) len() int { return len(x.members) }
+
+func (x *rebuildIndex) add(sub *model.Subscription) {
 	if _, live := x.members[sub.ID]; live {
 		return
 	}
@@ -85,9 +396,7 @@ func (x *EventIndex) Add(sub *model.Subscription) {
 	x.addToTrees(sub)
 }
 
-// addToTrees inserts the subscription's filter ranges into the stabbing
-// trees.
-func (x *EventIndex) addToTrees(sub *model.Subscription) {
+func (x *rebuildIndex) addToTrees(sub *model.Subscription) {
 	if sub.Kind == model.KindIdentified {
 		for d, f := range sub.SensorFilters {
 			l := x.bySensor[d]
@@ -109,11 +418,7 @@ func (x *EventIndex) addToTrees(sub *model.Subscription) {
 	}
 }
 
-// Remove retracts a subscription from the index by ID. It returns false when
-// the ID is not (or no longer) indexed. The tree entries are tombstoned, not
-// excised; once tombstones outnumber live members the trees are rebuilt from
-// the live set, keeping churned indexes compact.
-func (x *EventIndex) Remove(id model.SubscriptionID) bool {
+func (x *rebuildIndex) remove(id model.SubscriptionID) bool {
 	if _, live := x.members[id]; !live {
 		return false
 	}
@@ -127,7 +432,7 @@ func (x *EventIndex) Remove(id model.SubscriptionID) bool {
 
 // rebuild reconstructs the stabbing trees from the live members, discarding
 // every tombstone.
-func (x *EventIndex) rebuild() {
+func (x *rebuildIndex) rebuild() {
 	x.bySensor = map[model.SensorID]*rangeList{}
 	x.byAttr = map[model.AttributeType]*rangeList{}
 	x.removed = map[model.SubscriptionID]bool{}
@@ -136,14 +441,7 @@ func (x *EventIndex) rebuild() {
 	}
 }
 
-// Len returns the number of live subscriptions in the index.
-func (x *EventIndex) Len() int { return len(x.members) }
-
-// Candidates invokes fn with every stored subscription that matches the
-// simple event (Subscription.MatchesEvent holds for each candidate, and no
-// matching subscription is missed). Iteration stops early when fn returns
-// false; the candidate order is unspecified.
-func (x *EventIndex) Candidates(ev model.Event, fn func(*model.Subscription) bool) {
+func (x *rebuildIndex) candidates(ev model.Event, fn func(*model.Subscription) bool) {
 	stopped := false
 	if l := x.bySensor[ev.Sensor]; l != nil {
 		l.tree.Stab(ev.Value, func(h int) bool {

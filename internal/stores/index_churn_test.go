@@ -1,0 +1,278 @@
+package stores
+
+import (
+	"fmt"
+	"testing"
+
+	"sensorcq/internal/geom"
+	"sensorcq/internal/model"
+	"sensorcq/internal/stats"
+	"sensorcq/internal/topology"
+)
+
+// coveredVariant derives a subscription provably covered by base: same
+// kind, sensor/attribute set and correlation distances, with every filter
+// range (and the region, when bounded) shrunk towards its midpoint. The
+// construction mirrors how covering populations arise in the workloads —
+// narrower queries over the same signature.
+func coveredVariant(t *testing.T, rng *stats.RNG, base *model.Subscription, id string) *model.Subscription {
+	t.Helper()
+	shrink := func(iv geom.Interval) geom.Interval {
+		w := iv.Width()
+		lo := iv.Min + w*rng.Range(0, 0.4)
+		hi := iv.Max - w*rng.Range(0, 0.4)
+		if hi < lo {
+			hi = lo
+		}
+		return geom.Interval{Min: lo, Max: hi}
+	}
+	var sub *model.Subscription
+	var err error
+	if base.Kind == model.KindIdentified {
+		filters := make([]model.SensorFilter, 0, len(base.SensorFilters))
+		for _, f := range base.SensorFilters {
+			f.Range = shrink(f.Range)
+			filters = append(filters, f)
+		}
+		sub, err = model.NewIdentifiedSubscription(model.SubscriptionID(id), filters, base.DeltaT)
+	} else {
+		filters := make([]model.AttributeFilter, 0, len(base.AttrFilters))
+		for _, f := range base.AttrFilters {
+			f.Range = shrink(f.Range)
+			filters = append(filters, f)
+		}
+		region := base.Region
+		if !region.IsWholePlane() {
+			region = geom.Region{X: shrink(region.X), Y: shrink(region.Y)}
+		}
+		sub, err = model.NewAbstractSubscription(model.SubscriptionID(id), filters, region, base.DeltaT, base.DeltaL)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.CoveredBy(base) {
+		t.Fatalf("covered variant %s is not covered by its base %s", sub, base)
+	}
+	return sub
+}
+
+// churnStep is the shared body of the churn property test and the fuzz
+// harness: it drives steps random add / addCovered / remove / match
+// operations from the given seed, checking every match against both oracles
+// — an index rebuilt from scratch over the live population and the linear
+// scan — and returns the number of match checks performed.
+func churnStep(t *testing.T, seed int64, steps int) int {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	idx := NewEventIndex()
+	live := map[model.SubscriptionID]*model.Subscription{}
+	var liveIDs []model.SubscriptionID
+	next := 0
+	checks := 0
+
+	removeID := func(id model.SubscriptionID) {
+		for i, l := range liveIDs {
+			if l == id {
+				liveIDs[i] = liveIDs[len(liveIDs)-1]
+				liveIDs = liveIDs[:len(liveIDs)-1]
+				return
+			}
+		}
+	}
+
+	for step := 0; step < steps; step++ {
+		switch {
+		case len(liveIDs) == 0 || rng.Bool(0.3): // plain add
+			sub := randomSubscription(t, rng, int(seed%1000)*100000+next)
+			next++
+			if live[sub.ID] != nil {
+				continue
+			}
+			idx.Add(sub)
+			live[sub.ID] = sub
+			liveIDs = append(liveIDs, sub.ID)
+		case rng.Bool(0.25): // covered add, attached to a random live member
+			base := live[liveIDs[rng.Intn(len(liveIDs))]]
+			id := fmt.Sprintf("c%d-%d", seed%1000, next)
+			next++
+			sub := coveredVariant(t, rng, base, id)
+			if live[sub.ID] != nil {
+				continue
+			}
+			idx.AddCovered(sub, base.ID)
+			live[sub.ID] = sub
+			liveIDs = append(liveIDs, sub.ID)
+		case rng.Bool(0.45): // remove
+			id := liveIDs[rng.Intn(len(liveIDs))]
+			if !idx.Remove(id) {
+				t.Fatalf("seed %d step %d: Remove(%s) = false for a live member", seed, step, id)
+			}
+			if idx.Remove(id) {
+				t.Fatalf("seed %d step %d: second Remove(%s) = true", seed, step, id)
+			}
+			delete(live, id)
+			removeID(id)
+		default: // match, against both oracles
+			ev := randomEvent(rng, uint64(step+1))
+			got := candidateIDs(idx, ev)
+
+			scratch := NewEventIndex()
+			linear := make([]*model.Subscription, 0, len(live))
+			for _, sub := range live {
+				scratch.Add(sub)
+				linear = append(linear, sub)
+			}
+			rebuilt := candidateIDs(scratch, ev)
+			scan := linearMatchIDs(linear, ev)
+			if !equalStrings(got, rebuilt) {
+				t.Fatalf("seed %d step %d: incremental candidates(%v) = %v, rebuilt-from-scratch oracle = %v",
+					seed, step, ev, got, rebuilt)
+			}
+			if !equalStrings(got, scan) {
+				t.Fatalf("seed %d step %d: candidates(%v) = %v, linear scan = %v", seed, step, ev, got, scan)
+			}
+			checks++
+		}
+		if idx.Len() != len(live) {
+			t.Fatalf("seed %d step %d: Len() = %d, want %d", seed, step, idx.Len(), len(live))
+		}
+	}
+	return checks
+}
+
+// TestEventIndexChurnAgainstRebuiltOracle pins the incremental index against
+// a rebuilt-from-scratch oracle (and the brute-force scan) under random
+// interleaved add / covered-add / remove / match churn: at no point may
+// incremental maintenance and cover-attachment be distinguishable from a
+// fresh index over the live population.
+func TestEventIndexChurnAgainstRebuiltOracle(t *testing.T) {
+	totalChecks := 0
+	for seed := int64(1); seed <= 12; seed++ {
+		totalChecks += churnStep(t, seed, 400)
+	}
+	if totalChecks < 500 {
+		t.Fatalf("only %d match checks ran; the property test is under-exercised", totalChecks)
+	}
+}
+
+// FuzzEventIndexChurn drives the same churn property from fuzzed seeds, so
+// `go test` exercises the corpus and `go test -fuzz=FuzzEventIndexChurn`
+// searches for divergences between incremental maintenance and the rebuilt
+// oracle.
+func FuzzEventIndexChurn(f *testing.F) {
+	for _, seed := range []int64{7, 42, 205, 9001} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		churnStep(t, seed, 120)
+	})
+}
+
+// TestEventIndexCoveringPruningSameMatchSet is the covering-pruning
+// contract: registering covered subscriptions through AddCovered (pruned
+// enumeration — tested only when their cover matched) must produce exactly
+// the match sets of the brute-force scan, while storing fewer entries in the
+// trees, and retracting the cover must re-expose the covered entries as
+// ordinary members.
+func TestEventIndexCoveringPruningSameMatchSet(t *testing.T) {
+	rng := stats.NewRNG(99)
+	for trial := 0; trial < 10; trial++ {
+		idx := NewEventIndex()
+		var all []*model.Subscription
+		var covers []*model.Subscription
+		for i := 0; i < 30; i++ {
+			base := randomSubscription(t, rng, trial*1000+i)
+			idx.Add(base)
+			all = append(all, base)
+			covers = append(covers, base)
+			for c := 0; c < 1+rng.Intn(3); c++ {
+				covered := coveredVariant(t, rng, base, fmt.Sprintf("t%dc%d-%d", trial, i, c))
+				idx.AddCovered(covered, base.ID)
+				all = append(all, covered)
+			}
+		}
+		check := func(stage string) {
+			for q := 0; q < 120; q++ {
+				ev := randomEvent(rng, uint64(q+1))
+				got := candidateIDs(idx, ev)
+				want := linearMatchIDs(all, ev)
+				if !equalStrings(got, want) {
+					t.Fatalf("trial %d %s: pruned candidates(%v) = %v, want %v", trial, stage, ev, got, want)
+				}
+			}
+		}
+		check("with covers attached")
+
+		// Retract a third of the covering subscriptions: their covered
+		// entries must keep matching (now as full members).
+		for i, base := range covers {
+			if i%3 != 0 {
+				continue
+			}
+			if !idx.Remove(base.ID) {
+				t.Fatalf("trial %d: Remove(%s) failed", trial, base.ID)
+			}
+			kept := all[:0]
+			for _, s := range all {
+				if s.ID != base.ID {
+					kept = append(kept, s)
+				}
+			}
+			all = kept
+		}
+		check("after cover retraction")
+
+		// A covered entry must also be individually removable.
+		for _, s := range all {
+			if !idx.Remove(s.ID) {
+				t.Fatalf("trial %d: Remove(%s) failed during teardown", trial, s.ID)
+			}
+		}
+		if idx.Len() != 0 {
+			t.Fatalf("trial %d: Len() = %d after removing everything", trial, idx.Len())
+		}
+	}
+}
+
+// TestSubscriptionTableCoverLinks pins the cover-link bookkeeping: AddCovered
+// records a single covering uncovered subscription when one exists, CoverOf
+// serves it, and removal/promotion clear the link.
+func TestSubscriptionTableCoverLinks(t *testing.T) {
+	rng := stats.NewRNG(41)
+	tbl := NewSubscriptionTable(0)
+	origin := topology.NodeID(2)
+
+	base := randomSubscription(t, rng, 1)
+	covered := coveredVariant(t, rng, base, "cv")
+	unrelated := randomSubscription(t, rng, 2)
+
+	tbl.AddUncovered(origin, base)
+	tbl.AddCovered(origin, covered)
+	if got := tbl.CoverOf(origin, covered.ID); got != base.ID {
+		t.Fatalf("CoverOf = %q, want %q", got, base.ID)
+	}
+	if got := tbl.CoverOf(origin, unrelated.ID); got != "" {
+		t.Fatalf("CoverOf(unknown) = %q, want empty", got)
+	}
+
+	// Promotion clears the link: the subscription is no longer covered.
+	if tbl.Promote(origin, covered.ID) != covered {
+		t.Fatal("Promote failed")
+	}
+	if got := tbl.CoverOf(origin, covered.ID); got != "" {
+		t.Fatalf("CoverOf after Promote = %q, want empty", got)
+	}
+
+	// Removal clears the link of a covered entry.
+	covered2 := coveredVariant(t, rng, base, "cv2")
+	tbl.AddCovered(origin, covered2)
+	if got := tbl.CoverOf(origin, covered2.ID); got != base.ID {
+		t.Fatalf("CoverOf(cv2) = %q, want %q", got, base.ID)
+	}
+	if _, _, ok := tbl.Remove(origin, covered2.ID); !ok {
+		t.Fatal("Remove(covered) failed")
+	}
+	if got := tbl.CoverOf(origin, covered2.ID); got != "" {
+		t.Fatalf("CoverOf after Remove = %q, want empty", got)
+	}
+}

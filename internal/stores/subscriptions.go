@@ -24,18 +24,43 @@ type SubscriptionTable struct {
 	// (and kept current by AddUncovered afterwards), so tables whose
 	// callers never query it pay nothing.
 	matchIdx map[topology.NodeID]*EventIndex
+	// coverBy records, per origin, which single uncovered subscription
+	// covered each covered one at the time it was filed (when one exists —
+	// set filtering can subsume by union, leaving no single cover). The
+	// protocol handlers thread these links into their match indexes
+	// (EventIndex.AddCovered) so candidate enumeration can skip a covered
+	// set whenever its cover did not match. Links capture the coverage
+	// geometry at storage time; they are consumed when the covered operator
+	// is registered for matching and never re-read afterwards.
+	coverBy map[topology.NodeID]map[model.SubscriptionID]model.SubscriptionID
+	// remoteCovers enables cover-link recording for remote origins. Local
+	// subscriptions (origin == self) always record links — local delivery
+	// matching consumes them on every policy — but remote covered operators
+	// are only registered for matching under per-subscription propagation,
+	// so handlers whose policy never reads the links disable the recording
+	// scan (RecordRemoteCoverLinks) instead of paying it per covered arrival.
+	remoteCovers bool
 }
 
 // NewSubscriptionTable returns an empty table for the given node.
 func NewSubscriptionTable(self topology.NodeID) *SubscriptionTable {
 	return &SubscriptionTable{
-		self:      self,
-		uncovered: map[topology.NodeID][]*model.Subscription{},
-		covered:   map[topology.NodeID][]*model.Subscription{},
-		ids:       map[topology.NodeID]map[model.SubscriptionID]bool{},
-		matchIdx:  map[topology.NodeID]*EventIndex{},
+		self:         self,
+		uncovered:    map[topology.NodeID][]*model.Subscription{},
+		covered:      map[topology.NodeID][]*model.Subscription{},
+		ids:          map[topology.NodeID]map[model.SubscriptionID]bool{},
+		matchIdx:     map[topology.NodeID]*EventIndex{},
+		coverBy:      map[topology.NodeID]map[model.SubscriptionID]model.SubscriptionID{},
+		remoteCovers: true,
 	}
 }
+
+// RecordRemoteCoverLinks enables or disables cover-link recording for
+// covered subscriptions of remote origins (default on). Handlers whose
+// event-propagation policy never registers remote covered operators for
+// matching turn it off so AddCovered skips the covering scan; links for the
+// node's own origin are always recorded.
+func (t *SubscriptionTable) RecordRemoteCoverLinks(on bool) { t.remoteCovers = on }
 
 // Seen reports whether a subscription with this ID was already stored for
 // the origin (covered or uncovered).
@@ -66,14 +91,40 @@ func (t *SubscriptionTable) AddUncovered(origin topology.NodeID, sub *model.Subs
 	return true
 }
 
-// AddCovered stores a subscription that was filtered out as covered.
+// AddCovered stores a subscription that was filtered out as covered and
+// records which single uncovered subscription covers it, when one does (a
+// probabilistic set filter may have subsumed it by a union instead, in which
+// case no link is recorded and candidate pruning simply does not apply).
 func (t *SubscriptionTable) AddCovered(origin topology.NodeID, sub *model.Subscription) bool {
 	if t.Seen(origin, sub.ID) {
 		return false
 	}
 	t.markSeen(origin, sub.ID)
 	t.covered[origin] = append(t.covered[origin], sub)
+	if origin != t.self && !t.remoteCovers {
+		return true
+	}
+	for _, u := range t.uncovered[origin] {
+		if sub.CoveredBy(u) {
+			links := t.coverBy[origin]
+			if links == nil {
+				links = map[model.SubscriptionID]model.SubscriptionID{}
+				t.coverBy[origin] = links
+			}
+			links[sub.ID] = u.ID
+			break
+		}
+	}
 	return true
+}
+
+// CoverOf returns the ID of the single uncovered subscription recorded as
+// covering the given covered subscription of the origin, or "" when none was
+// found at storage time. Handlers pass it to EventIndex.AddCovered so
+// covered operators registered for matching ride their cover's tree entries
+// instead of adding their own.
+func (t *SubscriptionTable) CoverOf(origin topology.NodeID, id model.SubscriptionID) model.SubscriptionID {
+	return t.coverBy[origin][id]
 }
 
 // Uncovered returns the uncovered subscriptions stored for the origin.
@@ -113,6 +164,7 @@ func (t *SubscriptionTable) Remove(origin topology.NodeID, id model.Subscription
 		return sub, true, true
 	}
 	if sub = removeByID(t.covered, origin, id); sub != nil {
+		delete(t.coverBy[origin], id)
 		return sub, false, true
 	}
 	// Seen but stored nowhere — cannot happen; treat as unknown.
@@ -128,6 +180,7 @@ func (t *SubscriptionTable) Promote(origin topology.NodeID, id model.Subscriptio
 	if sub == nil {
 		return nil
 	}
+	delete(t.coverBy[origin], id)
 	t.uncovered[origin] = append(t.uncovered[origin], sub)
 	if ei := t.matchIdx[origin]; ei != nil {
 		ei.Add(sub)

@@ -48,8 +48,12 @@ func TestSubscriptionHandleLifecycle(t *testing.T) {
 			defer sys.Close()
 
 			var callbackCount atomic.Int64
+			// WithRetainLog keeps the pull log readable after Unsubscribe —
+			// the push-vs-pull equality below is asserted on the retired
+			// handle (default eviction is covered by
+			// TestUnsubscribeEvictsDeliveryMaps).
 			h, err := sys.Subscribe(5, walkthroughSub(t, "alert"),
-				WithCallback(func(Delivery) { callbackCount.Add(1) }))
+				WithCallback(func(Delivery) { callbackCount.Add(1) }), WithRetainLog())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -144,6 +148,74 @@ func TestSubscriptionHandleLifecycle(t *testing.T) {
 			}
 			if got := h2.Delivered(); got != 1 {
 				t.Errorf("re-subscribed handle delivered = %d, want 1", got)
+			}
+		})
+	}
+}
+
+// TestUnsubscribeEvictsDeliveryMaps verifies the pull-log lifecycle on both
+// runtimes: by default Unsubscribe evicts the retracted subscription's
+// delivery-map entries (DeliveriesFor, DeliveredEventSeqs) so a long-running
+// system does not accumulate dead history, while the system-wide delivery
+// log keeps every recorded delivery; WithRetainLog opts a subscription out.
+func TestUnsubscribeEvictsDeliveryMaps(t *testing.T) {
+	for _, concurrent := range []bool{false, true} {
+		name := "sequential"
+		if concurrent {
+			name = "concurrent"
+		}
+		t.Run(name, func(t *testing.T) {
+			dep := buildWalkthroughDeployment(t)
+			sys, err := NewSystem(dep, Config{Approach: FilterSplitForward, Seed: 1, Concurrent: concurrent})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sys.Close()
+
+			evicted, err := sys.Subscribe(5, walkthroughSub(t, "evicted"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			retained, err := sys.Subscribe(5, walkthroughSub(t, "retained"), WithRetainLog())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Replay(matchingPair(1, 100)); err != nil {
+				t.Fatal(err)
+			}
+			if got := len(sys.DeliveriesFor("evicted")); got != 1 {
+				t.Fatalf("pre-unsubscribe deliveries = %d, want 1", got)
+			}
+			logTotal := len(sys.Deliveries())
+			if logTotal == 0 {
+				t.Fatal("system delivery log is empty")
+			}
+
+			if err := evicted.Unsubscribe(); err != nil {
+				t.Fatal(err)
+			}
+			if err := retained.Unsubscribe(); err != nil {
+				t.Fatal(err)
+			}
+			if got := len(sys.DeliveriesFor("evicted")); got != 0 {
+				t.Errorf("evicted pull log = %d deliveries after unsubscribe, want 0", got)
+			}
+			if got := len(sys.DeliveredEventSeqs("evicted")); got != 0 {
+				t.Errorf("evicted delivered seqs = %d after unsubscribe, want 0", got)
+			}
+			if got := len(evicted.Log()); got != 0 {
+				t.Errorf("evicted handle log = %d deliveries, want 0", got)
+			}
+			if got := len(sys.DeliveriesFor("retained")); got != 1 {
+				t.Errorf("retained pull log = %d deliveries after unsubscribe, want 1 (WithRetainLog)", got)
+			}
+			if got := len(sys.DeliveredEventSeqs("retained")); got == 0 {
+				t.Error("retained delivered seqs evicted despite WithRetainLog")
+			}
+			// The system-wide log is append-only: eviction only releases the
+			// per-subscription maps.
+			if got := len(sys.Deliveries()); got != logTotal {
+				t.Errorf("system delivery log shrank from %d to %d on unsubscribe", logTotal, got)
 			}
 		})
 	}
