@@ -1,17 +1,27 @@
 // Command benchgate turns `go test -bench` output into a JSON benchmark
 // report and gates it against a committed baseline: the build fails when any
 // baseline benchmark's events/sec throughput drops by more than -max-drop,
-// or when a gated benchmark disappears from the run.
+// when its allocs/op or B/op grow by more than -max-alloc-growth, or when a
+// baseline benchmark disappears from the run without an -allow-missing
+// entry declaring the removal intentional.
 //
 // CI usage (see .github/workflows/ci.yml):
 //
-//	go test -run '^$' -bench '...' -benchscale quick -cpu 1,2,4 . | tee bench.out
+//	go test -run '^$' -bench '...' -benchscale quick -benchmem -cpu 1,2,4 . | tee bench.out
 //	benchgate -input bench.out -baseline ci/bench-baseline.json \
 //	          -out BENCH_$GITHUB_SHA.json -sha $GITHUB_SHA
 //
 // Refreshing the baseline after an intentional performance change:
 //
 //	benchgate -input bench.out -update ci/bench-baseline.json -note "runner X"
+//
+// Removing or renaming a benchmark on purpose:
+//
+//	benchgate -input bench.out -baseline ci/bench-baseline.json \
+//	          -allow-missing 'BenchmarkOld/a-4,BenchmarkOld/b-4'
+//
+// (and refresh the baseline in the same change so the allowance is
+// temporary).
 package main
 
 import (
@@ -19,30 +29,42 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"sensorcq/internal/benchgate"
 )
 
 func main() {
 	var (
-		input    = flag.String("input", "-", "benchmark output to parse ('-' for stdin)")
-		baseline = flag.String("baseline", "", "baseline report JSON to gate against (no gating when empty)")
-		out      = flag.String("out", "", "write the parsed report JSON to this path")
-		update   = flag.String("update", "", "write the parsed report as the new baseline at this path")
-		sha      = flag.String("sha", "", "commit SHA recorded in the report")
-		note     = flag.String("note", "", "free-form provenance note recorded in the report")
-		maxDrop  = flag.Float64("max-drop", 0.25, "maximum tolerated fractional events/sec drop vs the baseline")
+		input          = flag.String("input", "-", "benchmark output to parse ('-' for stdin)")
+		baseline       = flag.String("baseline", "", "baseline report JSON to gate against (no gating when empty)")
+		out            = flag.String("out", "", "write the parsed report JSON to this path")
+		update         = flag.String("update", "", "write the parsed report as the new baseline at this path")
+		sha            = flag.String("sha", "", "commit SHA recorded in the report")
+		note           = flag.String("note", "", "free-form provenance note recorded in the report")
+		maxDrop        = flag.Float64("max-drop", 0.25, "maximum tolerated fractional events/sec drop vs the baseline")
+		maxAllocGrowth = flag.Float64("max-alloc-growth", 0.5, "maximum tolerated fractional allocs/op and B/op growth vs the baseline (0 disables)")
+		allowMissing   = flag.String("allow-missing", "", "comma-separated baseline benchmarks allowed to be absent from this run")
 	)
 	flag.Parse()
-	if err := run(*input, *baseline, *out, *update, *sha, *note, *maxDrop); err != nil {
+	if err := run(*input, *baseline, *out, *update, *sha, *note, *maxDrop, *maxAllocGrowth, *allowMissing); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(input, baseline, out, update, sha, note string, maxDrop float64) error {
+func run(input, baseline, out, update, sha, note string, maxDrop, maxAllocGrowth float64, allowMissing string) error {
 	if maxDrop <= 0 || maxDrop >= 1 {
 		return fmt.Errorf("benchgate: -max-drop %g out of range (0, 1)", maxDrop)
+	}
+	if maxAllocGrowth < 0 {
+		return fmt.Errorf("benchgate: -max-alloc-growth %g must not be negative", maxAllocGrowth)
+	}
+	allowed := map[string]bool{}
+	for _, name := range strings.Split(allowMissing, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			allowed[name] = true
+		}
 	}
 	var in io.Reader = os.Stdin
 	if input != "-" {
@@ -92,21 +114,28 @@ func run(input, baseline, out, update, sha, note string, maxDrop float64) error 
 	if err != nil {
 		return err
 	}
-	regressions := benchgate.Gate(base, results, maxDrop)
-	gated := 0
+	regressions := benchgate.Gate(base, results, benchgate.Limits{
+		MaxDrop:        maxDrop,
+		MaxAllocGrowth: maxAllocGrowth,
+		AllowMissing:   allowed,
+	})
+	throughputGated, allocGated := 0, 0
 	for _, r := range base.Results {
 		if r.EventsPerSec > 0 {
-			gated++
+			throughputGated++
+		}
+		if _, ok := r.AllocsPerOp(); ok && maxAllocGrowth > 0 {
+			allocGated++
 		}
 	}
 	if len(regressions) == 0 {
-		fmt.Printf("benchgate: OK — %d gated benchmarks within %.0f%% of baseline %s\n",
-			gated, maxDrop*100, base.SHA)
+		fmt.Printf("benchgate: OK — %d benchmarks within -%.0f%% events/sec, %d within +%.0f%% allocs/op of baseline %s\n",
+			throughputGated, maxDrop*100, allocGated, maxAllocGrowth*100, base.SHA)
 		return nil
 	}
 	for _, r := range regressions {
 		fmt.Fprintf(os.Stderr, "benchgate: REGRESSION %s\n", r)
 	}
-	return fmt.Errorf("benchgate: %d benchmark(s) regressed more than %.0f%% vs baseline %s",
-		len(regressions), maxDrop*100, base.SHA)
+	return fmt.Errorf("benchgate: %d gated comparison(s) failed vs baseline %s",
+		len(regressions), base.SHA)
 }

@@ -66,23 +66,27 @@ func run(w io.Writer, what string, nodes, sensors, groups, rounds, subs, minAttr
 	case "topology":
 		return dumpTopology(w, dep)
 	case "trace":
-		trace, err := sensorcq.GenerateTrace(dep, sensorcq.TraceConfig{Rounds: rounds, Seed: seed + 1})
+		streamer, err := sensorcq.NewTraceStreamer(dep, sensorcq.TraceConfig{Rounds: rounds, Seed: seed + 1})
 		if err != nil {
 			return err
 		}
-		return dumpTrace(w, trace)
+		return dumpTrace(w, streamer)
 	case "workload":
-		trace, err := sensorcq.GenerateTrace(dep, sensorcq.TraceConfig{Rounds: rounds, Seed: seed + 1})
+		// The workload generator only needs the trace's summary statistics,
+		// so stream the rounds through without retaining any of them.
+		streamer, err := sensorcq.NewTraceStreamer(dep, sensorcq.TraceConfig{Rounds: rounds, Seed: seed + 1})
 		if err != nil {
 			return err
 		}
-		placed, err := sensorcq.GenerateWorkload(dep, trace, sensorcq.WorkloadConfig{
+		for streamer.NextRound() != nil {
+		}
+		stream, err := sensorcq.NewWorkloadStream(dep, streamer.Stats(), streamer.RoundInterval(), sensorcq.WorkloadConfig{
 			Count: subs, MinAttrs: minAttrs, MaxAttrs: maxAttrs, Seed: seed + 2,
 		})
 		if err != nil {
 			return err
 		}
-		return dumpWorkload(w, placed)
+		return dumpWorkload(w, stream)
 	default:
 		return fmt.Errorf("unknown -what %q (want topology, trace or workload)", what)
 	}
@@ -111,27 +115,36 @@ func dumpTopology(w io.Writer, dep *sensorcq.Deployment) error {
 	return nil
 }
 
-func dumpTrace(w io.Writer, trace *sensorcq.Trace) error {
+// dumpTrace writes the trace round by round as the streamer produces it, so
+// the dump runs in constant memory regardless of the round count.
+func dumpTrace(w io.Writer, streamer *sensorcq.TraceStreamer) error {
 	if _, err := fmt.Fprintln(w, "seq,sensor,attribute,value,time"); err != nil {
 		return err
 	}
-	for _, ev := range trace.Events {
-		if _, err := fmt.Fprintf(w, "%d,%s,%s,%.3f,%d\n", ev.Seq, ev.Sensor, ev.Attr, ev.Value, ev.Time); err != nil {
-			return err
+	for {
+		round := streamer.NextRound()
+		if round == nil {
+			return nil
+		}
+		for _, ev := range round {
+			if _, err := fmt.Fprintf(w, "%d,%s,%s,%.3f,%d\n", ev.Seq, ev.Sensor, ev.Attr, ev.Value, ev.Time); err != nil {
+				return err
+			}
 		}
 	}
-	return nil
 }
 
-func dumpWorkload(w io.Writer, placed []sensorcq.PlacedSubscription) error {
+// dumpWorkload writes each subscription as the stream produces it.
+func dumpWorkload(w io.Writer, stream *sensorcq.WorkloadStream) error {
 	if _, err := fmt.Fprintln(w, "subscription,node,group,attributes,filters"); err != nil {
 		return err
 	}
-	for _, p := range placed {
+	for stream.Next() {
+		p := stream.Placed()
 		if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%q\n",
 			p.Sub.ID, p.Node, p.Group, p.Sub.NumFilters(), p.Sub.String()); err != nil {
 			return err
 		}
 	}
-	return nil
+	return stream.Err()
 }

@@ -98,6 +98,15 @@ type SubscriptionHandle struct {
 	// retainLog keeps the pull log after Unsubscribe (WithRetainLog).
 	retainLog bool
 
+	// unsubMu serialises Unsubscribe calls. The unsubscribed flag alone is
+	// not enough: with a bare Swap(true), a concurrent second call would
+	// observe the flag during a first call whose retraction then FAILS and
+	// rolls the flag back — the second caller would report ErrUnsubscribed
+	// for a subscription that is still registered. Under the mutex the flag
+	// only ever transitions to true after a successful retraction, so every
+	// ErrUnsubscribed corresponds to a retraction that actually ran.
+	unsubMu sync.Mutex
+
 	delivered    atomic.Int64
 	droppedPush  atomic.Int64
 	unsubscribed atomic.Bool
@@ -162,19 +171,25 @@ func (h *SubscriptionHandle) DeliveredSeqs() map[uint64]bool {
 // The second and later calls return ErrUnsubscribed; after System.Close it
 // returns ErrClosed.
 func (h *SubscriptionHandle) Unsubscribe() error {
+	// Serialised: concurrent calls must not interleave with a failing
+	// retraction. The flag is only set after the retraction succeeded, so a
+	// loser of the race cannot observe a transient true that is later rolled
+	// back and misreport ErrUnsubscribed while the subscription stays
+	// registered.
+	h.unsubMu.Lock()
+	defer h.unsubMu.Unlock()
 	if h.sys.closed.Load() {
 		return ErrClosed
 	}
-	if h.unsubscribed.Swap(true) {
+	if h.unsubscribed.Load() {
 		return ErrUnsubscribed
 	}
 	if err := h.sys.unsubscribe(h); err != nil {
 		// The retraction did not run (e.g. the runtime shut down under us):
-		// the subscription is still registered, so the handle must not wedge
-		// in a half-unsubscribed state where retries report ErrUnsubscribed.
-		h.unsubscribed.Store(false)
+		// the subscription is still registered and a retry stays possible.
 		return err
 	}
+	h.unsubscribed.Store(true)
 	return nil
 }
 

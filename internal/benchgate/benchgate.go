@@ -1,16 +1,23 @@
 // Package benchgate parses `go test -bench` output into a machine-readable
 // report and gates benchmark regressions against a committed baseline. The
-// CI pipeline runs the replay and event-matching benchmarks, emits the
-// report as a BENCH_<sha>.json artifact, and fails the build when a
-// benchmark's events/sec throughput drops by more than the configured
-// fraction below the baseline.
+// CI pipeline runs the replay and event-matching benchmarks with -benchmem,
+// emits the report as a BENCH_<sha>.json artifact, and fails the build when
+// a benchmark regresses against the baseline.
 //
-// Only the events/sec metric gates (wall-clock throughput of the replay
-// benchmarks); ns/op and the other custom metrics are recorded in the
-// report for trend analysis but do not fail the build — absolute per-op
-// times vary too much across runner generations to gate on, while a
-// same-machine throughput collapse is exactly what the gate exists to
-// catch.
+// Three comparisons gate:
+//
+//   - events/sec may not drop by more than Limits.MaxDrop below the
+//     baseline (wall-clock throughput of the replay benchmarks);
+//   - allocs/op and B/op may not grow by more than Limits.MaxAllocGrowth
+//     above the baseline (allocation discipline of the hot path — unlike
+//     ns/op these are deterministic enough to gate across runners);
+//   - every baseline benchmark must be present in the current run, unless
+//     its removal was declared intentional via Limits.AllowMissing — a
+//     silently vanished benchmark would otherwise un-gate itself.
+//
+// ns/op and the remaining custom metrics are recorded in the report for
+// trend analysis but do not fail the build — absolute per-op times vary too
+// much across runner generations to gate on.
 package benchgate
 
 import (
@@ -61,6 +68,21 @@ func (r *Report) Lookup(name string) (Result, bool) {
 	return Result{}, false
 }
 
+// AllocsPerOp returns the allocs/op measurement (from -benchmem) and whether
+// the benchmark reported one. Presence matters: zero allocations is a valid
+// — and for the hot-path benchmarks, the desired — measurement.
+func (r Result) AllocsPerOp() (float64, bool) {
+	v, ok := r.Metrics["allocs/op"]
+	return v, ok
+}
+
+// BytesPerOp returns the B/op measurement (from -benchmem) and whether the
+// benchmark reported one.
+func (r Result) BytesPerOp() (float64, bool) {
+	v, ok := r.Metrics["B/op"]
+	return v, ok
+}
+
 // Parse reads `go test -bench` output and extracts every benchmark line.
 // Lines that are not benchmark results (headers, PASS/ok, test logs) are
 // ignored. Multiple lines with the same name (e.g. -count > 1) are merged
@@ -92,6 +114,12 @@ func Parse(r io.Reader) ([]Result, error) {
 		for k, v := range res.Metrics {
 			if prev.Metrics == nil {
 				prev.Metrics = map[string]float64{}
+			}
+			// Allocation metrics take the best (lowest) run, matching the
+			// best-of treatment of the gated throughput; anything else keeps
+			// the latest value.
+			if old, seen := prev.Metrics[k]; seen && (k == "allocs/op" || k == "B/op") && old < v {
+				continue
 			}
 			prev.Metrics[k] = v
 		}
@@ -141,31 +169,65 @@ func parseLine(line string) (Result, bool) {
 	return res, true
 }
 
-// Regression describes one gated metric that fell below the baseline.
+// Regression describes one gated comparison that failed against the
+// baseline.
 type Regression struct {
-	Name     string
+	Name string
+	// Metric names the gated measurement: "events/sec", "allocs/op" or
+	// "B/op". Empty for Missing regressions (the whole benchmark vanished).
+	Metric   string
 	Baseline float64
 	Current  float64
-	Drop     float64 // fractional drop, e.g. 0.31 for -31%
-	Missing  bool    // the benchmark vanished from the current run
+	// Delta is the fractional regression: the throughput drop for
+	// events/sec (0.31 for -31%), the growth for the allocation metrics
+	// (1.0 for a doubling).
+	Delta float64
+	// Missing marks a baseline benchmark absent from the current run.
+	Missing bool
 }
 
 // String implements fmt.Stringer.
 func (r Regression) String() string {
 	if r.Missing {
-		return fmt.Sprintf("%s: present in baseline (%.0f events/sec) but missing from this run — "+
-			"renamed or removed benchmarks need a baseline update", r.Name, r.Baseline)
+		return fmt.Sprintf("%s: present in baseline but missing from this run — "+
+			"renamed or removed benchmarks need a baseline update or an explicit -allow-missing entry", r.Name)
 	}
-	return fmt.Sprintf("%s: events/sec %.0f -> %.0f (-%.1f%%)",
-		r.Name, r.Baseline, r.Current, r.Drop*100)
+	switch r.Metric {
+	case "events/sec":
+		return fmt.Sprintf("%s: events/sec %.0f -> %.0f (-%.1f%%)",
+			r.Name, r.Baseline, r.Current, r.Delta*100)
+	default:
+		if r.Baseline == 0 {
+			return fmt.Sprintf("%s: %s 0 -> %.0f (was allocation-free)", r.Name, r.Metric, r.Current)
+		}
+		return fmt.Sprintf("%s: %s %.0f -> %.0f (+%.1f%%)",
+			r.Name, r.Metric, r.Baseline, r.Current, r.Delta*100)
+	}
 }
 
-// Gate compares the current results against the baseline: every baseline
-// entry with an events/sec measurement must be present in the current run
-// and within maxDrop (a fraction, e.g. 0.25) of the baseline throughput.
-// Benchmarks only in the current run pass freely (they will gate once the
-// baseline is refreshed to include them).
-func Gate(baseline *Report, current []Result, maxDrop float64) []Regression {
+// Limits parameterises Gate.
+type Limits struct {
+	// MaxDrop is the maximum tolerated fractional events/sec drop below
+	// the baseline (e.g. 0.25).
+	MaxDrop float64
+	// MaxAllocGrowth is the maximum tolerated fractional allocs/op and
+	// B/op growth above the baseline (e.g. 0.5 for +50%). Zero or negative
+	// disables allocation gating.
+	MaxAllocGrowth float64
+	// AllowMissing lists baseline benchmarks whose absence from the
+	// current run is intentional (renamed or removed on purpose). Any
+	// other baseline benchmark missing from the run is a failure — gated
+	// or not, a benchmark that silently vanishes un-gates itself.
+	AllowMissing map[string]bool
+}
+
+// Gate compares the current results against the baseline under the given
+// limits. Every baseline benchmark must be present in the current run unless
+// allowlisted; present ones must hold their events/sec within MaxDrop and
+// their allocs/op and B/op within MaxAllocGrowth. Benchmarks only in the
+// current run pass freely (they will gate once the baseline is refreshed to
+// include them).
+func Gate(baseline *Report, current []Result, lim Limits) []Regression {
 	curByName := map[string]Result{}
 	for _, res := range current {
 		curByName[res.Name] = res
@@ -178,22 +240,51 @@ func Gate(baseline *Report, current []Result, maxDrop float64) []Regression {
 	sort.Strings(names)
 	for _, name := range names {
 		base, _ := baseline.Lookup(name)
-		if base.EventsPerSec <= 0 {
-			continue // not a gated benchmark (no throughput metric)
-		}
 		cur, ok := curByName[name]
 		if !ok {
-			regressions = append(regressions, Regression{Name: name, Baseline: base.EventsPerSec, Missing: true})
+			if !lim.AllowMissing[name] {
+				regressions = append(regressions, Regression{Name: name, Missing: true})
+			}
 			continue
 		}
-		drop := 1 - cur.EventsPerSec/base.EventsPerSec
-		if drop > maxDrop {
-			regressions = append(regressions, Regression{
-				Name: name, Baseline: base.EventsPerSec, Current: cur.EventsPerSec, Drop: drop,
-			})
+		if base.EventsPerSec > 0 {
+			drop := 1 - cur.EventsPerSec/base.EventsPerSec
+			if drop > lim.MaxDrop {
+				regressions = append(regressions, Regression{
+					Name: name, Metric: "events/sec",
+					Baseline: base.EventsPerSec, Current: cur.EventsPerSec, Delta: drop,
+				})
+			}
+		}
+		if lim.MaxAllocGrowth > 0 {
+			regressions = append(regressions, gateAllocMetric(name, "allocs/op", base, cur, lim.MaxAllocGrowth)...)
+			regressions = append(regressions, gateAllocMetric(name, "B/op", base, cur, lim.MaxAllocGrowth)...)
 		}
 	}
 	return regressions
+}
+
+// gateAllocMetric gates one -benchmem metric. Both sides must have reported
+// it (a baseline predating -benchmem, or a run without it, cannot compare).
+// A zero baseline is the strictest gate: the benchmark was allocation-free,
+// so any allocation at all is a regression.
+func gateAllocMetric(name, metric string, base, cur Result, maxGrowth float64) []Regression {
+	bv, bok := base.Metrics[metric]
+	cv, cok := cur.Metrics[metric]
+	if !bok || !cok {
+		return nil
+	}
+	if bv == 0 {
+		if cv > 0 {
+			return []Regression{{Name: name, Metric: metric, Baseline: bv, Current: cv, Delta: 0}}
+		}
+		return nil
+	}
+	growth := cv/bv - 1
+	if growth > maxGrowth {
+		return []Regression{{Name: name, Metric: metric, Baseline: bv, Current: cv, Delta: growth}}
+	}
+	return nil
 }
 
 // Encode writes the report as indented JSON.

@@ -66,12 +66,16 @@ func baselineReport() *Report {
 	return &Report{
 		SHA: "abc123",
 		Results: []Result{
-			{Name: "BenchmarkReplayWindowed/lag=0-4", NsPerOp: 1e7, EventsPerSec: 40000},
-			{Name: "BenchmarkReplayWindowed/lag=2-4", NsPerOp: 8e6, EventsPerSec: 50000},
+			{Name: "BenchmarkReplayWindowed/lag=0-4", NsPerOp: 1e7, EventsPerSec: 40000,
+				Metrics: map[string]float64{"allocs/op": 4000, "B/op": 700000}},
+			{Name: "BenchmarkReplayWindowed/lag=2-4", NsPerOp: 8e6, EventsPerSec: 50000,
+				Metrics: map[string]float64{"allocs/op": 4200, "B/op": 720000}},
 			{Name: "BenchmarkEventMatchScaling/indexed/subs=1000-4", NsPerOp: 70},
 		},
 	}
 }
+
+func defaultLimits() Limits { return Limits{MaxDrop: 0.25, MaxAllocGrowth: 0.5} }
 
 // TestGateFailsOnInjectedSlowdown is the gate's own regression test: a run
 // whose throughput collapsed beyond the threshold must be flagged, one
@@ -83,11 +87,11 @@ func TestGateFailsOnInjectedSlowdown(t *testing.T) {
 		{Name: "BenchmarkReplayWindowed/lag=2-4", EventsPerSec: 45000}, // -10%: fine
 		{Name: "BenchmarkEventMatchScaling/indexed/subs=1000-4", NsPerOp: 500},
 	}
-	regs := Gate(base, slow, 0.25)
+	regs := Gate(base, slow, defaultLimits())
 	if len(regs) != 1 {
 		t.Fatalf("Gate flagged %d regressions, want exactly the injected one: %v", len(regs), regs)
 	}
-	if regs[0].Name != "BenchmarkReplayWindowed/lag=0-4" || regs[0].Drop < 0.49 {
+	if regs[0].Name != "BenchmarkReplayWindowed/lag=0-4" || regs[0].Metric != "events/sec" || regs[0].Delta < 0.49 {
 		t.Errorf("unexpected regression %+v", regs[0])
 	}
 	if !strings.Contains(regs[0].String(), "-50.0%") {
@@ -98,14 +102,16 @@ func TestGateFailsOnInjectedSlowdown(t *testing.T) {
 func TestGatePassesHealthyRun(t *testing.T) {
 	base := baselineReport()
 	healthy := []Result{
-		{Name: "BenchmarkReplayWindowed/lag=0-4", EventsPerSec: 41000},
-		{Name: "BenchmarkReplayWindowed/lag=2-4", EventsPerSec: 60000},
+		{Name: "BenchmarkReplayWindowed/lag=0-4", EventsPerSec: 41000,
+			Metrics: map[string]float64{"allocs/op": 4100, "B/op": 710000}},
+		{Name: "BenchmarkReplayWindowed/lag=2-4", EventsPerSec: 60000,
+			Metrics: map[string]float64{"allocs/op": 3000, "B/op": 500000}},
 		// ns/op-only benchmarks never gate, whatever they report.
 		{Name: "BenchmarkEventMatchScaling/indexed/subs=1000-4", NsPerOp: 9999},
 		// New benchmarks absent from the baseline pass freely.
 		{Name: "BenchmarkBrandNew-4", EventsPerSec: 1},
 	}
-	if regs := Gate(base, healthy, 0.25); len(regs) != 0 {
+	if regs := Gate(base, healthy, defaultLimits()); len(regs) != 0 {
 		t.Errorf("healthy run flagged: %v", regs)
 	}
 }
@@ -113,14 +119,118 @@ func TestGatePassesHealthyRun(t *testing.T) {
 func TestGateFlagsMissingBenchmark(t *testing.T) {
 	base := baselineReport()
 	partial := []Result{
-		{Name: "BenchmarkReplayWindowed/lag=0-4", EventsPerSec: 40000},
+		{Name: "BenchmarkReplayWindowed/lag=0-4", EventsPerSec: 40000,
+			Metrics: map[string]float64{"allocs/op": 4000, "B/op": 700000}},
 	}
-	regs := Gate(base, partial, 0.25)
-	if len(regs) != 1 || !regs[0].Missing {
-		t.Fatalf("missing gated benchmark not flagged: %v", regs)
+	// EVERY missing baseline benchmark fails — including ns/op-only entries
+	// that never gated a metric: a benchmark that silently vanishes would
+	// otherwise un-gate itself.
+	regs := Gate(base, partial, defaultLimits())
+	if len(regs) != 2 {
+		t.Fatalf("Gate flagged %d regressions for 2 missing benchmarks: %v", len(regs), regs)
 	}
-	if !strings.Contains(regs[0].String(), "missing") {
-		t.Errorf("message %q should mention the benchmark is missing", regs[0].String())
+	for _, r := range regs {
+		if !r.Missing {
+			t.Errorf("regression %+v should be a missing-benchmark failure", r)
+		}
+		if !strings.Contains(r.String(), "missing") {
+			t.Errorf("message %q should mention the benchmark is missing", r.String())
+		}
+	}
+
+	// An explicit allowlist declares the removals intentional.
+	lim := defaultLimits()
+	lim.AllowMissing = map[string]bool{
+		"BenchmarkReplayWindowed/lag=2-4":                true,
+		"BenchmarkEventMatchScaling/indexed/subs=1000-4": true,
+	}
+	if regs := Gate(base, partial, lim); len(regs) != 0 {
+		t.Errorf("allowlisted removals still flagged: %v", regs)
+	}
+}
+
+// TestGateFailsOnAllocRegression injects a 2x allocs/op regression and
+// requires the gate to flag it: allocation discipline is gated exactly like
+// throughput.
+func TestGateFailsOnAllocRegression(t *testing.T) {
+	base := baselineReport()
+	leaky := []Result{
+		{Name: "BenchmarkReplayWindowed/lag=0-4", EventsPerSec: 40000,
+			Metrics: map[string]float64{"allocs/op": 8000, "B/op": 710000}}, // allocs doubled
+		{Name: "BenchmarkReplayWindowed/lag=2-4", EventsPerSec: 50000,
+			Metrics: map[string]float64{"allocs/op": 4200, "B/op": 1500000}}, // bytes doubled
+		{Name: "BenchmarkEventMatchScaling/indexed/subs=1000-4", NsPerOp: 70},
+	}
+	regs := Gate(base, leaky, defaultLimits())
+	if len(regs) != 2 {
+		t.Fatalf("Gate flagged %d regressions, want the allocs/op and B/op doublings: %v", len(regs), regs)
+	}
+	if regs[0].Name != "BenchmarkReplayWindowed/lag=0-4" || regs[0].Metric != "allocs/op" || regs[0].Delta < 0.99 {
+		t.Errorf("unexpected first regression %+v", regs[0])
+	}
+	if regs[1].Name != "BenchmarkReplayWindowed/lag=2-4" || regs[1].Metric != "B/op" {
+		t.Errorf("unexpected second regression %+v", regs[1])
+	}
+	if !strings.Contains(regs[0].String(), "allocs/op") || !strings.Contains(regs[0].String(), "+100.0%") {
+		t.Errorf("message %q should state the alloc growth", regs[0].String())
+	}
+
+	// Disabling alloc gating (MaxAllocGrowth 0) passes the same run.
+	if regs := Gate(base, leaky, Limits{MaxDrop: 0.25}); len(regs) != 0 {
+		t.Errorf("alloc gating not disabled by zero MaxAllocGrowth: %v", regs)
+	}
+}
+
+// TestGateZeroAllocBaselineIsStrict pins the strictest case: a benchmark
+// whose baseline is allocation-free regresses on ANY allocation, whatever
+// the growth limit says.
+func TestGateZeroAllocBaselineIsStrict(t *testing.T) {
+	base := &Report{Results: []Result{
+		{Name: "BenchmarkHot-4", EventsPerSec: 1000,
+			Metrics: map[string]float64{"allocs/op": 0, "B/op": 0}},
+	}}
+	cur := []Result{
+		{Name: "BenchmarkHot-4", EventsPerSec: 1000,
+			Metrics: map[string]float64{"allocs/op": 1, "B/op": 16}},
+	}
+	regs := Gate(base, cur, Limits{MaxDrop: 0.25, MaxAllocGrowth: 10})
+	if len(regs) != 2 {
+		t.Fatalf("allocation on a zero baseline not flagged: %v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "allocation-free") {
+		t.Errorf("message %q should call out the lost zero-alloc property", regs[0].String())
+	}
+	// A run that stays allocation-free and a baseline/run pair without
+	// -benchmem data both pass.
+	clean := []Result{{Name: "BenchmarkHot-4", EventsPerSec: 1000,
+		Metrics: map[string]float64{"allocs/op": 0, "B/op": 0}}}
+	if regs := Gate(base, clean, Limits{MaxDrop: 0.25, MaxAllocGrowth: 10}); len(regs) != 0 {
+		t.Errorf("clean zero-alloc run flagged: %v", regs)
+	}
+	noMem := []Result{{Name: "BenchmarkHot-4", EventsPerSec: 1000}}
+	if regs := Gate(base, noMem, Limits{MaxDrop: 0.25, MaxAllocGrowth: 10}); len(regs) != 0 {
+		t.Errorf("run without -benchmem data flagged on alloc metrics: %v", regs)
+	}
+}
+
+// TestParseKeepsBestAllocRun pins the merge rule for -count > 1: allocation
+// metrics keep the lowest observed value, like the best-of treatment of
+// throughput.
+func TestParseKeepsBestAllocRun(t *testing.T) {
+	repeated := "BenchmarkX-1 1 200 ns/op 100 B/op 7 allocs/op\n" +
+		"BenchmarkX-1 1 100 ns/op 80 B/op 9 allocs/op\n"
+	results, err := Parse(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("parsed %d results, want 1 merged", len(results))
+	}
+	if a, ok := results[0].AllocsPerOp(); !ok || a != 7 {
+		t.Errorf("allocs/op merge = %v (ok=%v), want best-of 7", a, ok)
+	}
+	if b, ok := results[0].BytesPerOp(); !ok || b != 80 {
+		t.Errorf("B/op merge = %v (ok=%v), want best-of 80", b, ok)
 	}
 }
 

@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"sensorcq/internal/model"
 	"sensorcq/internal/netsim"
@@ -53,15 +54,39 @@ func (n *Node) processEvent(ctx *netsim.Context, from topology.NodeID, ev model.
 	n.deliverLocal(ctx, ev)
 }
 
-// dedupKey returns the "already forwarded" key for an event sent to the
-// given origin on behalf of the given operator, realising the event
+// dedupKey returns the interned "already forwarded" key ID for an event sent
+// to the given origin on behalf of the given operator, realising the event
 // propagation column of Table II: per-neighbour forwarding shares one key
 // per link, per-subscription forwarding uses one key per (link, operator).
-func (n *Node) dedupKey(origin topology.NodeID, op *model.Subscription) string {
+// The string is rendered once per distinct pair and cached; the steady-state
+// forwarding path reuses the small integer ID.
+func (n *Node) dedupKey(origin topology.NodeID, op *model.Subscription) uint32 {
+	k := dedupCacheKey{origin: origin}
 	if n.cfg.Propagation == PerSubscription {
-		return fmt.Sprintf("n:%d|s:%s", origin, op.ID)
+		k.op = op.ID
 	}
-	return fmt.Sprintf("n:%d", origin)
+	if id, ok := n.dedupIDs[k]; ok {
+		return id
+	}
+	var s string
+	if n.cfg.Propagation == PerSubscription {
+		s = fmt.Sprintf("n:%d|s:%s", origin, op.ID)
+	} else {
+		s = fmt.Sprintf("n:%d", origin)
+	}
+	id := n.window.KeyID(s)
+	if n.dedupIDs == nil {
+		n.dedupIDs = map[dedupCacheKey]uint32{}
+	}
+	n.dedupIDs[k] = id
+	return id
+}
+
+// dedupCacheKey identifies one interned forwarding key: the origin link and,
+// under per-subscription propagation, the operator it forwards for.
+type dedupCacheKey struct {
+	origin topology.NodeID
+	op     model.SubscriptionID
 }
 
 // matchAndForward finds the complex events involving ev that match operators
@@ -92,12 +117,12 @@ func (n *Node) matchAndForward(ctx *netsim.Context, origin topology.NodeID, ev m
 	idx.Candidates(ev, func(op *model.Subscription) bool {
 		key := n.dedupKey(origin, op)
 		window := n.window.Around(ev.Time, op.DeltaT)
-		op.ForEachComplexMatch(window, &ev, func(match model.ComplexEvent) bool {
+		op.ForEachComplexMatchScratch(window, &ev, &n.scratch, func(match model.ComplexEvent) bool {
 			for _, component := range match {
-				if n.window.WasSent(component.Seq, key) {
+				if n.window.WasSent(component, key) {
 					continue
 				}
-				n.window.MarkSent(component.Seq, key)
+				n.window.MarkSent(component, key)
 				pending = append(pending, component)
 			}
 			return true
@@ -105,7 +130,7 @@ func (n *Node) matchAndForward(ctx *netsim.Context, origin topology.NodeID, ev m
 		return true
 	})
 	if len(pending) > 1 {
-		sort.Slice(pending, func(i, j int) bool { return pending[i].Seq < pending[j].Seq })
+		slices.SortFunc(pending, func(a, b model.Event) int { return cmp.Compare(a.Seq, b.Seq) })
 	}
 	for _, component := range pending {
 		ctx.SendEvent(origin, component)
@@ -122,7 +147,9 @@ func (n *Node) matchAndForward(ctx *netsim.Context, origin topology.NodeID, ev m
 func (n *Node) deliverLocal(ctx *netsim.Context, ev model.Event) {
 	n.localIdx.Candidates(ev, func(sub *model.Subscription) bool {
 		window := n.window.Around(ev.Time, sub.DeltaT)
-		sub.ForEachComplexMatch(window, &ev, func(match model.ComplexEvent) bool {
+		// The scratch-owned match is only read within the callback;
+		// DeliverToUser copies the components into the delivery log.
+		sub.ForEachComplexMatchScratch(window, &ev, &n.scratch, func(match model.ComplexEvent) bool {
 			ctx.DeliverToUser(sub.ID, match)
 			return true
 		})

@@ -12,9 +12,10 @@
 package dataset
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"sensorcq/internal/model"
 	"sensorcq/internal/stats"
@@ -72,6 +73,19 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// Stats holds the per-attribute summary statistics of generated readings.
+// The workload generator consumes these (and nothing else from a trace) to
+// centre and size subscription ranges, so a streamed generation run that
+// never materialises the trace can still drive workload generation.
+type Stats struct {
+	// Medians holds the per-attribute median of the generated values.
+	Medians map[model.AttributeType]float64
+	// Spreads holds the per-attribute standard deviation.
+	Spreads map[model.AttributeType]float64
+	// Mins and Maxs hold the observed per-attribute extremes.
+	Mins, Maxs map[model.AttributeType]float64
+}
+
 // Trace is a generated measurement trace, ordered by time.
 type Trace struct {
 	// Events are all generated readings in timestamp order with globally
@@ -81,12 +95,8 @@ type Trace struct {
 	ByRound [][]model.Event
 	// RoundInterval echoes the configured sampling period.
 	RoundInterval model.Timestamp
-	// Medians holds the per-attribute median of the generated values.
-	Medians map[model.AttributeType]float64
-	// Spreads holds the per-attribute standard deviation.
-	Spreads map[model.AttributeType]float64
-	// Mins and Maxs hold the observed per-attribute extremes.
-	Mins, Maxs map[model.AttributeType]float64
+	// Stats summarises the generated values per attribute.
+	Stats
 }
 
 // NumEvents returns the total number of readings in the trace.
@@ -101,8 +111,31 @@ type sensorState struct {
 	rng     *stats.RNG
 }
 
-// Generate builds a trace for every sensor of the deployment.
-func Generate(dep *topology.Deployment, cfg Config) (*Trace, error) {
+// Streamer generates a measurement trace one round at a time without ever
+// materialising the whole trace. It produces bit-identical rounds to
+// Generate with the same configuration: the same RNG splits, sequence
+// numbers, phases and sample order.
+//
+// NextRound reuses an internal event buffer across calls — callers that
+// retain a round beyond the next NextRound call must copy it. Summary
+// statistics accumulate as rounds are generated; Stats reflects everything
+// generated so far.
+type Streamer struct {
+	interval  model.Timestamp
+	startTime model.Timestamp
+	rounds    int
+	sensors   []model.Sensor
+	states    []*sensorState
+	summaries map[model.AttributeType]*stats.Summary
+	seq       uint64
+	round     int
+	buf       []model.Event
+}
+
+// NewStreamer prepares round-by-round generation over the deployment's
+// sensors. The per-sensor generator state (offset, phase, RNG split) is fixed
+// here, so the stream is fully determined by the configuration.
+func NewStreamer(dep *topology.Deployment, cfg Config) (*Streamer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -120,67 +153,115 @@ func Generate(dep *topology.Deployment, cfg Config) (*Trace, error) {
 	}
 
 	master := stats.NewRNG(cfg.Seed)
-	states := make(map[model.SensorID]*sensorState, len(dep.Sensors))
 	// Deterministic iteration: sensors sorted by ID.
 	sensors := append([]model.Sensor(nil), dep.Sensors...)
-	sort.Slice(sensors, func(i, j int) bool { return sensors[i].ID < sensors[j].ID })
-	for _, s := range sensors {
+	slices.SortFunc(sensors, func(a, b model.Sensor) int { return cmp.Compare(a.ID, b.ID) })
+	states := make([]*sensorState, len(sensors))
+	for i, s := range sensors {
 		p, ok := byAttr[s.Attr]
 		if !ok {
 			return nil, fmt.Errorf("dataset: no profile for attribute %s", s.Attr)
 		}
 		rng := master.Split()
-		states[s.ID] = &sensorState{
+		states[i] = &sensorState{
 			profile: p,
 			offset:  rng.Normal(0, p.SensorSpread),
 			phase:   model.Timestamp(rng.Intn(int(interval))),
 			rng:     rng,
 		}
 	}
+	return &Streamer{
+		interval:  interval,
+		startTime: cfg.StartTime,
+		rounds:    cfg.Rounds,
+		sensors:   sensors,
+		states:    states,
+		summaries: map[model.AttributeType]*stats.Summary{},
+		buf:       make([]model.Event, 0, len(sensors)),
+	}, nil
+}
 
-	trace := &Trace{
-		RoundInterval: interval,
-		Medians:       map[model.AttributeType]float64{},
-		Spreads:       map[model.AttributeType]float64{},
-		Mins:          map[model.AttributeType]float64{},
-		Maxs:          map[model.AttributeType]float64{},
+// RoundInterval returns the sampling period between consecutive rounds.
+func (g *Streamer) RoundInterval() model.Timestamp { return g.interval }
+
+// TotalRounds returns the configured number of rounds.
+func (g *Streamer) TotalRounds() int { return g.rounds }
+
+// RoundsGenerated returns how many rounds NextRound has produced so far.
+func (g *Streamer) RoundsGenerated() int { return g.round }
+
+// NextRound generates the next measurement round, sorted by timestamp, or
+// returns nil once all configured rounds have been produced. The returned
+// slice aliases an internal buffer that the next NextRound call overwrites;
+// copy it to retain the round.
+func (g *Streamer) NextRound() []model.Event {
+	if g.round >= g.rounds {
+		return nil
 	}
-	summaries := map[model.AttributeType]*stats.Summary{}
-	seq := uint64(0)
-	for round := 0; round < cfg.Rounds; round++ {
-		roundStart := cfg.StartTime + model.Timestamp(round)*interval
-		var roundEvents []model.Event
-		for _, s := range sensors {
-			st := states[s.ID]
-			seq++
-			ts := roundStart + st.phase
-			value := st.sample(ts)
-			ev := model.Event{
-				Seq:      seq,
-				Sensor:   s.ID,
-				Attr:     s.Attr,
-				Location: s.Location,
-				Value:    value,
-				Time:     ts,
-			}
-			roundEvents = append(roundEvents, ev)
-			sum := summaries[s.Attr]
-			if sum == nil {
-				sum = stats.NewSummary()
-				summaries[s.Attr] = sum
-			}
-			sum.Add(value)
+	roundStart := g.startTime + model.Timestamp(g.round)*g.interval
+	g.buf = g.buf[:0]
+	for i, s := range g.sensors {
+		st := g.states[i]
+		g.seq++
+		ts := roundStart + st.phase
+		value := st.sample(ts)
+		g.buf = append(g.buf, model.Event{
+			Seq:      g.seq,
+			Sensor:   s.ID,
+			Attr:     s.Attr,
+			Location: s.Location,
+			Value:    value,
+			Time:     ts,
+		})
+		sum := g.summaries[s.Attr]
+		if sum == nil {
+			sum = stats.NewSummary()
+			g.summaries[s.Attr] = sum
 		}
-		model.SortEventsByTime(roundEvents)
-		trace.ByRound = append(trace.ByRound, roundEvents)
-		trace.Events = append(trace.Events, roundEvents...)
+		sum.Add(value)
 	}
-	for attr, sum := range summaries {
-		trace.Medians[attr] = sum.Median()
-		trace.Spreads[attr] = sum.StdDev()
-		trace.Mins[attr] = sum.Min()
-		trace.Maxs[attr] = sum.Max()
+	model.SortEventsByTime(g.buf)
+	g.round++
+	return g.buf
+}
+
+// Stats summarises the values generated so far. The returned maps are fresh
+// copies; they do not change as more rounds are generated.
+func (g *Streamer) Stats() Stats {
+	st := Stats{
+		Medians: map[model.AttributeType]float64{},
+		Spreads: map[model.AttributeType]float64{},
+		Mins:    map[model.AttributeType]float64{},
+		Maxs:    map[model.AttributeType]float64{},
 	}
+	for attr, sum := range g.summaries {
+		st.Medians[attr] = sum.Median()
+		st.Spreads[attr] = sum.StdDev()
+		st.Mins[attr] = sum.Min()
+		st.Maxs[attr] = sum.Max()
+	}
+	return st
+}
+
+// Generate builds a trace for every sensor of the deployment. It is the
+// materialised form of the stream NewStreamer produces: every round is copied
+// out of the streamer's reusable buffer into the trace.
+func Generate(dep *topology.Deployment, cfg Config) (*Trace, error) {
+	g, err := NewStreamer(dep, cfg)
+	if err != nil {
+		return nil, err
+	}
+	trace := &Trace{RoundInterval: g.RoundInterval()}
+	for {
+		round := g.NextRound()
+		if round == nil {
+			break
+		}
+		copied := append([]model.Event(nil), round...)
+		trace.ByRound = append(trace.ByRound, copied)
+		trace.Events = append(trace.Events, copied...)
+	}
+	trace.Stats = g.Stats()
 	return trace, nil
 }
 

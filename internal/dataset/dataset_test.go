@@ -135,3 +135,66 @@ func TestTraceTimestampsFollowRounds(t *testing.T) {
 		}
 	}
 }
+
+// TestStreamerMatchesGenerate pins the streaming contract: NextRound must
+// produce bit-identical rounds to Generate for the same configuration, the
+// accumulated statistics must match the trace's, and the returned rounds must
+// alias a reusable buffer (callers copy to retain).
+func TestStreamerMatchesGenerate(t *testing.T) {
+	dep := smallDeployment(t)
+	cfg := Config{Rounds: 8, RoundInterval: 90, StartTime: 500, Seed: 21}
+	trace, err := Generate(dep, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewStreamer(dep, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalRounds() != cfg.Rounds {
+		t.Fatalf("TotalRounds = %d, want %d", g.TotalRounds(), cfg.Rounds)
+	}
+	if g.RoundInterval() != trace.RoundInterval {
+		t.Fatalf("RoundInterval = %d, want %d", g.RoundInterval(), trace.RoundInterval)
+	}
+	var firstBacking *model.Event
+	for r := 0; r < cfg.Rounds; r++ {
+		round := g.NextRound()
+		if round == nil {
+			t.Fatalf("stream exhausted after %d rounds, want %d", r, cfg.Rounds)
+		}
+		if len(round) > 0 {
+			if firstBacking == nil {
+				firstBacking = &round[0]
+			} else if &round[0] != firstBacking {
+				t.Fatal("NextRound reallocated its buffer between rounds")
+			}
+		}
+		if len(round) != len(trace.ByRound[r]) {
+			t.Fatalf("round %d has %d events, want %d", r, len(round), len(trace.ByRound[r]))
+		}
+		for i := range round {
+			if round[i] != trace.ByRound[r][i] {
+				t.Fatalf("round %d event %d differs: %+v vs %+v", r, i, round[i], trace.ByRound[r][i])
+			}
+		}
+		if g.RoundsGenerated() != r+1 {
+			t.Fatalf("RoundsGenerated = %d after round %d", g.RoundsGenerated(), r)
+		}
+	}
+	if g.NextRound() != nil {
+		t.Fatal("NextRound should return nil once all rounds are generated")
+	}
+	st := g.Stats()
+	for _, attr := range model.DefaultAttributes() {
+		if st.Medians[attr] != trace.Medians[attr] {
+			t.Errorf("%s: streamed median %g != trace median %g", attr, st.Medians[attr], trace.Medians[attr])
+		}
+		if st.Spreads[attr] != trace.Spreads[attr] {
+			t.Errorf("%s: streamed spread %g != trace spread %g", attr, st.Spreads[attr], trace.Spreads[attr])
+		}
+		if st.Mins[attr] != trace.Mins[attr] || st.Maxs[attr] != trace.Maxs[attr] {
+			t.Errorf("%s: streamed extremes differ from trace", attr)
+		}
+	}
+}

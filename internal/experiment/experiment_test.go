@@ -2,6 +2,8 @@ package experiment
 
 import (
 	"testing"
+
+	"sensorcq/internal/netsim"
 )
 
 func TestScenarioDefinitionsMatchPaper(t *testing.T) {
@@ -215,5 +217,79 @@ func TestChurnRun(t *testing.T) {
 	opts.Churn = 1.5
 	if _, err := RunOnWorkload(w, opts); err == nil {
 		t.Error("churn outside [0,1] should be rejected")
+	}
+}
+
+// TestWindowedRunSpansBatches exercises the open-session windowed harness:
+// under Delivery=Windowed the batches replay through one KeepOpen session —
+// no drain at batch boundaries, later batches' subscriptions join the
+// in-flight stream — and the series points are finalized from the per-round
+// traffic attribution after the closing flush. The sequential engine is
+// deterministic, so two runs must agree exactly; the points must carry a
+// sane, monotone traffic series and a recall measured against the oracle.
+func TestWindowedRunSpansBatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run skipped in -short mode")
+	}
+	s := QuickScale(SmallScale())
+	w, err := BuildWorkload(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Approaches = []ApproachID{OperatorPlacement, FilterSplitForward}
+	opts.Delivery = netsim.Windowed
+	opts.Lag = 2
+
+	run1, err := RunOnWorkload(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run2, err := RunOnWorkload(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiescent, err := RunOnWorkload(w, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, id := range opts.Approaches {
+		series := run1.SeriesFor(id)
+		again := run2.SeriesFor(id)
+		base := quiescent.SeriesFor(id)
+		if series == nil || again == nil || base == nil || len(series.Points) != s.Batches {
+			t.Fatalf("%s: missing or truncated series", id)
+		}
+		var prevSubLoad int64
+		var total, baseTotal int64
+		for i, p := range series.Points {
+			if again.Points[i] != p {
+				t.Errorf("%s batch %d: windowed run not deterministic: %+v vs %+v", id, i, p, again.Points[i])
+			}
+			if p.EventLoad <= 0 {
+				t.Errorf("%s batch %d: event load %d, want > 0", id, i, p.EventLoad)
+			}
+			if p.SubscriptionLoad < prevSubLoad {
+				t.Errorf("%s batch %d: subscription load %d regressed below %d", id, i, p.SubscriptionLoad, prevSubLoad)
+			}
+			prevSubLoad = p.SubscriptionLoad
+			if p.Recall < 0 || p.Recall > 1 {
+				t.Errorf("%s batch %d: recall %f out of range", id, i, p.Recall)
+			}
+			total += p.EventLoad
+			baseTotal += base.Points[i].EventLoad
+		}
+		// Batch 0 subscribes to quiescence before the session opens, so its
+		// recall is not degraded by mid-stream registration.
+		if r := series.Points[0].Recall; r < 0.95 {
+			t.Errorf("%s: batch-0 windowed recall = %.3f, want >= 0.95", id, r)
+		}
+		// Mid-stream subscriptions may miss early matches of their own
+		// batch, so the windowed totals can undershoot the quiescent run —
+		// but they must stay in its neighbourhood, not collapse.
+		if total < baseTotal/2 || total > baseTotal*2 {
+			t.Errorf("%s: windowed total event load %d far from quiescent %d", id, total, baseTotal)
+		}
 	}
 }

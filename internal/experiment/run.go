@@ -347,65 +347,120 @@ func runApproach(w *Workload, id ApproachID, o Options) (*ApproachSeries, error)
 		engine.Flush()
 	}
 
+	// Under the windowed delivery mode the batches replay through one open
+	// session (ReplayOptions.KeepOpen): nothing drains at a batch boundary,
+	// so rounds of consecutive batches genuinely overlap in flight and
+	// subscription injections of later batches join the stream. Traffic is
+	// then attributed per lineage-round range (EventLoadForRounds /
+	// SubscriptionLoadForRounds) and the points are finalized after the
+	// closing flush — there is no quiescent instant mid-run to snapshot at.
+	// The quiescent and pipelined modes drain between rounds by definition,
+	// so they keep the snapshot-difference measurement (ReplayRounds already
+	// returns quiescent; no extra flush is needed).
+	windowed := o.Delivery == netsim.Windowed
 	series := &ApproachSeries{Approach: id}
+	roundsReplayed := 0
+	// loRound[b], hiRound[b] is batch b's lineage-round range; boundary[b]
+	// is the round current while batch b's subscriptions were injected.
+	var loRound, hiRound, boundary []int
 	for b := 0; b < s.Batches; b++ {
-		// Inject this batch's subscriptions.
+		// Inject this batch's subscriptions. Batch 0 always propagates to
+		// quiescence (the session opens with the first replayed round);
+		// later batches under windowed delivery join the open session.
 		start := b * s.BatchSize
 		end := start + s.BatchSize
 		if end > len(w.Placed) {
 			end = len(w.Placed)
 		}
 		batch := w.Placed[start:end]
+		boundary = append(boundary, roundsReplayed)
 		for _, p := range batch {
 			if err := engine.Subscribe(p.Node, p.Sub); err != nil {
 				return nil, fmt.Errorf("experiment: subscribing %s: %w", p.Sub.ID, err)
 			}
-			engine.Flush()
+			if !windowed || b == 0 {
+				engine.Flush()
+			}
 		}
 		// Replay this batch's measurement rounds under the configured
-		// delivery semantics and measure the traffic they generate.
-		before := engine.Metrics().Snapshot()
-		if err := engine.ReplayRounds(w.PublicationRounds(b), netsim.ReplayOptions{Mode: o.Delivery, Lag: o.Lag}); err != nil {
+		// delivery semantics.
+		rounds := w.PublicationRounds(b)
+		loRound = append(loRound, roundsReplayed+1)
+		roundsReplayed += len(rounds)
+		hiRound = append(hiRound, roundsReplayed)
+		var before netsim.Snapshot
+		if !windowed {
+			before = engine.Metrics().Snapshot()
+		}
+		opts := netsim.ReplayOptions{Mode: o.Delivery, Lag: o.Lag, KeepOpen: windowed}
+		if err := engine.ReplayRounds(rounds, opts); err != nil {
 			return nil, fmt.Errorf("experiment: replaying batch %d: %w", b, err)
 		}
-		engine.Flush()
-		after := engine.Metrics().Snapshot()
-
-		point := SeriesPoint{
-			InjectedQueries:  end,
-			SubscriptionLoad: after.SubscriptionLoad,
-			EventLoad:        after.Diff(before).EventLoad,
-			Recall:           1,
-		}
-		if o.ComputeRecall {
-			// The plain expectation assumes every injected subscription is
-			// still active; under churn the ground truth is the surviving
-			// population instead (cached across approaches — the schedule
-			// is approach-independent).
-			var exp *oracle.Expectation
-			if o.Churn > 0 {
-				exp = w.churnExpectation(b, o.Churn)
-			} else {
-				exp = w.expectation(b)
+		point := SeriesPoint{InjectedQueries: end, Recall: 1}
+		if !windowed {
+			after := engine.Metrics().Snapshot()
+			point.SubscriptionLoad = after.SubscriptionLoad
+			point.EventLoad = after.Diff(before).EventLoad
+			if o.ComputeRecall {
+				point.Recall = batchRecall(w, b, o, engine)
 			}
-			point.Recall = exp.Recall(engine.Metrics().DeliveredSeqs)
 		}
 		// Retract this batch's churned fraction (oldest first, the schedule
-		// survivorsForBatch mirrors) now that its segment has been
-		// measured; later batches run against the survivors.
+		// survivorsForBatch mirrors) now that its segment has replayed;
+		// later batches run against the survivors. Under windowed delivery
+		// the retractions join the open session like the subscriptions do.
 		if k := churnCount(len(batch), o.Churn); k > 0 {
 			for _, p := range batch[:k] {
 				if err := engine.Unsubscribe(p.Node, p.Sub.ID); err != nil {
 					return nil, fmt.Errorf("experiment: unsubscribing %s: %w", p.Sub.ID, err)
 				}
-				engine.Flush()
+				if !windowed {
+					engine.Flush()
+				}
 			}
 		}
 		series.Points = append(series.Points, point)
-		if o.Progress != nil {
+		if o.Progress != nil && !windowed {
 			o.Progress("%-24s %-22s queries=%4d  sub-load=%7d  event-load=%8d  recall=%.3f",
 				s.Name, id, point.InjectedQueries, point.SubscriptionLoad, point.EventLoad, point.Recall)
 		}
 	}
+	if windowed {
+		// Close the session, then finalize every point from the per-round
+		// attribution: EventLoad is the batch's own round range, the
+		// cumulative SubscriptionLoad after batch b is everything up to and
+		// including its injection boundary, and recall is computed against
+		// the complete delivery record (segments have disjoint sequence
+		// numbers, so late-arriving deliveries land in their own batch's
+		// expectation).
+		engine.Flush()
+		m := engine.Metrics()
+		for b := range series.Points {
+			point := &series.Points[b]
+			point.EventLoad = m.EventLoadForRounds(loRound[b], hiRound[b])
+			point.SubscriptionLoad = m.SubscriptionLoadForRounds(0, boundary[b])
+			if o.ComputeRecall {
+				point.Recall = batchRecall(w, b, o, engine)
+			}
+			if o.Progress != nil {
+				o.Progress("%-24s %-22s queries=%4d  sub-load=%7d  event-load=%8d  recall=%.3f",
+					s.Name, id, point.InjectedQueries, point.SubscriptionLoad, point.EventLoad, point.Recall)
+			}
+		}
+	}
 	return series, nil
+}
+
+// batchRecall measures the end-user recall of one batch's segment. The plain
+// expectation assumes every injected subscription is still active; under
+// churn the ground truth is the surviving population instead (cached across
+// approaches — the schedule is approach-independent).
+func batchRecall(w *Workload, b int, o Options, engine netsim.Runtime) float64 {
+	var exp *oracle.Expectation
+	if o.Churn > 0 {
+		exp = w.churnExpectation(b, o.Churn)
+	} else {
+		exp = w.expectation(b)
+	}
+	return exp.Recall(engine.Metrics().DeliveredSeqs)
 }

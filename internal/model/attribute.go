@@ -9,7 +9,7 @@ package model
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"sensorcq/internal/geom"
@@ -93,7 +93,7 @@ func attributeKey(attrs []AttributeType) string {
 	for i, a := range attrs {
 		ss[i] = string(a)
 	}
-	sort.Strings(ss)
+	slices.Sort(ss)
 	return strings.Join(ss, "|")
 }
 
@@ -103,7 +103,7 @@ func sensorKey(ids []SensorID) string {
 	for i, d := range ids {
 		ss[i] = string(d)
 	}
-	sort.Strings(ss)
+	slices.Sort(ss)
 	return strings.Join(ss, "|")
 }
 
@@ -113,7 +113,7 @@ func SortedAttributes(in map[AttributeType]AttributeFilter) []AttributeType {
 	for a := range in {
 		out = append(out, a)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -123,6 +123,6 @@ func SortedSensors(in map[SensorID]SensorFilter) []SensorID {
 	for d := range in {
 		out = append(out, d)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

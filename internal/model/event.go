@@ -1,8 +1,9 @@
 package model
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"sensorcq/internal/geom"
 )
@@ -89,16 +90,16 @@ func (c ComplexEvent) Seqs() []uint64 {
 	for i, e := range c {
 		out[i] = e.Seq
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
 // SortEventsByTime sorts events by (Time, Seq) in increasing order, in place.
 func SortEventsByTime(events []Event) {
-	sort.Slice(events, func(i, j int) bool {
-		if events[i].Time != events[j].Time {
-			return events[i].Time < events[j].Time
+	slices.SortFunc(events, func(a, b Event) int {
+		if a.Time != b.Time {
+			return cmp.Compare(a.Time, b.Time)
 		}
-		return events[i].Seq < events[j].Seq
+		return cmp.Compare(a.Seq, b.Seq)
 	})
 }

@@ -109,11 +109,64 @@ func (s *Subscription) FindComplexMatch(window []Event, mustInclude *Event) (Com
 	return out, out != nil
 }
 
+// MatchScratch holds the reusable working storage of a complex-match
+// enumeration: the per-filter candidate lists and the partial selection of
+// the backtracking search. A zero MatchScratch is ready to use; reusing one
+// scratch across enumerations (one per protocol node) makes the steady-state
+// match path allocation-free. A scratch must not be shared between
+// goroutines or used reentrantly from an enumeration callback.
+type MatchScratch struct {
+	keys   []string  // raw sensor/attribute completeness keys, sorted
+	cands  [][]Event // parallel to keys; backing arrays are recycled
+	chosen ComplexEvent
+}
+
+// grow readies the scratch for an enumeration over n completeness keys,
+// retaining every backing array from previous use.
+func (sc *MatchScratch) grow(n int) {
+	sc.keys = sc.keys[:0]
+	for len(sc.cands) < n {
+		sc.cands = append(sc.cands, nil)
+	}
+	for i := range sc.cands {
+		sc.cands[i] = sc.cands[i][:0]
+	}
+	sc.chosen = sc.chosen[:0]
+}
+
+// rawKey returns the completeness key of an event under this subscription
+// without the "d:"/"a:" type prefix FilterKeyFor adds: a subscription is
+// either identified or abstract, never both, so within one enumeration the
+// raw names cannot collide and the prefix concatenation (an allocation per
+// call) is unnecessary.
+func (s *Subscription) rawKey(e Event) string {
+	if s.Kind == KindIdentified {
+		return string(e.Sensor)
+	}
+	return string(e.Attr)
+}
+
 // ForEachComplexMatch enumerates every complex event in the candidate window
 // that matches the subscription and includes the mustInclude event (pass nil
 // to disable that constraint), invoking fn for each; fn returns false to stop
 // the enumeration. Each invocation receives a fresh ComplexEvent the callback
-// may retain.
+// may retain. Hot paths that must not allocate use
+// ForEachComplexMatchScratch instead.
+func (s *Subscription) ForEachComplexMatch(window []Event, mustInclude *Event, fn func(ComplexEvent) bool) {
+	var sc MatchScratch
+	s.ForEachComplexMatchScratch(window, mustInclude, &sc, func(match ComplexEvent) bool {
+		out := make(ComplexEvent, len(match))
+		copy(out, match)
+		return fn(out)
+	})
+}
+
+// ForEachComplexMatchScratch is ForEachComplexMatch with caller-provided
+// working storage: the enumeration allocates nothing once the scratch has
+// warmed up. The ComplexEvent passed to fn is the scratch's own selection
+// buffer — it is valid only for the duration of the callback and is
+// overwritten by the next match; callbacks that retain a match must copy it
+// first.
 //
 // The search is an exact backtracking search over one candidate list per
 // required sensor/attribute. Subscriptions in this system have at most a
@@ -126,59 +179,73 @@ func (s *Subscription) FindComplexMatch(window []Event, mustInclude *Event) (Com
 // with mustInclude set to the newly arrived event, a given complex event is
 // discovered exactly once, at the arrival of whichever of its components
 // shows up last, no matter the order the components arrived in. The
-// pipelined replay mode's per-round conformance oracle relies on this.
-func (s *Subscription) ForEachComplexMatch(window []Event, mustInclude *Event, fn func(ComplexEvent) bool) {
-	keys := s.filterKeys()
-	candidates := make(map[string][]Event, len(keys))
+// pipelined replay mode's per-round conformance oracle relies on this. The
+// enumeration order itself is deterministic — keys sorted, candidates in
+// window order — so runs are reproducible whatever storage the caller
+// recycles.
+func (s *Subscription) ForEachComplexMatchScratch(window []Event, mustInclude *Event, sc *MatchScratch, fn func(ComplexEvent) bool) {
+	n := s.NumFilters()
+	sc.grow(n)
+	if s.Kind == KindIdentified {
+		for d := range s.SensorFilters {
+			sc.keys = append(sc.keys, string(d))
+		}
+	} else {
+		for a := range s.AttrFilters {
+			sc.keys = append(sc.keys, string(a))
+		}
+	}
+	sortStrings(sc.keys)
+	keys := sc.keys
+	cands := sc.cands[:n]
 	for _, e := range window {
 		if !s.MatchesEvent(e) {
 			continue
 		}
-		key, _ := s.FilterKeyFor(e)
-		candidates[key] = append(candidates[key], e)
+		key := s.rawKey(e)
+		for i, k := range keys {
+			if k == key {
+				cands[i] = append(cands[i], e)
+				break
+			}
+		}
 	}
 	var mustKey string
 	if mustInclude != nil {
 		if !s.MatchesEvent(*mustInclude) {
 			return
 		}
-		mustKey, _ = s.FilterKeyFor(*mustInclude)
+		mustKey = s.rawKey(*mustInclude)
 	}
 	// Completeness pre-check: every key needs at least one candidate.
-	for _, k := range keys {
+	for i, k := range keys {
 		if k == mustKey {
 			continue
 		}
-		if len(candidates[k]) == 0 {
+		if len(cands[i]) == 0 {
 			return
 		}
 	}
 
-	chosen := make(ComplexEvent, 0, len(keys))
 	var rec func(i int) bool // returns false to abort the whole enumeration
-	emit := func() bool {
-		if !s.MatchesComplex(chosen) {
-			return true
-		}
-		out := make(ComplexEvent, len(chosen))
-		copy(out, chosen)
-		return fn(out)
-	}
 	rec = func(i int) bool {
 		if i == len(keys) {
-			return emit()
+			// A full selection is a match by construction: candidates were
+			// pre-filtered with MatchesEvent, each key contributed exactly
+			// one component, and partialFeasible verified the δt/δl spans on
+			// the complete selection before this call.
+			return fn(sc.chosen)
 		}
-		key := keys[i]
-		if key == mustKey {
-			chosen = append(chosen, *mustInclude)
-			ok := !s.partialFeasible(chosen) || rec(i+1)
-			chosen = chosen[:len(chosen)-1]
+		if keys[i] == mustKey {
+			sc.chosen = append(sc.chosen, *mustInclude)
+			ok := !s.partialFeasible(sc.chosen) || rec(i+1)
+			sc.chosen = sc.chosen[:len(sc.chosen)-1]
 			return ok
 		}
-		for _, e := range candidates[key] {
-			chosen = append(chosen, e)
-			ok := !s.partialFeasible(chosen) || rec(i+1)
-			chosen = chosen[:len(chosen)-1]
+		for _, e := range cands[i] {
+			sc.chosen = append(sc.chosen, e)
+			ok := !s.partialFeasible(sc.chosen) || rec(i+1)
+			sc.chosen = sc.chosen[:len(sc.chosen)-1]
 			if !ok {
 				return false
 			}
@@ -186,6 +253,17 @@ func (s *Subscription) ForEachComplexMatch(window []Event, mustInclude *Event, f
 		return true
 	}
 	rec(0)
+}
+
+// sortStrings is an allocation-free insertion sort for the (at most a
+// handful of) completeness keys; sort.Strings would allocate its interface
+// header on every enumeration.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
 }
 
 // partialFeasible prunes the backtracking search: a partial selection is

@@ -55,6 +55,12 @@ type ConcurrentEngine struct {
 	wmInjected int
 	wmRetired  int
 	wmWatching atomic.Bool
+	// wmSessionOpen (guarded by wmMu) records that a KeepOpen windowed
+	// replay returned with the session live: wmWatching is still set but no
+	// ReplayRounds call is running. Flush closes such a session; while a
+	// replay IS running, Flush must instead keep its retire frontier capped
+	// at the injection frontier (the round being injected must not retire).
+	wmSessionOpen bool
 
 	// wmRing is the incremental watermark min-tracker: the network-wide
 	// in-flight item count of round r lives in slot r % wmRingSize. submit
@@ -436,7 +442,10 @@ func (e *ConcurrentEngine) ReplayRounds(rounds [][]Publication, opts ReplayOptio
 		}
 	}
 	if opts.Mode == Windowed {
-		return e.replayWindowed(rounds, opts.Lag)
+		return e.replayWindowed(rounds, opts.Lag, opts.KeepOpen)
+	}
+	if e.wmWatching.Load() {
+		return fmt.Errorf("netsim: %v replay rejected while a windowed session is open (Flush to close it)", opts.Mode)
 	}
 	for _, round := range rounds {
 		r := e.advanceRound()
@@ -460,17 +469,26 @@ func (e *ConcurrentEngine) ReplayRounds(rounds [][]Publication, opts ReplayOptio
 	return nil
 }
 
-func (e *ConcurrentEngine) replayWindowed(rounds [][]Publication, lag int) error {
+// replayWindowed runs the watermark-gated replay. When a session is already
+// open (a previous KeepOpen call left wmWatching set), the new rounds
+// continue it — the injection frontier and the in-flight rounds carry over.
+// With keepOpen the trailing rounds stay in flight when the call returns;
+// Flush closes the session. A failed submit (engine shutdown) closes the
+// session on the way out, matching the pre-session error behaviour.
+func (e *ConcurrentEngine) replayWindowed(rounds [][]Publication, lag int, keepOpen bool) error {
 	e.wmMu.Lock()
-	e.wmInjected = e.currentRound()
+	if !e.wmWatching.Load() {
+		e.wmInjected = e.currentRound()
+		e.wmWatching.Store(true)
+	}
+	e.wmSessionOpen = false
 	e.wmMu.Unlock()
-	e.wmWatching.Store(true)
-	defer e.wmWatching.Store(false)
 	for _, round := range rounds {
 		r := e.advanceRound()
 		e.waitWatermark(r - 1 - lag)
 		for _, p := range round {
 			if err := e.submitPublication(p, r); err != nil {
+				e.wmWatching.Store(false)
 				return err
 			}
 		}
@@ -478,7 +496,14 @@ func (e *ConcurrentEngine) replayWindowed(rounds [][]Publication, lag int) error
 		e.wmInjected = r
 		e.wmMu.Unlock()
 	}
+	if keepOpen {
+		e.wmMu.Lock()
+		e.wmSessionOpen = true
+		e.wmMu.Unlock()
+		return nil
+	}
 	e.Flush()
+	e.wmWatching.Store(false)
 	return nil
 }
 
@@ -573,7 +598,10 @@ func (e *ConcurrentEngine) NodeWatermarks() []int {
 }
 
 // Flush implements Runtime: it blocks until every in-flight message (and
-// every message transitively produced by it) has been processed.
+// every message transitively produced by it) has been processed. A live
+// windowed session (KeepOpen) is closed: after the drain no round is in
+// flight, so the watermark catches up to the round counter and the next
+// ReplayRounds starts a fresh session.
 func (e *ConcurrentEngine) Flush() {
 	e.idleMu.Lock()
 	for e.inflight.Load() > 0 {
@@ -588,7 +616,15 @@ func (e *ConcurrentEngine) Flush() {
 	// bounds the spread in between.
 	frontier := e.currentRound()
 	e.wmMu.Lock()
-	if e.wmWatching.Load() {
+	if e.wmSessionOpen {
+		// An open KeepOpen session with no replay running: the drain above
+		// emptied it, so close the session; the round counter is the exact
+		// frontier (every round is fully injected).
+		e.wmSessionOpen = false
+		e.wmWatching.Store(false)
+	} else if e.wmWatching.Load() {
+		// Mid-replay the cap is the injection frontier: the round being
+		// injected right now must not retire.
 		frontier = e.wmInjected
 	}
 	e.advanceWatermarkLocked(frontier)

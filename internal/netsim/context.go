@@ -93,7 +93,7 @@ func (c *Context) send(to topology.NodeID, msg Message) {
 	if !c.graph.HasEdge(c.self, to) {
 		panic(fmt.Sprintf("netsim: node %d attempted to send %s to non-neighbour %d", c.self, msg.Kind, to))
 	}
-	c.metrics.recordSend(c.self, to, msg)
+	c.metrics.recordSend(c.self, to, msg, c.round)
 	c.out.enqueue(c.self, to, msg, c.round)
 }
 

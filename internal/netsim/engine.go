@@ -220,18 +220,24 @@ func (e *Engine) validNode(n topology.NodeID) error {
 }
 
 // AttachSensor implements Runtime. The injection is processed (and the
-// resulting advertisement flood drained) before it returns.
+// resulting advertisement flood drained) before it returns — unless a
+// windowed session is open (KeepOpen), in which case the injection joins
+// the in-flight stream at the current round.
 func (e *Engine) AttachSensor(node topology.NodeID, sensor model.Sensor) error {
 	if err := e.validNode(node); err != nil {
 		return err
 	}
 	e.push(queued{to: node, from: node, injection: injectionSensor, sensor: sensor, round: e.round})
-	e.Flush()
+	if e.ledger == nil {
+		e.Flush()
+	}
 	return nil
 }
 
 // Subscribe implements Runtime; the subscription is fully propagated before
-// it returns.
+// it returns, except while a windowed session is open (KeepOpen): then it
+// joins the in-flight stream at the current round and propagates alongside
+// the replay traffic, without draining the network first.
 func (e *Engine) Subscribe(node topology.NodeID, sub *model.Subscription) error {
 	if err := e.validNode(node); err != nil {
 		return err
@@ -240,7 +246,9 @@ func (e *Engine) Subscribe(node topology.NodeID, sub *model.Subscription) error 
 		return err
 	}
 	e.push(queued{to: node, from: node, injection: injectionSubscribe, sub: sub, round: e.round})
-	e.Flush()
+	if e.ledger == nil {
+		e.Flush()
+	}
 	return nil
 }
 
@@ -255,7 +263,9 @@ func (e *Engine) Unsubscribe(node topology.NodeID, id model.SubscriptionID) erro
 		return fmt.Errorf("netsim: empty subscription ID")
 	}
 	e.push(queued{to: node, from: node, injection: injectionUnsubscribe, unsub: id, round: e.round})
-	e.Flush()
+	if e.ledger == nil {
+		e.Flush()
+	}
 	return nil
 }
 
@@ -267,7 +277,9 @@ func (e *Engine) Publish(node topology.NodeID, ev model.Event) error {
 	}
 	ev.Round = e.round
 	e.push(queued{to: node, from: node, injection: injectionPublish, ev: ev, round: e.round})
-	e.Flush()
+	if e.ledger == nil {
+		e.Flush()
+	}
 	return nil
 }
 
@@ -296,7 +308,10 @@ func (e *Engine) ReplayRounds(rounds [][]Publication, opts ReplayOptions) error 
 		}
 	}
 	if opts.Mode == Windowed {
-		return e.replayWindowed(rounds, opts.Lag)
+		return e.replayWindowed(rounds, opts.Lag, opts.KeepOpen)
+	}
+	if e.ledger != nil {
+		return fmt.Errorf("netsim: %v replay rejected while a windowed session is open (Flush to close it)", opts.Mode)
 	}
 	for _, round := range rounds {
 		e.round++
@@ -320,10 +335,18 @@ func (e *Engine) ReplayRounds(rounds [][]Publication, opts ReplayOptions) error 
 // drains the FIFO queue only until the watermark reaches r-1-lag, so up to
 // lag+1 rounds of items interleave on the queue. With lag 0 the drain runs
 // to quiescence before each injection — exactly the Pipelined schedule.
-func (e *Engine) replayWindowed(rounds [][]Publication, lag int) error {
-	led := newRoundLedger(e.round)
-	e.ledger = led
-	defer func() { e.ledger = nil }()
+//
+// When a session ledger is already live (a previous KeepOpen call), the
+// replay continues it: the first new round overlaps the open session's
+// trailing rounds under the same watermark gate. With keepOpen the trailing
+// rounds are left in flight and the ledger stays live; Flush closes the
+// session.
+func (e *Engine) replayWindowed(rounds [][]Publication, lag int, keepOpen bool) error {
+	led := e.ledger
+	if led == nil {
+		led = newRoundLedger(e.round)
+		e.ledger = led
+	}
 	for _, round := range rounds {
 		r := e.round + 1
 		e.drainUntil(led, r-1-lag)
@@ -332,6 +355,9 @@ func (e *Engine) replayWindowed(rounds [][]Publication, lag int) error {
 			e.pushPublication(p, r)
 		}
 		led.markInjected(r)
+	}
+	if keepOpen {
+		return nil
 	}
 	e.Flush()
 	return nil
@@ -369,7 +395,9 @@ func (e *Engine) drainUntil(led *roundLedger, target int) {
 
 // Flush implements Runtime: it processes queued messages in FIFO order until
 // none remain. The queue's backing array is retained and reused across
-// flushes, so a long replay does not reallocate it per event.
+// flushes, so a long replay does not reallocate it per event. A live
+// windowed session (KeepOpen) is closed: after the drain no round is in
+// flight, so the ledger is retired and the next ReplayRounds starts fresh.
 //
 // Dispatched items stay in the queue until the drain completes, so a nested
 // Flush (a handler calling back into the engine mid-dispatch — nothing does
@@ -385,6 +413,7 @@ func (e *Engine) Flush() {
 	}
 	e.compact()
 	e.flushing = false
+	e.ledger = nil
 }
 
 // step dispatches the item at the queue head and releases it in the ledger.

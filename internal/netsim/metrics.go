@@ -47,6 +47,19 @@ type metricsShard struct {
 	linkSubscription map[Link]int64
 	linkEvent        map[Link]int64
 
+	// eventLoadByRound and subscriptionLoadByRound split the event and
+	// subscription loads by lineage round (the replay round whose dispatch
+	// cascade produced the send, the same attribution the watermark ledger
+	// uses), indexed by round number. They let the experiment harness
+	// attribute traffic to round ranges without draining the network to
+	// take a snapshot between batches — which is what allows a windowed
+	// replay to keep rounds in flight across batch boundaries. Subscription
+	// injections joining an open session are stamped with the round current
+	// at injection, so a batch subscribed between two replay calls is
+	// attributed entirely to the boundary round.
+	eventLoadByRound        []int64
+	subscriptionLoadByRound []int64
+
 	// deliveredSeqs tracks, per user subscription, the set of simple-event
 	// sequence numbers that reached the subscribing user as part of some
 	// complex event. Recall compares it against the oracle's expectation.
@@ -83,7 +96,7 @@ func (m *Metrics) shardFor(node topology.NodeID) *metricsShard {
 	return &m.shards[i]
 }
 
-func (m *Metrics) recordSend(from, to topology.NodeID, msg Message) {
+func (m *Metrics) recordSend(from, to topology.NodeID, msg Message, round int) {
 	units := msg.Units
 	if units <= 0 {
 		units = 1
@@ -97,12 +110,45 @@ func (m *Metrics) recordSend(from, to topology.NodeID, msg Message) {
 	case KindSubscription:
 		s.subscriptionLoad += units
 		s.linkSubscription[Link{From: from, To: to}] += units
+		s.subscriptionLoadByRound = addByRound(s.subscriptionLoadByRound, round, units)
 	case KindUnsubscription:
 		s.unsubscriptionLoad += units
 	case KindEvent:
 		s.eventLoad += units
 		s.linkEvent[Link{From: from, To: to}] += units
+		s.eventLoadByRound = addByRound(s.eventLoadByRound, round, units)
 	}
+}
+
+// addByRound accumulates units into the per-round counter slice, growing it
+// on demand (doubled capacity, so steady-state replay rounds amortize to
+// zero allocations).
+func addByRound(byRound []int64, round int, units int64) []int64 {
+	if round < 0 {
+		return byRound
+	}
+	if round >= len(byRound) {
+		grown := make([]int64, round+1, 2*(round+1))
+		copy(grown, byRound)
+		byRound = grown
+	}
+	byRound[round] += units
+	return byRound
+}
+
+// sumRounds folds byRound[lo..hi] (clamped to the recorded range).
+func sumRounds(byRound []int64, lo, hi int) int64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(byRound)-1 {
+		hi = len(byRound) - 1
+	}
+	var total int64
+	for r := lo; r <= hi; r++ {
+		total += byRound[r]
+	}
+	return total
 }
 
 func (m *Metrics) recordDelivery(d Delivery) {
@@ -178,6 +224,42 @@ func (m *Metrics) UnsubscriptionLoad() int64 {
 // per link traversal).
 func (m *Metrics) EventLoad() int64 {
 	return m.sum(func(s *metricsShard) int64 { return s.eventLoad })
+}
+
+// EventLoadForRounds returns the number of forwarded data units attributed
+// to lineage rounds lo..hi inclusive. Lineage attribution matches the
+// watermark ledger's: a send performed while dispatching round-r work counts
+// towards round r, whatever round the event payload was injected in. Under
+// quiescent and pipelined replay the network drains between rounds, so the
+// sum over a round range equals the snapshot difference across it; under
+// windowed replay it is the only exact per-range accounting, since rounds
+// overlap and no quiescent instant exists to snapshot at.
+func (m *Metrics) EventLoadForRounds(lo, hi int) int64 {
+	var total int64
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		total += sumRounds(s.eventLoadByRound, lo, hi)
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// SubscriptionLoadForRounds returns the number of forwarded subscriptions
+// and operators attributed to lineage rounds lo..hi inclusive. Subscription
+// injections are stamped with the round current at injection, so the
+// cumulative subscription load after a batch injected at round boundary r is
+// SubscriptionLoadForRounds(0, r) — exact even while later rounds are still
+// in flight in an open windowed session.
+func (m *Metrics) SubscriptionLoadForRounds(lo, hi int) int64 {
+	var total int64
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		total += sumRounds(s.subscriptionLoadByRound, lo, hi)
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // TotalLoad returns the sum of all loads.

@@ -1,0 +1,231 @@
+// Tests for the KeepOpen windowed session API and the per-round event-load
+// accounting: a session split across several ReplayRounds calls must behave
+// exactly like the same trace replayed in one call, control injections must
+// join an open session without draining it, and EventLoadForRounds must
+// partition the event load by lineage round.
+package netsim_test
+
+import (
+	"strings"
+	"testing"
+
+	"sensorcq/internal/core"
+	"sensorcq/internal/experiment"
+	"sensorcq/internal/model"
+	"sensorcq/internal/netsim"
+)
+
+// sessionWorkload builds the small conformance workload and the handler
+// factory of the first registered approach with a lag-matched validity.
+func sessionWorkload(t *testing.T, seed int64, lag int) (*experiment.Workload, func() netsim.HandlerFactory) {
+	t.Helper()
+	w, err := experiment.BuildWorkload(conformanceScenario(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := experiment.All()[0]
+	newFactory := func() netsim.HandlerFactory {
+		factory, err := experiment.FactoryForSpec(id, experiment.FactorySpec{
+			Seed:           seed + 7,
+			ValidityFactor: netsim.RequiredValidityFactor(netsim.Windowed, lag),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return factory
+	}
+	return w, newFactory
+}
+
+// setup attaches sensors and subscriptions exactly like driveRounds.
+func setup(t *testing.T, rt netsim.Runtime, w *experiment.Workload) {
+	t.Helper()
+	for _, sensor := range w.Deployment.Sensors {
+		if err := rt.AttachSensor(w.Deployment.SensorHost[sensor.ID], sensor); err != nil {
+			t.Fatal(err)
+		}
+		rt.Flush()
+	}
+	for _, p := range w.Placed {
+		if err := rt.Subscribe(p.Node, p.Sub.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		rt.Flush()
+	}
+}
+
+// TestKeepOpenWindowedSession replays the trace batch by batch through an
+// open windowed session and requires the run to be indistinguishable from a
+// single windowed ReplayRounds call over the whole trace: identical traffic
+// totals and identical per-round delivery multisets, on both engines.
+func TestKeepOpenWindowedSession(t *testing.T) {
+	const lag = 1
+	w, newFactory := sessionWorkload(t, 7, lag)
+	totalRounds := w.Scenario.Batches * w.Scenario.RoundsPerBatch
+
+	for _, concurrent := range []bool{false, true} {
+		name := "sequential"
+		if concurrent {
+			name = "concurrent"
+		}
+		t.Run(name, func(t *testing.T) {
+			newRT := func() netsim.Runtime {
+				if concurrent {
+					return netsim.NewConcurrentEngine(w.Deployment.Graph, newFactory())
+				}
+				return netsim.NewEngine(w.Deployment.Graph, newFactory())
+			}
+
+			// Baseline: the whole trace in one windowed call.
+			baseline := newRT()
+			if conc, ok := baseline.(*netsim.ConcurrentEngine); ok {
+				defer conc.Close()
+			}
+			setup(t, baseline, w)
+			var all [][]netsim.Publication
+			for b := 0; b < w.Scenario.Batches; b++ {
+				all = append(all, w.PublicationRounds(b)...)
+			}
+			if err := baseline.ReplayRounds(all, netsim.ReplayOptions{Mode: netsim.Windowed, Lag: lag}); err != nil {
+				t.Fatal(err)
+			}
+			baseline.Flush()
+
+			// Session: one KeepOpen call per batch, closed by a final Flush.
+			sess := newRT()
+			if conc, ok := sess.(*netsim.ConcurrentEngine); ok {
+				defer conc.Close()
+			}
+			setup(t, sess, w)
+			for b := 0; b < w.Scenario.Batches; b++ {
+				opts := netsim.ReplayOptions{Mode: netsim.Windowed, Lag: lag, KeepOpen: true}
+				if err := sess.ReplayRounds(w.PublicationRounds(b), opts); err != nil {
+					t.Fatal(err)
+				}
+				if !concurrent && b == 0 {
+					// The sequential engine drains nothing behind the
+					// caller's back, so mid-session the trailing rounds must
+					// still be in flight — the batch boundary did not drain.
+					if wm := sess.Watermark(); wm >= w.Scenario.RoundsPerBatch {
+						t.Errorf("watermark %d after KeepOpen batch 0: the session was drained at the batch boundary", wm)
+					}
+				}
+			}
+			sess.Flush()
+
+			assertSameTraffic(t, name, baseline.Metrics().Snapshot(), sess.Metrics().Snapshot())
+			assertSamePerRoundDeliveries(t, name, baseline.Deliveries(), sess.Deliveries())
+			if wm := sess.Watermark(); wm != totalRounds {
+				t.Errorf("final watermark = %d, want %d", wm, totalRounds)
+			}
+			if n := sess.Metrics().DroppedMessages(); n != 0 {
+				t.Errorf("session run dropped %d messages", n)
+			}
+
+			// The per-round attribution must partition the total event load.
+			m := sess.Metrics()
+			if got, want := m.EventLoadForRounds(0, totalRounds), m.EventLoad(); got != want {
+				t.Errorf("EventLoadForRounds(0,%d) = %d, want total event load %d", totalRounds, got, want)
+			}
+			var sum int64
+			for r := 0; r <= totalRounds; r++ {
+				sum += m.EventLoadForRounds(r, r)
+			}
+			if want := m.EventLoad(); sum != want {
+				t.Errorf("per-round event loads sum to %d, want %d", sum, want)
+			}
+		})
+	}
+}
+
+// TestKeepOpenSessionRejectsOtherModes pins the session discipline: while a
+// windowed session is open, a quiescent or pipelined replay (and hence
+// PublishBatch) is an error, and Flush closes the session so the same call
+// succeeds afterwards.
+func TestKeepOpenSessionRejectsOtherModes(t *testing.T) {
+	const lag = 1
+	w, newFactory := sessionWorkload(t, 11, lag)
+
+	for _, concurrent := range []bool{false, true} {
+		name := "sequential"
+		if concurrent {
+			name = "concurrent"
+		}
+		t.Run(name, func(t *testing.T) {
+			var rt netsim.Runtime
+			if concurrent {
+				conc := netsim.NewConcurrentEngine(w.Deployment.Graph, newFactory())
+				defer conc.Close()
+				rt = conc
+			} else {
+				rt = netsim.NewEngine(w.Deployment.Graph, newFactory())
+			}
+			setup(t, rt, w)
+			opts := netsim.ReplayOptions{Mode: netsim.Windowed, Lag: lag, KeepOpen: true}
+			if err := rt.ReplayRounds(w.PublicationRounds(0), opts); err != nil {
+				t.Fatal(err)
+			}
+			err := rt.ReplayRounds(w.PublicationRounds(1), netsim.ReplayOptions{Mode: netsim.Pipelined})
+			if err == nil || !strings.Contains(err.Error(), "windowed session") {
+				t.Fatalf("pipelined replay during open session: err = %v, want open-session rejection", err)
+			}
+			rt.Flush()
+			if err := rt.ReplayRounds(w.PublicationRounds(1), netsim.ReplayOptions{Mode: netsim.Pipelined}); err != nil {
+				t.Fatalf("pipelined replay after Flush closed the session: %v", err)
+			}
+		})
+	}
+
+	// KeepOpen outside the windowed mode is a validation error everywhere.
+	rt := netsim.NewEngine(w.Deployment.Graph, newFactory())
+	err := rt.ReplayRounds(nil, netsim.ReplayOptions{Mode: netsim.Pipelined, KeepOpen: true})
+	if err == nil {
+		t.Fatal("KeepOpen with pipelined mode validated")
+	}
+}
+
+// TestSubscribeJoinsOpenSession verifies that control injections do not
+// drain an open session on the sequential engine: the watermark must not
+// advance across a Subscribe/Unsubscribe, and the retraction must still take
+// effect once the session is closed.
+func TestSubscribeJoinsOpenSession(t *testing.T) {
+	const lag = 2
+	w, newFactory := sessionWorkload(t, 42, lag)
+
+	e := netsim.NewEngine(w.Deployment.Graph, newFactory())
+	setup(t, e, w)
+	opts := netsim.ReplayOptions{Mode: netsim.Windowed, Lag: lag, KeepOpen: true}
+	if err := e.ReplayRounds(w.PublicationRounds(0), opts); err != nil {
+		t.Fatal(err)
+	}
+	before := e.Watermark()
+	if before >= w.Scenario.RoundsPerBatch {
+		t.Fatalf("watermark %d: batch 0 fully drained, the open session is vacuous", before)
+	}
+
+	sub := w.Placed[0].Sub.Clone()
+	sub.ID = model.SubscriptionID("mid-session-sub")
+	if err := e.Subscribe(w.Placed[0].Node, sub); err != nil {
+		t.Fatal(err)
+	}
+	if wm := e.Watermark(); wm != before {
+		t.Errorf("Subscribe drained the open session: watermark %d -> %d", before, wm)
+	}
+	if err := e.Unsubscribe(w.Placed[0].Node, sub.ID); err != nil {
+		t.Fatal(err)
+	}
+	if wm := e.Watermark(); wm != before {
+		t.Errorf("Unsubscribe drained the open session: watermark %d -> %d", before, wm)
+	}
+	e.Flush()
+	if n := e.Metrics().DroppedMessages(); n != 0 {
+		t.Errorf("dropped %d messages", n)
+	}
+	// The retraction propagated with the stream: the registration node no
+	// longer stores the mid-session subscription.
+	if node, ok := e.Handler(w.Placed[0].Node).(*core.Node); ok {
+		if node.Subscriptions().Seen(w.Placed[0].Node, sub.ID) {
+			t.Errorf("mid-session subscription still stored after unsubscribe + flush")
+		}
+	}
+}

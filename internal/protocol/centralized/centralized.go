@@ -63,6 +63,10 @@ type Node struct {
 	entries   map[model.SubscriptionID]*subEntry
 	idx       *stores.EventIndex
 	maxDeltaT model.Timestamp
+	// scratch is the centre's reusable complex-match working storage; the
+	// central node's handler runs on one goroutine at a time, like every
+	// other handler.
+	scratch model.MatchScratch
 }
 
 // subEntry is a subscription registered at the central node together with
@@ -72,6 +76,10 @@ type subEntry struct {
 	subscriber topology.NodeID
 	firstHop   topology.NodeID
 	pathLen    int64
+	// sentKey is the event-window forwarding key interned for this
+	// subscription at registration, so the per-event dedup check never
+	// renders a string.
+	sentKey uint32
 }
 
 // Init implements netsim.Handler: it elects the central node from the global
@@ -164,7 +172,7 @@ func (n *Node) register(ctx *netsim.Context, sub *model.Subscription) {
 			subscriber = topology.NodeID(v)
 		}
 	}
-	entry := &subEntry{sub: sub, subscriber: subscriber}
+	entry := &subEntry{sub: sub, subscriber: subscriber, sentKey: n.window.KeyID("s:" + string(sub.ID))}
 	if subscriber != n.self {
 		path := ctx.Graph().Path(n.self, subscriber)
 		if len(path) >= 2 {
@@ -233,17 +241,17 @@ func (n *Node) matchAtCenter(ctx *netsim.Context, ev model.Event) {
 	// most once per subscription.
 	n.idx.Candidates(ev, func(sub *model.Subscription) bool {
 		entry := n.entries[sub.ID]
-		key := "s:" + string(sub.ID)
+		key := entry.sentKey
 		window := n.window.Around(ev.Time, sub.DeltaT)
-		sub.ForEachComplexMatch(window, &ev, func(match model.ComplexEvent) bool {
+		sub.ForEachComplexMatchScratch(window, &ev, &n.scratch, func(match model.ComplexEvent) bool {
 			for _, component := range match {
-				if n.window.WasSent(component.Seq, key) {
+				if n.window.WasSent(component, key) {
 					continue
 				}
 				if entry.pathLen > 0 {
 					ctx.SendEventUnits(entry.firstHop, component, entry.pathLen)
 				}
-				n.window.MarkSent(component.Seq, key)
+				n.window.MarkSent(component, key)
 			}
 			ctx.DeliverToUser(sub.ID, match)
 			return true

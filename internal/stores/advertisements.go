@@ -17,7 +17,8 @@
 package stores
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"sensorcq/internal/geom"
 	"sensorcq/internal/model"
@@ -129,7 +130,7 @@ func (t *AdvertisementTable) Origins() []topology.NodeID {
 	for o := range t.byOrigin {
 		out = append(out, o)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -141,7 +142,7 @@ func (t *AdvertisementTable) From(origin topology.NodeID) []model.Advertisement 
 	for _, adv := range m {
 		out = append(out, adv)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Sensor < out[j].Sensor })
+	slices.SortFunc(out, func(a, b model.Advertisement) int { return cmp.Compare(a.Sensor, b.Sensor) })
 	return out
 }
 
@@ -222,6 +223,6 @@ func (t *AdvertisementTable) OriginsMatching(sub *model.Subscription, exclude to
 			out = append(out, origin)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

@@ -265,24 +265,31 @@ func TestEventWindowAroundAndPrune(t *testing.T) {
 
 func TestEventWindowSentFlags(t *testing.T) {
 	w := NewEventWindow(100)
-	w.Insert(model.Event{Seq: 1, Time: 10})
-	if w.WasSent(1, "n:2") {
+	stored := model.Event{Seq: 1, Time: 10}
+	w.Insert(stored)
+	k2, k3 := w.KeyID("n:2"), w.KeyID("n:3")
+	if w.KeyID("n:2") != k2 {
+		t.Error("KeyID must be stable for the same key")
+	}
+	if w.WasSent(stored, k2) {
 		t.Error("fresh event should not be marked sent")
 	}
-	w.MarkSent(1, "n:2")
-	if !w.WasSent(1, "n:2") || w.WasSent(1, "n:3") {
+	w.MarkSent(stored, k2)
+	if !w.WasSent(stored, k2) || w.WasSent(stored, k3) {
 		t.Error("sent flags wrong")
 	}
-	keys := w.SentKeys(1)
+	w.MarkSent(stored, k2) // idempotent
+	keys := w.SentKeys(stored)
 	if len(keys) != 1 || keys[0] != "n:2" {
 		t.Errorf("SentKeys = %v", keys)
 	}
 	// Unknown/expired events are treated as already sent.
-	if !w.WasSent(99, "n:2") {
+	unknown := model.Event{Seq: 99, Time: 10}
+	if !w.WasSent(unknown, k2) {
 		t.Error("unknown events should report sent")
 	}
-	w.MarkSent(99, "n:2") // must not panic
-	if w.SentKeys(99) != nil {
+	w.MarkSent(unknown, k2) // must not panic
+	if w.SentKeys(unknown) != nil {
 		t.Error("unknown events have no keys")
 	}
 	if NewEventWindow(0).Validity != 1 {

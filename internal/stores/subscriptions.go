@@ -1,7 +1,7 @@
 package stores
 
 import (
-	"sort"
+	"slices"
 
 	"sensorcq/internal/model"
 	"sensorcq/internal/topology"
@@ -33,6 +33,11 @@ type SubscriptionTable struct {
 	// geometry at storage time; they are consumed when the covered operator
 	// is registered for matching and never re-read afterwards.
 	coverBy map[topology.NodeID]map[model.SubscriptionID]model.SubscriptionID
+	// origins caches the sorted origin list Origins returns; event
+	// processing asks for it once per event, so it is rebuilt only when a
+	// mutation invalidates it rather than on every call.
+	origins      []topology.NodeID
+	originsValid bool
 	// remoteCovers enables cover-link recording for remote origins. Local
 	// subscriptions (origin == self) always record links — local delivery
 	// matching consumes them on every policy — but remote covered operators
@@ -85,6 +90,7 @@ func (t *SubscriptionTable) AddUncovered(origin topology.NodeID, sub *model.Subs
 	}
 	t.markSeen(origin, sub.ID)
 	t.uncovered[origin] = append(t.uncovered[origin], sub)
+	t.originsValid = false
 	if ei := t.matchIdx[origin]; ei != nil {
 		ei.Add(sub)
 	}
@@ -101,6 +107,7 @@ func (t *SubscriptionTable) AddCovered(origin topology.NodeID, sub *model.Subscr
 	}
 	t.markSeen(origin, sub.ID)
 	t.covered[origin] = append(t.covered[origin], sub)
+	t.originsValid = false
 	if origin != t.self && !t.remoteCovers {
 		return true
 	}
@@ -157,6 +164,7 @@ func (t *SubscriptionTable) Remove(origin topology.NodeID, id model.Subscription
 		return nil, false, false
 	}
 	delete(t.ids[origin], id)
+	t.originsValid = false
 	if sub = removeByID(t.uncovered, origin, id); sub != nil {
 		if ei := t.matchIdx[origin]; ei != nil {
 			ei.Remove(id)
@@ -220,24 +228,29 @@ func (t *SubscriptionTable) EventCandidates(origin topology.NodeID, ev model.Eve
 }
 
 // Origins returns all origins with at least one stored subscription, sorted.
+// The returned slice is the table's cache: callers must treat it as
+// read-only and must not hold it across table mutations (Add/Remove/Promote
+// invalidate it). Event processing calls Origins once per event, so the
+// rebuild cost is paid only when the subscription population changed.
 func (t *SubscriptionTable) Origins() []topology.NodeID {
-	set := map[topology.NodeID]bool{}
+	if t.originsValid {
+		return t.origins
+	}
+	out := t.origins[:0]
 	for o := range t.uncovered {
 		if len(t.uncovered[o]) > 0 {
-			set[o] = true
+			out = append(out, o)
 		}
 	}
 	for o := range t.covered {
-		if len(t.covered[o]) > 0 {
-			set[o] = true
+		if len(t.covered[o]) > 0 && len(t.uncovered[o]) == 0 {
+			out = append(out, o)
 		}
 	}
-	out := make([]topology.NodeID, 0, len(set))
-	for o := range set {
-		out = append(out, o)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	slices.Sort(out)
+	t.origins = out
+	t.originsValid = true
+	return t.origins
 }
 
 // CountUncovered returns the total number of uncovered subscriptions across

@@ -15,21 +15,28 @@ import (
 // neighbour, while the per-subscription result sets of the naive and
 // operator-placement approaches use one key per (neighbour, subscription)
 // pair — that difference is exactly the "event propagation" column of
-// Table II.
+// Table II. Keys are interned into small integer IDs (KeyID) on first use;
+// the steady-state forwarding path then never touches a string.
+//
+// The window is a structure of arrays: one timestamp-sorted slice of events
+// and one parallel slice of per-event sent-key ID lists. Storing events by
+// value and recycling the sent lists through a free list keeps the
+// steady-state insert/match/prune cycle allocation-free; see the package
+// documentation for the invariants callers must follow when holding the
+// slices Around returns.
 type EventWindow struct {
 	// Validity is how long an event stays stored after its timestamp. The
 	// paper requires it to be at least δt so that late correlations can
 	// still be detected.
 	Validity model.Timestamp
 
-	events []*storedEvent
-	bySeq  map[uint64]*storedEvent
+	evs    []model.Event // sorted by (Time, Seq)
+	sent   [][]uint32    // parallel to evs: sorted interned key IDs
+	free   [][]uint32    // recycled sent lists (capacity retained)
 	latest model.Timestamp
-}
 
-type storedEvent struct {
-	ev     model.Event
-	sentTo map[string]bool
+	keyIDs  map[string]uint32
+	keyStrs []string // index = key ID, for SentKeys
 }
 
 // NewEventWindow returns an empty window with the given validity.
@@ -37,31 +44,63 @@ func NewEventWindow(validity model.Timestamp) *EventWindow {
 	if validity <= 0 {
 		validity = 1
 	}
-	return &EventWindow{Validity: validity, bySeq: map[uint64]*storedEvent{}}
+	return &EventWindow{Validity: validity, keyIDs: map[string]uint32{}}
 }
 
-// Insert adds an event to the window. It returns false when an event with
-// the same sequence number is already stored (duplicate arrivals are
-// expected when per-subscription result sets overlap).
+// KeyID interns a forwarding key, returning the stable small integer the
+// mark/check fast path uses. Handlers intern each key once (per neighbour or
+// per (neighbour, subscription) pair) and cache the ID; the per-event
+// forwarding decisions then cost two binary searches and no allocation.
+func (w *EventWindow) KeyID(key string) uint32 {
+	if id, ok := w.keyIDs[key]; ok {
+		return id
+	}
+	id := uint32(len(w.keyStrs))
+	w.keyIDs[key] = id
+	w.keyStrs = append(w.keyStrs, key)
+	return id
+}
+
+// find returns the index of the stored event with this (Time, Seq), or
+// (insertion point, false) when absent. Events are sorted by (Time, Seq), so
+// identity resolves with one binary search — no per-sequence map is kept.
+func (w *EventWindow) find(t model.Timestamp, seq uint64) (int, bool) {
+	lo, hi := 0, len(w.evs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		e := &w.evs[mid]
+		if e.Time < t || (e.Time == t && e.Seq < seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(w.evs) && w.evs[lo].Time == t && w.evs[lo].Seq == seq {
+		return lo, true
+	}
+	return lo, false
+}
+
+// Insert adds an event to the window. It returns false when the event is
+// already stored (duplicate arrivals are expected when per-subscription
+// result sets overlap).
 func (w *EventWindow) Insert(ev model.Event) bool {
-	if _, dup := w.bySeq[ev.Seq]; dup {
+	idx, dup := w.find(ev.Time, ev.Seq)
+	if dup {
 		return false
 	}
-	se := &storedEvent{ev: ev, sentTo: map[string]bool{}}
-	w.bySeq[ev.Seq] = se
-	// Insert keeping the slice sorted by (Time, Seq); events arrive roughly
-	// in time order so the scan from the back is short.
-	idx := len(w.events)
-	for idx > 0 {
-		prev := w.events[idx-1].ev
-		if prev.Time < ev.Time || (prev.Time == ev.Time && prev.Seq <= ev.Seq) {
-			break
-		}
-		idx--
+	var sentList []uint32
+	if n := len(w.free); n > 0 {
+		sentList = w.free[n-1][:0]
+		w.free[n-1] = nil
+		w.free = w.free[:n-1]
 	}
-	w.events = append(w.events, nil)
-	copy(w.events[idx+1:], w.events[idx:])
-	w.events[idx] = se
+	w.evs = append(w.evs, model.Event{})
+	copy(w.evs[idx+1:], w.evs[idx:])
+	w.evs[idx] = ev
+	w.sent = append(w.sent, nil)
+	copy(w.sent[idx+1:], w.sent[idx:])
+	w.sent[idx] = sentList
 	if ev.Time > w.latest {
 		w.latest = ev.Time
 	}
@@ -69,84 +108,119 @@ func (w *EventWindow) Insert(ev model.Event) bool {
 }
 
 // Len returns the number of stored (unexpired) events.
-func (w *EventWindow) Len() int { return len(w.events) }
+func (w *EventWindow) Len() int { return len(w.evs) }
 
 // Latest returns the largest timestamp seen so far.
 func (w *EventWindow) Latest() model.Timestamp { return w.latest }
 
-// Prune drops events whose timestamp is older than now - Validity.
+// Prune drops events whose timestamp is older than now - Validity. The
+// dropped events' sent lists are recycled for later inserts; pruning
+// invalidates every slice a previous Around returned.
 func (w *EventWindow) Prune(now model.Timestamp) {
 	cutoff := now - w.Validity
-	keep := w.events[:0]
-	for _, se := range w.events {
-		if se.ev.Time >= cutoff {
-			keep = append(keep, se)
-		} else {
-			delete(w.bySeq, se.ev.Seq)
+	// Events are time-sorted: the expired ones are exactly a prefix.
+	k := 0
+	for k < len(w.evs) && w.evs[k].Time < cutoff {
+		k++
+	}
+	if k == 0 {
+		return
+	}
+	for i := 0; i < k; i++ {
+		if w.sent[i] != nil {
+			w.free = append(w.free, w.sent[i][:0])
 		}
 	}
-	// Zero the tail so pruned entries can be collected.
-	for i := len(keep); i < len(w.events); i++ {
-		w.events[i] = nil
+	n := copy(w.evs, w.evs[k:])
+	w.evs = w.evs[:n]
+	copy(w.sent, w.sent[k:])
+	for i := n; i < n+k; i++ {
+		w.sent[i] = nil
 	}
-	w.events = keep
+	w.sent = w.sent[:n]
 }
 
 // Around returns the events whose timestamps lie in the closed interval
 // [t-delta, t+delta]: the candidate window for complex events triggered by
 // an event at time t with temporal correlation distance delta.
+//
+// The returned slice is a view into the window's storage — no copy is made.
+// It is valid until the next Insert or Prune on this window and must not be
+// modified; callers that retain candidate events past the next mutation must
+// copy them out first. Marking events sent does not invalidate the view.
 func (w *EventWindow) Around(t model.Timestamp, delta model.Timestamp) []model.Event {
 	lo, hi := t-delta, t+delta
-	out := make([]model.Event, 0, len(w.events))
-	for _, se := range w.events {
-		if se.ev.Time > hi {
-			break
-		}
-		if se.ev.Time >= lo {
-			out = append(out, se.ev)
-		}
-	}
-	return out
+	i := sort.Search(len(w.evs), func(k int) bool { return w.evs[k].Time >= lo })
+	j := sort.Search(len(w.evs), func(k int) bool { return w.evs[k].Time > hi })
+	return w.evs[i:j]
 }
 
-// Events returns all stored events in timestamp order.
+// Events returns a copy of all stored events in timestamp order.
 func (w *EventWindow) Events() []model.Event {
-	out := make([]model.Event, len(w.events))
-	for i, se := range w.events {
-		out[i] = se.ev
-	}
+	out := make([]model.Event, len(w.evs))
+	copy(out, w.evs)
 	return out
 }
 
-// MarkSent records that the event with the given sequence number has been
-// forwarded under the given key. Unknown sequence numbers are ignored.
-func (w *EventWindow) MarkSent(seq uint64, key string) {
-	if se, ok := w.bySeq[seq]; ok {
-		se.sentTo[key] = true
+// sentIdx returns the position of key in the sorted list (or its insertion
+// point) and whether it is present.
+func sentIdx(list []uint32, key uint32) (int, bool) {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if list[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
+	return lo, lo < len(list) && list[lo] == key
 }
 
-// WasSent reports whether the event was already forwarded under the key.
-// Events no longer stored (expired) report true, so that stale events are
-// never re-forwarded.
-func (w *EventWindow) WasSent(seq uint64, key string) bool {
-	se, ok := w.bySeq[seq]
+// MarkSent records that the stored event has been forwarded under the given
+// interned key. Events not (or no longer) stored are ignored.
+func (w *EventWindow) MarkSent(ev model.Event, key uint32) {
+	idx, ok := w.find(ev.Time, ev.Seq)
+	if !ok {
+		return
+	}
+	list := w.sent[idx]
+	pos, present := sentIdx(list, key)
+	if present {
+		return
+	}
+	list = append(list, 0)
+	copy(list[pos+1:], list[pos:])
+	list[pos] = key
+	w.sent[idx] = list
+}
+
+// WasSent reports whether the event was already forwarded under the interned
+// key. Events no longer stored (expired) report true, so that stale events
+// are never re-forwarded.
+func (w *EventWindow) WasSent(ev model.Event, key uint32) bool {
+	idx, ok := w.find(ev.Time, ev.Seq)
 	if !ok {
 		return true
 	}
-	return se.sentTo[key]
+	_, present := sentIdx(w.sent[idx], key)
+	return present
 }
 
-// SentKeys returns the forwarding keys recorded for an event, sorted; it is
-// a debugging/testing helper.
-func (w *EventWindow) SentKeys(seq uint64) []string {
-	se, ok := w.bySeq[seq]
+// SentKeys returns the forwarding keys recorded for an event, as the strings
+// they were interned from, sorted; it is a debugging/testing helper.
+func (w *EventWindow) SentKeys(ev model.Event) []string {
+	idx, ok := w.find(ev.Time, ev.Seq)
 	if !ok {
 		return nil
 	}
-	out := make([]string, 0, len(se.sentTo))
-	for k := range se.sentTo {
-		out = append(out, k)
+	list := w.sent[idx]
+	if len(list) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(list))
+	for _, id := range list {
+		out = append(out, w.keyStrs[id])
 	}
 	sort.Strings(out)
 	return out

@@ -9,7 +9,7 @@ package topology
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // NodeID identifies a processing node. IDs are dense integers in [0, N).
@@ -79,7 +79,7 @@ func (g *Graph) Neighbors(n NodeID) []NodeID {
 	if !g.valid(n) {
 		return nil
 	}
-	sort.Slice(g.adj[n], func(i, j int) bool { return g.adj[n][i] < g.adj[n][j] })
+	slices.Sort(g.adj[n])
 	return g.adj[n]
 }
 

@@ -74,13 +74,47 @@ type Placed struct {
 	Group int
 }
 
-// Generate builds Count subscriptions over the deployment, using the trace's
-// per-attribute medians and spreads to centre and size the value ranges.
+// Stream generates subscriptions one at a time, in the exact order and with
+// the exact contents Generate would produce for the same inputs, without
+// materialising the whole slice. It only needs the trace's summary statistics
+// (dataset.Stats), so it composes with dataset.Streamer for runs that never
+// hold a full trace in memory.
 //
-// Subscription i targets group i mod G, which spreads the load evenly over
-// all locations as in the paper. The subscriber node is drawn uniformly from
-// the deployment's user nodes.
-func Generate(dep *topology.Deployment, trace *dataset.Trace, cfg Config) ([]Placed, error) {
+// Usage follows the scanner idiom:
+//
+//	for s.Next() {
+//		use(s.Placed())
+//	}
+//	if err := s.Err(); err != nil { ... }
+type Stream struct {
+	dep          *topology.Deployment
+	st           dataset.Stats
+	rng          *stats.RNG
+	attrUniverse []model.AttributeType
+	userNodes    []topology.NodeID
+	filters      []model.AttributeFilter
+
+	count    int
+	minAttrs int
+	maxAttrs int
+	deltaT   model.Timestamp
+	deltaL   float64
+	scale    float64
+	shape    float64
+	cap      float64
+	popular  float64
+	prefix   string
+
+	i   int
+	cur Placed
+	err error
+}
+
+// NewStream prepares subscription generation over the deployment, using the
+// given trace statistics to centre and size the value ranges. roundInterval
+// is the trace's sampling period, used as the default temporal correlation
+// distance δt when cfg.DeltaT is unset.
+func NewStream(dep *topology.Deployment, st dataset.Stats, roundInterval model.Timestamp, cfg Config) (*Stream, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -89,7 +123,7 @@ func Generate(dep *topology.Deployment, trace *dataset.Trace, cfg Config) ([]Pla
 	}
 	deltaT := cfg.DeltaT
 	if deltaT <= 0 {
-		deltaT = trace.RoundInterval
+		deltaT = roundInterval
 	}
 	deltaL := cfg.DeltaL
 	if deltaL <= 0 {
@@ -143,53 +177,106 @@ func Generate(dep *topology.Deployment, trace *dataset.Trace, cfg Config) ([]Pla
 		return nil, fmt.Errorf("workload: deployment has no nodes to host users")
 	}
 
+	return &Stream{
+		dep:          dep,
+		st:           st,
+		rng:          rng,
+		attrUniverse: attrUniverse,
+		userNodes:    userNodes,
+		count:        cfg.Count,
+		minAttrs:     minAttrs,
+		maxAttrs:     maxAttrs,
+		deltaT:       deltaT,
+		deltaL:       deltaL,
+		scale:        scale,
+		shape:        shape,
+		cap:          cap,
+		popular:      popular,
+		prefix:       prefix,
+	}, nil
+}
+
+// Next generates the next subscription. It returns false once Count
+// subscriptions have been produced or generation failed; check Err after the
+// loop to distinguish the two.
+func (s *Stream) Next() bool {
+	if s.err != nil || s.i >= s.count {
+		return false
+	}
+	i := s.i
+	s.i++
+	group := i % len(s.dep.GroupRegions)
+	nAttrs := s.minAttrs
+	if s.maxAttrs > s.minAttrs {
+		nAttrs += s.rng.Intn(s.maxAttrs - s.minAttrs + 1)
+	}
+	chosen := s.rng.Choose(len(s.attrUniverse), nAttrs)
+	s.filters = s.filters[:0]
+	// Following Section VI-A, ranges are centred around the stream
+	// medians with offsets drawn from a Pareto distribution with skew
+	// factor 1. The skew concentrates most subscriptions ("popular"
+	// interests) right at the median, where they overlap heavily and
+	// are frequently nested inside each other — the result-set overlap
+	// the paper sets out to eliminate — while the heavy tail places the
+	// remaining ("niche") subscriptions over rarely occurring values,
+	// keeping the workload medium selective overall.
+	isPopular := s.rng.Float64() < s.popular
+	for _, idx := range chosen {
+		attr := s.attrUniverse[idx]
+		median := s.st.Medians[attr]
+		spread := s.st.Spreads[attr]
+		if spread <= 0 {
+			spread = 1
+		}
+		center := median
+		if !isPopular {
+			offset := s.rng.ParetoCapped(s.scale*spread, s.shape, 3*spread)
+			if s.rng.Bool(0.5) {
+				offset = -offset
+			}
+			center += offset
+		}
+		halfWidth := s.rng.ParetoCapped(s.scale*spread, s.shape, s.cap*spread)
+		s.filters = append(s.filters, model.AttributeFilter{
+			Attr:  attr,
+			Range: geom.NewInterval(center-halfWidth, center+halfWidth),
+		})
+	}
+	id := model.SubscriptionID(fmt.Sprintf("%s%05d", s.prefix, i+1))
+	sub, err := model.NewAbstractSubscription(id, s.filters, s.dep.GroupRegions[group], s.deltaT, s.deltaL)
+	if err != nil {
+		s.err = fmt.Errorf("workload: building %s: %w", id, err)
+		return false
+	}
+	node := s.userNodes[s.rng.Intn(len(s.userNodes))]
+	s.cur = Placed{Sub: sub, Node: node, Group: group}
+	return true
+}
+
+// Placed returns the subscription generated by the last successful Next call.
+func (s *Stream) Placed() Placed { return s.cur }
+
+// Err returns the first generation error, if any.
+func (s *Stream) Err() error { return s.err }
+
+// Generate builds Count subscriptions over the deployment, using the trace's
+// per-attribute medians and spreads to centre and size the value ranges. It
+// is the materialised form of NewStream.
+//
+// Subscription i targets group i mod G, which spreads the load evenly over
+// all locations as in the paper. The subscriber node is drawn uniformly from
+// the deployment's user nodes.
+func Generate(dep *topology.Deployment, trace *dataset.Trace, cfg Config) ([]Placed, error) {
+	s, err := NewStream(dep, trace.Stats, trace.RoundInterval, cfg)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Placed, 0, cfg.Count)
-	groups := len(dep.GroupRegions)
-	for i := 0; i < cfg.Count; i++ {
-		group := i % groups
-		nAttrs := minAttrs
-		if maxAttrs > minAttrs {
-			nAttrs += rng.Intn(maxAttrs - minAttrs + 1)
-		}
-		chosen := rng.Choose(len(attrUniverse), nAttrs)
-		filters := make([]model.AttributeFilter, 0, nAttrs)
-		// Following Section VI-A, ranges are centred around the stream
-		// medians with offsets drawn from a Pareto distribution with skew
-		// factor 1. The skew concentrates most subscriptions ("popular"
-		// interests) right at the median, where they overlap heavily and
-		// are frequently nested inside each other — the result-set overlap
-		// the paper sets out to eliminate — while the heavy tail places the
-		// remaining ("niche") subscriptions over rarely occurring values,
-		// keeping the workload medium selective overall.
-		isPopular := rng.Float64() < popular
-		for _, idx := range chosen {
-			attr := attrUniverse[idx]
-			median := trace.Medians[attr]
-			spread := trace.Spreads[attr]
-			if spread <= 0 {
-				spread = 1
-			}
-			center := median
-			if !isPopular {
-				offset := rng.ParetoCapped(scale*spread, shape, 3*spread)
-				if rng.Bool(0.5) {
-					offset = -offset
-				}
-				center += offset
-			}
-			halfWidth := rng.ParetoCapped(scale*spread, shape, cap*spread)
-			filters = append(filters, model.AttributeFilter{
-				Attr:  attr,
-				Range: geom.NewInterval(center-halfWidth, center+halfWidth),
-			})
-		}
-		id := model.SubscriptionID(fmt.Sprintf("%s%05d", prefix, i+1))
-		sub, err := model.NewAbstractSubscription(id, filters, dep.GroupRegions[group], deltaT, deltaL)
-		if err != nil {
-			return nil, fmt.Errorf("workload: building %s: %w", id, err)
-		}
-		node := userNodes[rng.Intn(len(userNodes))]
-		out = append(out, Placed{Sub: sub, Node: node, Group: group})
+	for s.Next() {
+		out = append(out, s.Placed())
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

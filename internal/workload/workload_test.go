@@ -147,3 +147,43 @@ func TestGenerateWorkloadValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestStreamMatchesGenerate pins the streaming contract: NewStream must
+// yield exactly the subscriptions Generate materialises, in order.
+func TestStreamMatchesGenerate(t *testing.T) {
+	dep, trace := fixture(t)
+	cfg := Config{Count: 35, MinAttrs: 3, MaxAttrs: 5, Seed: 9}
+	placed, err := Generate(dep, trace, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStream(dep, trace.Stats, trace.RoundInterval, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for s.Next() {
+		if n >= len(placed) {
+			t.Fatalf("stream yielded more than %d subscriptions", len(placed))
+		}
+		got, want := s.Placed(), placed[n]
+		if got.Node != want.Node || got.Group != want.Group {
+			t.Fatalf("subscription %d placed at (%d, %d), want (%d, %d)",
+				n, got.Node, got.Group, want.Node, want.Group)
+		}
+		if got.Sub.ID != want.Sub.ID || got.Sub.String() != want.Sub.String() {
+			t.Fatalf("subscription %d differs:\n  stream:   %s %s\n  generate: %s %s",
+				n, got.Sub.ID, got.Sub.String(), want.Sub.ID, want.Sub.String())
+		}
+		if got.Sub.DeltaT != want.Sub.DeltaT || got.Sub.DeltaL != want.Sub.DeltaL {
+			t.Fatalf("subscription %d correlation distances differ", n)
+		}
+		n++
+	}
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(placed) {
+		t.Fatalf("stream yielded %d subscriptions, want %d", n, len(placed))
+	}
+}

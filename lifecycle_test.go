@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"sensorcq/internal/netsim"
 )
 
 // matchingPair returns one (a, b) reading pair matching the walkthrough
@@ -366,5 +368,141 @@ func TestParseDeliveryModeRoundTrip(t *testing.T) {
 				t.Errorf("error %q does not list valid mode %q", err, name)
 			}
 		}
+	}
+}
+
+// flakyUnsubRuntime wraps a real runtime so the first Unsubscribe call blocks
+// until released and then fails; later calls pass through. It lets the test
+// hold one retraction in its failing window while a second Unsubscribe races.
+type flakyUnsubRuntime struct {
+	netsim.Runtime
+	entered chan struct{} // closed when the first call is inside the runtime
+	release chan struct{} // the first call blocks here before failing
+	calls   atomic.Int32
+}
+
+var errInjectedRetraction = errors.New("injected retraction failure")
+
+func (f *flakyUnsubRuntime) Unsubscribe(node NodeID, id SubscriptionID) error {
+	if f.calls.Add(1) == 1 {
+		close(f.entered)
+		<-f.release
+		return errInjectedRetraction
+	}
+	return f.Runtime.Unsubscribe(node, id)
+}
+
+// TestConcurrentUnsubscribeFailure pins the failure-path contract of
+// SubscriptionHandle.Unsubscribe under concurrency: while one call is stuck
+// in a retraction that will fail, a second call must NOT report
+// ErrUnsubscribed — that error promises the retraction ran. Instead the
+// loser waits, retries the retraction itself, and succeeds.
+func TestConcurrentUnsubscribeFailure(t *testing.T) {
+	dep := buildWalkthroughDeployment(t)
+	sys, err := NewSystem(dep, Config{Approach: FilterSplitForward, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	h, err := sys.Subscribe(5, walkthroughSub(t, "alert"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyUnsubRuntime{
+		Runtime: sys.runtime,
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	sys.runtime = flaky
+
+	errA := make(chan error, 1)
+	go func() { errA <- h.Unsubscribe() }()
+	<-flaky.entered // A is now inside its doomed retraction.
+
+	errB := make(chan error, 1)
+	go func() { errB <- h.Unsubscribe() }()
+
+	// B must not produce a result while A's retraction is still in flight:
+	// returning ErrUnsubscribed here would claim a retraction that never ran.
+	select {
+	case err := <-errB:
+		t.Fatalf("second Unsubscribe returned %v while the first retraction was still in flight", err)
+	default:
+	}
+
+	close(flaky.release)
+	if err := <-errA; !errors.Is(err, errInjectedRetraction) {
+		t.Fatalf("first Unsubscribe error = %v, want the injected retraction failure", err)
+	}
+	if err := <-errB; err != nil {
+		t.Fatalf("second Unsubscribe after the first failed = %v, want success (retry of the retraction)", err)
+	}
+	if h.Active() {
+		t.Error("handle still active after a successful Unsubscribe")
+	}
+	if err := h.Unsubscribe(); !errors.Is(err, ErrUnsubscribed) {
+		t.Errorf("third Unsubscribe error = %v, want ErrUnsubscribed", err)
+	}
+	if n := flaky.calls.Load(); n != 2 {
+		t.Errorf("runtime retraction ran %d times, want 2 (one failure, one success)", n)
+	}
+}
+
+// TestConcurrentUnsubscribeStress hammers one handle from many goroutines
+// with a runtime whose first retraction fails: exactly one caller must win,
+// every ErrUnsubscribed must be preceded by that success, and the injected
+// failure must surface exactly once. Run with -race this also proves the
+// handle's lifecycle state is data-race free.
+func TestConcurrentUnsubscribeStress(t *testing.T) {
+	dep := buildWalkthroughDeployment(t)
+	sys, err := NewSystem(dep, Config{Approach: FilterSplitForward, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	h, err := sys.Subscribe(5, walkthroughSub(t, "alert"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyUnsubRuntime{
+		Runtime: sys.runtime,
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	close(flaky.release) // do not block, just fail the first call
+	sys.runtime = flaky
+
+	const workers = 8
+	results := make(chan error, workers)
+	start := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		go func() {
+			<-start
+			results <- h.Unsubscribe()
+		}()
+	}
+	close(start)
+
+	var ok, already, injected int
+	for i := 0; i < workers; i++ {
+		switch err := <-results; {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrUnsubscribed):
+			already++
+		case errors.Is(err, errInjectedRetraction):
+			injected++
+		default:
+			t.Errorf("unexpected Unsubscribe error: %v", err)
+		}
+	}
+	if ok != 1 {
+		t.Errorf("%d callers succeeded, want exactly 1", ok)
+	}
+	if injected != 1 {
+		t.Errorf("injected failure surfaced %d times, want exactly 1", injected)
+	}
+	if already != workers-2 {
+		t.Errorf("%d callers saw ErrUnsubscribed, want %d", already, workers-2)
 	}
 }

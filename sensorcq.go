@@ -120,12 +120,21 @@ type (
 	TraceConfig = dataset.Config
 	// Trace is a generated measurement trace.
 	Trace = dataset.Trace
+	// TraceStats summarises a trace's per-attribute value distribution —
+	// the only part of a trace the workload generator consumes.
+	TraceStats = dataset.Stats
+	// TraceStreamer generates a trace one round at a time without
+	// materialising it; rounds alias a reusable buffer.
+	TraceStreamer = dataset.Streamer
 	// AttributeProfile describes the synthetic behaviour of one attribute.
 	AttributeProfile = dataset.AttributeProfile
 	// WorkloadConfig parameterises subscription-workload generation.
 	WorkloadConfig = workload.Config
 	// PlacedSubscription is a generated subscription plus its user's node.
 	PlacedSubscription = workload.Placed
+	// WorkloadStream generates subscriptions one at a time without
+	// materialising the whole workload.
+	WorkloadStream = workload.Stream
 
 	// Scenario describes one of the paper's experimental setups.
 	Scenario = experiment.Scenario
@@ -217,9 +226,22 @@ func GenerateTrace(dep *Deployment, cfg TraceConfig) (*Trace, error) {
 	return dataset.Generate(dep, cfg)
 }
 
+// NewTraceStreamer prepares round-by-round trace generation: the same rounds
+// GenerateTrace would build, produced one at a time into a reusable buffer.
+func NewTraceStreamer(dep *Deployment, cfg TraceConfig) (*TraceStreamer, error) {
+	return dataset.NewStreamer(dep, cfg)
+}
+
 // GenerateWorkload produces subscriptions the way the paper's evaluation
 // does: ranges centred on the trace's medians with Pareto-distributed
 // widths, targeting every sensor group evenly.
 func GenerateWorkload(dep *Deployment, trace *Trace, cfg WorkloadConfig) ([]PlacedSubscription, error) {
 	return workload.Generate(dep, trace, cfg)
+}
+
+// NewWorkloadStream prepares one-at-a-time subscription generation from
+// trace statistics (see TraceStreamer.Stats); it yields exactly the
+// subscriptions GenerateWorkload would build for the same inputs.
+func NewWorkloadStream(dep *Deployment, st TraceStats, roundInterval Timestamp, cfg WorkloadConfig) (*WorkloadStream, error) {
+	return workload.NewStream(dep, st, roundInterval, cfg)
 }
