@@ -699,6 +699,160 @@ func BenchmarkSubscriptionChurn(b *testing.B) {
 	b.Run("concurrent", bench(true))
 }
 
+// BenchmarkSubscriptionFlood measures bulk registration of large subscription
+// populations. The stack variants flood a fresh Filter-Split-Forward network
+// with n user subscriptions — full split-and-forward propagation, one
+// injection at a time, the way the serving layer registers them — and then
+// publish one probe event, which triggers the staged bottom-up build of the
+// match indexes the flood populated (registration only stages; no tree is
+// built until an event needs one). The index variants isolate the build
+// itself on one index: index-bulk stages all n subscriptions and packs each
+// tree bottom-up on the first lookup (stores.EventIndex.BulkLoad),
+// index-incremental (stores.NewEventIndexEager) pays one tree descent per
+// insertion. Bulk loading should win clearly from 10k subscriptions up.
+func BenchmarkSubscriptionFlood(b *testing.B) {
+	// The full-stack flood pays the real protocol cost per registration —
+	// including the per-origin subsumption scan, which is quadratic in the
+	// population — so sizes beyond 1k are reserved for -benchscale=full; the
+	// index variants cover all three sizes at every scale.
+	stackSizes := []int{1000}
+	if *benchScale == "full" {
+		stackSizes = []int{1000, 10000, 50000}
+	}
+	w, _, _ := replayThroughputWorkload(b)
+	for _, n := range stackSizes {
+		subs, events := indexBenchPopulation(n)
+		b.Run(fmt.Sprintf("stack/subs=%d", n), func(b *testing.B) {
+			nodes := w.Deployment.Graph.NumNodes()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				factory, err := experiment.FactoryForSpec(experiment.FilterSplitForward, experiment.FactorySpec{
+					Seed: w.Scenario.Seed + 7,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				engine := netsim.NewEngine(w.Deployment.Graph, factory)
+				for _, sensor := range w.Deployment.Sensors {
+					if err := engine.AttachSensor(w.Deployment.SensorHost[sensor.ID], sensor); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				for j, sub := range subs {
+					if err := engine.Subscribe(topology.NodeID(j%nodes), sub); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := engine.Publish(0, events[0]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(subs))*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+	for _, n := range []int{1000, 10000, 50000} {
+		subs, events := indexBenchPopulation(n)
+		probe := events[0]
+		b.Run(fmt.Sprintf("index-bulk/subs=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				idx := stores.NewEventIndex()
+				idx.BulkLoad(subs)
+				idx.Candidates(probe, func(*model.Subscription) bool { return true })
+			}
+		})
+		b.Run(fmt.Sprintf("index-incremental/subs=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				idx := stores.NewEventIndexEager()
+				for _, s := range subs {
+					idx.Add(s)
+				}
+				idx.Candidates(probe, func(*model.Subscription) bool { return true })
+			}
+		})
+	}
+}
+
+// BenchmarkReplaySteadyState measures the steady state of a long-lived
+// windowed session on the sequential engine: a pre-warmed subscription
+// population, an open KeepOpen session (lag 2), and the same round-structured
+// trace replayed per iteration with timestamps shifted forward one full trace
+// span — a seamless continuation of the session, with the window pruning old
+// rounds as new ones arrive. Sequence numbers are deliberately reused so the
+// per-subscription delivered-sequence sets stay at their steady-state size
+// (the window dedups on (time, seq), so shifted reuses are new events to it).
+// After warm-up, Engine.Preallocate sizes the delivery log, its
+// per-subscription index, the per-node delivery arenas and the per-round
+// metric counters for the whole measured run, so the timed region performs
+// zero heap allocations — the baseline is gated at exactly 0 allocs/op by
+// benchgate's strict zero rule.
+func BenchmarkReplaySteadyState(b *testing.B) {
+	w, replay, events := replayThroughputWorkload(b)
+	factory, err := experiment.FactoryForSpec(experiment.FilterSplitForward, experiment.FactorySpec{
+		Seed:           w.Scenario.Seed + 7,
+		ValidityFactor: netsim.RequiredValidityFactor(netsim.Windowed, 2),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := netsim.NewEngine(w.Deployment.Graph, factory)
+	for _, sensor := range w.Deployment.Sensors {
+		if err := eng.AttachSensor(w.Deployment.SensorHost[sensor.ID], sensor); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range w.Placed {
+		if err := eng.Subscribe(p.Node, p.Sub.Clone()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	opts := netsim.ReplayOptions{Mode: netsim.Windowed, Lag: 2, KeepOpen: true}
+	shift := model.Timestamp(len(replay)) * w.Scenario.RoundInterval
+	advance := func() {
+		for _, round := range replay {
+			for i := range round {
+				round[i].Event.Time += shift
+			}
+		}
+	}
+	// Warm up to the allocation fixed point: the first sessions populate the
+	// lazy structures (staged index builds, dedup-key interning, scratch
+	// buffers, queue backing storage) and ratchet the recycled buffers —
+	// window sent-lists, free lists, per-node scratch — up to their
+	// steady-state high-water marks. Capacity growth tails off over several
+	// sessions rather than stopping after one, so the warm-up measures itself:
+	// it stops only after a whole session completes without a single heap
+	// allocation, which is the state the timed region is meant to measure.
+	var ms runtime.MemStats
+	for k := 0; k < 64; k++ {
+		runtime.ReadMemStats(&ms)
+		before := ms.Mallocs
+		if err := eng.ReplayRounds(replay, opts); err != nil {
+			b.Fatal(err)
+		}
+		advance()
+		runtime.ReadMemStats(&ms)
+		if k >= 2 && ms.Mallocs == before {
+			break
+		}
+	}
+	eng.Preallocate(b.N + 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.ReplayRounds(replay, opts); err != nil {
+			b.Fatal(err)
+		}
+		advance()
+	}
+	b.StopTimer()
+	eng.Flush()
+	if n := eng.Metrics().DroppedMessages(); n != 0 {
+		b.Fatalf("dropped %d messages", n)
+	}
+	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}
+
 // --- micro-benchmarks of the core building blocks ---
 
 func BenchmarkSetCheckerSubsumed(b *testing.B) {

@@ -40,6 +40,8 @@ func main() {
 		lag   = flag.Int("lag", 0, "cross-round pipelining bound of the windowed delivery mode (requires -delivery windowed)")
 		churn = flag.Float64("churn", 0,
 			"fraction of subscriptions to unsubscribe halfway through the replay (0..1); exercises the retraction path and prints the traffic it saves")
+		indexStats = flag.Bool("indexstats", false,
+			"print the aggregate shape and lookup cost of the network's match indexes after the replay")
 	)
 	flag.Parse()
 
@@ -60,13 +62,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*approach, *nodes, *sensors, *groups, *subs, *minAttrs, *maxAttrs, *rounds, *seed, *topN, *concurrent, mode, *lag, *churn); err != nil {
+	if err := run(*approach, *nodes, *sensors, *groups, *subs, *minAttrs, *maxAttrs, *rounds, *seed, *topN, *concurrent, mode, *lag, *churn, *indexStats); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(approach string, nodes, sensors, groups, subs, minAttrs, maxAttrs, rounds int, seed int64, topN int, concurrent bool, mode sensorcq.DeliveryMode, lag int, churn float64) error {
+func run(approach string, nodes, sensors, groups, subs, minAttrs, maxAttrs, rounds int, seed int64, topN int, concurrent bool, mode sensorcq.DeliveryMode, lag int, churn float64, indexStats bool) error {
 	dep, err := sensorcq.GenerateDeployment(sensorcq.DeploymentConfig{
 		TotalNodes:  nodes,
 		SensorNodes: sensors,
@@ -164,6 +166,18 @@ func run(approach string, nodes, sensors, groups, subs, minAttrs, maxAttrs, roun
 		elapsed.Round(time.Microsecond), float64(trace.NumEvents())/elapsed.Seconds())
 	if n := sys.DroppedMessages(); n != 0 {
 		fmt.Printf("DROPPED MESSAGES:    %d (run lost traffic!)\n", n)
+	}
+
+	if indexStats {
+		ix := sys.IndexStats()
+		fmt.Printf("match indexes:       %d trees (%d members indexed, %d covered entries kept out)\n",
+			ix.Trees, ix.Members, ix.Covered)
+		fmt.Printf("index shape:         %d boxes in %d tree nodes, max height %d\n",
+			ix.Boxes, ix.Nodes, ix.MaxHeight)
+		if ix.Lookups > 0 {
+			fmt.Printf("index lookups:       %d stabs, %.1f candidates/stab\n",
+				ix.Lookups, float64(ix.Candidates)/float64(ix.Lookups))
+		}
 	}
 
 	delivered := 0

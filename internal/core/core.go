@@ -214,6 +214,17 @@ type Node struct {
 	// a key string.
 	dedupIDs map[dedupCacheKey]uint32
 
+	// fwdFree recycles the per-(origin,operator) forwarding-link slices that
+	// retractions release, so subscribe→unsubscribe churn reuses link
+	// storage instead of growing fresh slices for every registration.
+	fwdFree [][]forwardedOp
+
+	// reexposeScratch backs the covered-set snapshot each retraction's
+	// re-exposure walk iterates (the walk promotes entries, which mutates the
+	// covered slice under it). Borrowed and returned within one reexpose
+	// call; safe for the same reason scratch is.
+	reexposeScratch []*model.Subscription
+
 	maxDeltaT model.Timestamp
 }
 
@@ -271,6 +282,17 @@ func (n *Node) Window() *stores.EventWindow { return n.window }
 // LocalSubscriptions returns the user subscriptions registered at this node.
 func (n *Node) LocalSubscriptions() []*model.Subscription { return n.localSubs }
 
+// IndexStats aggregates the shape and lookup tallies of every match index
+// this node maintains: the local delivery index plus one matcher index per
+// origin (for tests and diagnostics).
+func (n *Node) IndexStats() stores.IndexStats {
+	stats := n.localIdx.Stats()
+	for _, idx := range n.matchers {
+		stats.Merge(idx.Stats())
+	}
+	return stats
+}
+
 // observeDeltaT grows the event window validity so that it always exceeds
 // the largest temporal correlation distance seen so far.
 func (n *Node) observeDeltaT(dt model.Timestamp) {
@@ -297,14 +319,17 @@ func (n *Node) addMatcherWithCover(origin topology.NodeID, sub *model.Subscripti
 		idx = stores.NewEventIndex()
 		n.matchers[origin] = idx
 	}
-	ops := n.matcherOps(sub)
-	if cover != "" && len(ops) == 1 && ops[0] == sub {
+	if n.splitsForMatching(sub) {
+		for _, op := range sub.SplitBinaryJoins(n.cfg.Pairing) {
+			idx.Add(op)
+		}
+		return
+	}
+	if cover != "" {
 		idx.AddCovered(sub, cover)
 		return
 	}
-	for _, op := range ops {
-		idx.Add(op)
-	}
+	idx.Add(sub)
 }
 
 // removeMatcher retracts an operator (and, for the binary-join split, every
@@ -314,18 +339,40 @@ func (n *Node) removeMatcher(origin topology.NodeID, sub *model.Subscription) {
 	if idx == nil {
 		return
 	}
-	for _, op := range n.matcherOps(sub) {
-		idx.Remove(op.ID)
+	if n.splitsForMatching(sub) {
+		for _, op := range sub.SplitBinaryJoins(n.cfg.Pairing) {
+			idx.Remove(op.ID)
+		}
+		return
 	}
+	idx.Remove(sub.ID)
 }
 
-// matcherOps returns the operators a stored subscription contributes to the
-// match index: the binary-join decomposition when configured, the operator
-// itself otherwise. The decomposition derives deterministic operator IDs, so
-// add and remove resolve the same entries.
-func (n *Node) matcherOps(sub *model.Subscription) []*model.Subscription {
-	if n.cfg.Split == SplitBinaryJoin && sub.NumFilters() > 2 {
-		return sub.SplitBinaryJoins(n.cfg.Pairing)
+// promoteMatcher re-roots an operator that is already registered for
+// matching after its cover was retracted: EventIndex.Add promotes a covered
+// entry to a full member with tree entries of its own (and is a no-op for an
+// operator that already is one), so the operator's matches stop depending on
+// a cover that may no longer exist.
+func (n *Node) promoteMatcher(origin topology.NodeID, sub *model.Subscription) {
+	idx := n.matchers[origin]
+	if idx == nil {
+		return
 	}
-	return []*model.Subscription{sub}
+	if n.splitsForMatching(sub) {
+		for _, op := range sub.SplitBinaryJoins(n.cfg.Pairing) {
+			idx.Add(op)
+		}
+		return
+	}
+	idx.Add(sub)
+}
+
+// splitsForMatching reports whether the subscription is evaluated as its
+// binary-join decomposition rather than as-is. Kept as a predicate — with
+// the decomposition slice built only inside the branch that needs it — so
+// the common single-operator paths allocate nothing. The decomposition
+// derives deterministic operator IDs, so add, promote and remove resolve the
+// same entries.
+func (n *Node) splitsForMatching(sub *model.Subscription) bool {
+	return n.cfg.Split == SplitBinaryJoin && sub.NumFilters() > 2
 }

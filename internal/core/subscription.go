@@ -127,11 +127,21 @@ func (n *Node) splitAndForward(ctx *netsim.Context, m topology.NodeID, sub *mode
 // recordForward remembers that the operator stored under (origin, id) was
 // forwarded to neighbour j as operator op. A retraction of (origin, id)
 // replays these links with unsubscription messages (see unsubscribe.go).
+// Link slices released by retractions are reused for new registrations
+// (fwdFree), so churn does not grow fresh storage per subscription.
 func (n *Node) recordForward(origin topology.NodeID, id model.SubscriptionID, j topology.NodeID, op model.SubscriptionID) {
 	byID := n.forwards[origin]
 	if byID == nil {
 		byID = map[model.SubscriptionID][]forwardedOp{}
 		n.forwards[origin] = byID
 	}
-	byID[id] = append(byID[id], forwardedOp{to: j, op: op})
+	links, seen := byID[id]
+	if !seen {
+		if k := len(n.fwdFree); k > 0 {
+			links = n.fwdFree[k-1]
+			n.fwdFree[k-1] = nil
+			n.fwdFree = n.fwdFree[:k-1]
+		}
+	}
+	byID[id] = append(links, forwardedOp{to: j, op: op})
 }

@@ -33,7 +33,9 @@ func (n *Node) HandleUnsubscription(ctx *netsim.Context, from topology.NodeID, i
 func (n *Node) unregisterLocal(id model.SubscriptionID) {
 	for i, existing := range n.localSubs {
 		if existing.ID == id {
-			n.localSubs = append(n.localSubs[:i:i], n.localSubs[i+1:]...)
+			copy(n.localSubs[i:], n.localSubs[i+1:])
+			n.localSubs[len(n.localSubs)-1] = nil
+			n.localSubs = n.localSubs[:len(n.localSubs)-1]
 			n.localIdx.Remove(id)
 			return
 		}
@@ -56,12 +58,20 @@ func (n *Node) retract(ctx *netsim.Context, m topology.NodeID, id model.Subscrip
 	if !isLocal && (wasUncovered || n.cfg.Propagation == PerSubscription) {
 		n.removeMatcher(m, sub)
 	}
-	// Walk the recorded reverse forwarding paths.
+	// Walk the recorded reverse forwarding paths, then recycle the link
+	// slice for a future registration (cleared first so it does not pin the
+	// retracted IDs' strings).
 	if byID := n.forwards[m]; byID != nil {
-		for _, f := range byID[id] {
-			ctx.SendUnsubscription(f.to, f.op)
+		if links, seen := byID[id]; seen {
+			for _, f := range links {
+				ctx.SendUnsubscription(f.to, f.op)
+			}
+			delete(byID, id)
+			for i := range links {
+				links[i] = forwardedOp{}
+			}
+			n.fwdFree = append(n.fwdFree, links[:0])
 		}
-		delete(byID, id)
 	}
 	if wasUncovered {
 		n.reexpose(ctx, m)
@@ -84,8 +94,11 @@ func (n *Node) reexpose(ctx *netsim.Context, m topology.NodeID) {
 	if len(covered) == 0 {
 		return
 	}
-	snapshot := make([]*model.Subscription, len(covered))
-	copy(snapshot, covered)
+	// Snapshot into the node-owned scratch: the walk promotes entries, which
+	// splices them out of the covered slice being iterated. The buffer is
+	// returned before the function exits, so churn pays no per-retraction
+	// snapshot allocation once it has grown to the covered set's size.
+	snapshot := append(n.reexposeScratch[:0], covered...)
 	isLocal := m == n.self
 	for _, c := range snapshot {
 		if n.checker.Subsumed(c, n.subs.Uncovered(m)) {
@@ -94,12 +107,23 @@ func (n *Node) reexpose(ctx *netsim.Context, m topology.NodeID) {
 		if n.subs.Promote(m, c.ID) == nil {
 			continue
 		}
-		// Under per-subscription propagation a covered remote operator was
-		// already registered for matching when it was filed as covered;
-		// per-neighbour propagation registers it only now.
-		if !isLocal && n.cfg.Propagation != PerSubscription {
+		switch {
+		case isLocal:
+			// The promoted subscription may still be attached to a surviving
+			// cover's index entries in the local delivery index; promote it to
+			// a fresh pruning root of its own, matching its uncovered status.
+			n.localIdx.Add(c)
+		case n.cfg.Propagation != PerSubscription:
+			// Per-neighbour propagation registers covered operators for
+			// matching only on promotion.
 			n.addMatcher(m, c)
+		default:
+			// Under per-subscription propagation the operator was registered
+			// for matching when it was filed as covered — possibly attached
+			// under a cover. Give it a fresh pruning root instead.
+			n.promoteMatcher(m, c)
 		}
 		n.splitAndForward(ctx, m, c, isLocal)
 	}
+	n.reexposeScratch = snapshot[:0]
 }

@@ -1,8 +1,10 @@
 package geom
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 )
 
 // BoxTree is an incrementally maintained point-stabbing index over a
@@ -392,6 +394,136 @@ func (t *BoxTree) rotateUp(iA, iUp, iKeep int32) int32 {
 	t.refitNode(iA)
 	t.refitNode(iUp)
 	return iUp
+}
+
+// BulkLoad builds the tree from a whole batch of boxes in one bottom-up pass.
+// boxes is the flat concatenation of one box per handle — len(handles)*Dims()
+// intervals, box i occupying boxes[i*Dims() : (i+1)*Dims()]. It returns one
+// token per box, aligned with handles. Boxes with an empty dimension are not
+// stored and yield a negative token, exactly like Insert; all other tokens
+// are interchangeable with Insert's — Remove splices them out of the packed
+// tree the same way, and subsequent Inserts extend it incrementally.
+//
+// On an empty tree the batch is packed by recursive median split on the
+// dimension with the widest spread of box centers (a sort-tile-recursive
+// style partitioning specialised to a binary tree): the split puts ⌈n/2⌉
+// leaves left and ⌊n/2⌋ right, so subtree sizes at every level differ by at
+// most one and the built tree has height ⌈log₂ n⌉ with sibling heights
+// differing by at most one — at least as balanced as anything the
+// incremental rebalancer produces, so later Inserts and Removes take over
+// seamlessly. Construction is
+// O(n log² n) comparisons and exactly 2n-1 pooled nodes, against n separate
+// O(log n) heuristic descents (each potentially rotating) for the
+// incremental path. On a non-empty tree BulkLoad degrades to a loop of
+// Inserts.
+func (t *BoxTree) BulkLoad(boxes []Interval, handles []int) []int32 {
+	if len(boxes) != len(handles)*t.dims {
+		panic(fmt.Sprintf("geom: BoxTree.BulkLoad got %d intervals for %d handles of %d dimensions",
+			len(boxes), len(handles), t.dims))
+	}
+	tokens := make([]int32, len(handles))
+	if t.count != 0 {
+		for i, h := range handles {
+			tokens[i] = t.Insert(boxes[i*t.dims:(i+1)*t.dims], h)
+		}
+		return tokens
+	}
+
+	// Materialise the leaves first: the token contract is "node index", so
+	// every stored box needs its node before any internal node is allocated.
+	leaves := make([]int32, 0, len(handles))
+	for i, h := range handles {
+		box := boxes[i*t.dims : (i+1)*t.dims]
+		empty := false
+		for _, iv := range box {
+			if iv.Empty() {
+				empty = true
+				break
+			}
+		}
+		if empty {
+			tokens[i] = btNil
+			continue
+		}
+		leaf := t.allocNode()
+		n := &t.nodes[leaf]
+		for d, iv := range box {
+			n.lo[d] = iv.Min
+			n.hi[d] = iv.Max
+		}
+		n.height = 0
+		n.handle = h
+		tokens[i] = leaf
+		leaves = append(leaves, leaf)
+	}
+	t.count = len(leaves)
+	if len(leaves) == 0 {
+		return tokens
+	}
+	t.root = t.buildSubtree(leaves)
+	t.nodes[t.root].parent = btNil
+	return tokens
+}
+
+// buildSubtree packs the given leaves into a balanced subtree and returns its
+// root. The leaves are reordered in place.
+func (t *BoxTree) buildSubtree(leaves []int32) int32 {
+	if len(leaves) == 1 {
+		return leaves[0]
+	}
+
+	// Split on the dimension along which the box centers spread the widest:
+	// that is where a median cut separates the population best, which is what
+	// keeps sibling bounds from overlapping and stabs from visiting both
+	// halves. Ties and all-identical centers degrade gracefully — the median
+	// split still halves the population, so balance never depends on the data.
+	splitDim := 0
+	widest := math.Inf(-1)
+	for d := 0; d < t.dims; d++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, leaf := range leaves {
+			c := t.centerKey(leaf, d)
+			lo = math.Min(lo, c)
+			hi = math.Max(hi, c)
+		}
+		if spread := hi - lo; spread > widest {
+			widest = spread
+			splitDim = d
+		}
+	}
+	slices.SortFunc(leaves, func(a, b int32) int {
+		return cmp.Compare(t.centerKey(a, splitDim), t.centerKey(b, splitDim))
+	})
+
+	mid := (len(leaves) + 1) / 2
+	c1 := t.buildSubtree(leaves[:mid])
+	c2 := t.buildSubtree(leaves[mid:])
+	p := t.allocNode()
+	t.nodes[p].child1 = c1
+	t.nodes[p].child2 = c2
+	t.nodes[c1].parent = p
+	t.nodes[c2].parent = p
+	t.refitNode(p)
+	return p
+}
+
+// centerKey is the sort key of a leaf's box along one dimension: the midpoint
+// for finite bounds, the finite bound for half-open boxes, and 0 for fully
+// unbounded ones (mirroring cappedWidth's rule that an unbounded extent
+// carries no clustering signal).
+func (t *BoxTree) centerKey(leaf int32, d int) float64 {
+	n := &t.nodes[leaf]
+	lo, hi := n.lo[d], n.hi[d]
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		return 0
+	case math.IsInf(lo, -1):
+		return hi
+	case math.IsInf(hi, 1):
+		return lo
+	default:
+		return lo + (hi-lo)/2
+	}
 }
 
 // Height returns the height of the tree (0 when empty or a single leaf); a

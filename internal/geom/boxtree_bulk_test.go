@@ -1,0 +1,258 @@
+package geom
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+
+	"sensorcq/internal/stats"
+)
+
+// bulkRandBoxes draws n random boxes (flat, one box per handle) including
+// unbounded, half-open and degenerate dimensions, plus the occasional empty
+// box that BulkLoad must reject with a negative token.
+func bulkRandBoxes(rng *stats.RNG, n, dims int) []Interval {
+	boxes := make([]Interval, 0, n*dims)
+	for i := 0; i < n; i++ {
+		for d := 0; d < dims; d++ {
+			switch {
+			case rng.Bool(0.05):
+				boxes = append(boxes, Interval{Min: math.Inf(-1), Max: math.Inf(1)})
+			case rng.Bool(0.05):
+				boxes = append(boxes, Interval{Min: math.Inf(-1), Max: rng.Range(-100, 100)})
+			case rng.Bool(0.05):
+				boxes = append(boxes, Interval{Min: rng.Range(-100, 100), Max: math.Inf(1)})
+			case rng.Bool(0.05): // empty: Min > Max
+				v := rng.Range(-100, 100)
+				boxes = append(boxes, Interval{Min: v, Max: v - 1})
+			case rng.Bool(0.1):
+				boxes = append(boxes, Point(rng.Range(-100, 100)))
+			default:
+				lo := rng.Range(-100, 100)
+				boxes = append(boxes, NewInterval(lo, lo+rng.Range(0, 40)))
+			}
+		}
+	}
+	return boxes
+}
+
+// checkBoxTreeInvariants walks the whole tree verifying the structural
+// contract BulkLoad promises to share with the incremental path: parent
+// links, heights, and internal bounds that exactly cover the children. With
+// strictBalance it additionally requires sibling heights to differ by at
+// most one — true of a freshly packed tree, but not guaranteed by the
+// single-rotation rebalancer once churn has reshaped it.
+func checkBoxTreeInvariants(t *testing.T, tree *BoxTree, strictBalance bool) {
+	t.Helper()
+	if tree.root == btNil {
+		if tree.count != 0 {
+			t.Fatalf("nil root with count %d", tree.count)
+		}
+		return
+	}
+	leaves := 0
+	var walk func(i int32) int32
+	walk = func(i int32) int32 {
+		n := &tree.nodes[i]
+		if n.isLeaf() {
+			if n.height != 0 {
+				t.Fatalf("leaf %d has height %d", i, n.height)
+			}
+			leaves++
+			return 0
+		}
+		c1, c2 := &tree.nodes[n.child1], &tree.nodes[n.child2]
+		if c1.parent != i || c2.parent != i {
+			t.Fatalf("node %d: child parent links broken", i)
+		}
+		h1, h2 := walk(n.child1), walk(n.child2)
+		if d := h1 - h2; strictBalance && (d < -1 || d > 1) {
+			t.Fatalf("node %d violates AVL balance: child heights %d, %d", i, h1, h2)
+		}
+		h := 1 + max32(h1, h2)
+		if n.height != h {
+			t.Fatalf("node %d: stored height %d, computed %d", i, n.height, h)
+		}
+		for d := 0; d < tree.dims; d++ {
+			if n.lo[d] != math.Min(c1.lo[d], c2.lo[d]) || n.hi[d] != math.Max(c1.hi[d], c2.hi[d]) {
+				t.Fatalf("node %d: bounds are not the union of its children in dim %d", i, d)
+			}
+		}
+		return h
+	}
+	if got := walk(tree.root); tree.nodes[tree.root].parent != btNil {
+		t.Fatalf("root parent not nil")
+	} else if leaves != tree.count {
+		t.Fatalf("walked %d leaves, count is %d", leaves, tree.count)
+	} else if got != int32(tree.Height()) {
+		t.Fatalf("Height() = %d, walk computed %d", tree.Height(), got)
+	}
+}
+
+// compareStabs probes both trees with the same points and requires identical
+// handle sets.
+func compareStabs(t *testing.T, bulk, inc *BoxTree, rng *stats.RNG, probes int) {
+	t.Helper()
+	pt := make([]float64, bulk.dims)
+	for p := 0; p < probes; p++ {
+		for d := range pt {
+			pt[d] = rng.Range(-120, 120)
+		}
+		got, want := collectStab(bulk, pt), collectStab(inc, pt)
+		if len(got) != len(want) {
+			t.Fatalf("stab %v: bulk %v, incremental %v", pt, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("stab %v: bulk %v, incremental %v", pt, got, want)
+			}
+		}
+	}
+}
+
+// TestBoxTreeBulkLoadMatchesIncremental is the bulk-load equivalence
+// property test: for random populations (unbounded, degenerate, and empty
+// boxes included), a bulk-loaded tree must stab identically to an
+// incrementally built one, respect the balance bound ⌈log₂ n⌉, keep every
+// structural invariant, and keep stabbing identically after removing half
+// the population through the bulk tokens.
+func TestBoxTreeBulkLoadMatchesIncremental(t *testing.T) {
+	rng := stats.NewRNG(987)
+	for _, dims := range []int{1, 2, 3} {
+		for _, n := range []int{1, 2, 3, 7, 64, 500} {
+			boxes := bulkRandBoxes(rng, n, dims)
+			handles := make([]int, n)
+			for i := range handles {
+				handles[i] = i
+			}
+
+			bulk := NewBoxTree(dims)
+			bulkTokens := bulk.BulkLoad(boxes, handles)
+
+			inc := NewBoxTree(dims)
+			incTokens := make([]int32, n)
+			for i := 0; i < n; i++ {
+				incTokens[i] = inc.Insert(boxes[i*dims:(i+1)*dims], i)
+			}
+
+			for i := range bulkTokens {
+				if (bulkTokens[i] < 0) != (incTokens[i] < 0) {
+					t.Fatalf("dims=%d n=%d box %d: bulk token %d, incremental token %d",
+						dims, n, i, bulkTokens[i], incTokens[i])
+				}
+			}
+			if bulk.Len() != inc.Len() {
+				t.Fatalf("dims=%d n=%d: bulk Len %d, incremental Len %d", dims, n, bulk.Len(), inc.Len())
+			}
+			if live := bulk.Len(); live > 1 {
+				if maxH := bits.Len(uint(live - 1)); bulk.Height() > maxH {
+					t.Fatalf("dims=%d n=%d: bulk height %d exceeds ⌈log₂ %d⌉ = %d",
+						dims, n, bulk.Height(), live, maxH)
+				}
+			}
+			checkBoxTreeInvariants(t, bulk, true)
+			compareStabs(t, bulk, inc, rng, 64)
+
+			// Remove the same half from both trees through their own tokens;
+			// the survivors must still agree, and the bulk tree must stay
+			// structurally sound through the incremental rebalancing.
+			for i := 0; i < n; i += 2 {
+				bulk.Remove(bulkTokens[i])
+				inc.Remove(incTokens[i])
+			}
+			checkBoxTreeInvariants(t, bulk, false)
+			compareStabs(t, bulk, inc, rng, 64)
+
+			// And the packed tree accepts further incremental inserts.
+			extra := bulkRandBoxes(rng, 8, dims)
+			for i := 0; i < 8; i++ {
+				bt := bulk.Insert(extra[i*dims:(i+1)*dims], n+i)
+				it := inc.Insert(extra[i*dims:(i+1)*dims], n+i)
+				if (bt < 0) != (it < 0) {
+					t.Fatalf("dims=%d post-bulk insert %d disagrees on emptiness", dims, i)
+				}
+			}
+			checkBoxTreeInvariants(t, bulk, false)
+			compareStabs(t, bulk, inc, rng, 64)
+		}
+	}
+}
+
+// TestBoxTreeBulkLoadNonEmptyFallsBack pins the documented degradation: on a
+// non-empty tree BulkLoad behaves exactly like a loop of Inserts.
+func TestBoxTreeBulkLoadNonEmptyFallsBack(t *testing.T) {
+	rng := stats.NewRNG(31)
+	tree := NewBoxTree(2)
+	tree.Insert([]Interval{NewInterval(0, 1), NewInterval(0, 1)}, 100)
+
+	boxes := bulkRandBoxes(rng, 50, 2)
+	handles := make([]int, 50)
+	for i := range handles {
+		handles[i] = i
+	}
+	tokens := tree.BulkLoad(boxes, handles)
+	if len(tokens) != 50 {
+		t.Fatalf("got %d tokens, want 50", len(tokens))
+	}
+	checkBoxTreeInvariants(t, tree, false)
+
+	inc := NewBoxTree(2)
+	inc.Insert([]Interval{NewInterval(0, 1), NewInterval(0, 1)}, 100)
+	for i := 0; i < 50; i++ {
+		inc.Insert(boxes[i*2:(i+1)*2], i)
+	}
+	compareStabs(t, tree, inc, rng, 64)
+}
+
+// FuzzBoxTreeBulkLoad feeds arbitrary byte-derived box populations through
+// the equivalence check: bulk-loaded and incrementally built trees must stab
+// identically before and after removing every other box.
+func FuzzBoxTreeBulkLoad(f *testing.F) {
+	f.Add(int64(1), uint8(17), []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add(int64(42), uint8(3), []byte{255, 0, 128, 7, 9, 200})
+	f.Add(int64(7), uint8(100), []byte{})
+	f.Fuzz(func(t *testing.T, seed int64, count uint8, raw []byte) {
+		dims := 1 + int(count)%3
+		n := int(count)
+		if n == 0 {
+			return
+		}
+		rng := stats.NewRNG(seed)
+		boxes := make([]Interval, n*dims)
+		for i := range boxes {
+			// Mix fuzzer-controlled bytes into the bounds so the corpus can
+			// steer the geometry, with the seeded RNG filling the gaps.
+			lo := rng.Range(-50, 50)
+			w := rng.Range(0, 20)
+			if len(raw) >= 2 {
+				lo = float64(int(raw[0]) - 128)
+				w = float64(raw[1] % 32)
+				raw = raw[2:]
+			}
+			boxes[i] = NewInterval(lo, lo+w)
+			if uint64(i)%13 == uint64(seed)%13 {
+				boxes[i] = Interval{Min: math.Inf(-1), Max: math.Inf(1)}
+			}
+		}
+		handles := make([]int, n)
+		for i := range handles {
+			handles[i] = i
+		}
+
+		bulk := NewBoxTree(dims)
+		bulkTokens := bulk.BulkLoad(boxes, handles)
+		inc := NewBoxTree(dims)
+		incTokens := make([]int32, n)
+		for i := 0; i < n; i++ {
+			incTokens[i] = inc.Insert(boxes[i*dims:(i+1)*dims], i)
+		}
+		checkBoxTreeInvariants(t, bulk, true)
+		compareStabs(t, bulk, inc, rng, 32)
+		for i := 0; i < n; i += 2 {
+			bulk.Remove(bulkTokens[i])
+			inc.Remove(incTokens[i])
+		}
+		checkBoxTreeInvariants(t, bulk, false)
+		compareStabs(t, bulk, inc, rng, 32)
+	})
+}

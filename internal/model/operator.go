@@ -30,12 +30,20 @@ func (s *Subscription) ProjectAttributes(attrs []AttributeType) *Subscription {
 	}
 	if len(kept) == len(s.AttrFilters) {
 		// Projection onto the full attribute set is the operator itself.
-		return s.Clone()
+		// Subscriptions are immutable once published (every mutator clones
+		// first), so the split-and-forward hot path shares the instance
+		// instead of deep-copying it per neighbour.
+		return s
 	}
-	out := s.Clone()
+	// A plain struct copy suffices: the copied AttrFilters pointer is
+	// replaced by kept, and abstract subscriptions carry no SensorFilters —
+	// nothing mutable is shared, without Clone's map copies.
+	out := &Subscription{}
+	*out = *s
 	out.AttrFilters = kept
 	out.Parent = s.ID
 	out.ID = deriveOperatorID(s.ID, attributeNames(kept))
+	out.sig = out.computeSignature()
 	return out
 }
 
@@ -55,12 +63,14 @@ func (s *Subscription) ProjectSensors(sensors []SensorID) *Subscription {
 		return nil
 	}
 	if len(kept) == len(s.SensorFilters) {
-		return s.Clone()
+		// See ProjectAttributes: the full projection shares the instance.
+		return s
 	}
 	out := s.Clone()
 	out.SensorFilters = kept
 	out.Parent = s.ID
 	out.ID = deriveOperatorID(s.ID, sensorNames(kept))
+	out.sig = out.computeSignature()
 	return out
 }
 

@@ -80,6 +80,15 @@ type Subscription struct {
 	// subscription is registered and uses it to route result sets back to
 	// the owner.
 	SubscriberNode string
+
+	// sig caches SignatureKey's rendering. Subscriptions are immutable once
+	// published, and the subsumption comparability scan asks for the key on
+	// every candidate-set pairing, so the constructors, Clone and the split
+	// projections fill it eagerly. A zero value (struct-literal construction
+	// in tests) falls back to computing the key per call *without* caching
+	// it — subscriptions are shared across nodes and engine goroutines, so a
+	// lazy write here would be a data race.
+	sig string
 }
 
 // NewIdentifiedSubscription builds a user subscription over explicitly named
@@ -104,6 +113,7 @@ func NewIdentifiedSubscription(id SubscriptionID, filters []SensorFilter, deltaT
 		DeltaT:        deltaT,
 		DeltaL:        NoSpatialConstraint,
 	}
+	s.sig = s.computeSignature()
 	return s, s.Validate()
 }
 
@@ -129,6 +139,7 @@ func NewAbstractSubscription(id SubscriptionID, filters []AttributeFilter, regio
 		DeltaT:      deltaT,
 		DeltaL:      deltaL,
 	}
+	s.sig = s.computeSignature()
 	return s, s.Validate()
 }
 
@@ -221,7 +232,18 @@ func (s *Subscription) Sensors() []SensorID {
 // set for abstract ones. Two subscriptions are comparable by set filtering
 // (and by pairwise covering) only when their signature keys are equal and
 // their kinds match.
+// The key is cached at construction (constructors, Clone, projections);
+// subscriptions built as struct literals compute it on every call instead of
+// caching, because a lazy write to a shared subscription would race.
 func (s *Subscription) SignatureKey() string {
+	if s.sig != "" {
+		return s.sig
+	}
+	return s.computeSignature()
+}
+
+// computeSignature renders the signature key from the filter sets.
+func (s *Subscription) computeSignature() string {
 	if s.Kind == KindIdentified {
 		return "id:" + sensorKey(s.Sensors())
 	}

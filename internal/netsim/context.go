@@ -31,6 +31,46 @@ type Context struct {
 	// one goroutine at a time (the caller's for the sequential engine, the
 	// node's worker for the concurrent engine), so the field needs no lock.
 	round int
+
+	// arena backs the complex-event copies handed to the delivery log, in
+	// chunked slabs instead of one allocation per delivery. Single-goroutine
+	// like round.
+	arena deliveryArena
+}
+
+// deliveryArena hands out event-slice storage for DeliverToUser in chunked
+// slabs. The delivery log is append-only and retains every handed-out slice
+// for the lifetime of the engine, so the arena never reclaims: exhausted
+// slabs are simply abandoned to the log's references and a fresh one is cut.
+type deliveryArena struct {
+	slab []model.Event
+}
+
+// arenaSlabEvents is the default slab granularity (events, not deliveries).
+const arenaSlabEvents = 1024
+
+// alloc returns a zeroed slice of n events with full capacity n, carving it
+// from the current slab and cutting a new slab when the remainder is too
+// small.
+func (a *deliveryArena) alloc(n int) []model.Event {
+	if n > len(a.slab) {
+		size := arenaSlabEvents
+		if n > size {
+			size = n
+		}
+		a.slab = make([]model.Event, size)
+	}
+	out := a.slab[:n:n]
+	a.slab = a.slab[n:]
+	return out
+}
+
+// reserve makes sure the current slab can serve at least n more events
+// without cutting a new slab.
+func (a *deliveryArena) reserve(n int) {
+	if n > len(a.slab) {
+		a.slab = make([]model.Event, n)
+	}
 }
 
 // Self returns this node's identifier.
@@ -108,7 +148,7 @@ func (c *Context) send(to topology.NodeID, msg Message) {
 // identical deliveries to identical rounds, which is what makes the
 // per-round conformance oracle comparable across delivery modes.
 func (c *Context) DeliverToUser(sub model.SubscriptionID, events model.ComplexEvent) {
-	cp := make(model.ComplexEvent, len(events))
+	cp := model.ComplexEvent(c.arena.alloc(len(events)))
 	copy(cp, events)
 	round := c.round
 	for i, e := range cp {

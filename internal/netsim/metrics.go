@@ -121,19 +121,54 @@ func (m *Metrics) recordSend(from, to topology.NodeID, msg Message, round int) {
 }
 
 // addByRound accumulates units into the per-round counter slice, growing it
-// on demand (doubled capacity, so steady-state replay rounds amortize to
-// zero allocations).
+// on demand. New rounds first re-expose spare capacity (left behind by the
+// doubled-capacity growth below, or reserved up front by reserveRounds) and
+// only reallocate when none is left, so steady-state replay rounds cost no
+// allocations at all once the slice has been sized.
 func addByRound(byRound []int64, round int, units int64) []int64 {
 	if round < 0 {
 		return byRound
 	}
 	if round >= len(byRound) {
-		grown := make([]int64, round+1, 2*(round+1))
-		copy(grown, byRound)
-		byRound = grown
+		if round < cap(byRound) {
+			grown := byRound[:round+1]
+			// The spare region is zero today (append-only growth from zeroed
+			// makes), but zero it explicitly so the counter stays correct if
+			// a reset path ever truncates the slice.
+			for i := len(byRound); i <= round; i++ {
+				grown[i] = 0
+			}
+			byRound = grown
+		} else {
+			grown := make([]int64, round+1, 2*(round+1))
+			copy(grown, byRound)
+			byRound = grown
+		}
 	}
 	byRound[round] += units
 	return byRound
+}
+
+// reserveRounds grows every shard's per-round counters to hold at least n
+// rounds of capacity, so a replay of known length records round attributions
+// without reallocating mid-flight.
+func (m *Metrics) reserveRounds(n int) {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		s.eventLoadByRound = growRoundsCap(s.eventLoadByRound, n)
+		s.subscriptionLoadByRound = growRoundsCap(s.subscriptionLoadByRound, n)
+		s.mu.Unlock()
+	}
+}
+
+func growRoundsCap(byRound []int64, n int) []int64 {
+	if n <= cap(byRound) {
+		return byRound
+	}
+	grown := make([]int64, len(byRound), n)
+	copy(grown, byRound)
+	return grown
 }
 
 // sumRounds folds byRound[lo..hi] (clamped to the recorded range).

@@ -99,6 +99,15 @@ func (n *Node) Init(ctx *netsim.Context) {
 // Center returns the elected central node (for tests and diagnostics).
 func (n *Node) Center() topology.NodeID { return n.center }
 
+// IndexStats reports the shape and lookup tallies of the central match
+// index. Non-central nodes hold no index and report zeros.
+func (n *Node) IndexStats() stores.IndexStats {
+	if n.idx == nil {
+		return stores.IndexStats{}
+	}
+	return n.idx.Stats()
+}
+
 // LocalSensor implements netsim.Handler. The centralized scheme needs no
 // advertisements: sensors simply ship every reading to the centre.
 func (n *Node) LocalSensor(ctx *netsim.Context, sensor model.Sensor) {}

@@ -41,6 +41,15 @@ type AdvertisementTable struct {
 	// allAttrLoc indexes the advertised locations per attribute type across
 	// every origin (used by HasAllSources).
 	allAttrLoc map[model.AttributeType]*advGrid
+
+	// sensorScratch/attrScratch back Project's per-call key collections. The
+	// projection methods copy what they keep (building their own kept maps)
+	// and never retain the slice, so one table-owned buffer serves every
+	// call — the advertisement walk of the split-and-forward phase stops
+	// allocating per (subscription, neighbour) pair. Safe like the other
+	// stores: one table per node, per-node sequential execution.
+	sensorScratch []model.SensorID
+	attrScratch   []model.AttributeType
 }
 
 // advGrid is a location grid over advertised sensor positions. The spatial
@@ -166,24 +175,26 @@ func (t *AdvertisementTable) Project(sub *model.Subscription, origin topology.No
 		return nil
 	}
 	if sub.Kind == model.KindIdentified {
-		var sensors []model.SensorID
+		sensors := t.sensorScratch[:0]
 		for d := range sub.SensorFilters {
 			if _, ok := m[d]; ok {
 				sensors = append(sensors, d)
 			}
 		}
+		t.sensorScratch = sensors[:0]
 		if len(sensors) == 0 {
 			return nil
 		}
 		return sub.ProjectSensors(sensors)
 	}
 	grids := t.attrLoc[origin]
-	var attrs []model.AttributeType
+	attrs := t.attrScratch[:0]
 	for a := range sub.AttrFilters {
 		if grids[a].anyInRegion(sub.Region) {
 			attrs = append(attrs, a)
 		}
 	}
+	t.attrScratch = attrs[:0]
 	if len(attrs) == 0 {
 		return nil
 	}

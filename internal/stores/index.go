@@ -24,11 +24,17 @@ import (
 // verified against the linear scan by the property tests — so callers can
 // feed candidates straight into FindComplexMatch.
 //
-// Maintenance is fully incremental: Add and Remove splice single boxes in
-// and out of the trees in O(log n), so steady-state subscribe/unsubscribe
-// churn never tombstones entries or rebuilds a structure from scratch (the
-// PR 4 rebuild-on-half-dead compaction path is gone; NewEventIndexRebuild
-// keeps it reachable as a benchmark baseline).
+// Maintenance is fully incremental once the index has served its first
+// lookup: Add and Remove splice single boxes in and out of the trees in
+// O(log n), so steady-state subscribe/unsubscribe churn never tombstones
+// entries or rebuilds a structure from scratch (the PR 4
+// rebuild-on-half-dead compaction path is gone; NewEventIndexRebuild keeps
+// it reachable as a benchmark baseline). Before the first lookup, Adds are
+// staged and the first Candidates call packs the whole staged population
+// with geom.BoxTree.BulkLoad — one bottom-up O(n log n) build instead of n
+// heuristic descents — which is what makes the initial subscription flood
+// (register everything, then start matching) cheap. BulkLoad triggers the
+// same packed build explicitly.
 //
 // Covering-aware pruning: AddCovered registers a subscription known to be
 // covered by an already-indexed one. Covered entries are not stored in the
@@ -55,9 +61,21 @@ type EventIndex struct {
 	legacy *rebuildIndex
 }
 
-// NewEventIndex returns an empty index with incremental maintenance.
+// NewEventIndex returns an empty index with incremental maintenance and a
+// deferred bulk-packed first build.
 func NewEventIndex() *EventIndex {
 	return &EventIndex{inc: newCompositeIndex()}
+}
+
+// NewEventIndexEager returns an index identical to NewEventIndex's except
+// that every Add inserts into the trees immediately instead of staging for
+// the bulk-packed first build. It exists as the comparison baseline for
+// BenchmarkSubscriptionFlood and for tests pinning bulk/incremental
+// equivalence; protocol code always uses NewEventIndex.
+func NewEventIndexEager() *EventIndex {
+	x := newCompositeIndex()
+	x.built = true
+	return &EventIndex{inc: x}
 }
 
 // NewEventIndexRebuild returns an index using the superseded maintenance
@@ -123,6 +141,35 @@ func (x *EventIndex) Len() int {
 	return x.inc.len()
 }
 
+// BulkLoad registers a batch of subscriptions at once. It is equivalent to
+// calling Add for each (nil entries and duplicate IDs are skipped the same
+// way), but when the index has never served a lookup the whole batch —
+// together with anything staged by earlier Adds — is packed into balanced
+// trees in one bottom-up pass per tree (geom.BoxTree.BulkLoad) instead of
+// one heuristic descent per box. On an index that has already been queried
+// it degrades to the incremental Add loop.
+func (x *EventIndex) BulkLoad(subs []*model.Subscription) {
+	if x.legacy != nil {
+		// The legacy interval trees already batch their construction (they
+		// record additions and rebuild lazily on the next stab), so the bulk
+		// path has nothing further to pack.
+		for _, sub := range subs {
+			if sub != nil {
+				x.legacy.add(sub)
+			}
+		}
+		return
+	}
+	for _, sub := range subs {
+		if sub != nil {
+			x.inc.add(sub)
+		}
+	}
+	if !x.inc.built {
+		x.inc.build()
+	}
+}
+
 // Candidates invokes fn with every stored subscription that matches the
 // simple event (Subscription.MatchesEvent holds for each candidate, and no
 // matching subscription is missed). Iteration stops early when fn returns
@@ -135,6 +182,50 @@ func (x *EventIndex) Candidates(ev model.Event, fn func(*model.Subscription) boo
 	x.inc.candidates(ev, fn)
 }
 
+// IndexStats summarises the shape and observed lookup cost of an EventIndex
+// for diagnostics (cqsim -indexstats): tree and entry counts, the tallest
+// tree, and the running candidates-per-lookup tally.
+type IndexStats struct {
+	Trees      int   // composite trees (one per filtered sensor / attribute type)
+	Members    int   // full members with tree entries of their own
+	Covered    int   // entries attached under a cover, kept out of the trees
+	Boxes      int   // boxes stored across all trees
+	Nodes      int   // pooled tree nodes backing those boxes (2·boxes−1 per packed tree)
+	MaxHeight  int   // height of the tallest tree (stab cost is O(height) per visited branch)
+	Lookups    int64 // Candidates calls served since construction
+	Candidates int64 // candidates emitted by those calls (avg per lookup = Candidates/Lookups)
+}
+
+// Merge folds another index's stats into s: counts add up, MaxHeight takes
+// the taller tree. Diagnostics use it to aggregate the many per-(node,
+// origin) indexes of a distributed run into one report.
+func (s *IndexStats) Merge(o IndexStats) {
+	s.Trees += o.Trees
+	s.Members += o.Members
+	s.Covered += o.Covered
+	s.Boxes += o.Boxes
+	s.Nodes += o.Nodes
+	if o.MaxHeight > s.MaxHeight {
+		s.MaxHeight = o.MaxHeight
+	}
+	s.Lookups += o.Lookups
+	s.Candidates += o.Candidates
+}
+
+// Stats reports the index's current shape. On an index that has not served a
+// lookup yet it forces the deferred bulk build first, so the reported tree
+// shape is the one lookups will actually see. The legacy rebuild baseline
+// reports only its member count.
+func (x *EventIndex) Stats() IndexStats {
+	if x.legacy != nil {
+		return IndexStats{
+			Trees:   len(x.legacy.bySensor) + len(x.legacy.byAttr),
+			Members: x.legacy.len(),
+		}
+	}
+	return x.inc.stats()
+}
+
 // --- incremental composite implementation ---
 
 // compositeIndex is the incremental implementation behind NewEventIndex.
@@ -142,6 +233,19 @@ type compositeIndex struct {
 	bySensor map[model.SensorID]*boxList        // 1-D: filter value range
 	byAttr   map[model.AttributeType]*boxList   // 3-D: value range × region
 	members  map[model.SubscriptionID]*ixMember // every live subscription
+
+	// Until the first lookup, full members are staged in pending instead of
+	// being inserted into the trees one by one; build() packs them all at
+	// once. A staged member removed before the build is only deleted from
+	// members — the flush skips entries the map no longer owns — so pending
+	// may briefly hold dead members, never miss a live one.
+	pending []*ixMember
+	built   bool
+
+	// Lookup tallies for Stats (incremented on the candidates hot path; two
+	// integer adds, no allocation).
+	lookups int64
+	emitted int64
 }
 
 // boxList pairs one composite tree with the members its slots refer to
@@ -187,13 +291,23 @@ func (x *compositeIndex) add(sub *model.Subscription) {
 			// cover and give it tree entries of its own.
 			m.parent.dropChild(m)
 			m.parent = nil
-			x.insertEntries(m)
+			x.indexMember(m)
 		}
 		return
 	}
 	m := &ixMember{sub: sub}
 	x.members[sub.ID] = m
-	x.insertEntries(m)
+	x.indexMember(m)
+}
+
+// indexMember gives a full member tree entries: immediately once the index
+// has been built, staged for the bulk-packed first build before that.
+func (x *compositeIndex) indexMember(m *ixMember) {
+	if x.built {
+		x.insertEntries(m)
+		return
+	}
+	x.pending = append(x.pending, m)
 }
 
 func (x *compositeIndex) addCovered(sub *model.Subscription, cover model.SubscriptionID) {
@@ -229,10 +343,96 @@ func (x *compositeIndex) remove(id model.SubscriptionID) bool {
 	// they stay registered, as full members now.
 	for _, c := range m.children {
 		c.parent = nil
-		x.insertEntries(c)
+		x.indexMember(c)
 	}
 	m.children = nil
 	return true
+}
+
+// build packs every staged live member's boxes into the composite trees in
+// one bottom-up pass per tree, then switches the index to incremental
+// maintenance. Each subscription contributes at most one box per tree (one
+// filter per sensor or attribute), so grouping by destination tree preserves
+// the batch order within every group and the build is deterministic.
+func (x *compositeIndex) build() {
+	x.built = true
+	pend := x.pending
+	x.pending = nil
+	if len(pend) == 0 {
+		return
+	}
+	type bulkGroup struct {
+		list  *boxList
+		boxes []geom.Interval // flat: one box per member, list.tree.Dims() intervals each
+		mems  []*ixMember
+	}
+	var groups []*bulkGroup
+	byList := map[*boxList]*bulkGroup{}
+	groupFor := func(l *boxList) *bulkGroup {
+		g := byList[l]
+		if g == nil {
+			g = &bulkGroup{list: l}
+			byList[l] = g
+			groups = append(groups, g)
+		}
+		return g
+	}
+	for _, m := range pend {
+		if x.members[m.sub.ID] != m {
+			continue // removed (or replaced) before the first lookup
+		}
+		sub := m.sub
+		if sub.Kind == model.KindIdentified {
+			for d, f := range sub.SensorFilters {
+				g := groupFor(x.sensorList(d))
+				g.boxes = append(g.boxes, f.Range)
+				g.mems = append(g.mems, m)
+			}
+			continue
+		}
+		for a, f := range sub.AttrFilters {
+			g := groupFor(x.attrList(a))
+			g.boxes = append(g.boxes, f.Range, sub.Region.X, sub.Region.Y)
+			g.mems = append(g.mems, m)
+		}
+	}
+	for _, g := range groups {
+		l := g.list
+		handles := make([]int, len(g.mems))
+		for i, m := range g.mems {
+			handles[i] = len(l.members)
+			l.members = append(l.members, m)
+		}
+		tokens := l.tree.BulkLoad(g.boxes, handles)
+		for i, token := range tokens {
+			if token < 0 {
+				l.members[handles[i]] = nil
+				l.free = append(l.free, handles[i])
+				continue
+			}
+			g.mems[i].entries = append(g.mems[i].entries, ixEntry{list: l, token: token, slot: handles[i]})
+		}
+	}
+}
+
+// sensorList returns (creating on first use) the 1-D list for a sensor.
+func (x *compositeIndex) sensorList(d model.SensorID) *boxList {
+	l := x.bySensor[d]
+	if l == nil {
+		l = &boxList{tree: geom.NewBoxTree(1)}
+		x.bySensor[d] = l
+	}
+	return l
+}
+
+// attrList returns (creating on first use) the 3-D list for an attribute.
+func (x *compositeIndex) attrList(a model.AttributeType) *boxList {
+	l := x.byAttr[a]
+	if l == nil {
+		l = &boxList{tree: geom.NewBoxTree(3)}
+		x.byAttr[a] = l
+	}
+	return l
 }
 
 // insertEntries inserts the member's filter boxes into the composite trees.
@@ -241,13 +441,8 @@ func (x *compositeIndex) insertEntries(m *ixMember) {
 	if sub.Kind == model.KindIdentified {
 		var box [1]geom.Interval
 		for d, f := range sub.SensorFilters {
-			l := x.bySensor[d]
-			if l == nil {
-				l = &boxList{tree: geom.NewBoxTree(1)}
-				x.bySensor[d] = l
-			}
 			box[0] = f.Range
-			l.insert(box[:], m)
+			x.sensorList(d).insert(box[:], m)
 		}
 		return
 	}
@@ -255,13 +450,8 @@ func (x *compositeIndex) insertEntries(m *ixMember) {
 	box[1] = sub.Region.X
 	box[2] = sub.Region.Y
 	for a, f := range sub.AttrFilters {
-		l := x.byAttr[a]
-		if l == nil {
-			l = &boxList{tree: geom.NewBoxTree(3)}
-			x.byAttr[a] = l
-		}
 		box[0] = f.Range
-		l.insert(box[:], m)
+		x.attrList(a).insert(box[:], m)
 	}
 }
 
@@ -308,8 +498,13 @@ func (m *ixMember) dropChild(c *ixMember) {
 }
 
 func (x *compositeIndex) candidates(ev model.Event, fn func(*model.Subscription) bool) {
+	if !x.built {
+		x.build()
+	}
+	x.lookups++
 	emit := func(h int, l *boxList) bool {
 		m := l.members[h]
+		x.emitted++
 		if !fn(m.sub) {
 			return false
 		}
@@ -318,8 +513,11 @@ func (x *compositeIndex) candidates(ev model.Event, fn func(*model.Subscription)
 		// covered set is skipped without being visited (covering implies the
 		// cover matches every event a covered subscription matches).
 		for _, c := range m.children {
-			if c.sub.MatchesEvent(ev) && !fn(c.sub) {
-				return false
+			if c.sub.MatchesEvent(ev) {
+				x.emitted++
+				if !fn(c.sub) {
+					return false
+				}
 			}
 		}
 		return true
@@ -344,6 +542,43 @@ func (x *compositeIndex) candidates(ev model.Event, fn func(*model.Subscription)
 			return emit(h, l)
 		})
 	}
+}
+
+// stats forces the deferred build (so tree shape reflects what lookups see)
+// and walks the per-tree summaries.
+func (x *compositeIndex) stats() IndexStats {
+	if !x.built {
+		x.build()
+	}
+	st := IndexStats{
+		Lookups:    x.lookups,
+		Candidates: x.emitted,
+	}
+	for _, m := range x.members {
+		if m.parent != nil {
+			st.Covered++
+		} else {
+			st.Members++
+		}
+	}
+	tally := func(l *boxList) {
+		st.Trees++
+		n := l.tree.Len()
+		st.Boxes += n
+		if n > 0 {
+			st.Nodes += 2*n - 1 // strictly binary: n leaves, n-1 internal nodes
+		}
+		if h := l.tree.Height(); h > st.MaxHeight {
+			st.MaxHeight = h
+		}
+	}
+	for _, l := range x.bySensor {
+		tally(l)
+	}
+	for _, l := range x.byAttr {
+		tally(l)
+	}
+	return st
 }
 
 // --- legacy tombstone-and-rebuild implementation (benchmark baseline) ---

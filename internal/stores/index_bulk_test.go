@@ -1,0 +1,217 @@
+package stores
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"sensorcq/internal/model"
+	"sensorcq/internal/stats"
+	"sensorcq/internal/topology"
+)
+
+// TestEventIndexBulkLoadMatchesEager is the index-level bulk equivalence
+// property test: a bulk-loaded index (BulkLoad, and Adds staged until the
+// first lookup) must produce the same candidate sets as an eagerly built one
+// for random populations, and Remove must behave identically afterwards —
+// the bulk-packed trees are interchangeable with incrementally grown ones.
+func TestEventIndexBulkLoadMatchesEager(t *testing.T) {
+	rng := stats.NewRNG(4242)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + int(rng.Uint64()%200)
+		subs := make([]*model.Subscription, 0, n)
+		for i := 0; i < n; i++ {
+			subs = append(subs, randomSubscription(t, rng, trial*1000+i))
+		}
+
+		bulk := NewEventIndex()
+		bulk.BulkLoad(subs)
+		eager := NewEventIndexEager()
+		for _, sub := range subs {
+			eager.Add(sub)
+		}
+		if bulk.Len() != eager.Len() {
+			t.Fatalf("trial %d: bulk Len %d, eager Len %d", trial, bulk.Len(), eager.Len())
+		}
+
+		for q := 0; q < 60; q++ {
+			ev := randomEvent(rng, uint64(q+1))
+			got, want := candidateIDs(bulk, ev), linearMatchIDs(subs, ev)
+			if !equalStrings(got, want) {
+				t.Fatalf("trial %d: bulk candidates(%v) = %v, want %v", trial, ev, got, want)
+			}
+			if eagerGot := candidateIDs(eager, ev); !equalStrings(eagerGot, want) {
+				t.Fatalf("trial %d: eager candidates(%v) = %v, want %v", trial, ev, eagerGot, want)
+			}
+		}
+
+		// Remove every other subscription from both; the packed trees must
+		// splice entries out exactly like the incrementally grown ones.
+		live := subs[:0:0]
+		for i, sub := range subs {
+			if i%2 == 0 {
+				if !bulk.Remove(sub.ID) || !eager.Remove(sub.ID) {
+					t.Fatalf("trial %d: Remove(%s) failed", trial, sub.ID)
+				}
+				continue
+			}
+			live = append(live, sub)
+		}
+		for q := 0; q < 60; q++ {
+			ev := randomEvent(rng, uint64(q+100))
+			got, want := candidateIDs(bulk, ev), linearMatchIDs(live, ev)
+			if !equalStrings(got, want) {
+				t.Fatalf("trial %d post-remove: bulk candidates(%v) = %v, want %v", trial, ev, got, want)
+			}
+		}
+	}
+}
+
+// TestEventIndexStagedRemovalAndReAdd pins the staging corner cases: a
+// subscription added, removed, and re-added before the first lookup must
+// appear exactly once, and one removed before the first lookup must not
+// appear at all.
+func TestEventIndexStagedRemovalAndReAdd(t *testing.T) {
+	rng := stats.NewRNG(77)
+	a := randomSubscription(t, rng, 1)
+	b := randomSubscription(t, rng, 2)
+
+	idx := NewEventIndex()
+	idx.Add(a)
+	idx.Add(b)
+	if !idx.Remove(a.ID) {
+		t.Fatal("Remove(a) before first lookup failed")
+	}
+	idx.Add(a) // re-add while still staged
+	if !idx.Remove(b.ID) {
+		t.Fatal("Remove(b) before first lookup failed")
+	}
+	if idx.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", idx.Len())
+	}
+	for q := 0; q < 200; q++ {
+		ev := randomEvent(rng, uint64(q+1))
+		got := candidateIDs(idx, ev)
+		want := linearMatchIDs([]*model.Subscription{a}, ev)
+		if !equalStrings(got, want) {
+			t.Fatalf("candidates(%v) = %v, want %v", ev, got, want)
+		}
+	}
+}
+
+// TestEventIndexStats sanity-checks the diagnostic counters: entry and tree
+// counts match the population, the packed trees respect the balance bound,
+// and the lookup tallies advance with queries.
+func TestEventIndexStats(t *testing.T) {
+	rng := stats.NewRNG(9)
+	idx := NewEventIndex()
+	subs := make([]*model.Subscription, 0, 120)
+	for i := 0; i < 120; i++ {
+		subs = append(subs, randomSubscription(t, rng, i))
+	}
+	idx.BulkLoad(subs)
+
+	st := idx.Stats()
+	if st.Members != 120 || st.Covered != 0 {
+		t.Fatalf("Members/Covered = %d/%d, want 120/0", st.Members, st.Covered)
+	}
+	if st.Trees == 0 || st.Boxes == 0 {
+		t.Fatalf("no trees/boxes recorded: %+v", st)
+	}
+	if st.Nodes < st.Boxes {
+		t.Fatalf("Nodes %d < Boxes %d", st.Nodes, st.Boxes)
+	}
+	if st.Lookups != 0 {
+		t.Fatalf("Lookups = %d before any Candidates call", st.Lookups)
+	}
+	ev := randomEvent(rng, 1)
+	idx.Candidates(ev, func(*model.Subscription) bool { return true })
+	if st = idx.Stats(); st.Lookups != 1 {
+		t.Fatalf("Lookups = %d after one Candidates call", st.Lookups)
+	}
+
+	// A covered attachment counts as covered, not as a member.
+	base := randomSubscription(t, rng, 1000)
+	idx.Add(base)
+	cov := coveredVariant(t, rng, base, "covd")
+	idx.AddCovered(cov, base.ID)
+	if st = idx.Stats(); st.Members != 121 || st.Covered != 1 {
+		t.Fatalf("Members/Covered = %d/%d after covered add, want 121/1", st.Members, st.Covered)
+	}
+}
+
+// TestPromotionRefreshesCoverLinks is the promotion-then-match property
+// test: after retracting a cover, the table must drop the links that named
+// it, re-link surviving covered subscriptions to the promoted operator when
+// it covers them, and keep the indexed candidate sets equal to a linear scan
+// of the uncovered population throughout.
+func TestPromotionRefreshesCoverLinks(t *testing.T) {
+	rng := stats.NewRNG(555)
+	origin := topology.NodeID(1)
+	for trial := 0; trial < 15; trial++ {
+		table := NewSubscriptionTable(0)
+		base := randomSubscription(t, rng, trial*100)
+		if !table.AddUncovered(origin, base) {
+			t.Fatal("AddUncovered failed")
+		}
+		// File several covered variants; each records base as its cover.
+		covered := make([]*model.Subscription, 0, 5)
+		for i := 0; i < 5; i++ {
+			c := coveredVariant(t, rng, base, fmt.Sprintf("c%d-%d", trial, i))
+			if !table.AddCovered(origin, c) {
+				t.Fatal("AddCovered failed")
+			}
+			if got := table.CoverOf(origin, c.ID); got != base.ID {
+				t.Fatalf("CoverOf(%s) = %q, want %q", c.ID, got, base.ID)
+			}
+			covered = append(covered, c)
+		}
+		// Force the match index into existence so promotion maintains it.
+		probe := randomEvent(rng, 1)
+		table.EventCandidates(origin, probe, func(*model.Subscription) bool { return true })
+
+		// Retract the cover: every link naming it must die with it.
+		if _, wasUncovered, ok := table.Remove(origin, base.ID); !ok || !wasUncovered {
+			t.Fatal("Remove(base) failed")
+		}
+		for _, c := range covered {
+			if got := table.CoverOf(origin, c.ID); got != "" {
+				t.Fatalf("stale link survived retraction: CoverOf(%s) = %q", c.ID, got)
+			}
+		}
+
+		// Promote the first covered variant (the reexposure walk would pick
+		// the survivors in order). The rest must be re-linked to it exactly
+		// when it covers them — fresh pruning roots, never the retracted ID.
+		promoted := table.Promote(origin, covered[0].ID)
+		if promoted == nil {
+			t.Fatal("Promote failed")
+		}
+		for _, c := range covered[1:] {
+			got := table.CoverOf(origin, c.ID)
+			if c.CoveredBy(promoted) {
+				if got != promoted.ID {
+					t.Fatalf("CoverOf(%s) = %q after promotion, want %q", c.ID, got, promoted.ID)
+				}
+			} else if got != "" {
+				t.Fatalf("CoverOf(%s) = %q, but %s does not cover it", c.ID, got, promoted.ID)
+			}
+		}
+
+		// Matching after the promotion chain must agree with the linear scan
+		// over what is now uncovered.
+		for q := 0; q < 40; q++ {
+			ev := randomEvent(rng, uint64(q+2))
+			var got []string
+			table.EventCandidates(origin, ev, func(s *model.Subscription) bool {
+				got = append(got, string(s.ID))
+				return true
+			})
+			want := linearMatchIDs(table.Uncovered(origin), ev)
+			sort.Strings(got)
+			if !equalStrings(got, want) {
+				t.Fatalf("trial %d: candidates(%v) = %v, want %v", trial, ev, got, want)
+			}
+		}
+	}
+}

@@ -169,6 +169,7 @@ func (t *SubscriptionTable) Remove(origin topology.NodeID, id model.Subscription
 		if ei := t.matchIdx[origin]; ei != nil {
 			ei.Remove(id)
 		}
+		t.dropLinksTo(origin, id)
 		return sub, true, true
 	}
 	if sub = removeByID(t.covered, origin, id); sub != nil {
@@ -179,10 +180,30 @@ func (t *SubscriptionTable) Remove(origin topology.NodeID, id model.Subscription
 	return nil, false, false
 }
 
+// dropLinksTo deletes the origin's cover links pointing at a retracted
+// uncovered subscription: the coverage geometry they captured died with it,
+// and a covered operator promoted later must not inherit the stale root.
+func (t *SubscriptionTable) dropLinksTo(origin topology.NodeID, id model.SubscriptionID) {
+	links := t.coverBy[origin]
+	for covered, cover := range links {
+		if cover == id {
+			delete(links, covered)
+		}
+	}
+}
+
 // Promote moves a covered subscription of the origin into the uncovered set
 // (and the origin's match index), re-exposing it after the subscription that
 // covered it was retracted. It returns the promoted subscription, or nil
 // when the ID is not stored covered for the origin.
+//
+// Promotion also refreshes the origin's cover links: covered subscriptions
+// whose link died with the retracted cover (Remove drops links pointing at a
+// retracted subscription) are re-linked to the promoted one when it covers
+// them, so an operator registered or promoted later gets a live pruning root
+// instead of the stale — possibly since reused — ID its original link named.
+// As in AddCovered, remote origins only pay the scan when the handler's
+// policy consumes the links (RecordRemoteCoverLinks).
 func (t *SubscriptionTable) Promote(origin topology.NodeID, id model.SubscriptionID) *model.Subscription {
 	sub := removeByID(t.covered, origin, id)
 	if sub == nil {
@@ -193,16 +214,34 @@ func (t *SubscriptionTable) Promote(origin topology.NodeID, id model.Subscriptio
 	if ei := t.matchIdx[origin]; ei != nil {
 		ei.Add(sub)
 	}
+	if origin == t.self || t.remoteCovers {
+		links := t.coverBy[origin]
+		for _, c := range t.covered[origin] {
+			if _, linked := links[c.ID]; linked || !c.CoveredBy(sub) {
+				continue
+			}
+			if links == nil {
+				links = map[model.SubscriptionID]model.SubscriptionID{}
+				t.coverBy[origin] = links
+			}
+			links[c.ID] = sub.ID
+		}
+	}
 	return sub
 }
 
 // removeByID removes (order-preserving) the subscription with the given ID
-// from the origin's slice and returns it, or nil when absent.
+// from the origin's slice and returns it, or nil when absent. The splice is
+// in place: accessors hand out the live slices and callers that walk one
+// across removals snapshot it first (see core's reexpose), so churn reuses
+// the backing array instead of reallocating it per retraction.
 func removeByID(m map[topology.NodeID][]*model.Subscription, origin topology.NodeID, id model.SubscriptionID) *model.Subscription {
 	subs := m[origin]
 	for i, s := range subs {
 		if s.ID == id {
-			m[origin] = append(subs[:i:i], subs[i+1:]...)
+			copy(subs[i:], subs[i+1:])
+			subs[len(subs)-1] = nil
+			m[origin] = subs[:len(subs)-1]
 			return s
 		}
 	}
@@ -218,10 +257,10 @@ func (t *SubscriptionTable) EventCandidates(origin topology.NodeID, ev model.Eve
 	}
 	idx := t.matchIdx[origin]
 	if idx == nil {
+		// The whole uncovered population arrives at once, so the first query
+		// packs it bottom-up instead of growing trees one insert at a time.
 		idx = NewEventIndex()
-		for _, sub := range t.uncovered[origin] {
-			idx.Add(sub)
-		}
+		idx.BulkLoad(t.uncovered[origin])
 		t.matchIdx[origin] = idx
 	}
 	idx.Candidates(ev, fn)

@@ -72,11 +72,12 @@ func (NoneChecker) Subsumed(*model.Subscription, []*model.Subscription) bool { r
 // Name implements Checker.
 func (NoneChecker) Name() string { return "none" }
 
-// comparable filters the set down to members comparable with the candidate:
-// same kind, same signature key, same correlation distances. Only those can
-// participate in a coverage decision (Section V-B).
-func comparable(candidate *model.Subscription, set []*model.Subscription) []*model.Subscription {
-	out := make([]*model.Subscription, 0, len(set))
+// comparableInto filters the set down to members comparable with the
+// candidate — same kind, same signature key, same correlation distances; only
+// those can participate in a coverage decision (Section V-B) — appending them
+// to dst (pass a reused buffer's [:0] reslice, or nil to allocate).
+func comparableInto(dst []*model.Subscription, candidate *model.Subscription, set []*model.Subscription) []*model.Subscription {
+	out := dst
 	for _, s := range set {
 		if s == nil {
 			continue
@@ -95,11 +96,12 @@ func comparable(candidate *model.Subscription, set []*model.Subscription) []*mod
 	return out
 }
 
-// boxesOf converts subscriptions to their box representation.
-func boxesOf(subs []*model.Subscription) []geom.Box {
-	out := make([]geom.Box, len(subs))
-	for i, s := range subs {
-		out[i] = s.Box()
+// boxesOfInto converts subscriptions to their box representation, appending
+// to dst (pass a reused buffer's [:0] reslice, or nil to allocate).
+func boxesOfInto(dst []geom.Box, subs []*model.Subscription) []geom.Box {
+	out := dst
+	for _, s := range subs {
+		out = append(out, s.Box())
 	}
 	return out
 }
@@ -145,6 +147,15 @@ type SetChecker struct {
 	// filtering verdicts even though they interleave decisions differently,
 	// which the cross-engine conformance suite relies on.
 	seed int64
+
+	// compScratch, boxScratch and pt back Subsumed's per-decision
+	// collections. Checkers are per-node (Config.CheckerFactory) and nodes
+	// execute sequentially, so one buffer set per checker suffices; Subsumed
+	// never retains them beyond a call, and pt is cleared per decision so a
+	// verdict cannot depend on dimensions sampled by earlier ones.
+	compScratch []*model.Subscription
+	boxScratch  []geom.Box
+	pt          map[string]float64
 }
 
 // NewSetChecker returns a set-subsumption checker with the given error
@@ -199,7 +210,8 @@ func (c *SetChecker) Samples() int {
 
 // Subsumed implements Checker.
 func (c *SetChecker) Subsumed(candidate *model.Subscription, set []*model.Subscription) bool {
-	comp := comparable(candidate, set)
+	comp := comparableInto(c.compScratch[:0], candidate, set)
+	c.compScratch = comp[:0]
 	if len(comp) == 0 {
 		return false
 	}
@@ -210,7 +222,8 @@ func (c *SetChecker) Subsumed(candidate *model.Subscription, set []*model.Subscr
 		}
 	}
 	cbox := candidate.Box()
-	boxes := boxesOf(comp)
+	boxes := boxesOfInto(c.boxScratch[:0], comp)
+	c.boxScratch = boxes[:0]
 	// Keep only boxes that overlap the candidate at all.
 	overlapping := boxes[:0]
 	for _, b := range boxes {
@@ -225,7 +238,11 @@ func (c *SetChecker) Subsumed(candidate *model.Subscription, set []*model.Subscr
 	dims := cbox.Dims()
 	samples := c.Samples()
 	rng := c.decisionRNG(candidate.ID)
-	pt := make(map[string]float64, len(dims))
+	if c.pt == nil {
+		c.pt = make(map[string]float64, len(dims))
+	}
+	pt := c.pt
+	clear(pt)
 	for i := 0; i < samples; i++ {
 		for _, d := range dims {
 			iv, _ := cbox.Get(d)
@@ -258,7 +275,7 @@ func (ExactChecker) Name() string { return "exact" }
 
 // Subsumed implements Checker.
 func (c ExactChecker) Subsumed(candidate *model.Subscription, set []*model.Subscription) bool {
-	comp := comparable(candidate, set)
+	comp := comparableInto(nil, candidate, set)
 	if len(comp) == 0 {
 		return false
 	}
@@ -271,7 +288,7 @@ func (c ExactChecker) Subsumed(candidate *model.Subscription, set []*model.Subsc
 	if budget <= 0 {
 		budget = 10000
 	}
-	covered, ok := boxCoveredByUnion(candidate.Box(), boxesOf(comp), &budget)
+	covered, ok := boxCoveredByUnion(candidate.Box(), boxesOfInto(nil, comp), &budget)
 	return ok && covered
 }
 
