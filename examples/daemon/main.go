@@ -1,0 +1,164 @@
+// Daemon example: run the cqd service in-process and drive it over HTTP the
+// way a remote client would — register a subscription on the control plane,
+// ingest readings as an NDJSON batch, watch the complex event arrive on the
+// SSE data plane, read /metrics, retract, and shut down gracefully. Every
+// step prints the curl equivalent so the flow can be replayed against a
+// real `cqd -demo` process.
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	"sensorcq"
+	"sensorcq/internal/server"
+)
+
+// newDemoServer builds the six-node walkthrough network (the same one
+// `cqd -demo` serves) and wraps it in the HTTP service.
+func newDemoServer() (*server.Server, *sensorcq.System) {
+	dep, err := sensorcq.NewTopology(6).
+		Link(5, 4).Link(4, 3).Link(3, 0).Link(3, 1).Link(4, 2).
+		PlaceSensor(0, sensorcq.Sensor{ID: "a", Attr: sensorcq.AmbientTemperature}).
+		PlaceSensor(1, sensorcq.Sensor{ID: "b", Attr: sensorcq.RelativeHumidity}).
+		PlaceSensor(2, sensorcq.Sensor{ID: "c", Attr: sensorcq.WindSpeed}).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := sensorcq.NewSystem(dep, sensorcq.Config{Approach: sensorcq.FilterSplitForward, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(sys, server.Config{DefaultNode: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return srv, sys
+}
+
+func post(url, contentType, body string) {
+	resp, err := http.Post(url, contentType, strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(resp)
+}
+
+func get(url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(resp)
+}
+
+func del(url string) {
+	req, _ := http.NewRequest(http.MethodDelete, url, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(resp)
+}
+
+func show(resp *http.Response) {
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		log.Fatalf("%s %s: %s %s", resp.Request.Method, resp.Request.URL, resp.Status, body)
+	}
+	if len(body) > 0 {
+		fmt.Printf("  %s %s", resp.Status, body)
+	} else {
+		fmt.Printf("  %s\n", resp.Status)
+	}
+}
+
+func main() {
+	srv, sys := newDemoServer()
+	defer sys.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("daemon listening on %s (cqd -demo serves the same network)\n\n", base)
+
+	// Control plane: register the walkthrough subscription.
+	spec := `{"id":"mild-and-dry","delta_t":30,"sensors":[` +
+		`{"sensor":"a","min":50,"max":80},{"sensor":"b","min":10,"max":30}]}`
+	fmt.Printf("$ curl -X POST %s/subscriptions -d '%s'\n", base, spec)
+	post(base+"/subscriptions", "application/json", spec)
+
+	// Data plane: stream the subscription's complex events.
+	fmt.Printf("$ curl -N %s/subscriptions/mild-and-dry/stream &\n", base)
+	stream, err := http.Get(base + "/subscriptions/mild-and-dry/stream")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stream.Body.Close()
+	frames := make(chan string)
+	go func() {
+		defer close(frames)
+		sc := bufio.NewScanner(stream.Body)
+		for sc.Scan() {
+			if line := sc.Text(); strings.HasPrefix(line, "event: ") || strings.HasPrefix(line, "data: ") {
+				frames <- line
+			}
+		}
+	}()
+
+	// Ingest a round of readings as one NDJSON batch. Readings from sensors
+	// nobody subscribed to (c) or outside the ranges are filtered near their
+	// sources and never reach the user node.
+	batch := `{"seq":1,"sensor":"a","value":62,"time":100}` + "\n" +
+		`{"seq":2,"sensor":"c","value":7,"time":101}` + "\n" +
+		`{"seq":3,"sensor":"b","value":22,"time":105}` + "\n"
+	fmt.Printf("\n$ curl -X POST %s/events -H 'Content-Type: application/x-ndjson' --data-binary $'...'\n", base)
+	post(base+"/events", "application/x-ndjson", batch)
+
+	// The matching pair (a=62, b=22 within δt=30) correlates into one
+	// complex event, pushed to the stream.
+	fmt.Println("\nSSE frames:")
+	for line := range frames {
+		fmt.Printf("  %s\n", line)
+		if strings.HasPrefix(line, "data: {\"subscription\"") {
+			break
+		}
+	}
+
+	fmt.Printf("\n$ curl %s/metrics\n", base)
+	get(base + "/metrics")
+
+	// Retract: the network forgets the query and the stream ends.
+	fmt.Printf("\n$ curl -X DELETE %s/subscriptions/mild-and-dry\n", base)
+	del(base + "/subscriptions/mild-and-dry")
+	for line := range frames {
+		fmt.Printf("  %s\n", line)
+		if line == "event: end" {
+			break
+		}
+	}
+	for range frames {
+	}
+
+	// Graceful shutdown: drain in-flight work, close every handle, stop the
+	// listener (cqd does the same on SIGTERM).
+	if err := srv.Shutdown(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	if err := httpSrv.Shutdown(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndaemon shut down cleanly")
+}

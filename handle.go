@@ -2,8 +2,10 @@ package sensorcq
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Typed sentinel errors of the public subscription-lifecycle surface. Match
@@ -24,11 +26,72 @@ var (
 	// ErrDuplicateSubscription is returned by Subscribe when a subscription
 	// with the same ID is still active on the system.
 	ErrDuplicateSubscription = errors.New("sensorcq: duplicate subscription")
+	// ErrUnknownSubscription is returned by HandleByID when no active
+	// subscription carries the given ID (never registered, or already
+	// retracted).
+	ErrUnknownSubscription = errors.New("sensorcq: unknown subscription")
 )
 
 // DefaultSinkBuffer is the capacity of a handle's push-delivery channel when
 // Subscribe is not given an explicit WithSinkBuffer option.
 const DefaultSinkBuffer = 1024
+
+// DefaultBackpressureTimeout is the wait bound BlockWithTimeout uses when
+// WithBackpressure is given a non-positive timeout.
+const DefaultBackpressureTimeout = time.Second
+
+// BackpressureMode selects what a full push-delivery channel does with the
+// next delivery. Whatever the mode, the pull log (Log, System.DeliveriesFor)
+// always records every delivery — backpressure only shapes the push stream.
+type BackpressureMode int
+
+const (
+	// DropNewest counts the incoming delivery in DroppedPushes and
+	// discards it, never blocking the delivering worker. This is the
+	// default and exactly the historical WithSinkBuffer behaviour.
+	DropNewest BackpressureMode = iota
+	// DropOldest evicts the oldest buffered delivery (counting it in
+	// DroppedPushes) to admit the incoming one, so a slow consumer sees
+	// the freshest results rather than the stalest, still without
+	// blocking the delivering worker.
+	DropOldest
+	// BlockWithTimeout blocks the delivering worker until the consumer
+	// frees buffer space or the configured timeout elapses; on timeout the
+	// incoming delivery is counted in DroppedPushes and discarded. This
+	// trades engine throughput for lossless streaming while the consumer
+	// keeps up within the timeout.
+	BlockWithTimeout
+)
+
+// String implements fmt.Stringer with the CLI/wire spellings of the modes.
+func (m BackpressureMode) String() string {
+	switch m {
+	case DropNewest:
+		return "drop_newest"
+	case DropOldest:
+		return "drop_oldest"
+	case BlockWithTimeout:
+		return "block"
+	default:
+		return fmt.Sprintf("backpressure(%d)", int(m))
+	}
+}
+
+// ParseBackpressureMode maps the wire spelling of a backpressure mode
+// ("drop_newest", "drop_oldest", "block") onto its value; the empty string
+// is the default mode.
+func ParseBackpressureMode(s string) (BackpressureMode, error) {
+	switch s {
+	case "drop_newest", "":
+		return DropNewest, nil
+	case "drop_oldest":
+		return DropOldest, nil
+	case "block":
+		return BlockWithTimeout, nil
+	default:
+		return DropNewest, fmt.Errorf("sensorcq: unknown backpressure mode %q (valid modes: drop_newest, drop_oldest, block)", s)
+	}
+}
 
 // SubscribeOption customises the push-delivery sink of a subscription
 // handle.
@@ -38,6 +101,8 @@ type subscribeOptions struct {
 	sinkBuffer int
 	callback   func(Delivery)
 	retainLog  bool
+	bpMode     BackpressureMode
+	bpTimeout  time.Duration
 }
 
 // WithSinkBuffer sets the capacity of the handle's push-delivery channel.
@@ -51,6 +116,25 @@ func WithSinkBuffer(n int) SubscribeOption {
 		if n >= 0 {
 			o.sinkBuffer = n
 		}
+	}
+}
+
+// WithBackpressure selects what happens when the consumer falls behind and
+// the push-delivery channel fills up: DropNewest (the default — count the
+// incoming delivery in DroppedPushes and discard it), DropOldest (evict the
+// oldest buffered delivery to admit the new one), or BlockWithTimeout (hold
+// the delivering worker up to the timeout before counting the delivery as
+// dropped). The timeout applies only to BlockWithTimeout; a non-positive
+// value there falls back to DefaultBackpressureTimeout. An unknown mode
+// fails the Subscribe call. The pull log stays complete in every mode.
+//
+// A blocked delivery holds the handle's lock, so an Unsubscribe or
+// System.Close racing a full BlockWithTimeout sink may wait up to one
+// timeout before the channel closes.
+func WithBackpressure(mode BackpressureMode, timeout time.Duration) SubscribeOption {
+	return func(o *subscribeOptions) {
+		o.bpMode = mode
+		o.bpTimeout = timeout
 	}
 }
 
@@ -97,6 +181,10 @@ type SubscriptionHandle struct {
 	cb func(Delivery)
 	// retainLog keeps the pull log after Unsubscribe (WithRetainLog).
 	retainLog bool
+	// bpMode and bpTimeout shape what push does with a full channel
+	// (WithBackpressure); bpTimeout is meaningful only for BlockWithTimeout.
+	bpMode    BackpressureMode
+	bpTimeout time.Duration
 
 	// unsubMu serialises Unsubscribe calls. The unsubscribed flag alone is
 	// not enough: with a bare Swap(true), a concurrent second call would
@@ -182,7 +270,10 @@ func (h *SubscriptionHandle) Unsubscribe() error {
 		return ErrClosed
 	}
 	if h.unsubscribed.Load() {
-		return ErrUnsubscribed
+		// Same error shape as the System.Unsubscribe lookup path: the
+		// sentinel wrapped with the subscription ID, so both surfaces
+		// satisfy errors.Is(err, ErrUnsubscribed) and carry the ID.
+		return fmt.Errorf("%w: %s", ErrUnsubscribed, h.sub.ID)
 	}
 	if err := h.sys.unsubscribe(h); err != nil {
 		// The retraction did not run (e.g. the runtime shut down under us):
@@ -210,7 +301,37 @@ func (h *SubscriptionHandle) push(d Delivery) {
 	}
 	select {
 	case h.ch <- d:
+		return
 	default:
+	}
+	// The channel is full: apply the handle's backpressure mode.
+	switch h.bpMode {
+	case DropOldest:
+		// Evict buffered deliveries until the new one fits. The consumer
+		// may be draining concurrently, so the eviction receive can miss
+		// and the send can succeed on any iteration; either way each pass
+		// frees or finds a slot, so the loop terminates.
+		for {
+			select {
+			case <-h.ch:
+				h.droppedPush.Add(1)
+			default:
+			}
+			select {
+			case h.ch <- d:
+				return
+			default:
+			}
+		}
+	case BlockWithTimeout:
+		t := time.NewTimer(h.bpTimeout)
+		defer t.Stop()
+		select {
+		case h.ch <- d:
+		case <-t.C:
+			h.droppedPush.Add(1)
+		}
+	default: // DropNewest
 		h.droppedPush.Add(1)
 	}
 }

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -393,6 +394,37 @@ func (e *ConcurrentEngine) Subscribe(node topology.NodeID, sub *model.Subscripti
 	return e.submit(queued{to: node, from: node, injection: injectionSubscribe, sub: sub, round: e.currentRound()})
 }
 
+// SubscribeContext implements Runtime: unlike Subscribe (which only enqueues
+// the registration), it waits for the whole propagation flood to drain.
+// Cancellation aborts the wait and submits a compensating retraction that
+// chases the registration through the network: injections land in the same
+// origin mailbox and links deliver FIFO, so the retraction observes every
+// forwarding link the registration recorded. While a windowed session is
+// open the registration joins the in-flight stream and the call returns
+// without waiting.
+func (e *ConcurrentEngine) SubscribeContext(ctx context.Context, node topology.NodeID, sub *model.Subscription) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := e.validNode(node); err != nil {
+		return err
+	}
+	if err := sub.Validate(); err != nil {
+		return err
+	}
+	if err := e.submit(queued{to: node, from: node, injection: injectionSubscribe, sub: sub, round: e.currentRound()}); err != nil {
+		return err
+	}
+	if e.wmWatching.Load() {
+		return nil
+	}
+	if err := e.FlushContext(ctx); err != nil {
+		_ = e.submit(queued{to: node, from: node, injection: injectionUnsubscribe, unsub: sub.ID, round: e.currentRound()})
+		return err
+	}
+	return nil
+}
+
 // Unsubscribe implements Runtime. Callers who need the retraction fully
 // propagated before continuing (e.g. to guarantee zero further deliveries)
 // must Flush afterwards, exactly like Subscribe.
@@ -416,6 +448,29 @@ func (e *ConcurrentEngine) Publish(node topology.NodeID, ev model.Event) error {
 	return e.submit(queued{to: node, from: node, injection: injectionPublish, ev: ev, round: r})
 }
 
+// PublishContext implements Runtime: the event is injected and the call
+// waits for the network to drain. Cancellation aborts the wait with the
+// context's error; the event itself keeps propagating on the worker
+// goroutines (an injected reading cannot be recalled). While a windowed
+// session is open the event joins the in-flight stream without waiting.
+func (e *ConcurrentEngine) PublishContext(ctx context.Context, node topology.NodeID, ev model.Event) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := e.validNode(node); err != nil {
+		return err
+	}
+	r := e.currentRound()
+	ev.Round = r
+	if err := e.submit(queued{to: node, from: node, injection: injectionPublish, ev: ev, round: r}); err != nil {
+		return err
+	}
+	if e.wmWatching.Load() {
+		return nil
+	}
+	return e.FlushContext(ctx)
+}
+
 // PublishBatch implements Runtime: one quiescent round, preserving the
 // per-event replay semantics the conformance suite compares against the
 // sequential engine.
@@ -431,6 +486,15 @@ func (e *ConcurrentEngine) PublishBatch(batch []Publication) error {
 // so up to Lag+1 rounds of messages overlap and the per-node goroutines
 // never idle at a round boundary while they still have in-window work.
 func (e *ConcurrentEngine) ReplayRounds(rounds [][]Publication, opts ReplayOptions) error {
+	return e.ReplayRoundsContext(context.Background(), rounds, opts)
+}
+
+// ReplayRoundsContext implements Runtime: ReplayRounds with every blocking
+// wait (between-round drains, the windowed watermark gate) cancellable.
+// Work already submitted keeps propagating on the worker goroutines; a
+// cancelled windowed replay leaves its session open with the in-flight
+// rounds still draining, and Flush (or FlushContext) closes it.
+func (e *ConcurrentEngine) ReplayRoundsContext(ctx context.Context, rounds [][]Publication, opts ReplayOptions) error {
 	if err := opts.validate(); err != nil {
 		return err
 	}
@@ -441,8 +505,11 @@ func (e *ConcurrentEngine) ReplayRounds(rounds [][]Publication, opts ReplayOptio
 			}
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if opts.Mode == Windowed {
-		return e.replayWindowed(rounds, opts.Lag, opts.KeepOpen)
+		return e.replayWindowed(ctx, rounds, opts.Lag, opts.KeepOpen)
 	}
 	if e.wmWatching.Load() {
 		return fmt.Errorf("netsim: %v replay rejected while a windowed session is open (Flush to close it)", opts.Mode)
@@ -455,7 +522,9 @@ func (e *ConcurrentEngine) ReplayRounds(rounds [][]Publication, opts ReplayOptio
 				if err := e.submitPublication(p, r); err != nil {
 					return err
 				}
-				e.Flush()
+				if err := e.FlushContext(ctx); err != nil {
+					return err
+				}
 			}
 		case Pipelined:
 			for _, p := range round {
@@ -463,7 +532,9 @@ func (e *ConcurrentEngine) ReplayRounds(rounds [][]Publication, opts ReplayOptio
 					return err
 				}
 			}
-			e.Flush()
+			if err := e.FlushContext(ctx); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -475,7 +546,7 @@ func (e *ConcurrentEngine) ReplayRounds(rounds [][]Publication, opts ReplayOptio
 // With keepOpen the trailing rounds stay in flight when the call returns;
 // Flush closes the session. A failed submit (engine shutdown) closes the
 // session on the way out, matching the pre-session error behaviour.
-func (e *ConcurrentEngine) replayWindowed(rounds [][]Publication, lag int, keepOpen bool) error {
+func (e *ConcurrentEngine) replayWindowed(ctx context.Context, rounds [][]Publication, lag int, keepOpen bool) error {
 	e.wmMu.Lock()
 	if !e.wmWatching.Load() {
 		e.wmInjected = e.currentRound()
@@ -485,7 +556,12 @@ func (e *ConcurrentEngine) replayWindowed(rounds [][]Publication, lag int, keepO
 	e.wmMu.Unlock()
 	for _, round := range rounds {
 		r := e.advanceRound()
-		e.waitWatermark(r - 1 - lag)
+		if err := e.waitWatermarkCtx(ctx, r-1-lag); err != nil {
+			// Cancelled at the watermark gate: mark the session open so a
+			// later Flush drains the in-flight rounds and closes it.
+			e.markSessionOpen()
+			return err
+		}
 		for _, p := range round {
 			if err := e.submitPublication(p, r); err != nil {
 				e.wmWatching.Store(false)
@@ -497,14 +573,24 @@ func (e *ConcurrentEngine) replayWindowed(rounds [][]Publication, lag int, keepO
 		e.wmMu.Unlock()
 	}
 	if keepOpen {
-		e.wmMu.Lock()
-		e.wmSessionOpen = true
-		e.wmMu.Unlock()
+		e.markSessionOpen()
 		return nil
 	}
-	e.Flush()
+	if err := e.FlushContext(ctx); err != nil {
+		e.markSessionOpen()
+		return err
+	}
 	e.wmWatching.Store(false)
 	return nil
+}
+
+// markSessionOpen records that a windowed session returned to the caller
+// with rounds still in flight (KeepOpen, or a cancelled replay): wmWatching
+// stays set and the next Flush closes the session.
+func (e *ConcurrentEngine) markSessionOpen() {
+	e.wmMu.Lock()
+	e.wmSessionOpen = true
+	e.wmMu.Unlock()
 }
 
 func (e *ConcurrentEngine) submitPublication(p Publication, round int) error {
@@ -523,6 +609,25 @@ func (e *ConcurrentEngine) waitWatermark(target int) {
 		e.wmCond.Wait()
 	}
 	e.wmMu.Unlock()
+}
+
+// waitWatermarkCtx is waitWatermark with cancellation: the context's
+// AfterFunc broadcasts wmCond, so a cancelled injector re-checks the
+// context and returns its error instead of blocking until the watermark
+// advances. A context that can never be cancelled takes the hook-free path.
+func (e *ConcurrentEngine) waitWatermarkCtx(ctx context.Context, target int) error {
+	if ctx.Done() == nil {
+		e.waitWatermark(target)
+		return nil
+	}
+	stop := context.AfterFunc(ctx, e.wmBroadcast)
+	defer stop()
+	e.wmMu.Lock()
+	for e.advanceWatermarkLocked(e.wmInjected) < target && !e.closed.Load() && ctx.Err() == nil {
+		e.wmCond.Wait()
+	}
+	e.wmMu.Unlock()
+	return ctx.Err()
 }
 
 // advanceWatermarkLocked is the incremental min-tracker behind the network
@@ -608,12 +713,48 @@ func (e *ConcurrentEngine) Flush() {
 		e.idleCond.Wait()
 	}
 	e.idleMu.Unlock()
-	// The network is quiescent: retire every drained round now so the
-	// cursor keeps pace with the round counter even across replays that
-	// never consult the watermark. This is what keeps distinct active
-	// rounds from ever colliding in the ring — the cursor is re-synced at
-	// least once per drained round, and a windowed replay's injection gate
-	// bounds the spread in between.
+	e.retireDrainedRounds()
+}
+
+// FlushContext implements Runtime: the idle wait of Flush, abandoned when
+// the context is cancelled (the in-flight work keeps draining on the worker
+// goroutines; a live windowed session stays open). A context that can never
+// be cancelled takes the exact Flush path, so steady-state replay loops pay
+// nothing for the hook.
+func (e *ConcurrentEngine) FlushContext(ctx context.Context) error {
+	if ctx.Done() == nil {
+		e.Flush()
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	stop := context.AfterFunc(ctx, func() {
+		e.idleMu.Lock()
+		e.idleCond.Broadcast()
+		e.idleMu.Unlock()
+	})
+	defer stop()
+	e.idleMu.Lock()
+	for e.inflight.Load() > 0 && ctx.Err() == nil {
+		e.idleCond.Wait()
+	}
+	e.idleMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	e.retireDrainedRounds()
+	return nil
+}
+
+// retireDrainedRounds re-syncs the watermark cursor after a full drain: the
+// network is quiescent, so every drained round can retire and the cursor
+// keeps pace with the round counter even across replays that never consult
+// the watermark. This is what keeps distinct active rounds from ever
+// colliding in the ring — the cursor is re-synced at least once per drained
+// round, and a windowed replay's injection gate bounds the spread in
+// between.
+func (e *ConcurrentEngine) retireDrainedRounds() {
 	frontier := e.currentRound()
 	e.wmMu.Lock()
 	if e.wmSessionOpen {

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 
 	"sensorcq/internal/model"
@@ -33,6 +34,23 @@ type Runtime interface {
 	// The batch counts as one replay round (deliveries are stamped with
 	// it); it is equivalent to ReplayRounds with a single quiescent round.
 	PublishBatch(batch []Publication) error
+	// SubscribeContext registers a user subscription at a node and waits
+	// until it has fully propagated through the network. Cancellation aborts
+	// the wait with the context's error; the engine then enqueues a
+	// compensating retraction behind the registration (per-link FIFO order
+	// guarantees the retraction observes every forwarding link the
+	// registration recorded), so the network converges to the
+	// not-subscribed state without further blocking the caller. While a
+	// windowed session is open the registration joins the in-flight stream
+	// and the call does not wait.
+	SubscribeContext(ctx context.Context, node topology.NodeID, sub *model.Subscription) error
+	// PublishContext injects a sensor reading and waits until it has fully
+	// propagated. Cancellation aborts the wait with the context's error;
+	// the event itself is not recalled — deliveries it causes still happen
+	// (they complete on a later drain, or concurrently on the concurrent
+	// engine). While a windowed session is open the event joins the
+	// in-flight stream and the call does not wait.
+	PublishContext(ctx context.Context, node topology.NodeID, ev model.Event) error
 	// ReplayRounds injects a trace structured as rounds of events, under
 	// the delivery semantics selected by opts: Quiescent drains the
 	// network after every single event (the conformance baseline),
@@ -44,8 +62,23 @@ type Runtime interface {
 	// an unknown target node rejects it before any event enters the
 	// network.
 	ReplayRounds(rounds [][]Publication, opts ReplayOptions) error
+	// ReplayRoundsContext is ReplayRounds with cancellation: the context is
+	// checked between dispatch bursts (sequential engine) and wakes any
+	// blocked drain or watermark wait (concurrent engine), so a stuck or
+	// long replay can be abandoned mid-round with the context's error.
+	// Work already injected keeps propagating; a cancelled windowed replay
+	// leaves its session open — in flight rounds stay in flight — and an
+	// explicit Flush (or FlushContext) drains and closes it.
+	ReplayRoundsContext(ctx context.Context, rounds [][]Publication, opts ReplayOptions) error
 	// Flush processes messages until the network is quiescent.
 	Flush()
+	// FlushContext is Flush with cancellation: it drains until the network
+	// is quiescent or the context is done, whichever comes first, and
+	// returns the context's error on cancellation (leaving the remaining
+	// work queued or in flight for a later drain). A nil error means the
+	// network is quiescent, with the same session-closing side effects as
+	// Flush.
+	FlushContext(ctx context.Context) error
 	// Metrics returns the run's traffic and delivery counters.
 	Metrics() *Metrics
 	// Deliveries returns every complex-event delivery recorded so far, in
@@ -277,6 +310,17 @@ func (e *Engine) AttachSensor(node topology.NodeID, sensor model.Sensor) error {
 // joins the in-flight stream at the current round and propagates alongside
 // the replay traffic, without draining the network first.
 func (e *Engine) Subscribe(node topology.NodeID, sub *model.Subscription) error {
+	return e.SubscribeContext(context.Background(), node, sub)
+}
+
+// SubscribeContext implements Runtime. On this engine the propagation drain
+// runs in the caller's goroutine, so cancellation takes effect between
+// dispatch steps: the remaining propagation work stays queued (the next
+// drain completes it) and a compensating retraction is queued behind it.
+func (e *Engine) SubscribeContext(ctx context.Context, node topology.NodeID, sub *model.Subscription) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := e.validNode(node); err != nil {
 		return err
 	}
@@ -284,8 +328,15 @@ func (e *Engine) Subscribe(node topology.NodeID, sub *model.Subscription) error 
 		return err
 	}
 	e.push(queued{to: node, from: node, injection: injectionSubscribe, sub: sub, round: e.round})
-	if e.ledger == nil {
-		e.Flush()
+	if e.ledger != nil {
+		return nil
+	}
+	if err := e.drainCtx(ctx); err != nil {
+		// Compensating retraction: FIFO order puts it behind every item of
+		// the registration's propagation, so by the time it is dispatched
+		// each node has recorded the forwarding links the walk retracts.
+		e.push(queued{to: node, from: node, injection: injectionUnsubscribe, unsub: sub.ID, round: e.round})
+		return err
 	}
 	return nil
 }
@@ -310,13 +361,23 @@ func (e *Engine) Unsubscribe(node topology.NodeID, id model.SubscriptionID) erro
 // Publish implements Runtime; the event is fully propagated before it
 // returns.
 func (e *Engine) Publish(node topology.NodeID, ev model.Event) error {
+	return e.PublishContext(context.Background(), node, ev)
+}
+
+// PublishContext implements Runtime. Cancellation stops the propagation
+// drain between dispatch steps; the event and whatever it has already caused
+// stay queued and complete on the next drain.
+func (e *Engine) PublishContext(ctx context.Context, node topology.NodeID, ev model.Event) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := e.validNode(node); err != nil {
 		return err
 	}
 	ev.Round = e.round
 	e.push(queued{to: node, from: node, injection: injectionPublish, ev: ev, round: e.round})
 	if e.ledger == nil {
-		e.Flush()
+		return e.drainCtx(ctx)
 	}
 	return nil
 }
@@ -335,6 +396,14 @@ func (e *Engine) PublishBatch(batch []Publication) error {
 // enqueued while round r's items are still being worked off the FIFO queue,
 // gated on the same watermark the concurrent engine uses.
 func (e *Engine) ReplayRounds(rounds [][]Publication, opts ReplayOptions) error {
+	return e.ReplayRoundsContext(context.Background(), rounds, opts)
+}
+
+// ReplayRoundsContext implements Runtime: ReplayRounds with the drains made
+// cancellable. Cancellation takes effect between dispatch steps; already
+// injected work stays queued, and a cancelled windowed replay leaves its
+// session open (Flush drains and closes it).
+func (e *Engine) ReplayRoundsContext(ctx context.Context, rounds [][]Publication, opts ReplayOptions) error {
 	if err := opts.validate(); err != nil {
 		return err
 	}
@@ -345,8 +414,11 @@ func (e *Engine) ReplayRounds(rounds [][]Publication, opts ReplayOptions) error 
 			}
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if opts.Mode == Windowed {
-		return e.replayWindowed(rounds, opts.Lag, opts.KeepOpen)
+		return e.replayWindowed(ctx, rounds, opts.Lag, opts.KeepOpen)
 	}
 	if e.ledger != nil {
 		return fmt.Errorf("netsim: %v replay rejected while a windowed session is open (Flush to close it)", opts.Mode)
@@ -357,13 +429,17 @@ func (e *Engine) ReplayRounds(rounds [][]Publication, opts ReplayOptions) error 
 		case Quiescent:
 			for _, p := range round {
 				e.pushPublication(p, e.round)
-				e.Flush()
+				if err := e.drainCtx(ctx); err != nil {
+					return err
+				}
 			}
 		case Pipelined:
 			for _, p := range round {
 				e.pushPublication(p, e.round)
 			}
-			e.Flush()
+			if err := e.drainCtx(ctx); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -379,7 +455,7 @@ func (e *Engine) ReplayRounds(rounds [][]Publication, opts ReplayOptions) error 
 // trailing rounds under the same watermark gate. With keepOpen the trailing
 // rounds are left in flight and the ledger stays live; Flush closes the
 // session.
-func (e *Engine) replayWindowed(rounds [][]Publication, lag int, keepOpen bool) error {
+func (e *Engine) replayWindowed(ctx context.Context, rounds [][]Publication, lag int, keepOpen bool) error {
 	led := e.ledger
 	if led == nil {
 		led = newRoundLedger(e.round)
@@ -387,7 +463,11 @@ func (e *Engine) replayWindowed(rounds [][]Publication, lag int, keepOpen bool) 
 	}
 	for _, round := range rounds {
 		r := e.round + 1
-		e.drainUntil(led, r-1-lag)
+		if err := e.drainUntil(ctx, led, r-1-lag); err != nil {
+			// Cancelled at the watermark gate: the session stays open with
+			// its in-flight rounds; Flush drains and closes it.
+			return err
+		}
 		e.round = r
 		for _, p := range round {
 			e.pushPublication(p, r)
@@ -397,8 +477,7 @@ func (e *Engine) replayWindowed(rounds [][]Publication, lag int, keepOpen bool) 
 	if keepOpen {
 		return nil
 	}
-	e.Flush()
-	return nil
+	return e.drainCtx(ctx)
 }
 
 // pushPublication enqueues one replayed event stamped with its round.
@@ -417,18 +496,32 @@ func (e *Engine) push(item queued) {
 	e.queue = append(e.queue, item)
 }
 
+// drainCheckMask paces the context checks of the cancellable drains: the
+// context is consulted once per (mask+1) dispatched items, so a background
+// context costs one predictable nil check per burst rather than one per
+// message.
+const drainCheckMask = 255
+
 // drainUntil dispatches queued items in FIFO order until the ledger's
-// watermark reaches the target (a no-op when it already has).
-func (e *Engine) drainUntil(led *roundLedger, target int) {
+// watermark reaches the target (a no-op when it already has) or the context
+// is cancelled, in which case the remaining items stay queued and the
+// context's error is returned.
+func (e *Engine) drainUntil(ctx context.Context, led *roundLedger, target int) error {
 	if e.flushing {
-		return
+		return nil
 	}
 	e.flushing = true
-	for led.watermark() < target && e.head < len(e.queue) {
+	for n := 0; led.watermark() < target && e.head < len(e.queue); n++ {
+		if n&drainCheckMask == 0 && ctx.Err() != nil {
+			e.compact()
+			e.flushing = false
+			return ctx.Err()
+		}
 		e.step()
 	}
 	e.compact()
 	e.flushing = false
+	return nil
 }
 
 // Flush implements Runtime: it processes queued messages in FIFO order until
@@ -442,16 +535,38 @@ func (e *Engine) drainUntil(led *roundLedger, target int) {
 // today) must not re-drain; it returns immediately and leaves the work to
 // the outer drain, which also picks up anything enqueued in between.
 func (e *Engine) Flush() {
+	_ = e.drainCtx(context.Background())
+}
+
+// FlushContext implements Runtime: the full drain of Flush, abandoned
+// between dispatch steps when the context is cancelled. On cancellation the
+// remaining items stay queued (a later drain completes them), a live
+// windowed session stays open, and the context's error is returned.
+func (e *Engine) FlushContext(ctx context.Context) error {
+	return e.drainCtx(ctx)
+}
+
+// drainCtx processes queued messages in FIFO order until none remain or the
+// context is cancelled. A full drain retires a live windowed session exactly
+// like Flush always has; a cancelled one leaves the queue and the session
+// ledger in place for the next drain.
+func (e *Engine) drainCtx(ctx context.Context) error {
 	if e.flushing {
-		return
+		return nil
 	}
 	e.flushing = true
-	for e.head < len(e.queue) {
+	for n := 0; e.head < len(e.queue); n++ {
+		if n&drainCheckMask == 0 && ctx.Err() != nil {
+			e.compact()
+			e.flushing = false
+			return ctx.Err()
+		}
 		e.step()
 	}
 	e.compact()
 	e.flushing = false
 	e.ledger = nil
+	return nil
 }
 
 // step dispatches the item at the queue head and releases it in the ledger.

@@ -1,0 +1,272 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"sensorcq"
+)
+
+// The JSON wire format of the control and data planes. Specs are what
+// clients POST; wire structs are what the server returns. Every struct maps
+// onto the public sensorcq types without exposing internal packages.
+
+// SensorFilterSpec is one identified filter: a value range over a named
+// sensor. The sensor's attribute type and location are resolved from the
+// deployment, so clients only name the sensor.
+type SensorFilterSpec struct {
+	Sensor string  `json:"sensor"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// AttrFilterSpec is one abstract filter: a value range over an attribute
+// type (e.g. "ambient-temperature").
+type AttrFilterSpec struct {
+	Attr string  `json:"attr"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// RegionSpec is the rectangular spatial constraint of an abstract
+// subscription, spanned by two opposite corners.
+type RegionSpec struct {
+	X0 float64 `json:"x0"`
+	Y0 float64 `json:"y0"`
+	X1 float64 `json:"x1"`
+	Y1 float64 `json:"y1"`
+}
+
+// BackpressureSpec selects the sink policy of one subscription:
+// "drop_newest" (default), "drop_oldest" or "block" with a timeout in
+// milliseconds.
+type BackpressureSpec struct {
+	Mode      string `json:"mode"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// SubscriptionSpec is the POST /subscriptions request body. Exactly one of
+// Sensors (identified subscription) or Attributes (abstract subscription)
+// must be non-empty.
+type SubscriptionSpec struct {
+	ID     string `json:"id"`
+	Node   *int   `json:"node,omitempty"`
+	DeltaT int64  `json:"delta_t"`
+	// DeltaL is the spatial correlation distance of an abstract
+	// subscription; omitted means unconstrained.
+	DeltaL *float64 `json:"delta_l,omitempty"`
+	// Region bounds an abstract subscription's sensors; omitted means
+	// everywhere.
+	Region       *RegionSpec        `json:"region,omitempty"`
+	Sensors      []SensorFilterSpec `json:"sensors,omitempty"`
+	Attributes   []AttrFilterSpec   `json:"attributes,omitempty"`
+	SinkBuffer   *int               `json:"sink_buffer,omitempty"`
+	Backpressure *BackpressureSpec  `json:"backpressure,omitempty"`
+}
+
+// SubscriptionStatus is the wire form of one registered subscription.
+type SubscriptionStatus struct {
+	ID            string `json:"id"`
+	Node          int    `json:"node"`
+	Active        bool   `json:"active"`
+	Streaming     bool   `json:"streaming"`
+	Delivered     int64  `json:"delivered"`
+	DroppedPushes int64  `json:"dropped_pushes"`
+}
+
+// EventSpec is one reading POSTed to /events (single JSON object, or one
+// NDJSON line of a batch). The sensor's attribute type and location are
+// resolved from the deployment. A zero Seq is assigned from the server's
+// own counter; callers injecting their own sequence numbers should do so
+// for every event.
+type EventSpec struct {
+	Seq    uint64  `json:"seq,omitempty"`
+	Sensor string  `json:"sensor"`
+	Value  float64 `json:"value"`
+	Time   int64   `json:"time"`
+	Round  int     `json:"round,omitempty"`
+}
+
+// EventWire is one component reading of a delivered complex event.
+type EventWire struct {
+	Seq    uint64  `json:"seq"`
+	Sensor string  `json:"sensor"`
+	Attr   string  `json:"attr"`
+	Value  float64 `json:"value"`
+	Time   int64   `json:"time"`
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+}
+
+// DeliveryWire is the data frame of the SSE stream: one complex event
+// delivered to a subscription.
+type DeliveryWire struct {
+	Subscription string      `json:"subscription"`
+	Node         int         `json:"node"`
+	Round        int         `json:"round"`
+	Events       []EventWire `json:"events"`
+}
+
+// TrafficWire mirrors sensorcq.TrafficStats.
+type TrafficWire struct {
+	AdvertisementLoad  int64 `json:"advertisement_load"`
+	SubscriptionLoad   int64 `json:"subscription_load"`
+	UnsubscriptionLoad int64 `json:"unsubscription_load"`
+	EventLoad          int64 `json:"event_load"`
+}
+
+// IndexWire mirrors sensorcq.IndexStats.
+type IndexWire struct {
+	Trees      int   `json:"trees"`
+	Members    int   `json:"members"`
+	Covered    int   `json:"covered"`
+	Boxes      int   `json:"boxes"`
+	MaxHeight  int   `json:"max_height"`
+	Lookups    int64 `json:"lookups"`
+	Candidates int64 `json:"candidates"`
+}
+
+// MetricsWire is the GET /metrics response body.
+type MetricsWire struct {
+	Approach        string      `json:"approach"`
+	Subscriptions   int         `json:"subscriptions"`
+	Delivered       int64       `json:"delivered"`
+	DroppedPushes   int64       `json:"dropped_pushes"`
+	DroppedMessages int64       `json:"dropped_messages"`
+	Watermark       int         `json:"watermark"`
+	Traffic         TrafficWire `json:"traffic"`
+	Index           IndexWire   `json:"index"`
+}
+
+// errorWire is the JSON body of every non-2xx response.
+type errorWire struct {
+	Error string `json:"error"`
+}
+
+// buildSubscription translates a spec into a sensorcq.Subscription plus the
+// node and subscribe options to register it with. Validation errors are
+// client errors (HTTP 400).
+func (s *Server) buildSubscription(spec *SubscriptionSpec) (*sensorcq.Subscription, sensorcq.NodeID, []sensorcq.SubscribeOption, error) {
+	if spec.ID == "" {
+		return nil, 0, nil, fmt.Errorf("subscription id is required")
+	}
+	if (len(spec.Sensors) == 0) == (len(spec.Attributes) == 0) {
+		return nil, 0, nil, fmt.Errorf("exactly one of sensors (identified) or attributes (abstract) must be set")
+	}
+
+	dep := s.sys.Deployment()
+	node := s.cfg.DefaultNode
+	if spec.Node != nil {
+		node = sensorcq.NodeID(*spec.Node)
+		if int(node) < 0 || int(node) >= dep.Graph.NumNodes() {
+			return nil, 0, nil, fmt.Errorf("node %d outside deployment [0,%d)", node, dep.Graph.NumNodes())
+		}
+	}
+
+	var sub *sensorcq.Subscription
+	var err error
+	if len(spec.Sensors) > 0 {
+		filters := make([]sensorcq.SensorFilter, len(spec.Sensors))
+		for i, f := range spec.Sensors {
+			sensor, ok := s.sensorByID(sensorcq.SensorID(f.Sensor))
+			if !ok {
+				return nil, 0, nil, fmt.Errorf("unknown sensor %q", f.Sensor)
+			}
+			filters[i] = sensorcq.SensorFilter{
+				Sensor:   sensor.ID,
+				Attr:     sensor.Attr,
+				Location: sensor.Location,
+				Range:    sensorcq.NewInterval(f.Min, f.Max),
+			}
+		}
+		sub, err = sensorcq.NewIdentifiedSubscription(sensorcq.SubscriptionID(spec.ID), filters, sensorcq.Timestamp(spec.DeltaT))
+	} else {
+		filters := make([]sensorcq.AttributeFilter, len(spec.Attributes))
+		for i, f := range spec.Attributes {
+			if f.Attr == "" {
+				return nil, 0, nil, fmt.Errorf("attribute filter %d: attr is required", i)
+			}
+			filters[i] = sensorcq.AttributeFilter{
+				Attr:  sensorcq.AttributeType(f.Attr),
+				Range: sensorcq.NewInterval(f.Min, f.Max),
+			}
+		}
+		region := sensorcq.Everywhere()
+		if spec.Region != nil {
+			region = sensorcq.NewRegion(spec.Region.X0, spec.Region.Y0, spec.Region.X1, spec.Region.Y1)
+		}
+		deltaL := sensorcq.NoSpatialConstraint
+		if spec.DeltaL != nil {
+			deltaL = *spec.DeltaL
+		}
+		sub, err = sensorcq.NewAbstractSubscription(sensorcq.SubscriptionID(spec.ID), filters, region, sensorcq.Timestamp(spec.DeltaT), deltaL)
+	}
+	if err != nil {
+		return nil, 0, nil, err
+	}
+
+	buffer := s.cfg.SinkBuffer
+	if spec.SinkBuffer != nil {
+		if *spec.SinkBuffer < 1 {
+			return nil, 0, nil, fmt.Errorf("sink_buffer must be >= 1 (the SSE stream needs a channel sink)")
+		}
+		buffer = *spec.SinkBuffer
+	}
+	mode, timeout := s.cfg.Backpressure, s.cfg.BackpressureTimeout
+	if spec.Backpressure != nil {
+		mode, err = sensorcq.ParseBackpressureMode(spec.Backpressure.Mode)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		timeout = time.Duration(spec.Backpressure.TimeoutMS) * time.Millisecond
+	}
+	opts := []sensorcq.SubscribeOption{
+		sensorcq.WithSinkBuffer(buffer),
+		sensorcq.WithBackpressure(mode, timeout),
+	}
+	return sub, node, opts, nil
+}
+
+// buildEvent translates an EventSpec into a reading, resolving the sensor's
+// attribute type and location from the deployment.
+func (s *Server) buildEvent(spec *EventSpec) (sensorcq.Event, error) {
+	sensor, ok := s.sensorByID(sensorcq.SensorID(spec.Sensor))
+	if !ok {
+		return sensorcq.Event{}, fmt.Errorf("unknown sensor %q", spec.Sensor)
+	}
+	seq := spec.Seq
+	if seq == 0 {
+		seq = s.seq.Add(1)
+	}
+	return sensorcq.Event{
+		Seq:      seq,
+		Sensor:   sensor.ID,
+		Attr:     sensor.Attr,
+		Location: sensor.Location,
+		Value:    spec.Value,
+		Time:     sensorcq.Timestamp(spec.Time),
+		Round:    spec.Round,
+	}, nil
+}
+
+// deliveryWire converts a delivery into its SSE frame payload.
+func deliveryWire(d sensorcq.Delivery) DeliveryWire {
+	events := make([]EventWire, len(d.Events))
+	for i, ev := range d.Events {
+		events[i] = EventWire{
+			Seq:    ev.Seq,
+			Sensor: string(ev.Sensor),
+			Attr:   string(ev.Attr),
+			Value:  ev.Value,
+			Time:   int64(ev.Time),
+			X:      ev.Location.X,
+			Y:      ev.Location.Y,
+		}
+	}
+	return DeliveryWire{
+		Subscription: string(d.SubID),
+		Node:         int(d.Node),
+		Round:        d.Round,
+		Events:       events,
+	}
+}

@@ -62,8 +62,11 @@ func TestSubscriptionHandleLifecycle(t *testing.T) {
 			if h.ID() != "alert" || h.Node() != 5 || !h.Active() {
 				t.Error("handle identity accessors wrong")
 			}
-			if sys.Handle("alert") != h || sys.ActiveSubscriptions() != 1 {
-				t.Error("handle registry lookup wrong")
+			if got, err := sys.HandleByID("alert"); err != nil || got != h || sys.ActiveSubscriptions() != 1 {
+				t.Errorf("handle registry lookup = (%v, %v), want the registered handle", got, err)
+			}
+			if _, err := sys.HandleByID("never-registered"); !errors.Is(err, ErrUnknownSubscription) {
+				t.Errorf("HandleByID unknown ID = %v, want ErrUnknownSubscription", err)
 			}
 
 			// A second registration of an active ID is rejected.
@@ -98,7 +101,10 @@ func TestSubscriptionHandleLifecycle(t *testing.T) {
 			if err := h.Unsubscribe(); err != nil {
 				t.Fatal(err)
 			}
-			if h.Active() || sys.Handle("alert") != nil || sys.ActiveSubscriptions() != 0 {
+			if _, err := sys.HandleByID("alert"); !errors.Is(err, ErrUnknownSubscription) {
+				t.Errorf("HandleByID of retired ID = %v, want ErrUnknownSubscription", err)
+			}
+			if h.Active() || sys.ActiveSubscriptions() != 0 {
 				t.Error("handle should be retired after Unsubscribe")
 			}
 			var pushed []Delivery

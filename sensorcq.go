@@ -55,7 +55,23 @@
 // the handle's counters (Delivered, DroppedPushes) and pull log (Log,
 // System.DeliveriesFor) remain readable. Failures on this surface are typed
 // sentinel errors — ErrUnknownSensor, ErrClosed, ErrUnsubscribed,
-// ErrDuplicateSubscription — matched with errors.Is.
+// ErrDuplicateSubscription, ErrUnknownSubscription — matched with errors.Is.
+//
+// # Cancellation and backpressure
+//
+// Every mutating method has a context-aware variant (SubscribeContext,
+// PublishContext, PublishAtContext, ReplayRoundsContext,
+// ReplayTraceContext, CloseContext) whose context bounds the wait for
+// network-wide propagation; the plain forms delegate with
+// context.Background() at zero extra cost. Cancellation aborts the wait
+// with the context's error, never corrupts the network: a cancelled
+// Subscribe retracts its half-propagated registration, a cancelled Publish
+// lets the reading finish propagating on a later drain. The delivery
+// channel of a handle applies one of three backpressure policies when the
+// consumer falls behind — DropNewest (the default, count-and-drop),
+// DropOldest, or BlockWithTimeout — selected per subscription with
+// WithBackpressure. Servers wrapping a System for remote consumers (see
+// cmd/cqd and internal/server) are the intended users of both knobs.
 package sensorcq
 
 import (

@@ -1,7 +1,10 @@
 package sensorcq
 
 import (
+	"context"
 	"fmt"
+	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -196,6 +199,18 @@ func (s *System) Deployment() *Deployment { return s.dep }
 // after the ID is unsubscribed it may be registered again. A closed system
 // returns ErrClosed.
 func (s *System) Subscribe(node NodeID, sub *Subscription, opts ...SubscribeOption) (*SubscriptionHandle, error) {
+	return s.SubscribeContext(context.Background(), node, sub, opts...)
+}
+
+// SubscribeContext is Subscribe with cancellation: the context bounds the
+// wait for the subscription's network-wide propagation. On cancellation it
+// returns the context's error (match with errors.Is against
+// context.Canceled / context.DeadlineExceeded); the partially propagated
+// registration is chased by a compensating retraction inside the runtime,
+// so the network converges to the not-subscribed state without further
+// blocking, and the ID becomes registrable again once that retraction has
+// drained.
+func (s *System) SubscribeContext(ctx context.Context, node NodeID, sub *Subscription, opts ...SubscribeOption) (*SubscriptionHandle, error) {
 	if s.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -206,7 +221,20 @@ func (s *System) Subscribe(node NodeID, sub *Subscription, opts ...SubscribeOpti
 	for _, opt := range opts {
 		opt(&o)
 	}
-	h := &SubscriptionHandle{sys: s, node: node, sub: sub, cb: o.callback, retainLog: o.retainLog}
+	switch o.bpMode {
+	case DropNewest, DropOldest:
+	case BlockWithTimeout:
+		if o.bpTimeout <= 0 {
+			o.bpTimeout = DefaultBackpressureTimeout
+		}
+	default:
+		return nil, fmt.Errorf("sensorcq: invalid backpressure mode %v", o.bpMode)
+	}
+	h := &SubscriptionHandle{
+		sys: s, node: node, sub: sub,
+		cb: o.callback, retainLog: o.retainLog,
+		bpMode: o.bpMode, bpTimeout: o.bpTimeout,
+	}
 	if o.sinkBuffer > 0 {
 		h.ch = make(chan Delivery, o.sinkBuffer)
 	}
@@ -214,11 +242,11 @@ func (s *System) Subscribe(node NodeID, sub *Subscription, opts ...SubscribeOpti
 	if _, dup := s.handles.LoadOrStore(sub.ID, h); dup {
 		return nil, fmt.Errorf("%w: %s", ErrDuplicateSubscription, sub.ID)
 	}
-	if err := s.runtime.Subscribe(node, sub); err != nil {
+	if err := s.runtime.SubscribeContext(ctx, node, sub); err != nil {
 		s.handles.Delete(sub.ID)
+		h.closeSink()
 		return nil, err
 	}
-	s.runtime.Flush()
 	// Re-check after registering: a Close that raced this Subscribe swept
 	// the registry before (or while) the handle appeared in it, so close the
 	// sink ourselves and report the system closed — otherwise a consumer
@@ -235,7 +263,10 @@ func (s *System) Subscribe(node NodeID, sub *Subscription, opts ...SubscribeOpti
 
 // Unsubscribe retracts the active subscription with the given ID
 // network-wide; it is the lookup-by-ID form of SubscriptionHandle
-// Unsubscribe. An ID with no active handle returns ErrUnsubscribed.
+// Unsubscribe. An ID with no active handle — never registered, or already
+// retracted — returns ErrUnsubscribed wrapped with the ID, the same error
+// shape a second SubscriptionHandle.Unsubscribe returns, so both surfaces
+// are matched with errors.Is(err, ErrUnsubscribed).
 func (s *System) Unsubscribe(id SubscriptionID) error {
 	if s.closed.Load() {
 		return ErrClosed
@@ -272,11 +303,42 @@ func (s *System) unsubscribe(h *SubscriptionHandle) error {
 
 // Handle returns the active handle of a subscription, or nil when the ID is
 // unknown or already unsubscribed.
+//
+// Deprecated: the nil result conflates "never registered" with "already
+// retracted" and forces a nil check at every call site. Use HandleByID,
+// which reports the missing ID as ErrUnknownSubscription.
 func (s *System) Handle(id SubscriptionID) *SubscriptionHandle {
-	if h, ok := s.handles.Load(id); ok {
-		return h.(*SubscriptionHandle)
+	h, err := s.HandleByID(id)
+	if err != nil {
+		return nil
 	}
-	return nil
+	return h
+}
+
+// HandleByID returns the active handle of a subscription. An ID with no
+// active handle — never registered, or already retracted — returns
+// ErrUnknownSubscription wrapped with the ID (match with errors.Is).
+func (s *System) HandleByID(id SubscriptionID) (*SubscriptionHandle, error) {
+	if h, ok := s.handles.Load(id); ok {
+		return h.(*SubscriptionHandle), nil
+	}
+	return nil, fmt.Errorf("%w: %s", ErrUnknownSubscription, id)
+}
+
+// Handles returns the active (not yet unsubscribed) subscription handles,
+// sorted by subscription ID for a deterministic listing. The slice is a
+// snapshot: handles retracted after it is taken remain in it but report
+// Active() == false.
+func (s *System) Handles() []*SubscriptionHandle {
+	var out []*SubscriptionHandle
+	s.handles.Range(func(_, h any) bool {
+		out = append(out, h.(*SubscriptionHandle))
+		return true
+	})
+	slices.SortFunc(out, func(a, b *SubscriptionHandle) int {
+		return strings.Compare(string(a.sub.ID), string(b.sub.ID))
+	})
+	return out
 }
 
 // ActiveSubscriptions returns the number of active (not yet unsubscribed)
@@ -291,6 +353,16 @@ func (s *System) ActiveSubscriptions() int {
 // deployment; the reading enters the network at the node hosting it. An
 // unknown sensor returns ErrUnknownSensor; a closed system ErrClosed.
 func (s *System) Publish(ev Event) error {
+	return s.PublishContext(context.Background(), ev)
+}
+
+// PublishContext is Publish with cancellation: the context bounds the wait
+// for the reading's network-wide propagation. On cancellation it returns the
+// context's error; the reading itself is not recalled — it keeps
+// propagating (on the concurrent runtime's workers, or on this system's
+// next drain with the sequential runtime) and any deliveries it causes
+// still happen.
+func (s *System) PublishContext(ctx context.Context, ev Event) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
@@ -298,20 +370,22 @@ func (s *System) Publish(ev Event) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownSensor, ev.Sensor)
 	}
-	return s.PublishAt(host, ev)
+	return s.PublishAtContext(ctx, host, ev)
 }
 
 // PublishAt injects a reading at an explicit node (for hand-built
 // deployments or readings of sensors attached after construction).
 func (s *System) PublishAt(node NodeID, ev Event) error {
+	return s.PublishAtContext(context.Background(), node, ev)
+}
+
+// PublishAtContext is PublishAt with cancellation, with the same
+// cancellation semantics as PublishContext.
+func (s *System) PublishAtContext(ctx context.Context, node NodeID, ev Event) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
-	if err := s.runtime.Publish(node, ev); err != nil {
-		return err
-	}
-	s.runtime.Flush()
-	return nil
+	return s.runtime.PublishContext(ctx, node, ev)
 }
 
 // PublishBatch injects a trace of readings in order through the runtime's
@@ -321,6 +395,12 @@ func (s *System) PublishAt(node NodeID, ev Event) error {
 // identical to calling Publish per event; the batch amortizes per-event
 // bookkeeping, which matters when replaying long traces.
 func (s *System) PublishBatch(events []Event) error {
+	return s.PublishBatchContext(context.Background(), events)
+}
+
+// PublishBatchContext is PublishBatch with cancellation (see
+// PublishContext for the semantics of an aborted propagation wait).
+func (s *System) PublishBatchContext(ctx context.Context, events []Event) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
@@ -332,11 +412,10 @@ func (s *System) PublishBatch(events []Event) error {
 		}
 		batch[i] = netsim.Publication{Node: host, Event: ev}
 	}
-	if err := s.runtime.PublishBatch(batch); err != nil {
+	if err := s.runtime.ReplayRoundsContext(ctx, [][]netsim.Publication{batch}, netsim.ReplayOptions{Mode: netsim.Quiescent}); err != nil {
 		return err
 	}
-	s.runtime.Flush()
-	return nil
+	return s.runtime.FlushContext(ctx)
 }
 
 // Replay publishes every event of a trace in order (an alias for
@@ -352,6 +431,15 @@ func (s *System) Replay(events []Event) error {
 // Concurrent system, each round is evaluated by all processing nodes in
 // parallel; the network is drained to quiescence between rounds.
 func (s *System) ReplayRounds(rounds [][]Event) error {
+	return s.ReplayRoundsContext(context.Background(), rounds)
+}
+
+// ReplayRoundsContext is ReplayRounds with cancellation: the context is
+// consulted between dispatch bursts and at every blocking drain or
+// watermark wait, so a long or stuck replay can be abandoned mid-round with
+// the context's error. Rounds already injected keep propagating; the next
+// drain (any mutating call, or Close) completes them.
+func (s *System) ReplayRoundsContext(ctx context.Context, rounds [][]Event) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
@@ -366,20 +454,25 @@ func (s *System) ReplayRounds(rounds [][]Event) error {
 			pubRounds[r][i] = netsim.Publication{Node: host, Event: ev}
 		}
 	}
-	if err := s.runtime.ReplayRounds(pubRounds, netsim.ReplayOptions{Mode: s.delivery, Lag: s.lag}); err != nil {
+	if err := s.runtime.ReplayRoundsContext(ctx, pubRounds, netsim.ReplayOptions{Mode: s.delivery, Lag: s.lag}); err != nil {
 		return err
 	}
-	s.runtime.Flush()
-	return nil
+	return s.runtime.FlushContext(ctx)
 }
 
 // ReplayTrace replays a generated trace round by round under the system's
 // configured Delivery mode.
 func (s *System) ReplayTrace(trace *Trace) error {
+	return s.ReplayTraceContext(context.Background(), trace)
+}
+
+// ReplayTraceContext is ReplayTrace with cancellation (see
+// ReplayRoundsContext).
+func (s *System) ReplayTraceContext(ctx context.Context, trace *Trace) error {
 	if trace == nil {
 		return fmt.Errorf("sensorcq: nil trace")
 	}
-	return s.ReplayRounds(trace.ByRound)
+	return s.ReplayRoundsContext(ctx, trace.ByRound)
 }
 
 // DroppedMessages returns the number of messages the runtime failed to
@@ -460,18 +553,29 @@ func (s *System) DeliveredEventSeqs(id SubscriptionID) map[uint64]bool {
 // DeliveredEventSeqs, Watermark, DroppedMessages, handle counters and logs)
 // stay readable so the run's results can still be inspected post-mortem.
 func (s *System) Close() error {
+	return s.CloseContext(context.Background())
+}
+
+// CloseContext is Close with a bound on the drain: if the context is
+// cancelled while in-flight work is still propagating, the drain is
+// abandoned and CloseContext returns the context's error. The system is
+// considered closed either way — worker goroutines are released and every
+// handle sink is closed even on a cancelled drain, so a timed-out shutdown
+// still terminates consumers; only the zero-dropped-messages drain
+// guarantee is forfeited.
+func (s *System) CloseContext(ctx context.Context) error {
 	if s.closed.Swap(true) {
 		return ErrClosed
 	}
+	drainErr := s.runtime.FlushContext(ctx)
 	if s.concurrent != nil {
-		s.concurrent.Flush()
 		s.concurrent.Close()
 	}
 	s.handles.Range(func(_, h any) bool {
 		h.(*SubscriptionHandle).closeSink()
 		return true
 	})
-	return nil
+	return drainErr
 }
 
 // TopologyBuilder builds a hand-crafted deployment: an explicit node graph
