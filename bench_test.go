@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"testing"
 
+	"sensorcq/internal/agg"
 	"sensorcq/internal/experiment"
 	"sensorcq/internal/model"
 	"sensorcq/internal/netsim"
@@ -851,6 +852,131 @@ func BenchmarkReplaySteadyState(b *testing.B) {
 	}
 	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+}
+
+// BenchmarkAggregateReplay measures the windowed aggregation data path on the
+// sequential engine over the wide replay topology: one continuous median
+// query, the full round-structured trace, every window closed by the
+// watermark. The in-network variant merges q-digest partials up the
+// dissemination tree (one partial per tree edge per window); the ship-all
+// variant is the Exact baseline that relays every matching reading hop by hop
+// to the subscriber and aggregates there. events/sec is the replay
+// throughput; msgs-up and bytes-up report each variant's upstream
+// partial-aggregate traffic per replay, so the run itself shows the traffic
+// gap the aggregation subsystem exists to open.
+func BenchmarkAggregateReplay(b *testing.B) {
+	w, replay, events := replayThroughputWorkload(b)
+	counts := map[model.AttributeType]int{}
+	for _, s := range w.Deployment.Sensors {
+		counts[s.Attr]++
+	}
+	var attr model.AttributeType
+	for a, n := range counts {
+		if attr == "" || n > counts[attr] || (n == counts[attr] && a < attr) {
+			attr = a
+		}
+	}
+	lo, hi := w.Trace.Mins[attr], w.Trace.Maxs[attr]
+	if !(lo < hi) {
+		lo, hi = lo-1, hi+1
+	}
+	bench := func(spec model.AggregateSpec) func(*testing.B) {
+		return func(b *testing.B) {
+			sub, err := model.NewAggregateSubscription("agg-bench",
+				model.AttributeFilter{Attr: attr, Range: NewInterval(lo, hi)}, Everywhere(), spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var load, bytes int64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				factory, err := experiment.FactoryForSpec(experiment.FilterSplitForward, experiment.FactorySpec{
+					Seed: w.Scenario.Seed + 7,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng := netsim.NewEngine(w.Deployment.Graph, factory)
+				for _, sensor := range w.Deployment.Sensors {
+					if err := eng.AttachSensor(w.Deployment.SensorHost[sensor.ID], sensor); err != nil {
+						b.Fatal(err)
+					}
+				}
+				eng.Flush()
+				if err := eng.Subscribe(0, sub.Clone()); err != nil {
+					b.Fatal(err)
+				}
+				eng.Flush()
+				b.StartTimer()
+				if err := eng.ReplayRounds(replay, netsim.ReplayOptions{Mode: netsim.Quiescent}); err != nil {
+					b.Fatal(err)
+				}
+				eng.Flush()
+				b.StopTimer()
+				if n := eng.Metrics().DroppedMessages(); n != 0 {
+					b.Fatalf("dropped %d messages", n)
+				}
+				load = eng.Metrics().Snapshot().PartialAggregateLoad
+				bytes = eng.Metrics().PartialAggregateBytes()
+				if load == 0 {
+					b.Fatal("replay shipped no partial aggregates; the benchmark is vacuous")
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+			b.ReportMetric(float64(load), "msgs-up")
+			b.ReportMetric(float64(bytes), "bytes-up")
+		}
+	}
+	b.Run("in-network", bench(model.AggregateSpec{
+		Func: agg.Quantile, WindowRounds: 2, Quantile: 0.5, Lo: lo, Hi: hi, Bits: 10, K: 32,
+	}))
+	b.Run("ship-all", bench(model.AggregateSpec{
+		Func: agg.Quantile, WindowRounds: 2, Quantile: 0.5, Exact: true,
+	}))
+}
+
+var qdigestBenchSink int64
+
+// BenchmarkQDigestMerge measures the sketch primitive of the aggregation
+// subsystem: merging a compressed child q-digest into an accumulating parent
+// and re-compressing for the upstream ship — the per-node, per-window work a
+// dissemination-tree hop performs. The compression parameter k trades sketch
+// size for rank error (ε = Bits/k), so the two settings bound the cheap and
+// the accurate end of the sweep the experiment runs.
+func BenchmarkQDigestMerge(b *testing.B) {
+	for _, k := range []int{16, 64} {
+		k := k
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			cfg := agg.Config{Func: agg.Quantile, Quantile: 0.5, Lo: 0, Hi: 4096, Bits: 12, K: k}
+			if err := cfg.Validate(); err != nil {
+				b.Fatal(err)
+			}
+			// Deterministic pseudo-random readings from a bare LCG; the
+			// bucket distribution is what drives compression cost.
+			v := uint64(1)
+			next := func() float64 {
+				v = v*6364136223846793005 + 1442695040888963407
+				return float64(v >> 52)
+			}
+			child := agg.NewQDigest(cfg)
+			for i := 0; i < 4096; i++ {
+				child.Add(next())
+			}
+			child.Compress()
+			parent := agg.NewQDigest(cfg)
+			for i := 0; i < 512; i++ {
+				parent.Add(next())
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				parent.Merge(child)
+				parent.Compress()
+			}
+			b.StopTimer()
+			qdigestBenchSink = parent.Count()
+		})
+	}
 }
 
 // --- micro-benchmarks of the core building blocks ---

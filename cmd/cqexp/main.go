@@ -15,6 +15,7 @@
 //	cqexp -concurrent -delivery pipelined        # parallel round-by-round replay
 //	cqexp -concurrent -delivery windowed -lag 2  # overlap up to 3 rounds in flight
 //	cqexp -concurrent -lagsweep 0,1,2,4          # windowed lag comparison table
+//	cqexp -aggsweep 8,16,32,64                   # aggregate error-vs-traffic table
 package main
 
 import (
@@ -46,6 +47,10 @@ func main() {
 			"fraction of each batch's subscriptions to retract after the batch's rounds replayed (0..1); later batches run against the survivors")
 		lagSweep = flag.String("lagsweep", "",
 			"comma-separated windowed lag settings (e.g. 0,1,2,4): run each scenario's Filter-Split-Forward replay once per lag on one shared workload and print a comparison table instead of the figure series; use instead of -delivery/-lag (the sweep is always windowed)")
+		aggSweep = flag.String("aggsweep", "",
+			"comma-separated q-digest compression settings k (e.g. 8,16,32,64): replay one windowed quantile query per scenario once per k plus once with the exact ship-every-reading baseline and print an error-vs-traffic table instead of the figure series")
+		aggWindow   = flag.Int("aggwindow", 4, "tumbling window width in rounds of the -aggsweep query")
+		aggQuantile = flag.Float64("aggquantile", 0.5, "rank fraction of the -aggsweep quantile query")
 	)
 	flag.Parse()
 
@@ -70,6 +75,26 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	if *aggSweep != "" {
+		ks, err := parseKs(*aggSweep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "invalid -aggsweep %q: %v\n", *aggSweep, err)
+			flag.Usage()
+			os.Exit(2)
+		}
+		for _, s := range scenarios {
+			s = applyScale(s, *scaleFlag)
+			if *seed != 0 {
+				s.Seed = *seed
+			}
+			if err := runAggSweep(s, ks, *aggWindow, *aggQuantile, *concurrent); err != nil {
+				fmt.Fprintf(os.Stderr, "aggregate sweep %s: %v\n", s.Name, err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	if *lagSweep != "" {
@@ -236,6 +261,60 @@ func runLagSweep(s experiment.Scenario, lags []int, concurrent, noRecall bool, c
 		fmt.Printf("%-6d %12s %12.0f %10d %12d %8s %10s\n",
 			lag, elapsed.Round(time.Millisecond), float64(events)/elapsed.Seconds(),
 			pt.subLoad, pt.eventLoad, recallCol, conformant)
+	}
+	fmt.Println()
+	return nil
+}
+
+// parseKs parses the -aggsweep flag: a comma-separated list of positive
+// q-digest compression settings.
+func parseKs(spec string) ([]int, error) {
+	var ks []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("k %q is not an integer", part)
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("k %d must be >= 1", n)
+		}
+		ks = append(ks, n)
+	}
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("no compression settings given")
+	}
+	return ks, nil
+}
+
+// runAggSweep runs the in-network aggregation error-vs-traffic experiment
+// for one scenario and prints the comparison table: the exact
+// ship-every-reading baseline's traffic first, then one line per q-digest
+// compression setting with its error bound, the observed per-window rank
+// errors and the upstream partial-aggregate traffic.
+func runAggSweep(s experiment.Scenario, ks []int, window int, quantile float64, concurrent bool) error {
+	res, err := experiment.RunAggregateSweep(experiment.AggregateSweepConfig{
+		Scenario:     s,
+		WindowRounds: window,
+		Quantile:     quantile,
+		Ks:           ks,
+		Concurrent:   concurrent,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("=== %s aggregate error-vs-traffic sweep — φ=%.2f over %s, window %d rounds, %d readings, tree depth %d ===\n",
+		s.Name, quantile, res.Attr, window, res.Readings, res.TreeDepth)
+	fmt.Printf("%-10s %10s %10s %10s %12s %14s\n",
+		"setting", "ε bound", "max err", "mean err", "partials", "bytes-up")
+	fmt.Printf("%-10s %10s %10s %10s %12d %14d\n",
+		"exact", "0", "0", "0", res.ExactLoad, res.ExactBytes)
+	for _, p := range res.Points {
+		fmt.Printf("%-10s %10.4f %10.4f %10.4f %12d %14d\n",
+			fmt.Sprintf("k=%d", p.K), p.Epsilon, p.MaxRankError, p.MeanRankError, p.PartialLoad, p.PartialBytes)
 	}
 	fmt.Println()
 	return nil

@@ -9,6 +9,7 @@
 //	      -subs 200 -rounds 12
 //	cqsim -concurrent -delivery pipelined        # parallel round-by-round replay
 //	cqsim -concurrent -delivery windowed -lag 2  # overlap up to 3 rounds in flight
+//	cqsim -agg quantile -agg-window 4 -agg-k 32  # add a windowed aggregate query
 package main
 
 import (
@@ -42,6 +43,14 @@ func main() {
 			"fraction of subscriptions to unsubscribe halfway through the replay (0..1); exercises the retraction path and prints the traffic it saves")
 		indexStats = flag.Bool("indexstats", false,
 			"print the aggregate shape and lookup cost of the network's match indexes after the replay")
+		aggFunc = flag.String("agg", "",
+			"also register one windowed aggregate query with this function (count, sum, min, max, mean or quantile) over the deployment's busiest attribute")
+		aggWindow   = flag.Int("agg-window", 4, "tumbling window width in rounds of the -agg query")
+		aggQuantile = flag.Float64("agg-quantile", 0.5, "rank fraction of the -agg quantile query")
+		aggBits     = flag.Uint("agg-bits", 12, "log2 of the q-digest bucket count of the -agg quantile query")
+		aggK        = flag.Int("agg-k", 32, "q-digest compression parameter of the -agg quantile query (ε = bits/k)")
+		aggExact    = flag.Bool("agg-exact", false,
+			"run the -agg query with the exact ship-every-reading baseline instead of in-network sketch merging")
 	)
 	flag.Parse()
 
@@ -62,13 +71,31 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*approach, *nodes, *sensors, *groups, *subs, *minAttrs, *maxAttrs, *rounds, *seed, *topN, *concurrent, mode, *lag, *churn, *indexStats); err != nil {
+	agg := aggConfig{
+		fn:       *aggFunc,
+		window:   *aggWindow,
+		quantile: *aggQuantile,
+		bits:     *aggBits,
+		k:        *aggK,
+		exact:    *aggExact,
+	}
+	if err := run(*approach, *nodes, *sensors, *groups, *subs, *minAttrs, *maxAttrs, *rounds, *seed, *topN, *concurrent, mode, *lag, *churn, *indexStats, agg); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(approach string, nodes, sensors, groups, subs, minAttrs, maxAttrs, rounds int, seed int64, topN int, concurrent bool, mode sensorcq.DeliveryMode, lag int, churn float64, indexStats bool) error {
+// aggConfig bundles the -agg* flags.
+type aggConfig struct {
+	fn       string
+	window   int
+	quantile float64
+	bits     uint
+	k        int
+	exact    bool
+}
+
+func run(approach string, nodes, sensors, groups, subs, minAttrs, maxAttrs, rounds int, seed int64, topN int, concurrent bool, mode sensorcq.DeliveryMode, lag int, churn float64, indexStats bool, agg aggConfig) error {
 	dep, err := sensorcq.GenerateDeployment(sensorcq.DeploymentConfig{
 		TotalNodes:  nodes,
 		SensorNodes: sensors,
@@ -116,6 +143,43 @@ func run(approach string, nodes, sensors, groups, subs, minAttrs, maxAttrs, roun
 		}
 		handles = append(handles, h)
 	}
+	// The optional windowed aggregate query rides along with the workload: it
+	// covers the busiest attribute's full observed value domain, so every
+	// reading of that attribute folds into a window.
+	const aggID = sensorcq.SubscriptionID("agg-query")
+	var aggSpec sensorcq.AggregateSpec
+	var aggAttr sensorcq.AttributeType
+	if agg.fn != "" {
+		fn, err := sensorcq.ParseAggregateFunc(agg.fn)
+		if err != nil {
+			return err
+		}
+		aggAttr = busiestAttribute(dep)
+		lo, hi := trace.Mins[aggAttr], trace.Maxs[aggAttr]
+		if !(lo < hi) {
+			lo, hi = lo-1, hi+1
+		}
+		aggSpec = sensorcq.AggregateSpec{
+			Func:         fn,
+			WindowRounds: agg.window,
+			Quantile:     agg.quantile,
+			Lo:           lo,
+			Hi:           hi,
+			Bits:         agg.bits,
+			K:            agg.k,
+			Exact:        agg.exact,
+		}
+		sub, err := sensorcq.NewAggregateSubscription(aggID,
+			sensorcq.AttributeFilter{Attr: aggAttr, Range: sensorcq.NewInterval(lo, hi)},
+			sensorcq.Everywhere(), aggSpec)
+		if err != nil {
+			return err
+		}
+		if _, err := sys.SubscribeAggregate(0, sub, sensorcq.WithSinkBuffer(0)); err != nil {
+			return fmt.Errorf("subscribing aggregate query: %w", err)
+		}
+	}
+
 	afterSubs := sys.Traffic()
 	start := time.Now()
 	retracted := 0
@@ -186,5 +250,38 @@ func run(approach string, nodes, sensors, groups, subs, minAttrs, maxAttrs, roun
 	}
 	fmt.Printf("delivered events:    %d (across %d complex-event notifications)\n",
 		delivered, len(sys.Deliveries()))
+
+	if agg.fn != "" {
+		mode := fmt.Sprintf("in-network sketch (k=%d, ε=%.3f)", aggSpec.K, aggSpec.Epsilon())
+		if aggSpec.Func != sensorcq.AggQuantile {
+			mode = "in-network exact merge"
+		}
+		if aggSpec.Exact {
+			mode = "ship-every-reading exact baseline"
+		}
+		fmt.Printf("aggregate query:     %s over %s, window %d rounds, %s\n",
+			aggSpec.Func, aggAttr, aggSpec.WindowRounds, mode)
+		windows := sys.DeliveriesFor(aggID)
+		fmt.Printf("aggregate windows:   %d delivered\n", len(windows))
+		fmt.Printf("partial-agg load:    %d messages, %d bytes upstream\n",
+			final.PartialAggregateLoad, final.PartialAggregateBytes)
+	}
 	return nil
+}
+
+// busiestAttribute returns the deployment's attribute type with the most
+// sensors.
+func busiestAttribute(dep *sensorcq.Deployment) sensorcq.AttributeType {
+	counts := make(map[sensorcq.AttributeType]int)
+	for _, s := range dep.Sensors {
+		counts[s.Attr]++
+	}
+	var best sensorcq.AttributeType
+	bestN := -1
+	for attr, n := range counts {
+		if n > bestN || (n == bestN && attr < best) {
+			best, bestN = attr, n
+		}
+	}
+	return best
 }

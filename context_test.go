@@ -259,6 +259,52 @@ func TestContextCancellationBlocked(t *testing.T) {
 	}
 }
 
+// TestUnsubscribePromptWithBlockedSink pins the backpressure fix: an
+// Unsubscribe racing a full BlockWithTimeout sink must return promptly —
+// the blocked delivery wait is aborted up front (it no longer holds the
+// handle lock, and on the concurrent runtime it no longer stalls the worker
+// the retraction has to drain past) instead of being waited out for up to
+// the full backpressure timeout.
+func TestUnsubscribePromptWithBlockedSink(t *testing.T) {
+	dep := buildWalkthroughDeployment(t)
+	sys, err := NewSystem(dep, Config{Approach: FilterSplitForward, Seed: 1, Concurrent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	h, err := sys.Subscribe(5, walkthroughSub(t, "q"),
+		WithSinkBuffer(1), WithBackpressure(BlockWithTimeout, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the one-slot buffer, then stall node 5's worker on a second
+	// delivery (nobody consumes).
+	if err := sys.Replay(matchingPair(1, 100)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(50*time.Millisecond, cancel)
+	defer timer.Stop()
+	_ = sys.PublishContext(ctx, matchingPair(3, 200)[0])
+	_ = sys.PublishContext(ctx, matchingPair(3, 200)[1])
+
+	start := time.Now()
+	if err := h.Unsubscribe(); err != nil {
+		t.Fatalf("Unsubscribe with blocked sink: %v", err)
+	}
+	if waited := time.Since(start); waited > 10*time.Second {
+		t.Fatalf("Unsubscribe took %v, want prompt return (not the 1h backpressure timeout)", waited)
+	}
+	// The channel closed; both deliveries are in the pull log either way.
+	if _, open := <-h.Deliveries(); open {
+		// One buffered delivery may drain first; the channel must then close.
+		if _, open := <-h.Deliveries(); open {
+			t.Error("delivery channel still open after Unsubscribe")
+		}
+	}
+}
+
 // TestCloseContextBound verifies that CloseContext gives up on the drain at
 // its context's deadline but still closes the system: handles terminate and
 // later mutations fail with ErrClosed.

@@ -1,0 +1,161 @@
+// Aggregate example: a windowed median query over HTTP. A seven-node
+// dissemination tree hosts four ambient-temperature sensors; the query asks
+// for the per-window median of every reading, so each node folds its own
+// readings into a q-digest sketch, merges its children's partials and ships
+// one partial per window upstream — traffic scales with the tree's fan-in,
+// not the reading count. The program registers the query on the control
+// plane, ingests one NDJSON batch per measurement round, streams the
+// finalised windows off the SSE data plane and reads the partial-aggregate
+// traffic from /metrics. Every step prints the curl equivalent so the flow
+// can be replayed against a real `cqd` process.
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	"sensorcq"
+	"sensorcq/internal/server"
+)
+
+// newAggServer builds a depth-three tree — subscriber 0 at the root, sensor
+// hosts 3..6 at the leaves — behind the HTTP service:
+//
+//	0 — 1 — 3 (t1), 4 (t2)
+//	  \ 2 — 5 (t3), 6 (t4)
+func newAggServer() (*server.Server, *sensorcq.System) {
+	dep, err := sensorcq.NewTopology(7).
+		Link(0, 1).Link(0, 2).Link(1, 3).Link(1, 4).Link(2, 5).Link(2, 6).
+		PlaceSensor(3, sensorcq.Sensor{ID: "t1", Attr: sensorcq.AmbientTemperature}).
+		PlaceSensor(4, sensorcq.Sensor{ID: "t2", Attr: sensorcq.AmbientTemperature}).
+		PlaceSensor(5, sensorcq.Sensor{ID: "t3", Attr: sensorcq.AmbientTemperature}).
+		PlaceSensor(6, sensorcq.Sensor{ID: "t4", Attr: sensorcq.AmbientTemperature}).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := sensorcq.NewSystem(dep, sensorcq.Config{Approach: sensorcq.FilterSplitForward, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(sys, server.Config{DefaultNode: 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return srv, sys
+}
+
+func post(url, contentType, body string) {
+	resp, err := http.Post(url, contentType, strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(resp)
+}
+
+func show(resp *http.Response) {
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		log.Fatalf("%s %s: %s %s", resp.Request.Method, resp.Request.URL, resp.Status, body)
+	}
+	if len(body) > 0 {
+		fmt.Printf("  %s %s", resp.Status, body)
+	} else {
+		fmt.Printf("  %s\n", resp.Status)
+	}
+}
+
+func main() {
+	srv, sys := newAggServer()
+	defer sys.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("aggregation daemon listening on %s\n\n", base)
+
+	// Control plane: a continuous median query — the 0.5-quantile of every
+	// ambient-temperature reading, grouped into tumbling two-round windows,
+	// sketched over the domain [-25, 25] with k=16 (rank error ε = 10/16).
+	spec := fmt.Sprintf(`{"id":"median-temp","attributes":[{"attr":%q,"min":-25,"max":25}],`+
+		`"aggregate":{"func":"quantile","quantile":0.5,"window_rounds":2,"lo":-25,"hi":25,"bits":10,"k":16}}`,
+		string(sensorcq.AmbientTemperature))
+	fmt.Printf("$ curl -X POST %s/subscriptions -d '%s'\n", base, spec)
+	post(base+"/subscriptions", "application/json", spec)
+
+	// Data plane: stream the finalised windows.
+	fmt.Printf("$ curl -N %s/subscriptions/median-temp/stream &\n", base)
+	stream, err := http.Get(base + "/subscriptions/median-temp/stream")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stream.Body.Close()
+	frames := make(chan string)
+	go func() {
+		defer close(frames)
+		sc := bufio.NewScanner(stream.Body)
+		for sc.Scan() {
+			if line := sc.Text(); strings.HasPrefix(line, "event: ") || strings.HasPrefix(line, "data: ") {
+				frames <- line
+			}
+		}
+	}()
+
+	// Each NDJSON batch is one measurement round; every two rounds close a
+	// window and exactly one partial per tree edge travels upstream.
+	rounds := []string{
+		`{"sensor":"t1","value":4,"time":100}` + "\n" + `{"sensor":"t2","value":6,"time":100}` + "\n" +
+			`{"sensor":"t3","value":8,"time":100}` + "\n" + `{"sensor":"t4","value":2,"time":100}`,
+		`{"sensor":"t1","value":5,"time":220}` + "\n" + `{"sensor":"t2","value":7,"time":220}` + "\n" +
+			`{"sensor":"t3","value":9,"time":220}` + "\n" + `{"sensor":"t4","value":3,"time":220}`,
+		`{"sensor":"t1","value":-2,"time":340}` + "\n" + `{"sensor":"t2","value":-4,"time":340}` + "\n" +
+			`{"sensor":"t3","value":-6,"time":340}` + "\n" + `{"sensor":"t4","value":-8,"time":340}`,
+		`{"sensor":"t1","value":-1,"time":460}` + "\n" + `{"sensor":"t2","value":-3,"time":460}` + "\n" +
+			`{"sensor":"t3","value":-5,"time":460}` + "\n" + `{"sensor":"t4","value":-7,"time":460}`,
+	}
+	for r, batch := range rounds {
+		fmt.Printf("\n$ curl -X POST %s/events -H 'Content-Type: application/x-ndjson' --data-binary $'...'  # round %d\n", base, r+1)
+		post(base+"/events", "application/x-ndjson", batch)
+		if (r+1)%2 == 0 {
+			// The watermark just closed a window; its median arrives as one
+			// SSE frame.
+			for line := range frames {
+				fmt.Printf("  %s\n", line)
+				if strings.HasPrefix(line, "data: ") {
+					break
+				}
+			}
+		}
+	}
+
+	// /metrics shows the upstream partial-aggregate traffic: six tree edges
+	// times two closed windows, instead of one relay per reading per hop.
+	fmt.Printf("\n$ curl %s/metrics\n", base)
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(resp)
+
+	// Graceful shutdown drains in-flight work and ends the stream.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	for range frames {
+	}
+	if err := httpSrv.Shutdown(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\naggregation daemon shut down cleanly")
+}

@@ -128,9 +128,10 @@ func WithSinkBuffer(n int) SubscribeOption {
 // value there falls back to DefaultBackpressureTimeout. An unknown mode
 // fails the Subscribe call. The pull log stays complete in every mode.
 //
-// A blocked delivery holds the handle's lock, so an Unsubscribe or
-// System.Close racing a full BlockWithTimeout sink may wait up to one
-// timeout before the channel closes.
+// A blocked delivery waits outside the handle's lock, and an Unsubscribe or
+// System.Close racing a full BlockWithTimeout sink aborts the wait
+// immediately: retraction latency never depends on the consumer or the
+// backpressure timeout.
 func WithBackpressure(mode BackpressureMode, timeout time.Duration) SubscribeOption {
 	return func(o *subscribeOptions) {
 		o.bpMode = mode
@@ -174,9 +175,17 @@ type SubscriptionHandle struct {
 
 	// mu orders channel sends against the close in Unsubscribe; it is a
 	// per-handle lock touched only when delivering to this subscription.
+	// BlockWithTimeout waits happen OUTSIDE the lock (registered in senders,
+	// woken by done), so a full sink never delays Unsubscribe or Close.
 	mu     sync.Mutex
 	ch     chan Delivery
 	closed bool
+	// done is closed by abortBlock to wake blocked BlockWithTimeout senders;
+	// senders counts them so closeSink can close ch only once none is
+	// mid-send.
+	done      chan struct{}
+	abortOnce sync.Once
+	senders   sync.WaitGroup
 
 	cb func(Delivery)
 	// retainLog keeps the pull log after Unsubscribe (WithRetainLog).
@@ -295,12 +304,13 @@ func (h *SubscriptionHandle) push(d Delivery) {
 		return
 	}
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if h.closed {
+		h.mu.Unlock()
 		return
 	}
 	select {
 	case h.ch <- d:
+		h.mu.Unlock()
 		return
 	default:
 	}
@@ -319,32 +329,67 @@ func (h *SubscriptionHandle) push(d Delivery) {
 			}
 			select {
 			case h.ch <- d:
+				h.mu.Unlock()
 				return
 			default:
 			}
 		}
 	case BlockWithTimeout:
+		// Register as an in-flight sender, then wait OUTSIDE the handle
+		// lock: a concurrent Unsubscribe or Close closes done to abort the
+		// wait immediately instead of stalling behind it for up to one
+		// timeout. closeSink only closes ch after senders drains, so the
+		// send below can never race the close.
+		h.senders.Add(1)
+		h.mu.Unlock()
+		defer h.senders.Done()
 		t := time.NewTimer(h.bpTimeout)
 		defer t.Stop()
 		select {
 		case h.ch <- d:
+		case <-h.done:
+			// The handle is retiring (Unsubscribe or Close); the pull log
+			// already has the delivery, so this is not a consumer-induced
+			// drop.
 		case <-t.C:
 			h.droppedPush.Add(1)
 		}
+		return
 	default: // DropNewest
 		h.droppedPush.Add(1)
 	}
+	h.mu.Unlock()
 }
 
-// closeSink closes the delivery channel exactly once.
+// abortBlock wakes every in-flight BlockWithTimeout wait and keeps future
+// ones from blocking. It runs at the start of a retraction — BEFORE the
+// runtime drains it — because on the concurrent runtime a blocked push
+// stalls its node's worker, and the retraction could never propagate past a
+// worker that is waiting on the consumer. Idempotent; closeSink calls it
+// too.
+func (h *SubscriptionHandle) abortBlock() {
+	if h.done == nil {
+		return
+	}
+	h.abortOnce.Do(func() { close(h.done) })
+}
+
+// closeSink closes the delivery channel exactly once. Marking the handle
+// closed under the lock stops new senders; abortBlock wakes the blocked
+// BlockWithTimeout waits, which are then drained (senders) before ch is
+// closed so no send can hit a closed channel.
 func (h *SubscriptionHandle) closeSink() {
 	if h.ch == nil {
 		return
 	}
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	if !h.closed {
-		h.closed = true
-		close(h.ch)
+	if h.closed {
+		h.mu.Unlock()
+		return
 	}
+	h.closed = true
+	h.mu.Unlock()
+	h.abortBlock()
+	h.senders.Wait()
+	close(h.ch)
 }

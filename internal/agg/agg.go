@@ -1,0 +1,277 @@
+// Package agg implements the mergeable aggregates of the in-network
+// aggregation subsystem: windowed GROUP-BY-time continuous queries
+// accumulate one State per (subscription, window) at every node of the
+// dissemination tree, and a parent combines its children's partial states
+// with Merge instead of shipping every reading upstream.
+//
+// All implementations satisfy the mergeability law the tree relies on:
+// folding a multiset of values through any partition of Add calls and
+// Merge combinations yields the same Result as folding them through one
+// State. The scalar aggregates (count, sum, min, max, mean) are exact; the
+// quantile aggregate is a q-digest sketch ("Medians and Beyond",
+// Shrivastava et al.) whose rank error is bounded by ε = log2(σ)/k over a
+// σ-bucket value domain with compression parameter k. ExactQuantile is the
+// unbounded-memory reference used by the ship-every-reading baseline and
+// the test oracles.
+package agg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Func identifies an aggregate function.
+type Func uint8
+
+const (
+	Count Func = iota
+	Sum
+	Min
+	Max
+	Mean
+	Quantile
+)
+
+var funcNames = [...]string{"count", "sum", "min", "max", "mean", "quantile"}
+
+func (f Func) String() string {
+	if int(f) < len(funcNames) {
+		return funcNames[f]
+	}
+	return fmt.Sprintf("Func(%d)", uint8(f))
+}
+
+// ParseFunc maps the wire/CLI spelling of an aggregate function to its
+// value.
+func ParseFunc(s string) (Func, error) {
+	for i, name := range funcNames {
+		if strings.EqualFold(s, name) {
+			return Func(i), nil
+		}
+	}
+	return 0, fmt.Errorf("agg: unknown aggregate function %q (want one of %s)", s, strings.Join(funcNames[:], ", "))
+}
+
+// FuncNames returns the CLI spellings of every aggregate function.
+func FuncNames() []string {
+	out := make([]string, len(funcNames))
+	copy(out, funcNames[:])
+	return out
+}
+
+// State is one mergeable partial aggregate. Add folds in a raw reading,
+// Merge folds in another partial of the same configuration, Result
+// finalises the aggregate and Reset returns the state to its empty value
+// so pools can reuse it. Count reports how many readings have been folded
+// in (directly or via Merge).
+type State interface {
+	Add(v float64)
+	Merge(o State)
+	Result() float64
+	Count() int64
+	Reset()
+	// EncodedSize is the wire size of the partial in bytes, the unit of
+	// the bytes-upstream traffic metric.
+	EncodedSize() int
+}
+
+// Config parameterises state construction. Lo, Hi, Bits and K only matter
+// for Quantile: the value domain [Lo, Hi] is bucketed into σ = 2^Bits
+// cells and the sketch keeps at most 3·K nodes, for a rank error bound of
+// Epsilon = Bits/K.
+type Config struct {
+	Func     Func
+	Quantile float64 // rank fraction φ in (0,1), Quantile only
+	Lo, Hi   float64 // value domain, Quantile only
+	Bits     uint    // log2 of the bucket count σ, Quantile only
+	K        int     // q-digest compression parameter, Quantile only
+	Exact    bool    // use the unbounded exact quantile instead of the sketch
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if int(c.Func) >= len(funcNames) {
+		return fmt.Errorf("agg: unknown aggregate function %d", c.Func)
+	}
+	if c.Func != Quantile {
+		return nil
+	}
+	if !(c.Quantile > 0 && c.Quantile < 1) {
+		return fmt.Errorf("agg: quantile rank %g outside (0,1)", c.Quantile)
+	}
+	if c.Exact {
+		return nil
+	}
+	if !(c.Lo < c.Hi) {
+		return fmt.Errorf("agg: quantile domain [%g, %g] is empty", c.Lo, c.Hi)
+	}
+	if c.Bits < 1 || c.Bits > 20 {
+		return fmt.Errorf("agg: quantile domain bits %d outside 1..20", c.Bits)
+	}
+	if c.K < 1 {
+		return fmt.Errorf("agg: q-digest compression parameter k must be >= 1, got %d", c.K)
+	}
+	return nil
+}
+
+// Epsilon returns the rank-error bound of the configuration as a fraction
+// of the reading count: log2(σ)/k for the q-digest, 0 for every exact
+// aggregate.
+func (c Config) Epsilon() float64 {
+	if c.Func != Quantile || c.Exact {
+		return 0
+	}
+	return float64(c.Bits) / float64(c.K)
+}
+
+// New builds an empty state for the configuration. The caller is expected
+// to have validated the configuration.
+func (c Config) New() State {
+	switch c.Func {
+	case Count:
+		return &countState{}
+	case Sum:
+		return &sumState{}
+	case Min:
+		return &minmaxState{min: true}
+	case Max:
+		return &minmaxState{}
+	case Mean:
+		return &meanState{}
+	case Quantile:
+		if c.Exact {
+			return &ExactQuantile{Phi: c.Quantile}
+		}
+		return NewQDigest(c)
+	}
+	panic(fmt.Sprintf("agg: unknown aggregate function %d", c.Func))
+}
+
+const scalarEncodedSize = 16 // count + one float64 accumulator
+
+type countState struct{ n int64 }
+
+func (s *countState) Add(float64) { s.n++ }
+func (s *countState) Merge(o State) {
+	s.n += o.(*countState).n
+}
+func (s *countState) Result() float64  { return float64(s.n) }
+func (s *countState) Count() int64     { return s.n }
+func (s *countState) Reset()           { s.n = 0 }
+func (s *countState) EncodedSize() int { return scalarEncodedSize }
+
+type sumState struct {
+	n   int64
+	sum float64
+}
+
+func (s *sumState) Add(v float64) { s.n++; s.sum += v }
+func (s *sumState) Merge(o State) {
+	t := o.(*sumState)
+	s.n += t.n
+	s.sum += t.sum
+}
+func (s *sumState) Result() float64  { return s.sum }
+func (s *sumState) Count() int64     { return s.n }
+func (s *sumState) Reset()           { s.n, s.sum = 0, 0 }
+func (s *sumState) EncodedSize() int { return scalarEncodedSize }
+
+type minmaxState struct {
+	min bool
+	n   int64
+	val float64
+}
+
+func (s *minmaxState) Add(v float64) {
+	if s.n == 0 || (s.min && v < s.val) || (!s.min && v > s.val) {
+		s.val = v
+	}
+	s.n++
+}
+
+func (s *minmaxState) Merge(o State) {
+	t := o.(*minmaxState)
+	if t.n == 0 {
+		return
+	}
+	if s.n == 0 || (s.min && t.val < s.val) || (!s.min && t.val > s.val) {
+		s.val = t.val
+	}
+	s.n += t.n
+}
+
+func (s *minmaxState) Result() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.val
+}
+func (s *minmaxState) Count() int64     { return s.n }
+func (s *minmaxState) Reset()           { s.n, s.val = 0, 0 }
+func (s *minmaxState) EncodedSize() int { return scalarEncodedSize }
+
+type meanState struct {
+	n   int64
+	sum float64
+}
+
+func (s *meanState) Add(v float64) { s.n++; s.sum += v }
+func (s *meanState) Merge(o State) {
+	t := o.(*meanState)
+	s.n += t.n
+	s.sum += t.sum
+}
+
+func (s *meanState) Result() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.sum / float64(s.n)
+}
+func (s *meanState) Count() int64     { return s.n }
+func (s *meanState) Reset()           { s.n, s.sum = 0, 0 }
+func (s *meanState) EncodedSize() int { return scalarEncodedSize }
+
+// ExactQuantile is the unbounded reference quantile: it keeps every value.
+// The ship-every-reading baseline aggregates with it at the origin, and
+// the sketch tests use it as the ground-truth oracle.
+type ExactQuantile struct {
+	Phi    float64
+	values []float64
+}
+
+func (s *ExactQuantile) Add(v float64) { s.values = append(s.values, v) }
+
+func (s *ExactQuantile) Merge(o State) {
+	s.values = append(s.values, o.(*ExactQuantile).values...)
+}
+
+// Result returns the value of rank ceil(φ·n) in sorted order (the smallest
+// value whose rank fraction is >= φ).
+func (s *ExactQuantile) Result() float64 {
+	n := len(s.values)
+	if n == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, n)
+	copy(sorted, s.values)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(s.Phi * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+func (s *ExactQuantile) Count() int64 { return int64(len(s.values)) }
+func (s *ExactQuantile) Reset()       { s.values = s.values[:0] }
+
+// Values returns the accumulated readings (unsorted); test oracles use it.
+func (s *ExactQuantile) Values() []float64 { return s.values }
+
+func (s *ExactQuantile) EncodedSize() int { return 8 + 8*len(s.values) }

@@ -1,0 +1,261 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// foldPartitioned folds values into states through a random partition of
+// Add calls and a random merge tree, exercising the mergeability law.
+func foldPartitioned(t *testing.T, cfg Config, values []float64, rng *rand.Rand) State {
+	t.Helper()
+	parts := 1 + rng.Intn(5)
+	states := make([]State, parts)
+	for i := range states {
+		states[i] = cfg.New()
+	}
+	for _, v := range values {
+		states[rng.Intn(parts)].Add(v)
+	}
+	// Merge in random order down to one state.
+	for len(states) > 1 {
+		i := rng.Intn(len(states) - 1)
+		states[i].Merge(states[i+1])
+		states = append(states[:i+1], states[i+2:]...)
+	}
+	return states[0]
+}
+
+func TestScalarStatesMergeable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, f := range []Func{Count, Sum, Min, Max, Mean} {
+		cfg := Config{Func: f}
+		for trial := 0; trial < 50; trial++ {
+			n := 1 + rng.Intn(200)
+			values := make([]float64, n)
+			for i := range values {
+				values[i] = rng.Float64()*200 - 100
+			}
+			direct := cfg.New()
+			for _, v := range values {
+				direct.Add(v)
+			}
+			partitioned := foldPartitioned(t, cfg, values, rng)
+			if got, want := partitioned.Result(), direct.Result(); math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				t.Fatalf("%s: partitioned fold = %g, direct fold = %g", f, got, want)
+			}
+			if partitioned.Count() != int64(n) {
+				t.Fatalf("%s: count = %d, want %d", f, partitioned.Count(), n)
+			}
+		}
+	}
+}
+
+func TestScalarResults(t *testing.T) {
+	values := []float64{3, -1, 4, 1, 5, 9, 2, 6}
+	want := map[Func]float64{
+		Count: 8,
+		Sum:   29,
+		Min:   -1,
+		Max:   9,
+		Mean:  29.0 / 8,
+	}
+	for f, w := range want {
+		s := Config{Func: f}.New()
+		for _, v := range values {
+			s.Add(v)
+		}
+		if got := s.Result(); math.Abs(got-w) > 1e-12 {
+			t.Errorf("%s = %g, want %g", f, got, w)
+		}
+		s.Reset()
+		if s.Count() != 0 {
+			t.Errorf("%s: count after Reset = %d", f, s.Count())
+		}
+	}
+}
+
+func TestExactQuantile(t *testing.T) {
+	s := &ExactQuantile{Phi: 0.5}
+	for _, v := range []float64{9, 1, 8, 2, 7, 3, 6, 4, 5} {
+		s.Add(v)
+	}
+	if got := s.Result(); got != 5 {
+		t.Fatalf("median of 1..9 = %g, want 5", got)
+	}
+	lo := &ExactQuantile{Phi: 0.1}
+	lo.Add(10)
+	lo.Add(20)
+	if got := lo.Result(); got != 10 {
+		t.Fatalf("p10 of {10,20} = %g, want 10", got)
+	}
+}
+
+// exactRankError returns the rank error of answer within the values,
+// quantised to the sketch's buckets (values inside one bucket are
+// indistinguishable to the sketch by construction): the distance from the
+// target rank φ·n to the nearest rank held by a quantised value equal to
+// the answer.
+func exactRankError(q *QDigest, values []float64, phi, answer float64) float64 {
+	quantised := make([]float64, len(values))
+	for i, v := range values {
+		quantised[i] = q.BucketUpper(v)
+	}
+	sort.Float64s(quantised)
+	target := math.Ceil(phi * float64(len(values)))
+	// Ranks occupied by the answer value: [first+1, last+1] in 1-based
+	// rank terms.
+	first := sort.SearchFloat64s(quantised, answer)
+	last := sort.SearchFloat64s(quantised, math.Nextafter(answer, math.Inf(1)))
+	if first >= last {
+		// The answer value does not occur; its rank position is first.
+		return math.Abs(float64(first) - target)
+	}
+	switch {
+	case target < float64(first+1):
+		return float64(first+1) - target
+	case target > float64(last):
+		return target - float64(last)
+	default:
+		return 0
+	}
+}
+
+// TestQDigestErrorBound is the property test of the sketch: over random
+// traces, random domains and random compression parameters, merged through
+// random partition trees, the quantile answer's rank error must stay
+// within ε = bits/k of the target rank (in the bucket-quantised domain).
+func TestQDigestErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 120; trial++ {
+		bits := uint(4 + rng.Intn(9)) // σ in 16..4096
+		k := 1 << (2 + rng.Intn(5))   // k in 4..64
+		phi := 0.05 + 0.9*rng.Float64()
+		cfg := Config{Func: Quantile, Quantile: phi, Lo: -50, Hi: 150, Bits: bits, K: k}
+		if err := cfg.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		n := 50 + rng.Intn(2000)
+		values := make([]float64, n)
+		for i := range values {
+			// Mix of clustered and uniform values, some outside the domain
+			// (clamped to the boundary buckets).
+			switch rng.Intn(3) {
+			case 0:
+				values[i] = 20 + 5*rng.NormFloat64()
+			case 1:
+				values[i] = rng.Float64()*200 - 50
+			default:
+				values[i] = rng.Float64()*300 - 100
+			}
+		}
+		s := foldPartitioned(t, cfg, values, rng).(*QDigest)
+		answer := s.Result()
+		eps := cfg.Epsilon()
+		if err := exactRankError(s, values, phi, answer); err > eps*float64(n)+1 {
+			t.Fatalf("trial %d (bits=%d k=%d phi=%.3f n=%d): rank error %.1f exceeds ε·n+1 = %.1f",
+				trial, bits, k, phi, n, err, eps*float64(n)+1)
+		}
+		if s.Count() != int64(n) {
+			t.Fatalf("count = %d, want %d", s.Count(), n)
+		}
+	}
+}
+
+// TestQDigestCompressionBound pins the size bound that makes a partial
+// message O(k): after Compress a sketch stores at most 3k nodes.
+func TestQDigestCompressionBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, k := range []int{4, 16, 64} {
+		cfg := Config{Func: Quantile, Quantile: 0.5, Lo: 0, Hi: 1000, Bits: 12, K: k}
+		q := NewQDigest(cfg)
+		for i := 0; i < 20000; i++ {
+			q.Add(rng.Float64() * 1000)
+		}
+		q.Compress()
+		if got, limit := q.Nodes(), 3*k; got > limit {
+			t.Errorf("k=%d: %d nodes after Compress, want <= %d", k, got, limit)
+		}
+	}
+}
+
+// TestQDigestDeterministicAcrossMergeOrders pins the conformance-critical
+// property: the same reading multiset distributed over partials in any
+// order yields byte-identical sketch contents once compressed.
+func TestQDigestDeterministicAcrossMergeOrders(t *testing.T) {
+	cfg := Config{Func: Quantile, Quantile: 0.5, Lo: 0, Hi: 100, Bits: 8, K: 8}
+	rng := rand.New(rand.NewSource(3))
+	values := make([]float64, 500)
+	for i := range values {
+		values[i] = rng.Float64() * 100
+	}
+	build := func(order []int, parts int) *QDigest {
+		states := make([]*QDigest, parts)
+		for i := range states {
+			states[i] = NewQDigest(cfg)
+		}
+		for i, idx := range order {
+			states[i%parts].Add(values[idx])
+		}
+		root := NewQDigest(cfg)
+		for _, s := range states {
+			s.Compress()
+			root.Merge(s)
+		}
+		root.Compress()
+		return root
+	}
+	identity := make([]int, len(values))
+	shuffled := make([]int, len(values))
+	for i := range identity {
+		identity[i] = i
+		shuffled[i] = i
+	}
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	// Note: the partials hold different value subsets under the two
+	// orders, so only same-partition contents are compared for the
+	// stronger property; the answer must match in every case.
+	a, b := build(identity, 5), build(identity, 5)
+	if got, want := a.Quantile(), b.Quantile(); got != want {
+		t.Fatalf("same partition, same order: %g vs %g", got, want)
+	}
+	if a.Nodes() != b.Nodes() {
+		t.Fatalf("same partition: %d vs %d nodes", a.Nodes(), b.Nodes())
+	}
+	c := build(shuffled, 1)
+	d := build(identity, 1)
+	if got, want := c.Quantile(), d.Quantile(); got != want {
+		t.Fatalf("single partial, shuffled adds: %g vs %g", got, want)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Func: Quantile, Quantile: 0.5, Lo: 0, Hi: 1, Bits: 8, K: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Func: Func(99)},
+		{Func: Quantile, Quantile: 0, Lo: 0, Hi: 1, Bits: 8, K: 4},
+		{Func: Quantile, Quantile: 1.5, Lo: 0, Hi: 1, Bits: 8, K: 4},
+		{Func: Quantile, Quantile: 0.5, Lo: 1, Hi: 1, Bits: 8, K: 4},
+		{Func: Quantile, Quantile: 0.5, Lo: 0, Hi: 1, Bits: 0, K: 4},
+		{Func: Quantile, Quantile: 0.5, Lo: 0, Hi: 1, Bits: 8, K: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d validated but should not: %+v", i, c)
+		}
+	}
+	if eps := good.Epsilon(); eps != 2 {
+		t.Errorf("epsilon = %g, want bits/k = 2", eps)
+	}
+	if f, err := ParseFunc("QUANTILE"); err != nil || f != Quantile {
+		t.Errorf("ParseFunc(QUANTILE) = %v, %v", f, err)
+	}
+	if _, err := ParseFunc("p99"); err == nil {
+		t.Error("ParseFunc(p99) should fail")
+	}
+}

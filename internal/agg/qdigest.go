@@ -1,0 +1,212 @@
+package agg
+
+import (
+	"math"
+	"sort"
+)
+
+// QDigest is a deterministic q-digest quantile sketch over the value
+// domain [lo, hi] bucketed into σ = 2^bits cells. Nodes of the complete
+// binary tree over the buckets are heap-numbered (root 1, leaves
+// σ..2σ-1); the sketch stores the non-zero node counts sparsely.
+//
+// Determinism is what lets the conformance oracle compare aggregate
+// results across engines and delivery modes: Add only touches leaf
+// buckets and Merge only adds counts nodewise — both commutative — while
+// the order-sensitive compression runs exactly once per partial, in
+// Compress, which the window lifecycle invokes at window close (after all
+// local readings and child partials have been folded in). Given the same
+// dissemination tree the sketch a node ships upstream is therefore a pure
+// function of the readings below it, independent of arrival order.
+//
+// After Compress the sketch holds at most 3k nodes, so one partial
+// message costs O(k) bytes regardless of the reading count, and the rank
+// error of Quantile is at most log2(σ)/k of the total count per merge
+// level — the ε = log(σ)/k bound with the tree-depth factor folded into
+// the effective k the caller configures.
+type QDigest struct {
+	lo, hi float64
+	bits   uint
+	k      int
+	phi    float64
+
+	n      int64
+	counts map[uint32]int64
+
+	// scratch is the node id sort buffer of Compress and Quantile,
+	// retained across windows so pooled reuse stays allocation-free.
+	scratch []uint32
+}
+
+// NewQDigest builds an empty sketch for the configuration (Func must be
+// Quantile with Exact unset).
+func NewQDigest(c Config) *QDigest {
+	return &QDigest{
+		lo:     c.Lo,
+		hi:     c.Hi,
+		bits:   c.Bits,
+		k:      c.K,
+		phi:    c.Quantile,
+		counts: make(map[uint32]int64),
+	}
+}
+
+// buckets returns σ, the number of leaf cells.
+func (q *QDigest) buckets() uint32 { return uint32(1) << q.bits }
+
+// bucketOf maps a value to its leaf cell, clamping out-of-domain values
+// to the boundary cells.
+func (q *QDigest) bucketOf(v float64) uint32 {
+	if v <= q.lo {
+		return 0
+	}
+	if v >= q.hi {
+		return q.buckets() - 1
+	}
+	b := uint32(float64(q.buckets()) * (v - q.lo) / (q.hi - q.lo))
+	if b >= q.buckets() {
+		b = q.buckets() - 1
+	}
+	return b
+}
+
+// BucketUpper returns the upper boundary value of the leaf cell holding v
+// — the quantisation Quantile answers in. Test oracles use it to compare
+// sketch answers against exact ranks in the quantised domain.
+func (q *QDigest) BucketUpper(v float64) float64 {
+	return q.upperOf(q.leafOf(q.bucketOf(v)))
+}
+
+func (q *QDigest) leafOf(bucket uint32) uint32 { return q.buckets() + bucket }
+
+// span returns the leaf-cell range [first, last] covered by a node.
+func (q *QDigest) span(id uint32) (first, last uint32) {
+	// Descend to the leaf level: each left step doubles the id.
+	lo, hi := id, id
+	for lo < q.buckets() {
+		lo *= 2
+		hi = hi*2 + 1
+	}
+	return lo - q.buckets(), hi - q.buckets()
+}
+
+// upperOf returns the upper boundary value of a node's cell range.
+func (q *QDigest) upperOf(id uint32) float64 {
+	_, last := q.span(id)
+	return q.lo + (q.hi-q.lo)*float64(last+1)/float64(q.buckets())
+}
+
+// Add folds in one reading: a leaf increment, commutative by
+// construction.
+func (q *QDigest) Add(v float64) {
+	q.counts[q.leafOf(q.bucketOf(v))]++
+	q.n++
+}
+
+// Merge folds another sketch of the same configuration in by nodewise
+// count addition (commutative; compression is deferred to Compress).
+func (q *QDigest) Merge(o State) {
+	t := o.(*QDigest)
+	for id, c := range t.counts {
+		q.counts[id] += c
+	}
+	q.n += t.n
+}
+
+// Compress enforces the q-digest size bound: bottom-up (deepest parents
+// first, which heap numbering gives by descending parent id), any parent
+// whose subtree-triple count stays below n/k absorbs its children. The
+// pass is deterministic — it iterates parent ids, not map order.
+func (q *QDigest) Compress() {
+	threshold := q.n / int64(q.k)
+	if threshold <= 1 {
+		return
+	}
+	// Only parents below a populated node can absorb anything; walking
+	// the populated ids' ancestors beats scanning all σ-1 parents when
+	// the sketch is sparse. Collect candidate parents, deduped, sorted
+	// descending (bottom-up).
+	q.scratch = q.scratch[:0]
+	seen := make(map[uint32]bool, len(q.counts))
+	for id := range q.counts {
+		for p := id / 2; p >= 1; p /= 2 {
+			if seen[p] {
+				break
+			}
+			seen[p] = true
+			q.scratch = append(q.scratch, p)
+		}
+	}
+	sort.Slice(q.scratch, func(i, j int) bool { return q.scratch[i] > q.scratch[j] })
+	for _, p := range q.scratch {
+		l, r := 2*p, 2*p+1
+		s := q.counts[p] + q.counts[l] + q.counts[r]
+		if s == 0 || s >= threshold {
+			continue
+		}
+		if s != q.counts[p] {
+			q.counts[p] = s
+			delete(q.counts, l)
+			delete(q.counts, r)
+		}
+	}
+}
+
+// Quantile answers the configured rank query: nodes are visited in
+// q-digest postorder (ascending upper boundary, deeper nodes first on
+// ties) accumulating counts until the target rank is reached; the answer
+// is that node's upper boundary value.
+func (q *QDigest) Quantile() float64 {
+	if q.n == 0 {
+		return math.NaN()
+	}
+	q.scratch = q.scratch[:0]
+	for id := range q.counts {
+		q.scratch = append(q.scratch, id)
+	}
+	sort.Slice(q.scratch, func(i, j int) bool {
+		_, li := q.span(q.scratch[i])
+		_, lj := q.span(q.scratch[j])
+		if li != lj {
+			return li < lj
+		}
+		// Same upper boundary: the deeper node (larger id) covers the
+		// smaller range and is visited first in postorder.
+		return q.scratch[i] > q.scratch[j]
+	})
+	target := int64(math.Ceil(q.phi * float64(q.n)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for _, id := range q.scratch {
+		cum += q.counts[id]
+		if cum >= target {
+			return q.upperOf(id)
+		}
+	}
+	return q.hi
+}
+
+// Result finalises the sketch: it compresses (idempotent) and answers the
+// configured quantile.
+func (q *QDigest) Result() float64 {
+	q.Compress()
+	return q.Quantile()
+}
+
+func (q *QDigest) Count() int64 { return q.n }
+
+// Reset empties the sketch for pooled reuse, keeping its configuration
+// and scratch capacity.
+func (q *QDigest) Reset() {
+	q.n = 0
+	clear(q.counts)
+}
+
+// Nodes returns the number of stored (non-zero) sketch nodes.
+func (q *QDigest) Nodes() int { return len(q.counts) }
+
+// EncodedSize is the wire size of the sketch: a fixed header plus 12
+// bytes (id + varint-free count) per stored node.
+func (q *QDigest) EncodedSize() int { return 16 + 12*len(q.counts) }

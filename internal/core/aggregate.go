@@ -1,0 +1,431 @@
+package core
+
+import (
+	"sensorcq/internal/agg"
+	"sensorcq/internal/model"
+	"sensorcq/internal/netsim"
+	"sensorcq/internal/topology"
+)
+
+// This file implements the in-network aggregation subsystem: windowed
+// GROUP-BY-time continuous aggregate queries evaluated on the dissemination
+// tree. An aggregate subscription is routed along the reverse advertisement
+// paths exactly like an abstract subscription (same messages, same load
+// accounting), but it bypasses the subsumption checker, the subscription
+// table and the event matchers entirely: readings never flow for it. Each
+// node folds its own locally published matching readings into one mergeable
+// partial state per tumbling window, merges the partials its children ship,
+// and — once the network watermark proves the window's rounds are fully
+// dispatched and every child has reported — forwards a single partial
+// upstream (or, at the subscriber's node, delivers the finalised result).
+// Upstream traffic per window therefore scales with the tree's fan-in
+// instead of the window's reading count.
+//
+// Correctness rests on three invariants:
+//
+//  1. Exactly-once accumulation: only LocalPublish feeds readings into
+//     window states, and a reading is published at exactly one node.
+//  2. FIFO links + watermark ticks: a node's tick(wm) is dispatched after
+//     every item of rounds ≤ wm that the node will ever receive, so a
+//     window whose end round is ≤ wm has seen all of its readings.
+//  3. In-order window close with child counting: every node ships exactly
+//     one partial per (subscription, window) — empty windows ship a nil
+//     state — and closes windows in increasing order, so a parent knows a
+//     window is complete when each child link has delivered one partial
+//     for it (FIFO makes per-child sets unnecessary).
+//
+// Results for windows overlapping a mid-stream registration depend on how
+// the registration cascade interleaves with in-flight readings and are
+// therefore delivery-mode dependent; from the first window that opens after
+// the registration has reached every node, results are mode-independent.
+// The conformance suite registers aggregate queries up front.
+
+// aggSub is the per-node state of one registered aggregate subscription.
+type aggSub struct {
+	sub  *model.Subscription
+	spec *model.AggregateSpec
+	cfg  agg.Config
+
+	// origin is the neighbour the subscription arrived from — the parent in
+	// the dissemination tree, where partials are shipped. Self for the
+	// subscriber's own node.
+	origin  topology.NodeID
+	isLocal bool
+
+	// children are the neighbours the subscription was forwarded to; each
+	// ships exactly one partial per window.
+	children []topology.NodeID
+
+	// nextClose is the next window to finalise; windows close strictly in
+	// order. Initialised to the first window after the registration round.
+	nextClose int
+	// maxTick is the highest watermark this subscription has processed.
+	maxTick int
+	// empty is the result value of an empty window (0 for count/sum, NaN
+	// for the rest); cached at the subscriber's node.
+	empty float64
+
+	// windows holds the open windows' accumulation state, keyed by window
+	// index; free recycles closed windows' wrappers (and, at the
+	// subscriber's node, their states) so steady-state accumulation
+	// allocates nothing.
+	windows map[int]*aggWindow
+	free    []*aggWindow
+}
+
+// aggWindow accumulates one open tumbling window.
+type aggWindow struct {
+	// state is the node's own accumulation; nil until the first local
+	// reading (or, after the close-time fold, the first non-empty child
+	// partial), so empty windows cost no allocation.
+	state agg.State
+	// parts holds the children's shipped partials, indexed by child
+	// position. They are folded into state in child order when the window
+	// closes — not on arrival — so float accumulation (sum, mean) is
+	// bit-identical across engines and delivery modes regardless of how
+	// child messages interleave.
+	parts []agg.State
+	// childDone counts the child links that shipped their partial for this
+	// window.
+	childDone int
+}
+
+// window returns the open accumulation state for a window index, creating
+// (or recycling) it on first touch. The parts slot table is sized to the
+// child count once per wrapper; recycled wrappers keep their capacity, so
+// steady-state accumulation allocates nothing.
+func (a *aggSub) window(g int) *aggWindow {
+	w := a.windows[g]
+	if w == nil {
+		if k := len(a.free); k > 0 {
+			w = a.free[k-1]
+			a.free[k-1] = nil
+			a.free = a.free[:k-1]
+		} else {
+			w = &aggWindow{}
+		}
+		if cap(w.parts) < len(a.children) {
+			w.parts = make([]agg.State, len(a.children))
+		} else {
+			w.parts = w.parts[:len(a.children)]
+		}
+		a.windows[g] = w
+	}
+	return w
+}
+
+// childIndex returns the position of a child link, or -1.
+func (a *aggSub) childIndex(n topology.NodeID) int {
+	for i, c := range a.children {
+		if c == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// fold merges the window's shipped child partials into its state, in child
+// order. Deferring the fold to close time makes the merge order canonical:
+// integer and sketch merges are order-insensitive anyway, but float
+// accumulation is not associative, and without a canonical order the
+// concurrent engine's message interleaving would leak into sum and mean
+// results.
+func (a *aggSub) fold(w *aggWindow) {
+	if w == nil {
+		return
+	}
+	for i, st := range w.parts {
+		if st == nil {
+			continue
+		}
+		w.parts[i] = nil
+		if w.state == nil {
+			// Adopt the first shipped state instead of allocating one to
+			// merge into.
+			w.state = st
+		} else {
+			w.state.Merge(st)
+		}
+	}
+}
+
+// ensureState lazily materialises the window's mergeable state.
+func (a *aggSub) ensureState(w *aggWindow) agg.State {
+	if w.state == nil {
+		w.state = a.cfg.New()
+	}
+	return w.state
+}
+
+// release resets a closed window's wrapper (keeping whatever state it still
+// owns, reset for reuse) and returns it to the free list.
+func (a *aggSub) release(w *aggWindow) {
+	if w == nil {
+		return
+	}
+	w.childDone = 0
+	for i := range w.parts {
+		w.parts[i] = nil
+	}
+	if w.state != nil {
+		w.state.Reset()
+	}
+	a.free = append(a.free, w)
+}
+
+// complete reports whether every child link has shipped its partial for the
+// window. The exact (ship-every-reading) baseline relays raw readings under
+// the readings' own lineage rounds, so the watermark alone proves
+// completeness and no child counting applies.
+func (a *aggSub) complete(w *aggWindow) bool {
+	if a.cfg.Exact {
+		return true
+	}
+	done := 0
+	if w != nil {
+		done = w.childDone
+	}
+	return done == len(a.children)
+}
+
+// registerAggregate stores an aggregate subscription arriving from origin m
+// (self for local users) and forwards it along the reverse advertisement
+// paths. Projection keeps a single-filter subscription intact — same
+// instance, same ID — so the whole dissemination tree keys its partials by
+// the subscriber's original ID.
+func (n *Node) registerAggregate(ctx *netsim.Context, m topology.NodeID, sub *model.Subscription, isLocal bool) {
+	if _, dup := n.aggs[sub.ID]; dup {
+		return
+	}
+	spec := sub.Aggregate
+	a := &aggSub{
+		sub:     sub,
+		spec:    spec,
+		cfg:     spec.Config(),
+		origin:  m,
+		isLocal: isLocal,
+		windows: map[int]*aggWindow{},
+	}
+	// The registration cascade shares one lineage round network-wide, so
+	// every node derives the same first window: the one holding the round
+	// after the registration round.
+	a.nextClose = spec.WindowOf(ctx.Round() + 1)
+	a.maxTick = n.lastTick
+	if isLocal {
+		a.empty = a.cfg.New().Result()
+	}
+	if n.aggs == nil {
+		n.aggs = map[model.SubscriptionID]*aggSub{}
+	}
+	n.aggs[sub.ID] = a
+	n.aggList = append(n.aggList, a)
+
+	// Forward along the reverse advertisement paths exactly like
+	// splitAndForward; local registrations require all sources advertised.
+	if !isLocal || n.advs.HasAllSources(sub) {
+		for _, j := range ctx.Neighbors() {
+			if j == m {
+				continue
+			}
+			if op := n.advs.Project(sub, j); op != nil {
+				ctx.SendSubscription(j, op)
+				a.children = append(a.children, j)
+			}
+		}
+	}
+	// Catch up: when the watermark overtook the registration cascade
+	// (windowed replay), windows may already be finalisable — close them now
+	// (shipping empty partials) so parents upstream are never left waiting.
+	n.closeAggWindows(ctx, a)
+}
+
+// retractAggregate intercepts the retraction of an aggregate subscription:
+// it reports false when the ID is not a registered aggregate (the caller
+// proceeds with ordinary operator retraction). Open windows are dropped —
+// the user no longer wants results, and upstream nodes retract in the same
+// cascade so nobody waits on a final partial.
+func (n *Node) retractAggregate(ctx *netsim.Context, m topology.NodeID, id model.SubscriptionID) bool {
+	a := n.aggs[id]
+	if a == nil {
+		return false
+	}
+	if m != a.origin {
+		// A retraction is only honoured on the link the registration came
+		// from (the tree parent); anything else is a stray duplicate.
+		return true
+	}
+	delete(n.aggs, id)
+	for i, e := range n.aggList {
+		if e == a {
+			copy(n.aggList[i:], n.aggList[i+1:])
+			n.aggList[len(n.aggList)-1] = nil
+			n.aggList = n.aggList[:len(n.aggList)-1]
+			break
+		}
+	}
+	for _, child := range a.children {
+		ctx.SendUnsubscription(child, id)
+	}
+	return true
+}
+
+// accumulateLocal folds one locally published reading into every matching
+// aggregate subscription's open window. Only the publishing node
+// accumulates a reading (exactly-once network-wide); under the exact
+// baseline the reading is instead relayed raw towards the subscriber.
+func (n *Node) accumulateLocal(ctx *netsim.Context, ev model.Event) {
+	for _, a := range n.aggList {
+		if !a.sub.MatchesReading(ev) {
+			continue
+		}
+		g := a.spec.WindowOf(ev.Round)
+		if g < a.nextClose {
+			// Late reading for an already-finalised (or pre-registration)
+			// window; the window's result has shipped.
+			continue
+		}
+		if a.cfg.Exact && !a.isLocal {
+			_, end := a.spec.WindowBounds(g)
+			ctx.SendPartialAggregate(a.origin, &netsim.PartialAggregate{
+				SubID:    a.sub.ID,
+				Window:   g,
+				EndRound: end,
+				Ev:       ev,
+				Raw:      true,
+			}, 1)
+			continue
+		}
+		a.ensureState(a.window(g)).Add(ev.Value)
+	}
+}
+
+// HandleWatermark implements netsim.WatermarkHandler: the engine announces
+// that every item of rounds ≤ wm has been dispatched network-wide. Ticks
+// can arrive out of order under the concurrent engine; stale ones are
+// ignored.
+func (n *Node) HandleWatermark(ctx *netsim.Context, wm int) {
+	if wm <= n.lastTick {
+		return
+	}
+	n.lastTick = wm
+	for _, a := range n.aggList {
+		if wm > a.maxTick {
+			a.maxTick = wm
+			n.closeAggWindows(ctx, a)
+		}
+	}
+}
+
+// HandlePartialAggregate implements netsim.AggregateHandler: a child (or,
+// for raw relays, any downstream node) shipped window data upstream.
+func (n *Node) HandlePartialAggregate(ctx *netsim.Context, from topology.NodeID, pa *netsim.PartialAggregate) {
+	a := n.aggs[pa.SubID]
+	if a == nil {
+		return
+	}
+	if pa.Raw {
+		// Exact baseline: a relayed raw reading. Aggregate it here if this
+		// is the subscriber's node, otherwise pass it one hop closer.
+		if !a.isLocal {
+			ctx.SendPartialAggregate(a.origin, pa, 1)
+			return
+		}
+		if g := a.spec.WindowOf(pa.Ev.Round); g >= a.nextClose {
+			a.ensureState(a.window(g)).Add(pa.Ev.Value)
+		}
+		return
+	}
+	w := a.window(pa.Window)
+	if pa.State != nil {
+		// Ownership of the shipped state moves with the message. It is
+		// parked in the sender's child slot and folded in at close time so
+		// the merge order is canonical (see fold).
+		if i := a.childIndex(from); i >= 0 {
+			w.parts[i] = pa.State
+		} else if w.state == nil {
+			// A partial from a link that is not a recorded child cannot
+			// happen under the registration invariants; merge it eagerly
+			// rather than lose data if it ever does.
+			w.state = pa.State
+		} else {
+			w.state.Merge(pa.State)
+		}
+	}
+	w.childDone++
+	n.closeAggWindows(ctx, a)
+}
+
+// closeAggWindows finalises every closable window of one subscription, in
+// window order: the watermark must have passed the window's end round and
+// every child must have reported. Closing ships one partial upstream — or
+// delivers the result at the subscriber's node — and recycles the window.
+func (n *Node) closeAggWindows(ctx *netsim.Context, a *aggSub) {
+	for {
+		g := a.nextClose
+		_, end := a.spec.WindowBounds(g)
+		if end > a.maxTick {
+			return
+		}
+		w := a.windows[g]
+		if !a.complete(w) {
+			return
+		}
+		a.nextClose++
+		if w != nil {
+			delete(a.windows, g)
+		}
+		a.fold(w)
+		n.emitWindow(ctx, a, g, w)
+		a.release(w)
+	}
+}
+
+// emitWindow produces one finalised window: the subscriber's node delivers
+// the result to the user; every other node ships exactly one partial to its
+// tree parent (a nil state for an empty window). Exact-baseline nodes other
+// than the subscriber's have already relayed their readings raw and ship
+// nothing at close.
+func (n *Node) emitWindow(ctx *netsim.Context, a *aggSub, g int, w *aggWindow) {
+	start, end := a.spec.WindowBounds(g)
+	if a.isLocal {
+		value, count := a.empty, int64(0)
+		if w != nil && w.state != nil {
+			value = w.state.Result()
+			count = w.state.Count()
+		}
+		ctx.DeliverAggregate(a.sub.ID, netsim.AggregateResult{
+			Window:     g,
+			StartRound: start,
+			EndRound:   end,
+			Value:      value,
+			Count:      count,
+		})
+		return
+	}
+	if a.cfg.Exact {
+		return
+	}
+	var st agg.State
+	if w != nil && w.state != nil {
+		st = w.state
+		// Ownership moves to the message: the wrapper is recycled without
+		// the state, and the parent adopts or merges it.
+		w.state = nil
+		if qd, ok := st.(*agg.QDigest); ok {
+			// One compression per shipped partial bounds both the message
+			// size (EncodedSize is measured after this) and the cumulative
+			// rank error to ε = log2(σ)/k.
+			qd.Compress()
+		}
+	}
+	ctx.SendPartialAggregate(a.origin, &netsim.PartialAggregate{
+		SubID:    a.sub.ID,
+		Window:   g,
+		EndRound: end,
+		State:    st,
+	}, 1)
+}
+
+// AggregateSubscriptionCount reports how many aggregate subscriptions are
+// registered at this node (for tests and diagnostics).
+func (n *Node) AggregateSubscriptionCount() int { return len(n.aggList) }

@@ -58,6 +58,12 @@ func (n *Node) registerLocal(sub *model.Subscription) {
 	// is in localIdx; the index degrades to a plain Add when the link is
 	// empty or the cover is itself attached as covered.
 	n.localSubs = append(n.localSubs, sub)
+	if sub.Aggregate != nil {
+		// Aggregate subscriptions never join the delivery match index:
+		// their results come from the window-close path, not from
+		// complex-event matching.
+		return
+	}
 	if cover := n.subs.CoverOf(n.self, sub.ID); cover != "" {
 		n.localIdx.AddCovered(sub, cover)
 	} else {
@@ -68,6 +74,13 @@ func (n *Node) registerLocal(sub *model.Subscription) {
 // processSubscription implements Algorithm 4 for a subscription arriving
 // from origin m (m == self for local users).
 func (n *Node) processSubscription(ctx *netsim.Context, m topology.NodeID, sub *model.Subscription, isLocal bool) {
+	if sub.Aggregate != nil {
+		// Aggregate queries take a dedicated path: no subsumption filtering
+		// (two identical aggregate specs must both produce results), no
+		// subscription table, no event matchers — see aggregate.go.
+		n.registerAggregate(ctx, m, sub, isLocal)
+		return
+	}
 	if n.subs.Seen(m, sub.ID) {
 		return
 	}

@@ -47,6 +47,11 @@ func (n *Node) unregisterLocal(id model.SubscriptionID) {
 // part of the uncovered (filtering) set — re-exposes covered operators it
 // may have been subsuming.
 func (n *Node) retract(ctx *netsim.Context, m topology.NodeID, id model.SubscriptionID) {
+	// Aggregate subscriptions live in their own registry and forward their
+	// retraction along the recorded child links (see aggregate.go).
+	if n.retractAggregate(ctx, m, id) {
+		return
+	}
 	sub, wasUncovered, ok := n.subs.Remove(m, id)
 	if !ok {
 		return

@@ -1,0 +1,103 @@
+package experiment
+
+import "testing"
+
+// aggSweepScenario is a small deterministic network for the error-vs-traffic
+// tests: big enough that the chosen subscriber sits several hops from the
+// sensors (the acceptance criterion wants partials climbing a depth >= 3
+// dissemination tree), small enough to replay in milliseconds.
+func aggSweepScenario() Scenario {
+	return Scenario{
+		Name:           "agg-sweep",
+		TotalNodes:     30,
+		SensorNodes:    18,
+		Groups:         5,
+		Batches:        2,
+		BatchSize:      12,
+		MinAttrs:       2,
+		MaxAttrs:       4,
+		RoundsPerBatch: 6,
+		RoundInterval:  1800,
+		Seed:           7,
+	}
+}
+
+// TestAggregateSweepErrorTrafficTradeoff is the acceptance criterion of the
+// in-network aggregation subsystem: on a depth >= 3 dissemination tree, a
+// windowed quantile query answered by merging q-digest partials up the tree
+// must ship measurably fewer upstream messages than the ship-every-reading
+// exact baseline, while every delivered quantile stays within the sketch's
+// configured rank-error bound ε = Bits/k of the trace oracle.
+func TestAggregateSweepErrorTrafficTradeoff(t *testing.T) {
+	sweep, err := RunAggregateSweep(AggregateSweepConfig{
+		Scenario:     aggSweepScenario(),
+		WindowRounds: 3,
+		Ks:           []int{16, 32, 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.TreeDepth < 3 {
+		t.Fatalf("subscriber %d sits %d hops from the farthest sensor; the acceptance criterion needs depth >= 3",
+			sweep.Subscriber, sweep.TreeDepth)
+	}
+	if sweep.Readings == 0 || sweep.ExactLoad == 0 {
+		t.Fatalf("vacuous sweep: %d matching readings, exact baseline shipped %d messages", sweep.Readings, sweep.ExactLoad)
+	}
+	if len(sweep.Points) != 3 {
+		t.Fatalf("got %d sweep points, want 3", len(sweep.Points))
+	}
+	var prevBytes int64
+	for _, p := range sweep.Points {
+		if p.Windows == 0 {
+			t.Fatalf("k=%d delivered no windows", p.K)
+		}
+		// The tentpole claim: in-network merging ships one partial per tree
+		// edge per window instead of one relay per reading per hop, so the
+		// sketch runs must undercut the exact baseline by a wide margin —
+		// require at least 2x, far from a rounding artefact.
+		if 2*p.PartialLoad >= sweep.ExactLoad {
+			t.Errorf("k=%d shipped %d partials; not measurably below the exact baseline's %d",
+				p.K, p.PartialLoad, sweep.ExactLoad)
+		}
+		// The accuracy claim: the observed per-window rank error never
+		// exceeds the q-digest bound ε = Bits/k.
+		if p.MaxRankError > p.Epsilon {
+			t.Errorf("k=%d: max rank error %.4f exceeds the configured bound ε=%.4f", p.K, p.MaxRankError, p.Epsilon)
+		}
+		// Less compression (larger k) never shrinks the shipped sketches.
+		if p.PartialBytes < prevBytes {
+			t.Errorf("k=%d shipped %d bytes, fewer than the previous (smaller) k's %d", p.K, p.PartialBytes, prevBytes)
+		}
+		prevBytes = p.PartialBytes
+	}
+}
+
+// TestAggregateSweepEnginesAgree replays the same sweep point on both
+// engines; the sequential and concurrent runtimes must measure identical
+// traffic and identical rank errors.
+func TestAggregateSweepEnginesAgree(t *testing.T) {
+	cfg := AggregateSweepConfig{Scenario: aggSweepScenario(), WindowRounds: 3, Ks: []int{32}}
+	seq, err := RunAggregateSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Concurrent = true
+	conc, err := RunAggregateSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.ExactLoad != conc.ExactLoad || seq.ExactBytes != conc.ExactBytes {
+		t.Errorf("exact baseline traffic: sequential %d msgs/%d bytes, concurrent %d msgs/%d bytes",
+			seq.ExactLoad, seq.ExactBytes, conc.ExactLoad, conc.ExactBytes)
+	}
+	s, c := seq.Points[0], conc.Points[0]
+	if s.PartialLoad != c.PartialLoad || s.PartialBytes != c.PartialBytes {
+		t.Errorf("sketch traffic: sequential %d msgs/%d bytes, concurrent %d msgs/%d bytes",
+			s.PartialLoad, s.PartialBytes, c.PartialLoad, c.PartialBytes)
+	}
+	if s.MaxRankError != c.MaxRankError || s.MeanRankError != c.MeanRankError || s.Windows != c.Windows {
+		t.Errorf("sketch accuracy: sequential max=%.6f mean=%.6f over %d windows, concurrent max=%.6f mean=%.6f over %d windows",
+			s.MaxRankError, s.MeanRankError, s.Windows, c.MaxRankError, c.MeanRankError, c.Windows)
+	}
+}

@@ -81,6 +81,15 @@ type Subscription struct {
 	// the owner.
 	SubscriberNode string
 
+	// Aggregate, when non-nil, turns the subscription into a windowed
+	// GROUP-BY-time continuous aggregate query (see AggregateSpec):
+	// nodes accumulate mergeable partial aggregates per window instead of
+	// forwarding matching readings. Aggregate subscriptions bypass the
+	// subsumption checker — their result is a per-window scalar, so
+	// covering them with a broader plain subscription would change their
+	// semantics, not just their routing.
+	Aggregate *AggregateSpec
+
 	// sig caches SignatureKey's rendering. Subscriptions are immutable once
 	// published, and the subsumption comparability scan asks for the key on
 	// every candidate-set pairing, so the constructors, Clone and the split
@@ -244,6 +253,13 @@ func (s *Subscription) SignatureKey() string {
 
 // computeSignature renders the signature key from the filter sets.
 func (s *Subscription) computeSignature() string {
+	if s.Aggregate != nil {
+		// Aggregate queries are never comparable with plain
+		// subscriptions (or with aggregates of another function or
+		// window), so the whole spec is part of the signature.
+		a := s.Aggregate
+		return fmt.Sprintf("ag:%s:w%d:q%g:k%d:x%t:%s", a.Func, a.WindowRounds, a.Quantile, a.K, a.Exact, attributeKey(s.Attributes()))
+	}
 	if s.Kind == KindIdentified {
 		return "id:" + sensorKey(s.Sensors())
 	}
@@ -264,6 +280,10 @@ func (s *Subscription) Clone() *Subscription {
 		for k, v := range s.AttrFilters {
 			out.AttrFilters[k] = v
 		}
+	}
+	if s.Aggregate != nil {
+		spec := *s.Aggregate
+		out.Aggregate = &spec
 	}
 	return &out
 }

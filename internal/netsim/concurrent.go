@@ -84,6 +84,14 @@ type ConcurrentEngine struct {
 	// delivering worker's goroutine (push delivery). Loaded atomically so
 	// installing it does not race the workers.
 	observer atomic.Pointer[func(Delivery)]
+
+	// aggTicks is set when an aggregate subscription registers; it gates all
+	// watermark-tick work (see maybeTick) so replays without aggregate
+	// queries pay one atomic load per round boundary. tickMu guards ticked,
+	// the highest watermark already announced to the nodes.
+	aggTicks atomic.Bool
+	tickMu   sync.Mutex
+	ticked   int
 }
 
 var _ Runtime = (*ConcurrentEngine)(nil)
@@ -391,6 +399,9 @@ func (e *ConcurrentEngine) Subscribe(node topology.NodeID, sub *model.Subscripti
 	if err := sub.Validate(); err != nil {
 		return err
 	}
+	if sub.Aggregate != nil {
+		e.aggTicks.Store(true)
+	}
 	return e.submit(queued{to: node, from: node, injection: injectionSubscribe, sub: sub, round: e.currentRound()})
 }
 
@@ -411,6 +422,9 @@ func (e *ConcurrentEngine) SubscribeContext(ctx context.Context, node topology.N
 	}
 	if err := sub.Validate(); err != nil {
 		return err
+	}
+	if sub.Aggregate != nil {
+		e.aggTicks.Store(true)
 	}
 	if err := e.submit(queued{to: node, from: node, injection: injectionSubscribe, sub: sub, round: e.currentRound()}); err != nil {
 		return err
@@ -522,7 +536,7 @@ func (e *ConcurrentEngine) ReplayRoundsContext(ctx context.Context, rounds [][]P
 				if err := e.submitPublication(p, r); err != nil {
 					return err
 				}
-				if err := e.FlushContext(ctx); err != nil {
+				if err := e.drainContext(ctx); err != nil {
 					return err
 				}
 			}
@@ -532,7 +546,14 @@ func (e *ConcurrentEngine) ReplayRoundsContext(ctx context.Context, rounds [][]P
 					return err
 				}
 			}
-			if err := e.FlushContext(ctx); err != nil {
+			if err := e.drainContext(ctx); err != nil {
+				return err
+			}
+		}
+		// The round is drained, so the watermark advanced: announce it and
+		// drain the window-close cascades it triggers.
+		if e.maybeTick() {
+			if err := e.drainContext(ctx); err != nil {
 				return err
 			}
 		}
@@ -562,6 +583,10 @@ func (e *ConcurrentEngine) replayWindowed(ctx context.Context, rounds [][]Public
 			e.markSessionOpen()
 			return err
 		}
+		// The gate advanced the watermark: announce it before round r's
+		// events enter the network. The ticks join the in-flight stream (no
+		// drain) like any other windowed work.
+		e.maybeTick()
 		for _, p := range round {
 			if err := e.submitPublication(p, r); err != nil {
 				e.wmWatching.Store(false)
@@ -708,12 +733,10 @@ func (e *ConcurrentEngine) NodeWatermarks() []int {
 // flight, so the watermark catches up to the round counter and the next
 // ReplayRounds starts a fresh session.
 func (e *ConcurrentEngine) Flush() {
-	e.idleMu.Lock()
-	for e.inflight.Load() > 0 {
-		e.idleCond.Wait()
+	e.drain()
+	for e.maybeTick() {
+		e.drain()
 	}
-	e.idleMu.Unlock()
-	e.retireDrainedRounds()
 }
 
 // FlushContext implements Runtime: the idle wait of Flush, abandoned when
@@ -722,8 +745,34 @@ func (e *ConcurrentEngine) Flush() {
 // be cancelled takes the exact Flush path, so steady-state replay loops pay
 // nothing for the hook.
 func (e *ConcurrentEngine) FlushContext(ctx context.Context) error {
+	if err := e.drainContext(ctx); err != nil {
+		return err
+	}
+	for e.maybeTick() {
+		if err := e.drainContext(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drain blocks until every in-flight message has been processed, then
+// re-syncs the watermark cursor. It does not announce the watermark; the
+// round-boundary callers (and the public Flush/FlushContext) do.
+func (e *ConcurrentEngine) drain() {
+	e.idleMu.Lock()
+	for e.inflight.Load() > 0 {
+		e.idleCond.Wait()
+	}
+	e.idleMu.Unlock()
+	e.retireDrainedRounds()
+}
+
+// drainContext is drain with cancellation. A context that can never be
+// cancelled takes the hook-free path.
+func (e *ConcurrentEngine) drainContext(ctx context.Context) error {
 	if ctx.Done() == nil {
-		e.Flush()
+		e.drain()
 		return nil
 	}
 	if err := ctx.Err(); err != nil {
@@ -745,6 +794,33 @@ func (e *ConcurrentEngine) FlushContext(ctx context.Context) error {
 	}
 	e.retireDrainedRounds()
 	return nil
+}
+
+// maybeTick submits one watermark tick per node when the watermark advanced
+// past the last announced value, reporting whether it did. Gated on
+// aggTicks: without aggregate subscriptions no tick is ever submitted.
+// Concurrent callers are serialised on ticked, but their submission loops
+// may interleave, so a node can observe ticks out of order — handlers must
+// ignore a tick below one they have already seen.
+func (e *ConcurrentEngine) maybeTick() bool {
+	if !e.aggTicks.Load() {
+		return false
+	}
+	wm := e.Watermark()
+	e.tickMu.Lock()
+	if wm <= e.ticked {
+		e.tickMu.Unlock()
+		return false
+	}
+	e.ticked = wm
+	e.tickMu.Unlock()
+	for n := range e.workers {
+		id := topology.NodeID(n)
+		// A failed submit only happens when the engine is shutting down;
+		// the tick is then moot.
+		_ = e.submit(queued{to: id, from: id, injection: injectionTick, wm: wm})
+	}
+	return true
 }
 
 // retireDrainedRounds re-syncs the watermark cursor after a full drain: the

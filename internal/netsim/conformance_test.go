@@ -13,12 +13,16 @@ package netsim_test
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"testing"
 
+	"sensorcq/internal/agg"
 	"sensorcq/internal/experiment"
+	"sensorcq/internal/geom"
 	"sensorcq/internal/model"
 	"sensorcq/internal/netsim"
+	"sensorcq/internal/topology"
 )
 
 // conformanceScenario is a small randomized workload; the seed varies the
@@ -71,14 +75,26 @@ func drive(t *testing.T, rt netsim.Runtime, w *experiment.Workload) {
 	rt.Flush()
 }
 
+// deliveryKey canonicalizes one delivery. Complex events key on (node,
+// subscription, sorted component sequence numbers); aggregate deliveries —
+// whose Events set is empty — key on the full window result, with the value
+// compared bit-for-bit (Float64bits also distinguishes the NaN an empty
+// scalar window delivers), so two runs agree only if every window produced
+// the identical aggregate.
+func deliveryKey(d netsim.Delivery) string {
+	if a := d.Aggregate; a != nil {
+		return fmt.Sprintf("%d|%s|w%d:%d-%d:%x:%d", d.Node, d.SubID, a.Window, a.StartRound, a.EndRound, math.Float64bits(a.Value), a.Count)
+	}
+	return fmt.Sprintf("%d|%s|%v", d.Node, d.SubID, d.Events.Seqs())
+}
+
 // deliveryMultiset canonicalizes deliveries into a multiset keyed by
-// (node, subscription, sorted component sequence numbers), so engines may
-// deliver in any order but must deliver the same complex events the same
-// number of times.
+// deliveryKey, so engines may deliver in any order but must deliver the
+// same complex events and window aggregates the same number of times.
 func deliveryMultiset(ds []netsim.Delivery) map[string]int {
 	m := map[string]int{}
 	for _, d := range ds {
-		m[fmt.Sprintf("%d|%s|%v", d.Node, d.SubID, d.Events.Seqs())]++
+		m[deliveryKey(d)]++
 	}
 	return m
 }
@@ -88,6 +104,22 @@ func deliveryMultiset(ds []netsim.Delivery) map[string]int {
 // ReplayRounds call per batch with the batch's true round structure — the
 // replay shape the experiment harness and the replay benchmarks use.
 func driveRounds(t *testing.T, rt netsim.Runtime, w *experiment.Workload, opts netsim.ReplayOptions) {
+	t.Helper()
+	driveRoundsWith(t, rt, w, nil, opts)
+}
+
+// aggPlacement pins one aggregate query to its subscriber node.
+type aggPlacement struct {
+	node topology.NodeID
+	sub  *model.Subscription
+}
+
+// driveRoundsWith is driveRounds with extra aggregate queries registered
+// after the sensors and the regular subscription population, before any
+// event replay — the registration shape the aggregate conformance oracle
+// assumes (mid-stream registration is delivery-mode dependent; see
+// core.registerAggregate).
+func driveRoundsWith(t *testing.T, rt netsim.Runtime, w *experiment.Workload, aggs []aggPlacement, opts netsim.ReplayOptions) {
 	t.Helper()
 	sensors := make([]model.Sensor, len(w.Deployment.Sensors))
 	copy(sensors, w.Deployment.Sensors)
@@ -100,6 +132,12 @@ func driveRounds(t *testing.T, rt netsim.Runtime, w *experiment.Workload, opts n
 	}
 	for _, p := range w.Placed {
 		if err := rt.Subscribe(p.Node, p.Sub.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		rt.Flush()
+	}
+	for _, p := range aggs {
+		if err := rt.Subscribe(p.node, p.sub.Clone()); err != nil {
 			t.Fatal(err)
 		}
 		rt.Flush()
@@ -121,7 +159,7 @@ func perRoundMultisets(ds []netsim.Delivery) map[int]map[string]int {
 			m = map[string]int{}
 			out[d.Round] = m
 		}
-		m[fmt.Sprintf("%d|%s|%v", d.Node, d.SubID, d.Events.Seqs())]++
+		m[deliveryKey(d)]++
 	}
 	return out
 }
@@ -137,6 +175,9 @@ func assertSameTraffic(t *testing.T, label string, a, b netsim.Snapshot) {
 	}
 	if a.EventLoad != b.EventLoad {
 		t.Errorf("%s: event load: baseline=%d got=%d", label, a.EventLoad, b.EventLoad)
+	}
+	if a.PartialAggregateLoad != b.PartialAggregateLoad {
+		t.Errorf("%s: partial-aggregate load: baseline=%d got=%d", label, a.PartialAggregateLoad, b.PartialAggregateLoad)
 	}
 }
 
@@ -299,6 +340,141 @@ func TestEngineConformanceAllApproaches(t *testing.T) {
 				}
 				if n := conc.Metrics().DroppedMessages(); n != 0 {
 					t.Errorf("concurrent engine dropped %d messages", n)
+				}
+			})
+		}
+	}
+}
+
+// aggregateConformancePlacements builds a mixed population of windowed
+// aggregate queries over the workload's dominant attribute: scalar folds,
+// a q-digest sketch and the ship-every-reading exact baseline, spread over
+// distinct subscriber nodes and two window widths (both dividing the six
+// replay rounds, so every window closes by the final watermark tick).
+//
+// floatSums gates the mean query. Float accumulation is not associative;
+// the in-network path folds child partials in canonical child order, which
+// makes sums bit-deterministic, but paths that accumulate raw relayed
+// readings in arrival order (the centralized approach) stay schedule-
+// dependent on the concurrent engine, so those runs drop the mean query.
+func aggregateConformancePlacements(t *testing.T, w *experiment.Workload, floatSums bool) []aggPlacement {
+	t.Helper()
+	counts := map[model.AttributeType]int{}
+	for _, s := range w.Deployment.Sensors {
+		counts[s.Attr]++
+	}
+	var attr model.AttributeType
+	for a, n := range counts {
+		if attr == "" || n > counts[attr] || (n == counts[attr] && a < attr) {
+			attr = a
+		}
+	}
+	lo, hi := w.Trace.Mins[attr], w.Trace.Maxs[attr]
+	if !(lo < hi) {
+		lo, hi = lo-1, hi+1
+	}
+	filter := model.AttributeFilter{Attr: attr, Range: geom.NewInterval(lo, hi)}
+	specs := []struct {
+		id   model.SubscriptionID
+		node topology.NodeID
+		spec model.AggregateSpec
+	}{
+		{"agg-count", 0, model.AggregateSpec{Func: agg.Count, WindowRounds: 2}},
+		{"agg-min", 5, model.AggregateSpec{Func: agg.Min, WindowRounds: 3}},
+		{"agg-q16", 11, model.AggregateSpec{Func: agg.Quantile, WindowRounds: 2, Quantile: 0.5, Lo: lo, Hi: hi, Bits: 10, K: 16}},
+		{"agg-exact", 17, model.AggregateSpec{Func: agg.Quantile, WindowRounds: 2, Quantile: 0.9, Exact: true}},
+	}
+	if floatSums {
+		specs = append(specs, struct {
+			id   model.SubscriptionID
+			node topology.NodeID
+			spec model.AggregateSpec
+		}{"agg-mean", 23, model.AggregateSpec{Func: agg.Mean, WindowRounds: 2}})
+	}
+	out := make([]aggPlacement, 0, len(specs))
+	for _, s := range specs {
+		sub, err := model.NewAggregateSubscription(s.id, filter, geom.WholePlane(), s.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, aggPlacement{node: s.node, sub: sub})
+	}
+	return out
+}
+
+// TestAggregateConformanceAllApproaches extends the per-round oracle to
+// windowed aggregate queries: for every approach, both engines and every
+// replay variant must produce the sequential quiescent run's per-window
+// aggregate results bit-for-bit — same window bounds, same value, same
+// count, delivered at the same watermark round — alongside identical
+// traffic totals (partial-aggregate load and bytes included) and the
+// unchanged complex-event delivery multisets.
+func TestAggregateConformanceAllApproaches(t *testing.T) {
+	for _, seed := range []int64{11, 42} {
+		w, err := experiment.BuildWorkload(conformanceScenario(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalRounds := w.Scenario.Batches * w.Scenario.RoundsPerBatch
+		for _, id := range experiment.All() {
+			id := id
+			t.Run(fmt.Sprintf("%s/seed=%d", id, seed), func(t *testing.T) {
+				placements := aggregateConformancePlacements(t, w, id != experiment.Centralized)
+				newRuntime := func(concurrent bool, opts netsim.ReplayOptions) netsim.Runtime {
+					factory, err := experiment.FactoryForSpec(id, experiment.FactorySpec{
+						Seed:           seed + 7,
+						ValidityFactor: netsim.RequiredValidityFactor(opts.Mode, opts.Lag),
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if concurrent {
+						return netsim.NewConcurrentEngine(w.Deployment.Graph, factory)
+					}
+					return netsim.NewEngine(w.Deployment.Graph, factory)
+				}
+
+				baseline := newRuntime(false, netsim.ReplayOptions{Mode: netsim.Quiescent})
+				driveRoundsWith(t, baseline, w, placements, netsim.ReplayOptions{Mode: netsim.Quiescent})
+				base := baseline.Metrics().Snapshot()
+				baseBytes := baseline.Metrics().PartialAggregateBytes()
+				if n := baseline.Metrics().DroppedMessages(); n != 0 {
+					t.Errorf("baseline dropped %d messages", n)
+				}
+				if base.PartialAggregateLoad == 0 {
+					t.Fatal("baseline shipped no partial aggregates; the conformance check is vacuous")
+				}
+				// Every query closes exactly totalRounds/W windows, and each
+				// closed window reaches its subscriber exactly once.
+				perSub := map[model.SubscriptionID]int{}
+				for _, d := range baseline.Deliveries() {
+					if d.Aggregate != nil {
+						perSub[d.SubID]++
+					}
+				}
+				for _, p := range placements {
+					if got, want := perSub[p.sub.ID], totalRounds/p.sub.Aggregate.WindowRounds; got != want {
+						t.Errorf("baseline delivered %d windows for %s, want %d", got, p.sub.ID, want)
+					}
+				}
+
+				for _, v := range conformanceVariants {
+					rt := newRuntime(v.concurrent, v.opts)
+					if conc, ok := rt.(*netsim.ConcurrentEngine); ok {
+						defer conc.Close()
+					}
+					driveRoundsWith(t, rt, w, placements, v.opts)
+					assertSameTraffic(t, v.name, base, rt.Metrics().Snapshot())
+					if got := rt.Metrics().PartialAggregateBytes(); got != baseBytes {
+						t.Errorf("%s: partial-aggregate bytes: baseline=%d got=%d", v.name, baseBytes, got)
+					}
+					assertSamePerRoundDeliveries(t, v.name, baseline.Deliveries(), rt.Deliveries())
+					if n := rt.Metrics().DroppedMessages(); n != 0 {
+						t.Errorf("%s dropped %d messages", v.name, n)
+					}
+					if wm := rt.Watermark(); wm != totalRounds {
+						t.Errorf("%s: final watermark = %d, want %d (all rounds retired)", v.name, wm, totalRounds)
+					}
 				}
 			})
 		}

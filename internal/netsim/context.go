@@ -76,6 +76,13 @@ func (a *deliveryArena) reserve(n int) {
 // Self returns this node's identifier.
 func (c *Context) Self() topology.NodeID { return c.self }
 
+// Round returns the lineage round of the item currently being dispatched:
+// the replay round being injected, or the round of the item whose dispatch
+// produced the message being handled. A subscription registration cascade
+// shares one lineage round network-wide, which the aggregation subsystem
+// uses to derive the same first window at every node.
+func (c *Context) Round() int { return c.round }
+
 // Neighbors returns the node's direct neighbours.
 func (c *Context) Neighbors() []topology.NodeID { return c.graph.Neighbors(c.self) }
 
@@ -126,6 +133,18 @@ func (c *Context) SendEventUnits(to topology.NodeID, ev model.Event, units int64
 	c.send(to, Message{Kind: KindEvent, Ev: ev, Units: units})
 }
 
+// SendPartialAggregate forwards one windowed partial aggregate (or, for the
+// exact baseline, one relayed raw reading) to a neighbouring node. Each call
+// counts units of partial-aggregate load — accounted separately from the
+// event load the paper plots. Units <= 0 defaults to 1; the centralized
+// baseline charges a multi-hop path in one logical send.
+func (c *Context) SendPartialAggregate(to topology.NodeID, pa *PartialAggregate, units int64) {
+	if pa == nil {
+		panic("netsim: SendPartialAggregate with nil payload")
+	}
+	c.send(to, Message{Kind: KindPartialAggregate, Agg: pa, Units: units})
+}
+
 func (c *Context) send(to topology.NodeID, msg Message) {
 	if to == c.self {
 		panic(fmt.Sprintf("netsim: node %d attempted to send %s to itself", c.self, msg.Kind))
@@ -157,4 +176,13 @@ func (c *Context) DeliverToUser(sub model.SubscriptionID, events model.ComplexEv
 		}
 	}
 	c.out.deliver(Delivery{Node: c.self, SubID: sub, Events: cp, Round: round})
+}
+
+// DeliverAggregate hands one finalised windowed aggregate to the local user
+// owning the subscription. The delivery is stamped with the window's end
+// round — a pure function of the window, independent of when the close
+// cascade ran — so the per-round conformance oracle compares aggregate
+// deliveries across engines and delivery modes exactly like complex events.
+func (c *Context) DeliverAggregate(sub model.SubscriptionID, res AggregateResult) {
+	c.out.deliver(Delivery{Node: c.self, SubID: sub, Aggregate: &res, Round: res.EndRound})
 }

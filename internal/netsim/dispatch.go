@@ -21,6 +21,13 @@ func dispatch(h Handler, ctx *Context, item queued) {
 			h.LocalUnsubscribe(ctx, item.unsub)
 		case injectionPublish:
 			h.LocalPublish(ctx, item.ev)
+		case injectionTick:
+			// Watermark ticks are only generated while an aggregate
+			// subscription is registered; handlers without the capability
+			// ignore them.
+			if wh, ok := h.(WatermarkHandler); ok {
+				wh.HandleWatermark(ctx, item.wm)
+			}
 		}
 		return
 	}
@@ -33,5 +40,9 @@ func dispatch(h Handler, ctx *Context, item queued) {
 		h.HandleUnsubscription(ctx, item.from, item.msg.UnsubID)
 	case KindEvent:
 		h.HandleEvent(ctx, item.from, item.msg.Ev)
+	case KindPartialAggregate:
+		if ah, ok := h.(AggregateHandler); ok {
+			ah.HandlePartialAggregate(ctx, item.from, item.msg.Agg)
+		}
 	}
 }

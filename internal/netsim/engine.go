@@ -134,6 +134,13 @@ type queued struct {
 	sub       *model.Subscription
 	unsub     model.SubscriptionID
 	ev        model.Event
+
+	// wm is the watermark value an injectionTick item announces. Tick items
+	// (and the close cascades they trigger) carry lineage round 0, which the
+	// watermark accounting never consults — the watermark gates on replay
+	// rounds >= 1 — so closing a window cannot hold back the very watermark
+	// that closed it.
+	wm int
 }
 
 type injectionKind int
@@ -144,6 +151,10 @@ const (
 	injectionSubscribe
 	injectionUnsubscribe
 	injectionPublish
+	// injectionTick announces an advanced network watermark to one node
+	// (see WatermarkHandler). Ticks are only generated while at least one
+	// aggregate subscription is registered.
+	injectionTick
 )
 
 // Engine is the deterministic sequential engine: messages are processed in
@@ -169,6 +180,13 @@ type Engine struct {
 	// ledger tracks per-round in-flight counts during a windowed replay
 	// (nil otherwise); see watermark.go.
 	ledger *roundLedger
+
+	// aggTicks is set when an aggregate subscription registers; it gates all
+	// watermark-tick work so replays without aggregate queries keep their
+	// zero-allocation steady state. ticked is the highest watermark already
+	// announced to the nodes.
+	aggTicks bool
+	ticked   int
 }
 
 var _ Runtime = (*Engine)(nil)
@@ -327,6 +345,9 @@ func (e *Engine) SubscribeContext(ctx context.Context, node topology.NodeID, sub
 	if err := sub.Validate(); err != nil {
 		return err
 	}
+	if sub.Aggregate != nil {
+		e.aggTicks = true
+	}
 	e.push(queued{to: node, from: node, injection: injectionSubscribe, sub: sub, round: e.round})
 	if e.ledger != nil {
 		return nil
@@ -441,6 +462,13 @@ func (e *Engine) ReplayRoundsContext(ctx context.Context, rounds [][]Publication
 				return err
 			}
 		}
+		// The round is drained, so the watermark advanced: announce it and
+		// drain the window-close cascades it triggers.
+		if e.maybeTick() {
+			if err := e.drainCtx(ctx); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -468,6 +496,11 @@ func (e *Engine) replayWindowed(ctx context.Context, rounds [][]Publication, lag
 			// its in-flight rounds; Flush drains and closes it.
 			return err
 		}
+		// The gate advanced the watermark; enqueue ticks before round r's
+		// events so nodes observe the watermark in FIFO order with the
+		// in-flight stream (no forced drain — close cascades interleave with
+		// the replay like any other windowed work).
+		e.maybeTick()
 		e.round = r
 		for _, p := range round {
 			e.pushPublication(p, r)
@@ -477,7 +510,7 @@ func (e *Engine) replayWindowed(ctx context.Context, rounds [][]Publication, lag
 	if keepOpen {
 		return nil
 	}
-	return e.drainCtx(ctx)
+	return e.drainAndTick(ctx)
 }
 
 // pushPublication enqueues one replayed event stamped with its round.
@@ -535,7 +568,7 @@ func (e *Engine) drainUntil(ctx context.Context, led *roundLedger, target int) e
 // today) must not re-drain; it returns immediately and leaves the work to
 // the outer drain, which also picks up anything enqueued in between.
 func (e *Engine) Flush() {
-	_ = e.drainCtx(context.Background())
+	_ = e.drainAndTick(context.Background())
 }
 
 // FlushContext implements Runtime: the full drain of Flush, abandoned
@@ -543,7 +576,44 @@ func (e *Engine) Flush() {
 // remaining items stay queued (a later drain completes them), a live
 // windowed session stays open, and the context's error is returned.
 func (e *Engine) FlushContext(ctx context.Context) error {
-	return e.drainCtx(ctx)
+	return e.drainAndTick(ctx)
+}
+
+// maybeTick enqueues one watermark tick per node when the watermark advanced
+// past the last announced value, reporting whether it did. Ticks are gated
+// on aggTicks: without aggregate subscriptions no tick is ever queued, so
+// plain replays pay a single branch here.
+func (e *Engine) maybeTick() bool {
+	if !e.aggTicks {
+		return false
+	}
+	wm := e.Watermark()
+	if wm <= e.ticked {
+		return false
+	}
+	e.ticked = wm
+	for n := range e.handlers {
+		id := topology.NodeID(n)
+		e.push(queued{to: id, from: id, injection: injectionTick, wm: wm})
+	}
+	return true
+}
+
+// drainAndTick fully drains the network, then announces the advanced
+// watermark and drains the window-close cascades the ticks trigger, until no
+// further tick is due. Entry points that leave the network quiescent route
+// through it so an aggregate window never stays open once the watermark has
+// passed its end.
+func (e *Engine) drainAndTick(ctx context.Context) error {
+	if err := e.drainCtx(ctx); err != nil {
+		return err
+	}
+	for e.maybeTick() {
+		if err := e.drainCtx(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // drainCtx processes queued messages in FIFO order until none remain or the

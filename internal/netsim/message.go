@@ -14,6 +14,7 @@ package netsim
 import (
 	"fmt"
 
+	"sensorcq/internal/agg"
 	"sensorcq/internal/model"
 	"sensorcq/internal/topology"
 )
@@ -37,6 +38,11 @@ const (
 	// forwarding links of the operator it retracts, releasing the per-link
 	// routing state the subscription built up.
 	KindUnsubscription
+	// KindPartialAggregate carries one windowed partial aggregate up the
+	// dissemination tree of an aggregate subscription (or, for the exact
+	// ship-every-reading baseline, relays one raw matching reading hop by
+	// hop). Its traffic is accounted separately from the event load.
+	KindPartialAggregate
 )
 
 // String implements fmt.Stringer.
@@ -50,6 +56,8 @@ func (k MessageKind) String() string {
 		return "event"
 	case KindUnsubscription:
 		return "unsubscription"
+	case KindPartialAggregate:
+		return "partial-aggregate"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -64,11 +72,47 @@ type Message struct {
 	// UnsubID identifies the subscription or operator a KindUnsubscription
 	// message retracts.
 	UnsubID model.SubscriptionID
+	// Agg is the payload of a KindPartialAggregate message.
+	Agg *PartialAggregate
 	// Units is the number of accounting units this message contributes to
 	// its kind's load metric. It defaults to 1; the centralized baseline
 	// uses it when shipping an event across a multi-hop path in one logical
 	// send (units = path length).
 	Units int64
+}
+
+// PartialAggregate is the payload of a KindPartialAggregate message: one
+// node's merged partial aggregate for one (subscription, window) pair, sent
+// toward the subscriber when the network watermark closes the window. When
+// Raw is set the message instead relays one matching raw reading hop by hop
+// (the exact ship-every-reading baseline); Ev carries the reading and State
+// is nil.
+type PartialAggregate struct {
+	SubID model.SubscriptionID
+	// Window is the tumbling-window index the partial belongs to.
+	Window int
+	// EndRound is the last measurement round of the window.
+	EndRound int
+	// State is the mergeable partial aggregate (nil when Raw).
+	State agg.State
+	// Ev is the relayed raw reading (Raw baseline only).
+	Ev model.Event
+	// Raw marks a relayed raw reading instead of a merged partial.
+	Raw bool
+}
+
+// AggregateResult is one finalised windowed aggregate handed to the user
+// owning an aggregate subscription.
+type AggregateResult struct {
+	// Window is the tumbling-window index.
+	Window int
+	// StartRound and EndRound are the measurement rounds the window covers.
+	StartRound int
+	EndRound   int
+	// Value is the aggregate answer for the window.
+	Value float64
+	// Count is the number of matching readings folded into the window.
+	Count int64
 }
 
 // Delivery records a complex event handed to a local user (the owner of a
@@ -78,6 +122,10 @@ type Delivery struct {
 	Node   topology.NodeID
 	SubID  model.SubscriptionID
 	Events model.ComplexEvent
+	// Aggregate, when non-nil, marks a windowed aggregate delivery (Events
+	// is empty: aggregate queries deliver one scalar per window, not the
+	// matching readings).
+	Aggregate *AggregateResult
 	// Round is the replay round the complex event belongs to: the round of
 	// its newest component (events are stamped with their injection round,
 	// see model.Event.Round). In the quiescent and pipelined modes this
@@ -133,6 +181,25 @@ type Handler interface {
 	HandleUnsubscription(ctx *Context, from topology.NodeID, id model.SubscriptionID)
 	// HandleEvent processes a simple event received from a neighbour.
 	HandleEvent(ctx *Context, from topology.NodeID, ev model.Event)
+}
+
+// AggregateHandler is the optional capability a protocol handler implements
+// to participate in in-network aggregation: merging a child's windowed
+// partial aggregate (or relaying the exact baseline's raw readings). The
+// engines only route KindPartialAggregate messages to handlers implementing
+// it; others drop them silently.
+type AggregateHandler interface {
+	HandlePartialAggregate(ctx *Context, from topology.NodeID, pa *PartialAggregate)
+}
+
+// WatermarkHandler is the optional capability a protocol handler implements
+// to learn that the network watermark advanced: every round <= watermark is
+// fully injected and drained, so every reading of those rounds has reached
+// its per-window accumulators and any window ending at or before the
+// watermark can close. The engines tick each node at most once per watermark
+// value, and only when at least one aggregate subscription is registered.
+type WatermarkHandler interface {
+	HandleWatermark(ctx *Context, watermark int)
 }
 
 // HandlerFactory builds the handler for a given node. Protocol packages

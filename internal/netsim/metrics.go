@@ -44,6 +44,15 @@ type metricsShard struct {
 	unsubscriptionLoad int64
 	eventLoad          int64
 
+	// partialAggregateLoad counts link traversals of windowed partial
+	// aggregates (and of the exact baseline's relayed raw readings);
+	// partialAggregateBytes accumulates their encoded wire sizes, the unit
+	// of the bytes-upstream axis of the error-vs-traffic experiment. Both
+	// are deliberately kept out of eventLoad so the paper's data-unit
+	// figures are unaffected by aggregate queries.
+	partialAggregateLoad  int64
+	partialAggregateBytes int64
+
 	linkSubscription map[Link]int64
 	linkEvent        map[Link]int64
 
@@ -117,7 +126,27 @@ func (m *Metrics) recordSend(from, to topology.NodeID, msg Message, round int) {
 		s.eventLoad += units
 		s.linkEvent[Link{From: from, To: to}] += units
 		s.eventLoadByRound = addByRound(s.eventLoadByRound, round, units)
+	case KindPartialAggregate:
+		s.partialAggregateLoad += units
+		s.partialAggregateBytes += units * encodedAggBytes(msg.Agg)
 	}
+}
+
+// rawReadingBytes is the accounted wire size of one relayed raw reading
+// (attribute tag, value, location, round stamp) in the exact
+// ship-every-reading baseline.
+const rawReadingBytes = 32
+
+// encodedAggBytes returns the accounted wire size of one partial-aggregate
+// message.
+func encodedAggBytes(pa *PartialAggregate) int64 {
+	if pa == nil {
+		return 0
+	}
+	if pa.Raw || pa.State == nil {
+		return rawReadingBytes
+	}
+	return int64(pa.State.EncodedSize())
 }
 
 // addByRound accumulates units into the per-round counter slice, growing it
@@ -261,6 +290,20 @@ func (m *Metrics) EventLoad() int64 {
 	return m.sum(func(s *metricsShard) int64 { return s.eventLoad })
 }
 
+// PartialAggregateLoad returns the number of forwarded windowed partial
+// aggregates (one per link traversal; the exact baseline's relayed raw
+// readings count here too). Accounted separately from EventLoad.
+func (m *Metrics) PartialAggregateLoad() int64 {
+	return m.sum(func(s *metricsShard) int64 { return s.partialAggregateLoad })
+}
+
+// PartialAggregateBytes returns the accumulated encoded wire size of every
+// forwarded partial aggregate — the bytes-upstream axis of the
+// error-vs-traffic experiment.
+func (m *Metrics) PartialAggregateBytes() int64 {
+	return m.sum(func(s *metricsShard) int64 { return s.partialAggregateBytes })
+}
+
 // EventLoadForRounds returns the number of forwarded data units attributed
 // to lineage rounds lo..hi inclusive. Lineage attribution matches the
 // watermark ledger's: a send performed while dispatching round-r work counts
@@ -396,10 +439,11 @@ func (m *Metrics) BusiestEventLinks(n int) []struct {
 // Snapshot is an immutable copy of the headline counters, convenient for
 // recording a time series during an experiment.
 type Snapshot struct {
-	AdvertisementLoad  int64
-	SubscriptionLoad   int64
-	UnsubscriptionLoad int64
-	EventLoad          int64
+	AdvertisementLoad    int64
+	SubscriptionLoad     int64
+	UnsubscriptionLoad   int64
+	EventLoad            int64
+	PartialAggregateLoad int64
 }
 
 // Snapshot returns the current headline counters (merged across shards).
@@ -412,6 +456,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		snap.SubscriptionLoad += s.subscriptionLoad
 		snap.UnsubscriptionLoad += s.unsubscriptionLoad
 		snap.EventLoad += s.eventLoad
+		snap.PartialAggregateLoad += s.partialAggregateLoad
 		s.mu.Unlock()
 	}
 	return snap
@@ -420,9 +465,10 @@ func (m *Metrics) Snapshot() Snapshot {
 // Diff returns the change from an earlier snapshot to this one.
 func (s Snapshot) Diff(earlier Snapshot) Snapshot {
 	return Snapshot{
-		AdvertisementLoad:  s.AdvertisementLoad - earlier.AdvertisementLoad,
-		SubscriptionLoad:   s.SubscriptionLoad - earlier.SubscriptionLoad,
-		UnsubscriptionLoad: s.UnsubscriptionLoad - earlier.UnsubscriptionLoad,
-		EventLoad:          s.EventLoad - earlier.EventLoad,
+		AdvertisementLoad:    s.AdvertisementLoad - earlier.AdvertisementLoad,
+		SubscriptionLoad:     s.SubscriptionLoad - earlier.SubscriptionLoad,
+		UnsubscriptionLoad:   s.UnsubscriptionLoad - earlier.UnsubscriptionLoad,
+		EventLoad:            s.EventLoad - earlier.EventLoad,
+		PartialAggregateLoad: s.PartialAggregateLoad - earlier.PartialAggregateLoad,
 	}
 }

@@ -71,7 +71,11 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.mu.Unlock()
-	handle, err := s.sys.SubscribeContext(r.Context(), node, sub, opts...)
+	subscribe := s.sys.SubscribeContext
+	if sub.Aggregate != nil {
+		subscribe = s.sys.SubscribeAggregateContext
+	}
+	handle, err := subscribe(r.Context(), node, sub, opts...)
 	switch {
 	case errors.Is(err, sensorcq.ErrDuplicateSubscription):
 		writeError(w, http.StatusConflict, err)
@@ -219,10 +223,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		DroppedMessages: s.sys.DroppedMessages(),
 		Watermark:       s.sys.Watermark(),
 		Traffic: TrafficWire{
-			AdvertisementLoad:  traffic.AdvertisementLoad,
-			SubscriptionLoad:   traffic.SubscriptionLoad,
-			UnsubscriptionLoad: traffic.UnsubscriptionLoad,
-			EventLoad:          traffic.EventLoad,
+			AdvertisementLoad:     traffic.AdvertisementLoad,
+			SubscriptionLoad:      traffic.SubscriptionLoad,
+			UnsubscriptionLoad:    traffic.UnsubscriptionLoad,
+			EventLoad:             traffic.EventLoad,
+			PartialAggregateLoad:  traffic.PartialAggregateLoad,
+			PartialAggregateBytes: traffic.PartialAggregateBytes,
 		},
 		Index: IndexWire{
 			Trees:      index.Trees,

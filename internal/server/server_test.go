@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -333,6 +334,98 @@ func TestAbstractSubscriptionOverHTTP(t *testing.T) {
 	// Server-assigned sequence numbers are distinct and non-zero.
 	if d.Events[0].Seq == 0 || d.Events[1].Seq == 0 || d.Events[0].Seq == d.Events[1].Seq {
 		t.Errorf("server-assigned seqs = %d, %d", d.Events[0].Seq, d.Events[1].Seq)
+	}
+}
+
+// TestAggregateSubscriptionOverHTTP registers a windowed aggregate query on
+// the control plane, closes a window by ingesting one batch per round, reads
+// the finalised window off the SSE stream, and cross-checks the
+// partial-aggregate traffic counter in /metrics against the wrapped System.
+func TestAggregateSubscriptionOverHTTP(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+
+	spec := fmt.Sprintf(`{"id":"avg-temp","attributes":[{"attr":%q,"min":0,"max":100}],`+
+		`"aggregate":{"func":"mean","window_rounds":2}}`,
+		string(sensorcq.AmbientTemperature))
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/subscriptions", "application/json", spec)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register aggregate: %s %s", resp.Status, body)
+	}
+
+	stream, err := http.Get(ts.URL + "/subscriptions/avg-temp/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	frames := make(chan sseFrame, 16)
+	go readSSE(stream.Body, frames)
+
+	// Each POST /events batch is one quiescent replay round followed by a
+	// flush, so two batches close the first two-round window.
+	for round, ev := range []string{
+		`{"sensor":"a","value":60,"time":100}`,
+		`{"sensor":"a","value":70,"time":101}`,
+	} {
+		if resp, body := doJSON(t, http.MethodPost, ts.URL+"/events", "application/json", ev); resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest round %d: %s %s", round+1, resp.Status, body)
+		}
+	}
+
+	f := waitFrame(t, frames, "delivery")
+	var d DeliveryWire
+	if err := json.Unmarshal([]byte(f.data), &d); err != nil {
+		t.Fatalf("delivery frame %q: %v", f.data, err)
+	}
+	if d.Subscription != "avg-temp" || d.Node != 5 || len(d.Events) != 0 {
+		t.Fatalf("delivery = %+v", d)
+	}
+	if d.Aggregate == nil {
+		t.Fatalf("delivery has no aggregate payload: %s", f.data)
+	}
+	if d.Aggregate.Value != 65 || d.Aggregate.Count != 2 ||
+		d.Aggregate.StartRound != 1 || d.Aggregate.EndRound != 2 || d.Round != 2 {
+		t.Fatalf("aggregate window = %+v (round %d), want mean 65 of 2 over rounds [1,2]", d.Aggregate, d.Round)
+	}
+
+	// An empty window (two rounds of non-matching readings) delivers a NaN
+	// mean, which must reach the stream as a null value instead of a JSON
+	// encoding error that silently kills it.
+	for round, ev := range []string{
+		`{"sensor":"c","value":5,"time":200}`,
+		`{"sensor":"c","value":6,"time":201}`,
+	} {
+		if resp, body := doJSON(t, http.MethodPost, ts.URL+"/events", "application/json", ev); resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest round %d: %s %s", round+3, resp.Status, body)
+		}
+	}
+	f = waitFrame(t, frames, "delivery")
+	if !strings.Contains(f.data, `"value":null`) {
+		t.Fatalf("empty-window frame = %q, want null value", f.data)
+	}
+	if err := json.Unmarshal([]byte(f.data), &d); err != nil {
+		t.Fatalf("empty-window frame %q: %v", f.data, err)
+	}
+	if d.Aggregate == nil || d.Aggregate.Count != 0 || !math.IsNaN(float64(d.Aggregate.Value)) {
+		t.Fatalf("empty-window aggregate = %+v, want count 0 and NaN value", d.Aggregate)
+	}
+
+	// The sketch partials travelled the dissemination tree, and /metrics
+	// reports exactly what the wrapped System counted.
+	resp, body = doJSON(t, http.MethodGet, ts.URL+"/metrics", "", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %s %s", resp.Status, body)
+	}
+	var m MetricsWire
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	traffic := srv.System().Traffic()
+	if m.Traffic.PartialAggregateLoad != traffic.PartialAggregateLoad ||
+		m.Traffic.PartialAggregateBytes != traffic.PartialAggregateBytes {
+		t.Errorf("metrics partial-aggregate traffic %+v != System.Traffic() %+v", m.Traffic, traffic)
+	}
+	if m.Traffic.PartialAggregateLoad == 0 {
+		t.Error("partial_aggregate_load = 0, want upstream partials on the dissemination tree")
 	}
 }
 

@@ -1,7 +1,9 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
+	"math"
 	"time"
 
 	"sensorcq"
@@ -45,9 +47,26 @@ type BackpressureSpec struct {
 	TimeoutMS int64  `json:"timeout_ms,omitempty"`
 }
 
+// AggregateSpecWire turns a subscription spec into a windowed aggregate
+// continuous query over its single attribute filter. Quantile, Lo, Hi,
+// Bits and K parameterise the q-digest sketch and apply to func "quantile"
+// only; Exact selects the ship-every-reading baseline instead.
+type AggregateSpecWire struct {
+	Func         string  `json:"func"`
+	WindowRounds int     `json:"window_rounds"`
+	Quantile     float64 `json:"quantile,omitempty"`
+	Lo           float64 `json:"lo,omitempty"`
+	Hi           float64 `json:"hi,omitempty"`
+	Bits         uint    `json:"bits,omitempty"`
+	K            int     `json:"k,omitempty"`
+	Exact        bool    `json:"exact,omitempty"`
+}
+
 // SubscriptionSpec is the POST /subscriptions request body. Exactly one of
 // Sensors (identified subscription) or Attributes (abstract subscription)
-// must be non-empty.
+// must be non-empty. With Aggregate set, the spec must carry exactly one
+// attribute filter and registers a windowed aggregate query instead of a
+// complex-event subscription.
 type SubscriptionSpec struct {
 	ID     string `json:"id"`
 	Node   *int   `json:"node,omitempty"`
@@ -60,6 +79,7 @@ type SubscriptionSpec struct {
 	Region       *RegionSpec        `json:"region,omitempty"`
 	Sensors      []SensorFilterSpec `json:"sensors,omitempty"`
 	Attributes   []AttrFilterSpec   `json:"attributes,omitempty"`
+	Aggregate    *AggregateSpecWire `json:"aggregate,omitempty"`
 	SinkBuffer   *int               `json:"sink_buffer,omitempty"`
 	Backpressure *BackpressureSpec  `json:"backpressure,omitempty"`
 }
@@ -98,21 +118,65 @@ type EventWire struct {
 	Y      float64 `json:"y"`
 }
 
-// DeliveryWire is the data frame of the SSE stream: one complex event
-// delivered to a subscription.
+// JSONFloat is a float64 that survives JSON encoding when non-finite: an
+// empty window's min/max/mean/quantile is NaN, which encoding/json rejects,
+// so NaN and the infinities are carried as null instead of killing the SSE
+// stream.
+type JSONFloat float64
+
+// MarshalJSON encodes non-finite values as null.
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON decodes null back to NaN.
+func (f *JSONFloat) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		*f = JSONFloat(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*f = JSONFloat(v)
+	return nil
+}
+
+// AggregateResultWire is one finalised window of an aggregate query. Value
+// is null when the window was empty and the aggregate has no neutral
+// element (min, max, mean, quantile).
+type AggregateResultWire struct {
+	Window     int       `json:"window"`
+	StartRound int       `json:"start_round"`
+	EndRound   int       `json:"end_round"`
+	Value      JSONFloat `json:"value"`
+	Count      int64     `json:"count"`
+}
+
+// DeliveryWire is the data frame of the SSE stream: one complex event — or,
+// for an aggregate query, one finalised window — delivered to a
+// subscription. Exactly one of Events and Aggregate is set.
 type DeliveryWire struct {
-	Subscription string      `json:"subscription"`
-	Node         int         `json:"node"`
-	Round        int         `json:"round"`
-	Events       []EventWire `json:"events"`
+	Subscription string               `json:"subscription"`
+	Node         int                  `json:"node"`
+	Round        int                  `json:"round"`
+	Events       []EventWire          `json:"events,omitempty"`
+	Aggregate    *AggregateResultWire `json:"aggregate,omitempty"`
 }
 
 // TrafficWire mirrors sensorcq.TrafficStats.
 type TrafficWire struct {
-	AdvertisementLoad  int64 `json:"advertisement_load"`
-	SubscriptionLoad   int64 `json:"subscription_load"`
-	UnsubscriptionLoad int64 `json:"unsubscription_load"`
-	EventLoad          int64 `json:"event_load"`
+	AdvertisementLoad     int64 `json:"advertisement_load"`
+	SubscriptionLoad      int64 `json:"subscription_load"`
+	UnsubscriptionLoad    int64 `json:"unsubscription_load"`
+	EventLoad             int64 `json:"event_load"`
+	PartialAggregateLoad  int64 `json:"partial_aggregate_load"`
+	PartialAggregateBytes int64 `json:"partial_aggregate_bytes"`
 }
 
 // IndexWire mirrors sensorcq.IndexStats.
@@ -165,7 +229,38 @@ func (s *Server) buildSubscription(spec *SubscriptionSpec) (*sensorcq.Subscripti
 
 	var sub *sensorcq.Subscription
 	var err error
-	if len(spec.Sensors) > 0 {
+	if spec.Aggregate != nil {
+		if len(spec.Sensors) != 0 || len(spec.Attributes) != 1 {
+			return nil, 0, nil, fmt.Errorf("an aggregate subscription needs exactly one attribute filter (and no sensor filters)")
+		}
+		f := spec.Attributes[0]
+		if f.Attr == "" {
+			return nil, 0, nil, fmt.Errorf("attribute filter: attr is required")
+		}
+		fn, ferr := sensorcq.ParseAggregateFunc(spec.Aggregate.Func)
+		if ferr != nil {
+			return nil, 0, nil, ferr
+		}
+		region := sensorcq.Everywhere()
+		if spec.Region != nil {
+			region = sensorcq.NewRegion(spec.Region.X0, spec.Region.Y0, spec.Region.X1, spec.Region.Y1)
+		}
+		sub, err = sensorcq.NewAggregateSubscription(
+			sensorcq.SubscriptionID(spec.ID),
+			sensorcq.AttributeFilter{Attr: sensorcq.AttributeType(f.Attr), Range: sensorcq.NewInterval(f.Min, f.Max)},
+			region,
+			sensorcq.AggregateSpec{
+				Func:         fn,
+				WindowRounds: spec.Aggregate.WindowRounds,
+				Quantile:     spec.Aggregate.Quantile,
+				Lo:           spec.Aggregate.Lo,
+				Hi:           spec.Aggregate.Hi,
+				Bits:         spec.Aggregate.Bits,
+				K:            spec.Aggregate.K,
+				Exact:        spec.Aggregate.Exact,
+			},
+		)
+	} else if len(spec.Sensors) > 0 {
 		filters := make([]sensorcq.SensorFilter, len(spec.Sensors))
 		for i, f := range spec.Sensors {
 			sensor, ok := s.sensorByID(sensorcq.SensorID(f.Sensor))
@@ -251,6 +346,20 @@ func (s *Server) buildEvent(spec *EventSpec) (sensorcq.Event, error) {
 
 // deliveryWire converts a delivery into its SSE frame payload.
 func deliveryWire(d sensorcq.Delivery) DeliveryWire {
+	if d.Aggregate != nil {
+		return DeliveryWire{
+			Subscription: string(d.SubID),
+			Node:         int(d.Node),
+			Round:        d.Round,
+			Aggregate: &AggregateResultWire{
+				Window:     d.Aggregate.Window,
+				StartRound: d.Aggregate.StartRound,
+				EndRound:   d.Aggregate.EndRound,
+				Value:      JSONFloat(d.Aggregate.Value),
+				Count:      d.Aggregate.Count,
+			},
+		}
+	}
 	events := make([]EventWire, len(d.Events))
 	for i, ev := range d.Events {
 		events[i] = EventWire{

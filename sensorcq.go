@@ -75,6 +75,7 @@
 package sensorcq
 
 import (
+	"sensorcq/internal/agg"
 	"sensorcq/internal/dataset"
 	"sensorcq/internal/experiment"
 	"sensorcq/internal/geom"
@@ -128,6 +129,14 @@ type (
 
 	// Delivery is a complex event handed to a subscribing user.
 	Delivery = netsim.Delivery
+	// AggregateResult is one finalised window of an aggregate query,
+	// carried by a Delivery in place of complex events.
+	AggregateResult = netsim.AggregateResult
+	// AggregateSpec turns a subscription into a windowed GROUP-BY-time
+	// aggregate query (see NewAggregateSubscription).
+	AggregateSpec = model.AggregateSpec
+	// AggregateFunc names an aggregate function (AggCount, AggSum, ...).
+	AggregateFunc = agg.Func
 	// DeliveryMode selects the replay delivery semantics (quiescent or
 	// pipelined).
 	DeliveryMode = netsim.DeliveryMode
@@ -193,6 +202,35 @@ func ParseDeliveryMode(s string) (DeliveryMode, error) { return netsim.ParseDeli
 // DeliveryModeNames returns the CLI spellings of every delivery mode; CLIs
 // use it to print usage messages that stay in sync with the engine.
 func DeliveryModeNames() []string { return netsim.DeliveryModeNames() }
+
+// The aggregate functions of a windowed aggregate query. AggQuantile uses a
+// mergeable q-digest sketch with rank error ε = Bits/K unless the spec's
+// Exact flag selects the ship-every-reading baseline.
+const (
+	AggCount    = agg.Count
+	AggSum      = agg.Sum
+	AggMin      = agg.Min
+	AggMax      = agg.Max
+	AggMean     = agg.Mean
+	AggQuantile = agg.Quantile
+)
+
+// ParseAggregateFunc maps the wire spelling of an aggregate function
+// ("count", "sum", "min", "max", "mean", "quantile") onto its value.
+func ParseAggregateFunc(s string) (AggregateFunc, error) { return agg.ParseFunc(s) }
+
+// AggregateFuncNames returns the wire spellings of every aggregate function.
+func AggregateFuncNames() []string { return agg.FuncNames() }
+
+// NewAggregateSubscription builds a windowed GROUP-BY-time continuous
+// aggregate query: one attribute filter bound to a region, folded per
+// tumbling window of spec.WindowRounds measurement rounds with the spec's
+// aggregate function. Register it with System.SubscribeAggregate; each
+// finalised window arrives on the handle's delivery channel as a Delivery
+// whose Aggregate field carries the result.
+func NewAggregateSubscription(id SubscriptionID, filter AttributeFilter, region Region, spec AggregateSpec) (*Subscription, error) {
+	return model.NewAggregateSubscription(id, filter, region, spec)
+}
 
 // NoSpatialConstraint disables the spatial correlation distance of an
 // abstract subscription (δl = ∞).

@@ -125,6 +125,13 @@ type TrafficStats struct {
 	// EventLoad counts forwarded simple events — the paper's "number of
 	// forwarded data units".
 	EventLoad int64
+	// PartialAggregateLoad counts forwarded windowed partial-aggregate
+	// messages (and, for the exact baseline, relayed raw readings),
+	// accounted separately from EventLoad.
+	PartialAggregateLoad int64
+	// PartialAggregateBytes accumulates the encoded wire size of those
+	// messages — the byte cost the error-vs-traffic experiment plots.
+	PartialAggregateBytes int64
 }
 
 // NewSystem builds a System over the deployment, attaches and advertises
@@ -237,6 +244,7 @@ func (s *System) SubscribeContext(ctx context.Context, node NodeID, sub *Subscri
 	}
 	if o.sinkBuffer > 0 {
 		h.ch = make(chan Delivery, o.sinkBuffer)
+		h.done = make(chan struct{})
 	}
 
 	if _, dup := s.handles.LoadOrStore(sub.ID, h); dup {
@@ -261,6 +269,30 @@ func (s *System) SubscribeContext(ctx context.Context, node NodeID, sub *Subscri
 	return h, nil
 }
 
+// SubscribeAggregate registers a windowed aggregate continuous query (built
+// with NewAggregateSubscription) at the given processing node. The query is
+// routed along the same advertisement paths as any subscription, but each
+// node of its dissemination tree folds matching readings into one mergeable
+// partial aggregate per tumbling window and ships a single partial upstream
+// when the network watermark closes the window; the handle's delivery
+// channel then streams one Delivery per finalised window, carrying an
+// AggregateResult instead of complex events.
+func (s *System) SubscribeAggregate(node NodeID, sub *Subscription, opts ...SubscribeOption) (*SubscriptionHandle, error) {
+	return s.SubscribeAggregateContext(context.Background(), node, sub, opts...)
+}
+
+// SubscribeAggregateContext is SubscribeAggregate with cancellation (see
+// SubscribeContext).
+func (s *System) SubscribeAggregateContext(ctx context.Context, node NodeID, sub *Subscription, opts ...SubscribeOption) (*SubscriptionHandle, error) {
+	if sub == nil || sub.Aggregate == nil {
+		return nil, fmt.Errorf("sensorcq: SubscribeAggregate needs a subscription built with NewAggregateSubscription")
+	}
+	if err := sub.Aggregate.Validate(); err != nil {
+		return nil, err
+	}
+	return s.SubscribeContext(ctx, node, sub, opts...)
+}
+
 // Unsubscribe retracts the active subscription with the given ID
 // network-wide; it is the lookup-by-ID form of SubscriptionHandle
 // Unsubscribe. An ID with no active handle — never registered, or already
@@ -282,6 +314,11 @@ func (s *System) Unsubscribe(id SubscriptionID) error {
 // retires the handle. Called exactly once per handle (the handle's
 // unsubscribed flag gates it).
 func (s *System) unsubscribe(h *SubscriptionHandle) error {
+	// Wake the handle's blocked BlockWithTimeout pushes first: on the
+	// concurrent runtime a blocked push stalls its node's worker, and the
+	// retraction below could not drain past it — Unsubscribe would wait out
+	// the full backpressure timeout instead of returning promptly.
+	h.abortBlock()
 	if err := s.runtime.Unsubscribe(h.node, h.sub.ID); err != nil {
 		return err
 	}
@@ -489,12 +526,15 @@ func (s *System) Watermark() int { return s.runtime.Watermark() }
 
 // Traffic returns the accumulated traffic counters.
 func (s *System) Traffic() TrafficStats {
-	snap := s.runtime.Metrics().Snapshot()
+	m := s.runtime.Metrics()
+	snap := m.Snapshot()
 	return TrafficStats{
-		AdvertisementLoad:  snap.AdvertisementLoad,
-		SubscriptionLoad:   snap.SubscriptionLoad,
-		UnsubscriptionLoad: snap.UnsubscriptionLoad,
-		EventLoad:          snap.EventLoad,
+		AdvertisementLoad:     snap.AdvertisementLoad,
+		SubscriptionLoad:      snap.SubscriptionLoad,
+		UnsubscriptionLoad:    snap.UnsubscriptionLoad,
+		EventLoad:             snap.EventLoad,
+		PartialAggregateLoad:  snap.PartialAggregateLoad,
+		PartialAggregateBytes: m.PartialAggregateBytes(),
 	}
 }
 
