@@ -635,6 +635,95 @@ func BenchmarkReplayWindowed(b *testing.B) {
 	}
 }
 
+// wideTopologyWorkload builds the topology-scale sweep workload: the node
+// count grows into the ten-thousands while the sensor population, the
+// subscription population and the trace stay fixed, so what the benchmark
+// scales is the engine's cost of carrying a wide topology — execution
+// contexts, wakeups, scheduler churn — not the traffic itself.
+func wideTopologyWorkload(b *testing.B, nodes int) (*experiment.Workload, [][]netsim.Publication, int) {
+	b.Helper()
+	s := experiment.Scenario{
+		Name:           fmt.Sprintf("wide-topology-%d", nodes),
+		TotalNodes:     nodes,
+		SensorNodes:    32,
+		Groups:         8,
+		Batches:        1,
+		BatchSize:      16,
+		MinAttrs:       2,
+		MaxAttrs:       4,
+		RoundsPerBatch: 6,
+		RoundInterval:  1800,
+		Seed:           77,
+	}
+	w, err := experiment.BuildWorkload(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	replay := w.PublicationRounds(0)
+	events := 0
+	for _, round := range replay {
+		events += len(round)
+	}
+	return w, replay, events
+}
+
+// BenchmarkReplayWideTopology sweeps the topology size under the pooled
+// work-stealing scheduler and under the legacy goroutine-per-node baseline
+// (NewConcurrentEngineGoroutinePerNode). Unlike benchReplay, the engine
+// lifecycle — construction, replay, Close — is deliberately inside the
+// timed region: at 10k+ nodes the cost under attack IS the per-node
+// execution contexts (16k goroutine spawns, stacks and teardowns per run),
+// which the pooled scheduler replaces with GOMAXPROCS workers. The pooled
+// engine must match the baseline at 1k nodes and pull away as the topology
+// widens.
+func BenchmarkReplayWideTopology(b *testing.B) {
+	for _, nodes := range []int{1000, 4000, 16000} {
+		w, replay, events := wideTopologyWorkload(b, nodes)
+		for _, engine := range []string{"pooled", "goroutines"} {
+			engine := engine
+			b.Run(fmt.Sprintf("%s/nodes=%d", engine, nodes), func(b *testing.B) {
+				factory, err := experiment.FactoryForSpec(experiment.FilterSplitForward, experiment.FactorySpec{
+					Seed: w.Scenario.Seed + 7,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var conc *netsim.ConcurrentEngine
+					if engine == "pooled" {
+						conc = netsim.NewConcurrentEngine(w.Deployment.Graph, factory)
+					} else {
+						conc = netsim.NewConcurrentEngineGoroutinePerNode(w.Deployment.Graph, factory)
+					}
+					for _, sensor := range w.Deployment.Sensors {
+						if err := conc.AttachSensor(w.Deployment.SensorHost[sensor.ID], sensor); err != nil {
+							b.Fatal(err)
+						}
+					}
+					conc.Flush()
+					for _, p := range w.Placed {
+						if err := conc.Subscribe(p.Node, p.Sub.Clone()); err != nil {
+							b.Fatal(err)
+						}
+					}
+					conc.Flush()
+					if err := conc.ReplayRounds(replay, netsim.ReplayOptions{Mode: netsim.Pipelined}); err != nil {
+						b.Fatal(err)
+					}
+					conc.Flush()
+					if n := conc.Metrics().DroppedMessages(); n != 0 {
+						b.Fatalf("dropped %d messages", n)
+					}
+					conc.Close()
+				}
+				b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+				b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+			})
+		}
+	}
+}
+
 // BenchmarkSubscriptionChurn measures the subscription-lifecycle hot path:
 // full subscribe → network-wide unsubscribe round-trips over the wide
 // replay-benchmark topology, each operation fully propagated (subscription

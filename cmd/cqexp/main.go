@@ -39,7 +39,8 @@ func main() {
 		seed         = flag.Int64("seed", 0, "override the scenario seed (0 keeps the default)")
 		noRecall     = flag.Bool("no-recall", false, "skip the oracle-based recall computation")
 		quiet        = flag.Bool("quiet", false, "suppress per-batch progress lines")
-		concurrent   = flag.Bool("concurrent", false, "run each approach on the concurrent engine (one goroutine per node)")
+		concurrent   = flag.Bool("concurrent", false, "run each approach on the concurrent engine (pooled work-stealing scheduler)")
+		workers      = flag.Int("workers", 0, "scheduler workers of the concurrent engine (0 = GOMAXPROCS; requires -concurrent)")
 		delivery     = flag.String("delivery", "quiescent",
 			"replay delivery semantics: quiescent (drain after every event), pipelined (drain after every round) or windowed (overlap up to -lag+1 rounds)")
 		lag   = flag.Int("lag", 0, "cross-round pipelining bound of the windowed delivery mode (requires -delivery windowed)")
@@ -66,6 +67,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *workers < 0 || (*workers > 0 && !*concurrent) {
+		fmt.Fprintf(os.Stderr, "invalid -workers %d: it must be >= 0 and requires -concurrent\n", *workers)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *churn < 0 || *churn > 1 {
 		fmt.Fprintf(os.Stderr, "invalid -churn %g: it must be in [0,1]\n", *churn)
 		flag.Usage()
@@ -89,7 +95,7 @@ func main() {
 			if *seed != 0 {
 				s.Seed = *seed
 			}
-			if err := runAggSweep(s, ks, *aggWindow, *aggQuantile, *concurrent); err != nil {
+			if err := runAggSweep(s, ks, *aggWindow, *aggQuantile, *concurrent, *workers); err != nil {
 				fmt.Fprintf(os.Stderr, "aggregate sweep %s: %v\n", s.Name, err)
 				os.Exit(1)
 			}
@@ -109,7 +115,7 @@ func main() {
 			if *seed != 0 {
 				s.Seed = *seed
 			}
-			if err := runLagSweep(s, lags, *concurrent, *noRecall, *churn); err != nil {
+			if err := runLagSweep(s, lags, *concurrent, *workers, *noRecall, *churn); err != nil {
 				fmt.Fprintf(os.Stderr, "lag sweep %s: %v\n", s.Name, err)
 				os.Exit(1)
 			}
@@ -135,6 +141,7 @@ func main() {
 		opts := experiment.DefaultOptions()
 		opts.ComputeRecall = !*noRecall
 		opts.Concurrent = *concurrent
+		opts.Workers = *workers
 		opts.Delivery = mode
 		opts.Lag = *lag
 		opts.Churn = *churn
@@ -143,8 +150,12 @@ func main() {
 				fmt.Printf(format+"\n", args...)
 			}
 		}
-		fmt.Printf("=== %s (%s) — %d queries in %d batches, %d rounds/batch ===\n",
-			s.Name, s.Description, s.TotalSubscriptions(), s.Batches, s.RoundsPerBatch)
+		engine := ""
+		if *concurrent {
+			engine = fmt.Sprintf(" [concurrent, %d workers]", netsim.EffectiveWorkers(*workers, s.TotalNodes))
+		}
+		fmt.Printf("=== %s (%s) — %d queries in %d batches, %d rounds/batch%s ===\n",
+			s.Name, s.Description, s.TotalSubscriptions(), s.Batches, s.RoundsPerBatch, engine)
 		start := time.Now()
 		res, err := experiment.Run(s, &opts)
 		if err != nil {
@@ -195,7 +206,7 @@ func parseLags(spec string) ([]int, error) {
 // paper's load metrics and recall, which must not change with the lag (the
 // windowed mode trades latency semantics for parallelism, not results; the
 // table flags any deviation from the first lag's totals).
-func runLagSweep(s experiment.Scenario, lags []int, concurrent, noRecall bool, churn float64) error {
+func runLagSweep(s experiment.Scenario, lags []int, concurrent bool, workers int, noRecall bool, churn float64) error {
 	w, err := experiment.BuildWorkload(s)
 	if err != nil {
 		return err
@@ -204,11 +215,11 @@ func runLagSweep(s experiment.Scenario, lags []int, concurrent, noRecall bool, c
 	for _, segment := range w.Segments {
 		events += len(segment)
 	}
-	engine := "sequential"
+	engine := "sequential engine"
 	if concurrent {
-		engine = "concurrent"
+		engine = fmt.Sprintf("concurrent engine, %d workers", netsim.EffectiveWorkers(workers, w.Deployment.Graph.NumNodes()))
 	}
-	fmt.Printf("=== %s windowed lag sweep (%s engine, filter-split-forward) — %d queries, %d events ===\n",
+	fmt.Printf("=== %s windowed lag sweep (%s, filter-split-forward) — %d queries, %d events ===\n",
 		s.Name, engine, s.TotalSubscriptions(), events)
 	fmt.Printf("%-6s %12s %12s %10s %12s %8s %10s\n",
 		"lag", "wall-clock", "events/sec", "sub-load", "event-load", "recall", "conformant")
@@ -222,6 +233,7 @@ func runLagSweep(s experiment.Scenario, lags []int, concurrent, noRecall bool, c
 		opts.Approaches = []experiment.ApproachID{experiment.FilterSplitForward}
 		opts.ComputeRecall = !noRecall
 		opts.Concurrent = concurrent
+		opts.Workers = workers
 		opts.Delivery = netsim.Windowed
 		opts.Lag = lag
 		opts.Churn = churn
@@ -295,13 +307,14 @@ func parseKs(spec string) ([]int, error) {
 // ship-every-reading baseline's traffic first, then one line per q-digest
 // compression setting with its error bound, the observed per-window rank
 // errors and the upstream partial-aggregate traffic.
-func runAggSweep(s experiment.Scenario, ks []int, window int, quantile float64, concurrent bool) error {
+func runAggSweep(s experiment.Scenario, ks []int, window int, quantile float64, concurrent bool, workers int) error {
 	res, err := experiment.RunAggregateSweep(experiment.AggregateSweepConfig{
 		Scenario:     s,
 		WindowRounds: window,
 		Quantile:     quantile,
 		Ks:           ks,
 		Concurrent:   concurrent,
+		Workers:      workers,
 	})
 	if err != nil {
 		return err

@@ -35,7 +35,8 @@ func main() {
 		rounds     = flag.Int("rounds", 12, "measurement rounds to replay")
 		seed       = flag.Int64("seed", 1, "random seed")
 		topN       = flag.Int("busiest", 5, "print the N busiest links")
-		concurrent = flag.Bool("concurrent", false, "run one goroutine per processing node")
+		concurrent = flag.Bool("concurrent", false, "run on the concurrent engine (pooled work-stealing scheduler)")
+		workers    = flag.Int("workers", 0, "scheduler workers of the concurrent engine (0 = GOMAXPROCS; requires -concurrent)")
 		delivery   = flag.String("delivery", "quiescent",
 			"replay delivery semantics: quiescent (drain after every event), pipelined (drain after every round) or windowed (overlap up to -lag+1 rounds)")
 		lag   = flag.Int("lag", 0, "cross-round pipelining bound of the windowed delivery mode (requires -delivery windowed)")
@@ -66,6 +67,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *workers < 0 || (*workers > 0 && !*concurrent) {
+		fmt.Fprintf(os.Stderr, "invalid -workers %d: it must be >= 0 and requires -concurrent\n", *workers)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *churn < 0 || *churn > 1 {
 		fmt.Fprintf(os.Stderr, "invalid -churn %g: it must be in [0,1]\n", *churn)
 		flag.Usage()
@@ -79,7 +85,7 @@ func main() {
 		k:        *aggK,
 		exact:    *aggExact,
 	}
-	if err := run(*approach, *nodes, *sensors, *groups, *subs, *minAttrs, *maxAttrs, *rounds, *seed, *topN, *concurrent, mode, *lag, *churn, *indexStats, agg); err != nil {
+	if err := run(*approach, *nodes, *sensors, *groups, *subs, *minAttrs, *maxAttrs, *rounds, *seed, *topN, *concurrent, *workers, mode, *lag, *churn, *indexStats, agg); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -95,7 +101,7 @@ type aggConfig struct {
 	exact    bool
 }
 
-func run(approach string, nodes, sensors, groups, subs, minAttrs, maxAttrs, rounds int, seed int64, topN int, concurrent bool, mode sensorcq.DeliveryMode, lag int, churn float64, indexStats bool, agg aggConfig) error {
+func run(approach string, nodes, sensors, groups, subs, minAttrs, maxAttrs, rounds int, seed int64, topN int, concurrent bool, workers int, mode sensorcq.DeliveryMode, lag int, churn float64, indexStats bool, agg aggConfig) error {
 	dep, err := sensorcq.GenerateDeployment(sensorcq.DeploymentConfig{
 		TotalNodes:  nodes,
 		SensorNodes: sensors,
@@ -126,6 +132,7 @@ func run(approach string, nodes, sensors, groups, subs, minAttrs, maxAttrs, roun
 		Concurrent: concurrent,
 		Delivery:   mode,
 		Lag:        lag,
+		Workers:    workers,
 	})
 	if err != nil {
 		return err
@@ -226,8 +233,12 @@ func run(approach string, nodes, sensors, groups, subs, minAttrs, maxAttrs, roun
 			retracted, final.UnsubscriptionLoad)
 	}
 	fmt.Printf("event load:          %d\n", final.EventLoad)
-	fmt.Printf("replay wall-clock:   %s (%.0f events/sec)\n",
+	rate := fmt.Sprintf("replay wall-clock:   %s (%.0f events/sec",
 		elapsed.Round(time.Microsecond), float64(trace.NumEvents())/elapsed.Seconds())
+	if concurrent {
+		rate += fmt.Sprintf(", %d workers", sys.Workers())
+	}
+	fmt.Println(rate + ")")
 	if n := sys.DroppedMessages(); n != 0 {
 		fmt.Printf("DROPPED MESSAGES:    %d (run lost traffic!)\n", n)
 	}

@@ -35,6 +35,9 @@ type AggregateSweepConfig struct {
 	// Concurrent replays on the concurrent engine instead of the
 	// deterministic sequential one.
 	Concurrent bool
+	// Workers sizes the concurrent engine's scheduler pool (0 selects
+	// GOMAXPROCS; capped at the node count). Ignored without Concurrent.
+	Workers int
 }
 
 // withDefaults fills the zero fields.
@@ -163,7 +166,7 @@ func RunAggregateSweep(cfg AggregateSweepConfig) (*AggregateSweep, error) {
 		sort.Float64s(vals)
 	}
 
-	_, load, bytes, err := replayAggregate(s, dep, trace, subscriber, exactSub, cfg.Concurrent)
+	_, load, bytes, err := replayAggregate(s, dep, trace, subscriber, exactSub, cfg.Concurrent, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +179,7 @@ func RunAggregateSweep(cfg AggregateSweepConfig) (*AggregateSweep, error) {
 		if err != nil {
 			return nil, err
 		}
-		results, load, bytes, err := replayAggregate(s, dep, trace, subscriber, sub, cfg.Concurrent)
+		results, load, bytes, err := replayAggregate(s, dep, trace, subscriber, sub, cfg.Concurrent, cfg.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -206,7 +209,7 @@ func RunAggregateSweep(cfg AggregateSweepConfig) (*AggregateSweep, error) {
 // and returns the delivered windows plus the run's partial-aggregate
 // traffic.
 func replayAggregate(s Scenario, dep *topology.Deployment, trace *dataset.Trace,
-	subscriber topology.NodeID, sub *model.Subscription, concurrent bool,
+	subscriber topology.NodeID, sub *model.Subscription, concurrent bool, workers int,
 ) ([]netsim.AggregateResult, int64, int64, error) {
 	factory, err := FactoryForSpec(FilterSplitForward, FactorySpec{Seed: s.Seed + 7})
 	if err != nil {
@@ -214,7 +217,7 @@ func replayAggregate(s Scenario, dep *topology.Deployment, trace *dataset.Trace,
 	}
 	var engine netsim.Runtime
 	if concurrent {
-		conc := netsim.NewConcurrentEngine(dep.Graph, factory)
+		conc := netsim.NewConcurrentEngineWorkers(dep.Graph, factory, workers)
 		defer conc.Close()
 		engine = conc
 	} else {

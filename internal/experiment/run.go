@@ -71,9 +71,13 @@ type Options struct {
 	// Progress, when non-nil, receives a short line after each batch of
 	// each approach (used by the CLI).
 	Progress func(format string, args ...interface{})
-	// Concurrent runs each approach on the concurrent engine (one
-	// goroutine per node) instead of the deterministic sequential engine.
+	// Concurrent runs each approach on the concurrent engine (a pooled
+	// work-stealing scheduler over the nodes) instead of the deterministic
+	// sequential engine.
 	Concurrent bool
+	// Workers sizes the concurrent engine's scheduler pool (0 selects
+	// GOMAXPROCS; capped at the node count). Ignored without Concurrent.
+	Workers int
 	// Delivery selects the replay delivery semantics: Quiescent (default)
 	// drains the network after every event, Pipelined injects a whole
 	// measurement round before draining, Windowed overlaps up to Lag+1
@@ -329,7 +333,7 @@ func runApproach(w *Workload, id ApproachID, o Options) (*ApproachSeries, error)
 	}
 	var engine netsim.Runtime
 	if o.Concurrent {
-		conc := netsim.NewConcurrentEngine(w.Deployment.Graph, factory)
+		conc := netsim.NewConcurrentEngineWorkers(w.Deployment.Graph, factory, o.Workers)
 		defer conc.Close()
 		engine = conc
 	} else {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -11,14 +12,24 @@ import (
 	"sensorcq/internal/topology"
 )
 
-// ConcurrentEngine runs one goroutine per processing node, modelling the
-// fully distributed execution of the protocols: a node only ever touches its
-// own state and talks to its neighbours by message passing. It implements
-// the same Runtime interface as the sequential Engine, so the two are
-// interchangeable; the experiments use the sequential engine for determinism
-// and the tests cross-check that both produce identical traffic totals.
+// ConcurrentEngine models the fully distributed execution of the protocols:
+// a node only ever touches its own state and talks to its neighbours by
+// message passing. It implements the same Runtime interface as the
+// sequential Engine, so the two are interchangeable; the experiments use the
+// sequential engine for determinism and the tests cross-check that both
+// produce identical traffic totals.
 //
-// Under Quiescent replay at most one event is in flight, so the goroutines
+// Execution is decoupled from the topology size by a bounded work-stealing
+// scheduler (see stealScheduler): every node keeps a private mailbox, but
+// the scheduled unit is a node *activation* — a push that makes a mailbox
+// non-empty enqueues the node onto a worker's local run deque, and a small
+// pool of workers (default GOMAXPROCS) drains active nodes burst by burst,
+// stealing from sibling deques when their own runs dry. Wakeups, watermark
+// settlement and in-flight accounting therefore cost O(active nodes), not
+// O(topology): a 10k-node simulation no longer pays 10k mostly-idle
+// goroutines' worth of stack, scheduler churn and wakeup latency.
+//
+// Under Quiescent replay at most one event is in flight, so the activations
 // take turns; Pipelined replay (ReplayRounds) keeps a whole round in flight;
 // Windowed replay keeps up to Lag+1 rounds in flight, with per-node round
 // ledgers aggregated into a network watermark that gates injection.
@@ -26,14 +37,27 @@ import (
 // The hot delivery path is lock-free with respect to the engine: traffic
 // counters and deliveries go to per-node shards (see Metrics and
 // deliveryShard), in-flight accounting is a single atomic, and the only
-// per-message lock is the target node's mailbox mutex — which the worker
+// per-message lock is the target node's mailbox mutex — which a worker
 // drains in batches, one lock round-trip per burst.
 type ConcurrentEngine struct {
-	graph    *topology.Graph
-	handlers []Handler
-	ctxs     []*Context
-	metrics  *Metrics
-	workers  []*worker
+	graph     *topology.Graph
+	handlers  []Handler
+	ctxs      []*Context
+	metrics   *Metrics
+	mailboxes []*mailbox
+
+	// sched is the pooled work-stealing scheduler; nil in the legacy
+	// goroutine-per-node mode (NewConcurrentEngineGoroutinePerNode), where
+	// every mailbox has a dedicated goroutine instead.
+	sched       *stealScheduler
+	workerCount int
+	// nodeWorker[n] is the scheduler worker currently (or most recently)
+	// draining node n's mailbox. It is written by that worker right before
+	// it dispatches n's burst and read only from inside that burst's
+	// dispatches (the sink's enqueue runs on the same goroutine), so access
+	// is race-free: the node handoff between workers is ordered by the
+	// mailbox and deque mutexes.
+	nodeWorker []int32
 
 	// inflight counts queued-but-not-yet-dispatched items; Flush waits for
 	// it to reach zero via idleCond.
@@ -71,13 +95,14 @@ type ConcurrentEngine struct {
 	// item of the round exists or can ever exist again. Advancing the
 	// watermark is then a scan of at most the active rounds' slots from
 	// wmRetired+1 upward — O(lag), not O(nodes): the old implementation took
-	// every worker's mailbox lock and scanned every node's pending map on
-	// each injector wake-up.
+	// every mailbox lock and scanned every node's pending map on each
+	// injector wake-up.
 	wmRing [wmRingSize]atomic.Int64
 
-	// delivShards is the per-node delivery log: node n's worker is the only
-	// writer of shard n, so appends never contend; Deliveries() merges on
-	// read.
+	// delivShards is the per-node delivery log: a node's dispatches are
+	// serialised by its activation (at most one worker drains a mailbox at
+	// a time), so shard n never sees concurrent appends; Deliveries() merges
+	// on read.
 	delivShards []deliveryShard
 
 	// observer, when set, is invoked for every recorded delivery on the
@@ -114,56 +139,110 @@ type deliveryShard struct {
 	_     [64]byte
 }
 
-// worker is the per-node mailbox and goroutine.
-type worker struct {
-	mu     sync.Mutex
+// mailbox is one node's message queue. A node's handler only ever runs on a
+// burst taken from its own mailbox, and the activation protocol guarantees
+// at most one scheduler worker drains a mailbox at a time, so a handler
+// never runs concurrently with itself — the invariant every conformance
+// oracle rests on.
+type mailbox struct {
+	mu sync.Mutex
+	// cond exists only in goroutine-per-node mode, where the node's
+	// dedicated goroutine blocks on it; the pooled scheduler parks idle
+	// workers centrally instead (stealScheduler.next).
 	cond   *sync.Cond
 	queue  []queued
 	closed bool
+	// active records that the node is scheduled: enqueued on some worker's
+	// run deque, or currently being drained. push reports an activation only
+	// on the empty→non-empty transition of an inactive mailbox, so a node
+	// appears at most once across all deques and is drained by at most one
+	// worker at a time.
+	active bool
 	// pending counts this node's not-yet-dispatched items per lineage
 	// round; the node's low-watermark is derived from it (the round below
 	// the lowest round with work still pending). Maintained under mu:
-	// incremented by push, decremented in one batch after the worker
+	// incremented by push, decremented in one batch after a worker
 	// dispatches a burst.
 	pending map[int]int
 }
 
-func newWorker() *worker {
-	w := &worker{pending: map[int]int{}}
-	w.cond = sync.NewCond(&w.mu)
-	return w
+func newMailbox(perNode bool) *mailbox {
+	m := &mailbox{pending: map[int]int{}}
+	if perNode {
+		m.cond = sync.NewCond(&m.mu)
+	}
+	return m
 }
 
-func (w *worker) push(item queued) bool {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.closed {
-		return false
+// push appends an item. In pooled mode it reports whether the caller must
+// schedule the node's activation (the mailbox was empty and inactive); in
+// per-node mode it signals the node's goroutine instead and never reports
+// one.
+func (m *mailbox) push(item queued) (activate, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false, false
 	}
-	w.queue = append(w.queue, item)
-	w.pending[item.round]++
-	w.cond.Signal()
-	return true
+	m.queue = append(m.queue, item)
+	m.pending[item.round]++
+	if m.cond != nil {
+		m.cond.Signal()
+		return false, true
+	}
+	if m.active {
+		return false, true
+	}
+	m.active = true
+	return true, true
 }
 
-// popAll blocks until the mailbox is non-empty (or closed) and then takes
-// every queued item in one swap, leaving spare as the mailbox's next backing
-// array. Draining in batches rather than item by item keeps the mailbox lock
-// out of the pipelined hot path: under a full round in flight a node pays one
-// lock round-trip per burst instead of one per message. The per-round
-// pending counts are NOT released here — the items are still in flight until
-// dispatched — the worker settles them after the burst via settle().
-func (w *worker) popAll(spare []queued) ([]queued, bool) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	for len(w.queue) == 0 && !w.closed {
-		w.cond.Wait()
+// take removes every queued item in one swap without blocking, leaving spare
+// as the mailbox's next backing array. Only the worker that dequeued the
+// node's activation calls it. Draining in batches rather than item by item
+// keeps the mailbox lock out of the pipelined hot path: under a full round
+// in flight a node pays one lock round-trip per burst instead of one per
+// message. The per-round pending counts are NOT released here — the items
+// are still in flight until dispatched — the worker settles them after the
+// burst via finish().
+func (m *mailbox) take(spare []queued) []queued {
+	m.mu.Lock()
+	items := m.queue
+	m.queue = spare[:0]
+	m.mu.Unlock()
+	return items
+}
+
+// finish settles a dispatched burst's pending counts and deactivates the
+// node — or reports that the mailbox refilled during the burst (pushes land
+// in the fresh backing while active stays set) and must be rescheduled. The
+// emptiness re-check and the deactivation are atomic under mu, which closes
+// the lost-wakeup race between a worker retiring a node and a concurrent
+// push that still saw it active.
+func (m *mailbox) finish(counts map[int]int) (reschedule bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.settleLocked(counts)
+	if len(m.queue) > 0 {
+		return true
 	}
-	if len(w.queue) == 0 {
+	m.active = false
+	return false
+}
+
+// popAll is the goroutine-per-node drain: it blocks until the mailbox is
+// non-empty (or closed) and then takes every queued item in one swap.
+func (m *mailbox) popAll(spare []queued) ([]queued, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
 		return nil, false
 	}
-	items := w.queue
-	w.queue = spare[:0]
+	items := m.queue
+	m.queue = spare[:0]
 	return items, true
 }
 
@@ -171,14 +250,18 @@ func (w *worker) popAll(spare []queued) ([]queued, bool) {
 // per-node decomposition NodeWatermarks reports. The network watermark
 // itself is tracked by the engine's global per-round slots (wmRing), which
 // the worker decrements separately.
-func (w *worker) settle(counts map[int]int) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+func (m *mailbox) settle(counts map[int]int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.settleLocked(counts)
+}
+
+func (m *mailbox) settleLocked(counts map[int]int) {
 	for round, n := range counts {
-		if left := w.pending[round] - n; left > 0 {
-			w.pending[round] = left
+		if left := m.pending[round] - n; left > 0 {
+			m.pending[round] = left
 		} else {
-			delete(w.pending, round)
+			delete(m.pending, round)
 		}
 	}
 }
@@ -187,13 +270,13 @@ func (w *worker) settle(counts map[int]int) {
 // the lowest round with pending work, or maxInt when the node is idle (an
 // idle node places no bound — its watermark is whatever the injection
 // frontier allows, which is how a node with no work in a round still
-// advances). Callers must hold w.mu.
-func (w *worker) lowWatermarkLocked() int {
-	if len(w.pending) == 0 {
+// advances). Callers must hold m.mu.
+func (m *mailbox) lowWatermarkLocked() int {
+	if len(m.pending) == 0 {
 		return math.MaxInt
 	}
 	low := math.MaxInt
-	for round := range w.pending {
+	for round := range m.pending {
 		if round < low {
 			low = round
 		}
@@ -201,22 +284,222 @@ func (w *worker) lowWatermarkLocked() int {
 	return low - 1
 }
 
-func (w *worker) close() {
-	w.mu.Lock()
-	w.closed = true
-	w.cond.Broadcast()
-	w.mu.Unlock()
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	if m.cond != nil {
+		m.cond.Broadcast()
+	}
+	m.mu.Unlock()
 }
 
-// NewConcurrentEngine builds a concurrent engine over the given topology and
-// starts one goroutine per node. Callers must Close it when done.
+// runDeque is one scheduler worker's run queue of activated nodes. The owner
+// pushes and pops at the tail (LIFO: the most recently activated node's
+// messages are the ones still warm in cache); idle workers steal from the
+// head (FIFO: the oldest activation is the fairest to migrate). A node
+// appears at most once across all deques (mailbox.active), so total
+// occupancy — and therefore every backing array — is bounded by the topology
+// size: the buffer ratchets up to its high-water capacity during warm-up and
+// is never reallocated in steady state, keeping activations off the heap.
+type runDeque struct {
+	mu   sync.Mutex
+	head int
+	buf  []int32
+	// The padding keeps neighbouring deques off a shared cache line: every
+	// worker hammers its own deque's lock once per activation.
+	_ [64]byte
+}
+
+func (d *runDeque) push(n int32) {
+	d.mu.Lock()
+	d.buf = append(d.buf, n)
+	d.mu.Unlock()
+}
+
+// pop takes from the tail (owner side).
+func (d *runDeque) pop() (int32, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head == len(d.buf) {
+		d.buf, d.head = d.buf[:0], 0
+		return 0, false
+	}
+	n := d.buf[len(d.buf)-1]
+	d.buf = d.buf[:len(d.buf)-1]
+	if d.head == len(d.buf) {
+		d.buf, d.head = d.buf[:0], 0
+	}
+	return n, true
+}
+
+// stealHead takes from the head (thief side).
+func (d *runDeque) stealHead() (int32, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head == len(d.buf) {
+		return 0, false
+	}
+	n := d.buf[d.head]
+	d.head++
+	if d.head == len(d.buf) {
+		d.buf, d.head = d.buf[:0], 0
+	}
+	return n, true
+}
+
+// stealScheduler multiplexes node activations over a bounded worker pool:
+// one run deque per worker plus a central parking lot for idle workers.
+//
+// The lost-wakeup race between a worker going idle and a concurrent
+// activation is closed by ordering: a parking worker increments seekers
+// under parkMu BEFORE its final scan of every deque, and an enqueuer pushes
+// its node BEFORE loading seekers. The atomics are sequentially consistent,
+// so if the enqueuer reads seekers == 0 the worker's final scan happens
+// after the push and finds the node; if it reads > 0 the signal is delivered
+// under parkMu, after the worker entered Wait (or harmlessly spuriously).
+// In the steady state — every worker busy — an activation therefore costs
+// one deque lock plus one atomic load, with the parking lot untouched.
+type stealScheduler struct {
+	deques   []runDeque
+	parkMu   sync.Mutex
+	parkCond *sync.Cond
+	// seekers counts workers inside the acquire slow path (scanning under
+	// parkMu or waiting on parkCond).
+	seekers atomic.Int32
+	closed  atomic.Bool
+	// rr spreads external injections (which carry no worker affinity)
+	// round-robin over the deques.
+	rr atomic.Uint32
+}
+
+func newStealScheduler(workers int) *stealScheduler {
+	s := &stealScheduler{deques: make([]runDeque, workers)}
+	s.parkCond = sync.NewCond(&s.parkMu)
+	return s
+}
+
+// enqueue schedules an activated node. prefer is the worker whose dispatch
+// caused the activation — the sender's burst is still warm, so the child
+// activation lands on its local deque without any shared-counter traffic;
+// negative means no affinity (an external injection) and spreads round-robin.
+func (s *stealScheduler) enqueue(prefer int, node int32) {
+	if prefer < 0 {
+		prefer = int(s.rr.Add(1)) % len(s.deques)
+	}
+	s.deques[prefer].push(node)
+	if s.seekers.Load() > 0 {
+		s.parkMu.Lock()
+		s.parkCond.Signal()
+		s.parkMu.Unlock()
+	}
+}
+
+// scan is one full acquisition attempt: the worker's own deque first, then a
+// steal sweep over the siblings starting at its right-hand neighbour.
+func (s *stealScheduler) scan(w int) (int32, bool) {
+	if n, ok := s.deques[w].pop(); ok {
+		return n, true
+	}
+	for i := 1; i < len(s.deques); i++ {
+		if n, ok := s.deques[(w+i)%len(s.deques)].stealHead(); ok {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+// next blocks until an activated node is available for worker w (returning
+// it) or the scheduler is closed AND drained (returning false): remaining
+// activations are still run after Close, matching the behaviour of the
+// per-node goroutines, which empty their mailbox before exiting.
+func (s *stealScheduler) next(w int) (int32, bool) {
+	if n, ok := s.scan(w); ok {
+		return n, true
+	}
+	s.parkMu.Lock()
+	s.seekers.Add(1)
+	for {
+		if n, ok := s.scan(w); ok {
+			s.seekers.Add(-1)
+			s.parkMu.Unlock()
+			return n, true
+		}
+		if s.closed.Load() {
+			s.seekers.Add(-1)
+			s.parkMu.Unlock()
+			return 0, false
+		}
+		s.parkCond.Wait()
+	}
+}
+
+func (s *stealScheduler) close() {
+	s.closed.Store(true)
+	s.parkMu.Lock()
+	s.parkCond.Broadcast()
+	s.parkMu.Unlock()
+}
+
+// NewConcurrentEngine builds a concurrent engine over the given topology,
+// executed by the pooled work-stealing scheduler with GOMAXPROCS workers.
+// Callers must Close it when done.
 func NewConcurrentEngine(graph *topology.Graph, factory HandlerFactory) *ConcurrentEngine {
+	return NewConcurrentEngineWorkers(graph, factory, 0)
+}
+
+// EffectiveWorkers resolves a requested scheduler pool size the way the
+// engine does: non-positive selects GOMAXPROCS, and the pool is capped at
+// the node count (more workers than nodes could never all be busy).
+func EffectiveWorkers(workers, nodes int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nodes {
+		workers = nodes
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// NewConcurrentEngineWorkers is NewConcurrentEngine with an explicit
+// scheduler pool size (see EffectiveWorkers for how the count is resolved).
+// Callers must Close the engine when done.
+func NewConcurrentEngineWorkers(graph *topology.Graph, factory HandlerFactory, workers int) *ConcurrentEngine {
+	e := newConcurrentEngine(graph, factory, false)
+	e.workerCount = EffectiveWorkers(workers, graph.NumNodes())
+	e.sched = newStealScheduler(e.workerCount)
+	e.nodeWorker = make([]int32, graph.NumNodes())
+	for w := 0; w < e.workerCount; w++ {
+		go e.runWorker(w)
+	}
+	return e
+}
+
+// NewConcurrentEngineGoroutinePerNode builds the engine with the legacy
+// goroutine-per-node execution model: every node gets a dedicated goroutine
+// blocking on its own mailbox. It is retained solely as the comparison
+// baseline for BenchmarkReplayWideTopology — a 10k-node topology pays 10k
+// mostly-idle goroutines' worth of stack and scheduler churn, which is the
+// ceiling the pooled scheduler removes. New code should use
+// NewConcurrentEngine. Callers must Close the engine when done.
+func NewConcurrentEngineGoroutinePerNode(graph *topology.Graph, factory HandlerFactory) *ConcurrentEngine {
+	e := newConcurrentEngine(graph, factory, true)
+	e.workerCount = graph.NumNodes()
+	for n := range e.mailboxes {
+		go e.runNodeGoroutine(n)
+	}
+	return e
+}
+
+func newConcurrentEngine(graph *topology.Graph, factory HandlerFactory, perNode bool) *ConcurrentEngine {
 	e := &ConcurrentEngine{
 		graph:       graph,
 		handlers:    make([]Handler, graph.NumNodes()),
 		ctxs:        make([]*Context, graph.NumNodes()),
 		metrics:     NewMetrics(graph.NumNodes()),
-		workers:     make([]*worker, graph.NumNodes()),
+		mailboxes:   make([]*mailbox, graph.NumNodes()),
 		delivShards: make([]deliveryShard, graph.NumNodes()),
 	}
 	e.idleCond = sync.NewCond(&e.idleMu)
@@ -225,23 +508,89 @@ func NewConcurrentEngine(graph *topology.Graph, factory HandlerFactory) *Concurr
 		id := topology.NodeID(n)
 		e.handlers[n] = factory(id)
 		e.ctxs[n] = &Context{self: id, graph: graph, metrics: e.metrics, out: e}
-		e.workers[n] = newWorker()
+		e.mailboxes[n] = newMailbox(perNode)
 		e.handlers[n].Init(e.ctxs[n])
-	}
-	for n := range e.workers {
-		go e.runWorker(n)
 	}
 	return e
 }
 
-func (e *ConcurrentEngine) runWorker(n int) {
-	h := e.handlers[n]
-	ctx := e.ctxs[n]
-	w := e.workers[n]
+// Workers returns the effective size of the engine's execution pool: the
+// scheduler worker count, or the node count in goroutine-per-node mode.
+func (e *ConcurrentEngine) Workers() int { return e.workerCount }
+
+// runWorker is one pooled scheduler worker: it acquires activated nodes from
+// the deques (own first, stealing when dry) and drains one burst per
+// activation. The spare buffer and the per-round counts map are reused
+// across bursts, so the steady state allocates nothing; the spare's backing
+// array migrates between mailboxes as bursts are swapped out and handed
+// back.
+func (e *ConcurrentEngine) runWorker(w int) {
 	var spare []queued
 	counts := map[int]int{}
 	for {
-		items, ok := w.popAll(spare)
+		n, ok := e.sched.next(w)
+		if !ok {
+			return
+		}
+		spare = e.runNode(w, int(n), spare, counts)
+	}
+}
+
+// runNode drains one burst from node n's mailbox on worker w: take the
+// queue in one swap, dispatch every item, settle the per-node pending
+// counts (rescheduling the node if it refilled mid-burst), then release the
+// burst from the global watermark slots and the in-flight count.
+func (e *ConcurrentEngine) runNode(w, n int, spare []queued, counts map[int]int) []queued {
+	// Record the node→worker affinity before dispatching: sends performed
+	// by these dispatches read it (on this same goroutine) to land child
+	// activations on this worker's own deque.
+	e.nodeWorker[n] = int32(w)
+	m := e.mailboxes[n]
+	items := m.take(spare)
+	h, ctx := e.handlers[n], e.ctxs[n]
+	for i := range items {
+		dispatch(h, ctx, items[i])
+		counts[items[i].round]++
+	}
+	if m.finish(counts) {
+		e.sched.enqueue(w, int32(n))
+	}
+	// Release the burst from the global per-round watermark slots; a slot
+	// draining to zero is the only transition that can advance the network
+	// watermark.
+	zeroed := false
+	for round, c := range counts {
+		if e.wmRing[round%wmRingSize].Add(int64(-c)) == 0 {
+			zeroed = true
+		}
+		delete(counts, round)
+	}
+	if e.inflight.Add(int64(-len(items))) == 0 {
+		e.idleMu.Lock()
+		e.idleCond.Broadcast()
+		e.idleMu.Unlock()
+	}
+	if zeroed && e.wmWatching.Load() {
+		e.wmBroadcast()
+	}
+	// Zero the processed items (so queued subscriptions can be collected)
+	// and reuse the array as the next burst's spare backing.
+	for i := range items {
+		items[i] = queued{}
+	}
+	return items
+}
+
+// runNodeGoroutine is the goroutine-per-node execution loop of the legacy
+// baseline mode: block on the node's own mailbox, drain a burst, settle.
+func (e *ConcurrentEngine) runNodeGoroutine(n int) {
+	h := e.handlers[n]
+	ctx := e.ctxs[n]
+	m := e.mailboxes[n]
+	var spare []queued
+	counts := map[int]int{}
+	for {
+		items, ok := m.popAll(spare)
 		if !ok {
 			return
 		}
@@ -249,13 +598,10 @@ func (e *ConcurrentEngine) runWorker(n int) {
 			dispatch(h, ctx, items[i])
 			counts[items[i].round]++
 		}
-		w.settle(counts)
-		// Release the burst from the global per-round watermark slots; a
-		// slot draining to zero is the only transition that can advance the
-		// network watermark.
+		m.settle(counts)
 		zeroed := false
-		for round, n := range counts {
-			if e.wmRing[round%wmRingSize].Add(int64(-n)) == 0 {
+		for round, c := range counts {
+			if e.wmRing[round%wmRingSize].Add(int64(-c)) == 0 {
 				zeroed = true
 			}
 			delete(counts, round)
@@ -268,8 +614,6 @@ func (e *ConcurrentEngine) runWorker(n int) {
 		if zeroed && e.wmWatching.Load() {
 			e.wmBroadcast()
 		}
-		// Zero the processed items (so queued subscriptions can be
-		// collected) and hand the array back to the mailbox.
 		for i := range items {
 			items[i] = queued{}
 		}
@@ -278,6 +622,13 @@ func (e *ConcurrentEngine) runWorker(n int) {
 }
 
 func (e *ConcurrentEngine) submit(item queued) error {
+	return e.submitFrom(item, -1)
+}
+
+// submitFrom is submit with worker affinity: prefer names the scheduler
+// worker whose dispatch produced the item (its local deque receives the
+// activation), or -1 for external injections, which spread round-robin.
+func (e *ConcurrentEngine) submitFrom(item queued, prefer int) error {
 	if e.closed.Load() {
 		return fmt.Errorf("netsim: engine is closed")
 	}
@@ -287,7 +638,8 @@ func (e *ConcurrentEngine) submit(item queued) error {
 	// while its parent is still counted, so a slot can only read zero once
 	// no item of the round can ever exist again.
 	e.wmRing[item.round%wmRingSize].Add(1)
-	if !e.workers[item.to].push(item) {
+	activate, ok := e.mailboxes[item.to].push(item)
+	if !ok {
 		if e.wmRing[item.round%wmRingSize].Add(-1) == 0 && e.wmWatching.Load() {
 			e.wmBroadcast()
 		}
@@ -297,6 +649,9 @@ func (e *ConcurrentEngine) submit(item queued) error {
 			e.idleMu.Unlock()
 		}
 		return fmt.Errorf("netsim: node %d mailbox closed", item.to)
+	}
+	if activate {
+		e.sched.enqueue(prefer, int32(item.to))
 	}
 	return nil
 }
@@ -308,17 +663,21 @@ func (e *ConcurrentEngine) wmBroadcast() {
 	e.wmMu.Unlock()
 }
 
-// enqueue implements sink (called from worker goroutines). A failed submit —
-// only possible when a send races engine shutdown — is counted as a dropped
-// message so lossy runs are detectable; the conformance suite asserts the
-// counter stays zero.
+// enqueue implements sink (called from dispatches on worker goroutines). A
+// failed submit — only possible when a send races engine shutdown — is
+// counted as a dropped message so lossy runs are detectable; the conformance
+// suite asserts the counter stays zero.
 //
 // Watermark safety: the child item is counted in its target's pending map
 // (inside push) while the parent item is still unsettled at the sender, so
 // there is never an instant where a round looks drained while one of its
 // messages is in flight between nodes.
 func (e *ConcurrentEngine) enqueue(from, to topology.NodeID, msg Message, round int) {
-	if err := e.submit(queued{from: from, to: to, msg: msg, round: round}); err != nil {
+	prefer := -1
+	if e.sched != nil {
+		prefer = int(e.nodeWorker[from])
+	}
+	if err := e.submitFrom(queued{from: from, to: to, msg: msg, round: round}, prefer); err != nil {
 		e.metrics.recordDrop()
 	}
 }
@@ -497,8 +856,8 @@ func (e *ConcurrentEngine) PublishBatch(batch []Publication) error {
 // the same time; the network is drained to quiescence between rounds. In
 // Windowed mode the drain between rounds is replaced by a watermark gate:
 // round r is injected as soon as every round <= r-1-Lag has fully drained,
-// so up to Lag+1 rounds of messages overlap and the per-node goroutines
-// never idle at a round boundary while they still have in-window work.
+// so up to Lag+1 rounds of messages overlap and active nodes never idle at a
+// round boundary while they still have in-window work.
 func (e *ConcurrentEngine) ReplayRounds(rounds [][]Publication, opts ReplayOptions) error {
 	return e.ReplayRoundsContext(context.Background(), rounds, opts)
 }
@@ -660,8 +1019,9 @@ func (e *ConcurrentEngine) waitWatermarkCtx(ctx context.Context, target int) err
 // retired-round cursor over consecutive ring slots that read zero, capped by
 // the injection frontier (a round retires only once fully injected, so empty
 // rounds do not let the watermark run ahead of the trace). Each wake-up
-// touches at most the active rounds' slots — O(lag) — where the previous
-// implementation locked every mailbox and scanned every node's pending map.
+// touches at most the active rounds' slots — O(lag), not O(nodes): the
+// previous implementation locked every mailbox and scanned every node's
+// pending map.
 //
 // Correctness does not need a multi-node snapshot any more: a single ring
 // slot is one atomic, and the child-before-parent accounting rule (submit
@@ -705,24 +1065,24 @@ func (e *ConcurrentEngine) NodeWatermarks() []int {
 		frontier = e.currentRound()
 	}
 	// Hold every mailbox lock at once so the vector is a consistent
-	// snapshot: locking workers one at a time would let an item migrate
-	// from a not-yet-scanned worker to an already-scanned one and report a
+	// snapshot: locking mailboxes one at a time would let an item migrate
+	// from a not-yet-scanned mailbox to an already-scanned one and report a
 	// node low-watermark past a round with work still in flight. This
 	// diagnostics call is the only remaining all-mailbox scan; the network
 	// watermark itself is tracked incrementally (see advanceWatermarkLocked).
-	for _, w := range e.workers {
-		w.mu.Lock()
+	for _, m := range e.mailboxes {
+		m.mu.Lock()
 	}
-	out := make([]int, len(e.workers))
-	for n, w := range e.workers {
-		low := w.lowWatermarkLocked()
+	out := make([]int, len(e.mailboxes))
+	for n, m := range e.mailboxes {
+		low := m.lowWatermarkLocked()
 		if low > frontier {
 			low = frontier
 		}
 		out[n] = low
 	}
-	for i := len(e.workers) - 1; i >= 0; i-- {
-		e.workers[i].mu.Unlock()
+	for i := len(e.mailboxes) - 1; i >= 0; i-- {
+		e.mailboxes[i].mu.Unlock()
 	}
 	return out
 }
@@ -814,7 +1174,7 @@ func (e *ConcurrentEngine) maybeTick() bool {
 	}
 	e.ticked = wm
 	e.tickMu.Unlock()
-	for n := range e.workers {
+	for n := range e.mailboxes {
 		id := topology.NodeID(n)
 		// A failed submit only happens when the engine is shutting down;
 		// the tick is then moot.
@@ -904,15 +1264,20 @@ func (e *ConcurrentEngine) EvictDeliveries(id model.SubscriptionID) {
 	e.metrics.evictSubscription(id)
 }
 
-// Close shuts the per-node goroutines down. The engine must be quiescent
-// (Flush) before closing; messages submitted after Close are rejected and
-// Close is idempotent.
+// Close shuts the scheduler down. The engine must be quiescent (Flush)
+// before closing; messages submitted after Close are rejected and Close is
+// idempotent. Workers drain the activations already on their deques — and
+// per-node goroutines their mailboxes — before exiting, so a Close racing
+// in-flight work leaves no goroutine behind once that work has run out.
 func (e *ConcurrentEngine) Close() {
 	if e.closed.Swap(true) {
 		return
 	}
-	for _, w := range e.workers {
-		w.close()
+	for _, m := range e.mailboxes {
+		m.close()
+	}
+	if e.sched != nil {
+		e.sched.close()
 	}
 	// Wake a windowed injector that might be waiting on the watermark so it
 	// can observe the closed flag instead of blocking forever.

@@ -14,6 +14,7 @@ package netsim_test
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"testing"
 
@@ -229,6 +230,36 @@ var conformanceVariants = []struct {
 	{"concurrent-windowed-lag2", true, netsim.ReplayOptions{Mode: netsim.Windowed, Lag: 2}},
 }
 
+// workerCounts returns the scheduler pool sizes the conformance suite sweeps
+// for every concurrent variant: serial, the smallest truly concurrent pool,
+// and one worker per CPU. The oracles must hold bit-identically at each.
+func workerCounts() []int {
+	counts := []int{1, 2}
+	if n := runtime.NumCPU(); n != 1 && n != 2 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// variantRun is one engine run of a conformance variant: sequential variants
+// run once (workers is ignored by the sequential engine), concurrent ones
+// once per swept worker count, each labelled for the failure messages.
+type variantRun struct {
+	name    string
+	workers int
+}
+
+func variantRuns(name string, concurrent bool) []variantRun {
+	if !concurrent {
+		return []variantRun{{name: name}}
+	}
+	var runs []variantRun
+	for _, wc := range workerCounts() {
+		runs = append(runs, variantRun{name: fmt.Sprintf("%s/workers=%d", name, wc), workers: wc})
+	}
+	return runs
+}
+
 // TestPipelinedConformanceAllApproaches is the per-round oracle of the
 // pipelined and windowed delivery modes: for every approach, each replay
 // variant must produce the sequential quiescent run's traffic totals and,
@@ -246,7 +277,7 @@ func TestPipelinedConformanceAllApproaches(t *testing.T) {
 		for _, id := range experiment.All() {
 			id := id
 			t.Run(fmt.Sprintf("%s/seed=%d", id, seed), func(t *testing.T) {
-				newRuntime := func(concurrent bool, opts netsim.ReplayOptions) netsim.Runtime {
+				newRuntime := func(concurrent bool, workers int, opts netsim.ReplayOptions) netsim.Runtime {
 					factory, err := experiment.FactoryForSpec(id, experiment.FactorySpec{
 						Seed:           seed + 7,
 						ValidityFactor: netsim.RequiredValidityFactor(opts.Mode, opts.Lag),
@@ -255,12 +286,12 @@ func TestPipelinedConformanceAllApproaches(t *testing.T) {
 						t.Fatal(err)
 					}
 					if concurrent {
-						return netsim.NewConcurrentEngine(w.Deployment.Graph, factory)
+						return netsim.NewConcurrentEngineWorkers(w.Deployment.Graph, factory, workers)
 					}
 					return netsim.NewEngine(w.Deployment.Graph, factory)
 				}
 
-				baseline := newRuntime(false, netsim.ReplayOptions{Mode: netsim.Quiescent})
+				baseline := newRuntime(false, 0, netsim.ReplayOptions{Mode: netsim.Quiescent})
 				driveRounds(t, baseline, w, netsim.ReplayOptions{Mode: netsim.Quiescent})
 				base := baseline.Metrics().Snapshot()
 				if n := baseline.Metrics().DroppedMessages(); n != 0 {
@@ -268,18 +299,20 @@ func TestPipelinedConformanceAllApproaches(t *testing.T) {
 				}
 
 				for _, v := range conformanceVariants {
-					rt := newRuntime(v.concurrent, v.opts)
-					if conc, ok := rt.(*netsim.ConcurrentEngine); ok {
-						defer conc.Close()
-					}
-					driveRounds(t, rt, w, v.opts)
-					assertSameTraffic(t, v.name, base, rt.Metrics().Snapshot())
-					assertSamePerRoundDeliveries(t, v.name, baseline.Deliveries(), rt.Deliveries())
-					if n := rt.Metrics().DroppedMessages(); n != 0 {
-						t.Errorf("%s dropped %d messages", v.name, n)
-					}
-					if wm, want := rt.Watermark(), w.Scenario.Batches*w.Scenario.RoundsPerBatch; wm != want {
-						t.Errorf("%s: final watermark = %d, want %d (all rounds retired)", v.name, wm, want)
+					for _, run := range variantRuns(v.name, v.concurrent) {
+						rt := newRuntime(v.concurrent, run.workers, v.opts)
+						if conc, ok := rt.(*netsim.ConcurrentEngine); ok {
+							defer conc.Close()
+						}
+						driveRounds(t, rt, w, v.opts)
+						assertSameTraffic(t, run.name, base, rt.Metrics().Snapshot())
+						assertSamePerRoundDeliveries(t, run.name, baseline.Deliveries(), rt.Deliveries())
+						if n := rt.Metrics().DroppedMessages(); n != 0 {
+							t.Errorf("%s dropped %d messages", run.name, n)
+						}
+						if wm, want := rt.Watermark(), w.Scenario.Batches*w.Scenario.RoundsPerBatch; wm != want {
+							t.Errorf("%s: final watermark = %d, want %d (all rounds retired)", run.name, wm, want)
+						}
 					}
 				}
 			})
@@ -420,7 +453,7 @@ func TestAggregateConformanceAllApproaches(t *testing.T) {
 			id := id
 			t.Run(fmt.Sprintf("%s/seed=%d", id, seed), func(t *testing.T) {
 				placements := aggregateConformancePlacements(t, w, id != experiment.Centralized)
-				newRuntime := func(concurrent bool, opts netsim.ReplayOptions) netsim.Runtime {
+				newRuntime := func(concurrent bool, workers int, opts netsim.ReplayOptions) netsim.Runtime {
 					factory, err := experiment.FactoryForSpec(id, experiment.FactorySpec{
 						Seed:           seed + 7,
 						ValidityFactor: netsim.RequiredValidityFactor(opts.Mode, opts.Lag),
@@ -429,12 +462,12 @@ func TestAggregateConformanceAllApproaches(t *testing.T) {
 						t.Fatal(err)
 					}
 					if concurrent {
-						return netsim.NewConcurrentEngine(w.Deployment.Graph, factory)
+						return netsim.NewConcurrentEngineWorkers(w.Deployment.Graph, factory, workers)
 					}
 					return netsim.NewEngine(w.Deployment.Graph, factory)
 				}
 
-				baseline := newRuntime(false, netsim.ReplayOptions{Mode: netsim.Quiescent})
+				baseline := newRuntime(false, 0, netsim.ReplayOptions{Mode: netsim.Quiescent})
 				driveRoundsWith(t, baseline, w, placements, netsim.ReplayOptions{Mode: netsim.Quiescent})
 				base := baseline.Metrics().Snapshot()
 				baseBytes := baseline.Metrics().PartialAggregateBytes()
@@ -459,21 +492,23 @@ func TestAggregateConformanceAllApproaches(t *testing.T) {
 				}
 
 				for _, v := range conformanceVariants {
-					rt := newRuntime(v.concurrent, v.opts)
-					if conc, ok := rt.(*netsim.ConcurrentEngine); ok {
-						defer conc.Close()
-					}
-					driveRoundsWith(t, rt, w, placements, v.opts)
-					assertSameTraffic(t, v.name, base, rt.Metrics().Snapshot())
-					if got := rt.Metrics().PartialAggregateBytes(); got != baseBytes {
-						t.Errorf("%s: partial-aggregate bytes: baseline=%d got=%d", v.name, baseBytes, got)
-					}
-					assertSamePerRoundDeliveries(t, v.name, baseline.Deliveries(), rt.Deliveries())
-					if n := rt.Metrics().DroppedMessages(); n != 0 {
-						t.Errorf("%s dropped %d messages", v.name, n)
-					}
-					if wm := rt.Watermark(); wm != totalRounds {
-						t.Errorf("%s: final watermark = %d, want %d (all rounds retired)", v.name, wm, totalRounds)
+					for _, run := range variantRuns(v.name, v.concurrent) {
+						rt := newRuntime(v.concurrent, run.workers, v.opts)
+						if conc, ok := rt.(*netsim.ConcurrentEngine); ok {
+							defer conc.Close()
+						}
+						driveRoundsWith(t, rt, w, placements, v.opts)
+						assertSameTraffic(t, run.name, base, rt.Metrics().Snapshot())
+						if got := rt.Metrics().PartialAggregateBytes(); got != baseBytes {
+							t.Errorf("%s: partial-aggregate bytes: baseline=%d got=%d", run.name, baseBytes, got)
+						}
+						assertSamePerRoundDeliveries(t, run.name, baseline.Deliveries(), rt.Deliveries())
+						if n := rt.Metrics().DroppedMessages(); n != 0 {
+							t.Errorf("%s dropped %d messages", run.name, n)
+						}
+						if wm := rt.Watermark(); wm != totalRounds {
+							t.Errorf("%s: final watermark = %d, want %d (all rounds retired)", run.name, wm, totalRounds)
+						}
 					}
 				}
 			})

@@ -1,12 +1,27 @@
 package netsim
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"sensorcq/internal/geom"
 	"sensorcq/internal/model"
 )
+
+// workerCounts returns the scheduler pool sizes the concurrency tests sweep:
+// serial, the smallest truly concurrent pool, and one worker per CPU.
+func workerCounts() []int {
+	counts := []int{1, 2}
+	if n := runtime.NumCPU(); n != 1 && n != 2 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+func workersLabel(n int) string { return fmt.Sprintf("workers=%d", n) }
 
 // TestConcurrentEngineLifecycleAfterClose verifies that every Runtime entry
 // point is rejected once the engine is closed and that closing is idempotent.
@@ -38,6 +53,81 @@ func TestConcurrentEngineLifecycleAfterClose(t *testing.T) {
 	rounds := [][]Publication{{{Node: 0, Event: testEvent(3)}}}
 	if err := e.ReplayRounds(rounds, ReplayOptions{Mode: Pipelined}); err == nil {
 		t.Error("ReplayRounds after Close should fail")
+	}
+}
+
+// stabilizedGoroutines polls runtime.NumGoroutine until it returns to at
+// most the baseline (scheduler workers exit asynchronously after Close) or
+// the deadline expires, reporting the last count seen.
+func stabilizedGoroutines(baseline int, deadline time.Duration) (int, bool) {
+	var n int
+	for end := time.Now().Add(deadline); time.Now().Before(end); {
+		n = runtime.NumGoroutine()
+		if n <= baseline {
+			return n, true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return n, false
+}
+
+// TestConcurrentEngineCloseLeavesNoGoroutines verifies that Close — plain,
+// doubled, and racing pending work — terminates every scheduler goroutine:
+// after Close the goroutine count stabilizes back to the pre-construction
+// baseline. Run under -race in CI, which also catches unsynchronized
+// shutdown paths.
+func TestConcurrentEngineCloseLeavesNoGoroutines(t *testing.T) {
+	const deadline = 5 * time.Second
+	for _, tc := range []struct {
+		name  string
+		close func(t *testing.T, e *ConcurrentEngine)
+	}{
+		{"idle", func(t *testing.T, e *ConcurrentEngine) {
+			e.Flush()
+			e.Close()
+		}},
+		{"double-close", func(t *testing.T, e *ConcurrentEngine) {
+			e.Flush()
+			e.Close()
+			e.Close()
+		}},
+		{"pending-work", func(t *testing.T, e *ConcurrentEngine) {
+			// Close while a replay's messages are still propagating: the
+			// workers must drain what is already queued and then exit.
+			if err := e.AttachSensor(7, model.Sensor{ID: "d1", Attr: model.WindSpeed}); err != nil {
+				t.Fatal(err)
+			}
+			e.Flush()
+			var batch []Publication
+			for seq := uint64(1); seq <= 32; seq++ {
+				batch = append(batch, Publication{Node: 7, Event: testEvent(seq)})
+			}
+			for _, p := range batch {
+				if err := e.Publish(p.Node, p.Event); err != nil {
+					t.Fatal(err)
+				}
+			}
+			e.Close()
+		}},
+	} {
+		for _, workers := range workerCounts() {
+			t.Run(tc.name+"/"+workersLabel(workers), func(t *testing.T) {
+				baseline := runtime.NumGoroutine()
+				e := NewConcurrentEngineWorkers(lineGraph(t, 8), newFloodHandler, workers)
+				tc.close(t, e)
+				if n, ok := stabilizedGoroutines(baseline, deadline); !ok {
+					t.Errorf("goroutines did not stabilize: %d live, baseline %d", n, baseline)
+				}
+			})
+		}
+		t.Run(tc.name+"/goroutine-per-node", func(t *testing.T) {
+			baseline := runtime.NumGoroutine()
+			e := NewConcurrentEngineGoroutinePerNode(lineGraph(t, 8), newFloodHandler)
+			tc.close(t, e)
+			if n, ok := stabilizedGoroutines(baseline, deadline); !ok {
+				t.Errorf("goroutines did not stabilize: %d live, baseline %d", n, baseline)
+			}
+		})
 	}
 }
 

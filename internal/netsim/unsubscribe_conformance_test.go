@@ -126,7 +126,7 @@ func TestUnsubscribeConformanceAllApproaches(t *testing.T) {
 		for _, id := range experiment.All() {
 			id := id
 			t.Run(fmt.Sprintf("%s/seed=%d", id, seed), func(t *testing.T) {
-				newRuntime := func(concurrent bool, opts netsim.ReplayOptions) netsim.Runtime {
+				newRuntime := func(concurrent bool, workers int, opts netsim.ReplayOptions) netsim.Runtime {
 					factory, err := experiment.FactoryForSpec(id, experiment.FactorySpec{
 						Seed:           seed + 7,
 						ValidityFactor: netsim.RequiredValidityFactor(opts.Mode, opts.Lag),
@@ -135,7 +135,7 @@ func TestUnsubscribeConformanceAllApproaches(t *testing.T) {
 						t.Fatal(err)
 					}
 					if concurrent {
-						return netsim.NewConcurrentEngine(w.Deployment.Graph, factory)
+						return netsim.NewConcurrentEngineWorkers(w.Deployment.Graph, factory, workers)
 					}
 					return netsim.NewEngine(w.Deployment.Graph, factory)
 				}
@@ -143,14 +143,14 @@ func TestUnsubscribeConformanceAllApproaches(t *testing.T) {
 				// Reference run without the retraction: the churn run must
 				// forward strictly fewer data units than this, and it tells
 				// us which subscriptions have post-churn deliveries to shed.
-				noChurn := newRuntime(false, netsim.ReplayOptions{Mode: netsim.Quiescent})
+				noChurn := newRuntime(false, 0, netsim.ReplayOptions{Mode: netsim.Quiescent})
 				driveRounds(t, noChurn, w, netsim.ReplayOptions{Mode: netsim.Quiescent})
 				retract := churnPlan(w, noChurn, churnRound)
 				if retract == nil {
 					t.Fatalf("no subscription has post-churn deliveries; the retraction check is vacuous")
 				}
 
-				baseline := newRuntime(false, netsim.ReplayOptions{Mode: netsim.Quiescent})
+				baseline := newRuntime(false, 0, netsim.ReplayOptions{Mode: netsim.Quiescent})
 				driveRoundsWithChurn(t, baseline, w, netsim.ReplayOptions{Mode: netsim.Quiescent}, retract)
 				base := baseline.Metrics().Snapshot()
 				if base.UnsubscriptionLoad == 0 {
@@ -180,26 +180,28 @@ func TestUnsubscribeConformanceAllApproaches(t *testing.T) {
 					surviving(noChurn.Deliveries()), surviving(baseline.Deliveries()))
 
 				for _, v := range conformanceVariants {
-					rt := newRuntime(v.concurrent, v.opts)
-					if conc, ok := rt.(*netsim.ConcurrentEngine); ok {
-						defer conc.Close()
-					}
-					driveRoundsWithChurn(t, rt, w, v.opts, retract)
-					assertSameTraffic(t, v.name, base, rt.Metrics().Snapshot())
-					if got, want := rt.Metrics().Snapshot().UnsubscriptionLoad, base.UnsubscriptionLoad; got != want {
-						t.Errorf("%s: unsubscription load = %d, want %d", v.name, got, want)
-					}
-					assertSamePerRoundDeliveries(t, v.name, baseline.Deliveries(), rt.Deliveries())
-					for _, d := range rt.Deliveries() {
-						if d.Round > churnRound && retract[d.SubID] {
-							t.Errorf("%s: retracted subscription %s delivered in round %d", v.name, d.SubID, d.Round)
+					for _, run := range variantRuns(v.name, v.concurrent) {
+						rt := newRuntime(v.concurrent, run.workers, v.opts)
+						if conc, ok := rt.(*netsim.ConcurrentEngine); ok {
+							defer conc.Close()
 						}
-					}
-					if n := rt.Metrics().DroppedMessages(); n != 0 {
-						t.Errorf("%s dropped %d messages", v.name, n)
-					}
-					if wm, want := rt.Watermark(), w.Scenario.Batches*w.Scenario.RoundsPerBatch; wm != want {
-						t.Errorf("%s: final watermark = %d, want %d", v.name, wm, want)
+						driveRoundsWithChurn(t, rt, w, v.opts, retract)
+						assertSameTraffic(t, run.name, base, rt.Metrics().Snapshot())
+						if got, want := rt.Metrics().Snapshot().UnsubscriptionLoad, base.UnsubscriptionLoad; got != want {
+							t.Errorf("%s: unsubscription load = %d, want %d", run.name, got, want)
+						}
+						assertSamePerRoundDeliveries(t, run.name, baseline.Deliveries(), rt.Deliveries())
+						for _, d := range rt.Deliveries() {
+							if d.Round > churnRound && retract[d.SubID] {
+								t.Errorf("%s: retracted subscription %s delivered in round %d", run.name, d.SubID, d.Round)
+							}
+						}
+						if n := rt.Metrics().DroppedMessages(); n != 0 {
+							t.Errorf("%s dropped %d messages", run.name, n)
+						}
+						if wm, want := rt.Watermark(), w.Scenario.Batches*w.Scenario.RoundsPerBatch; wm != want {
+							t.Errorf("%s: final watermark = %d, want %d", run.name, wm, want)
+						}
 					}
 				}
 			})

@@ -84,6 +84,11 @@ type Config struct {
 	// flight. It must be 0 unless Delivery is Windowed; Windowed with
 	// Lag 0 behaves exactly like Pipelined.
 	Lag int
+	// Workers sizes the concurrent engine's scheduler pool: how many
+	// worker goroutines execute node activations (capped at the node
+	// count). 0 selects GOMAXPROCS; negative values are rejected, as is a
+	// positive value without Concurrent.
+	Workers int
 }
 
 // System is a running sensor network: a deployment whose processing nodes
@@ -150,6 +155,12 @@ func NewSystem(dep *Deployment, cfg Config) (*System, error) {
 	if cfg.Lag > 0 && cfg.Delivery != Windowed {
 		return nil, fmt.Errorf("sensorcq: replay lag %d requires the windowed delivery mode (got %v)", cfg.Lag, cfg.Delivery)
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("sensorcq: negative worker count %d", cfg.Workers)
+	}
+	if cfg.Workers > 0 && !cfg.Concurrent {
+		return nil, fmt.Errorf("sensorcq: worker count %d requires the concurrent engine", cfg.Workers)
+	}
 	factory, err := experiment.FactoryForSpec(cfg.Approach, experiment.FactorySpec{
 		Seed:           cfg.Seed,
 		SetFilterError: cfg.SetFilterError,
@@ -160,7 +171,7 @@ func NewSystem(dep *Deployment, cfg Config) (*System, error) {
 	}
 	sys := &System{dep: dep, approach: cfg.Approach, delivery: cfg.Delivery, lag: cfg.Lag}
 	if cfg.Concurrent {
-		conc := netsim.NewConcurrentEngine(dep.Graph, factory)
+		conc := netsim.NewConcurrentEngineWorkers(dep.Graph, factory, cfg.Workers)
 		sys.runtime = conc
 		sys.concurrent = conc
 	} else {
@@ -195,6 +206,15 @@ func (s *System) Approach() Approach { return s.approach }
 
 // Deployment returns the underlying deployment.
 func (s *System) Deployment() *Deployment { return s.dep }
+
+// Workers returns the effective scheduler worker count of a Concurrent
+// system, or 0 for the sequential engine (which has no worker pool).
+func (s *System) Workers() int {
+	if s.concurrent == nil {
+		return 0
+	}
+	return s.concurrent.Workers()
+}
 
 // Subscribe registers a user subscription at the given processing node and
 // returns its lifecycle handle. The subscription is fully propagated through
